@@ -1,0 +1,73 @@
+//! Throughput of the confidence estimators over a gshare prediction stream.
+
+use cestim_bpred::{BranchPredictor, Gshare, Prediction};
+use cestim_core::{
+    Boosted, ConfidenceEstimator, DistanceEstimator, Jrs, PatternHistory, SaturatingConfidence,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Pre-recorded (pc, ghr, prediction, correct) tuples from a gshare run,
+/// so the estimator is the only thing measured.
+fn recorded(len: usize) -> Vec<(u32, u32, Prediction, bool)> {
+    let mut p = Gshare::new(12);
+    let mut ghr = 0u32;
+    let mut x = 0xDEAD_BEEFu32;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let pc = 0x40 + (x % 64) * 4;
+            let taken = x & 0x300 != 0; // 75% taken
+            let pred = p.predict(pc, ghr);
+            let rec = (pc, ghr, pred, pred.taken == taken);
+            p.update(pc, taken, &pred);
+            ghr = (ghr << 1) | pred.taken as u32;
+            rec
+        })
+        .collect()
+}
+
+fn drive<E: ConfidenceEstimator>(e: &mut E, s: &[(u32, u32, Prediction, bool)]) -> u64 {
+    let mut high = 0u64;
+    for &(pc, ghr, pred, correct) in s {
+        high += e.estimate(pc, ghr, &pred).is_high() as u64;
+        e.on_branch_resolved(!correct);
+        e.update(pc, ghr, &pred, correct);
+    }
+    high
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let s = recorded(10_000);
+    let mut g = c.benchmark_group("estimators");
+    g.throughput(Throughput::Elements(s.len() as u64));
+    g.bench_function("jrs_enhanced", |b| {
+        b.iter(|| black_box(drive(&mut Jrs::paper_enhanced(), &s)))
+    });
+    g.bench_function("jrs_base", |b| {
+        b.iter(|| black_box(drive(&mut Jrs::paper_base(), &s)))
+    });
+    g.bench_function("satctr", |b| {
+        b.iter(|| black_box(drive(&mut SaturatingConfidence::selected(), &s)))
+    });
+    g.bench_function("pattern", |b| {
+        b.iter(|| black_box(drive(&mut PatternHistory::new(12), &s)))
+    });
+    g.bench_function("distance", |b| {
+        b.iter(|| black_box(drive(&mut DistanceEstimator::new(4), &s)))
+    });
+    g.bench_function("boosted_satctr_k2", |b| {
+        b.iter(|| {
+            black_box(drive(
+                &mut Boosted::new(SaturatingConfidence::selected(), 2),
+                &s,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

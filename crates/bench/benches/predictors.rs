@@ -1,0 +1,71 @@
+//! Throughput of the branch predictors on a recorded branch stream.
+
+use cestim_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, SAg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// A deterministic synthetic branch stream: 64 branch sites with mixed
+/// behaviours (biased, alternating, noisy).
+fn stream(len: usize) -> Vec<(u32, bool)> {
+    let mut x = 0x1234_5678u32;
+    (0..len)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let pc = 0x100 + (x % 64) * 4;
+            let taken = match pc % 3 {
+                0 => true,                 // biased
+                1 => i % 2 == 0,           // alternating
+                _ => x & 0x100 != 0,       // noisy
+            };
+            (pc, taken)
+        })
+        .collect()
+}
+
+fn drive<P: BranchPredictor>(p: &mut P, s: &[(u32, bool)]) -> u64 {
+    let mut ghr = 0u32;
+    let mut correct = 0u64;
+    for &(pc, taken) in s {
+        let pred = p.predict(pc, ghr);
+        correct += (pred.taken == taken) as u64;
+        p.update(pc, taken, &pred);
+        ghr = (ghr << 1) | pred.taken as u32;
+    }
+    correct
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let s = stream(10_000);
+    let mut g = c.benchmark_group("predictors");
+    g.throughput(Throughput::Elements(s.len() as u64));
+    g.bench_function(BenchmarkId::new("bimodal", "10k"), |b| {
+        b.iter(|| {
+            let mut p = Bimodal::new(10);
+            black_box(drive(&mut p, &s))
+        })
+    });
+    g.bench_function(BenchmarkId::new("gshare", "10k"), |b| {
+        b.iter(|| {
+            let mut p = Gshare::new(12);
+            black_box(drive(&mut p, &s))
+        })
+    });
+    g.bench_function(BenchmarkId::new("mcfarling", "10k"), |b| {
+        b.iter(|| {
+            let mut p = McFarling::new(12);
+            black_box(drive(&mut p, &s))
+        })
+    });
+    g.bench_function(BenchmarkId::new("sag", "10k"), |b| {
+        b.iter(|| {
+            let mut p = SAg::paper_config();
+            black_box(drive(&mut p, &s))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

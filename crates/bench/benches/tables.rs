@@ -1,0 +1,127 @@
+//! One Criterion bench per paper table/figure.
+//!
+//! These time the *regeneration* of each experiment on a two-workload
+//! subset at scale 1 (the full 8-workload regeneration is the `repro`
+//! binary). Every table and figure of the paper has a timed entry here, so
+//! `cargo bench -p cestim-bench --bench tables` both exercises and times
+//! the complete reproduction pipeline.
+
+use cestim_sim::{suite, PredictorKind};
+use cestim_workloads::WorkloadKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const W: &[WorkloadKind] = &[WorkloadKind::Compress, WorkloadKind::Gcc];
+const SCALE: u32 = 1;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig1", |b| b.iter(|| black_box(suite::fig1())));
+    g.bench_function("table1", |b| {
+        b.iter(|| black_box(suite::table1_with(SCALE, W)))
+    });
+    g.bench_function("table2", |b| {
+        b.iter(|| black_box(suite::table2_with(SCALE, W)))
+    });
+    g.bench_function("fig3", |b| b.iter(|| black_box(suite::fig3_with(SCALE, W))));
+    g.bench_function("fig4", |b| {
+        b.iter(|| black_box(suite::fig45_with(SCALE, W, PredictorKind::Gshare, "fig4")))
+    });
+    g.bench_function("fig5", |b| {
+        b.iter(|| {
+            black_box(suite::fig45_with(
+                SCALE,
+                W,
+                PredictorKind::McFarling,
+                "fig5",
+            ))
+        })
+    });
+    g.bench_function("table3", |b| {
+        b.iter(|| black_box(suite::table3_with(SCALE, W)))
+    });
+    g.bench_function("fig6", |b| {
+        b.iter(|| {
+            black_box(suite::distance_fig_with(
+                SCALE,
+                W,
+                PredictorKind::Gshare,
+                false,
+                "fig6",
+            ))
+        })
+    });
+    g.bench_function("fig7", |b| {
+        b.iter(|| {
+            black_box(suite::distance_fig_with(
+                SCALE,
+                W,
+                PredictorKind::McFarling,
+                false,
+                "fig7",
+            ))
+        })
+    });
+    g.bench_function("fig8", |b| {
+        b.iter(|| {
+            black_box(suite::distance_fig_with(
+                SCALE,
+                W,
+                PredictorKind::Gshare,
+                true,
+                "fig8",
+            ))
+        })
+    });
+    g.bench_function("fig9", |b| {
+        b.iter(|| {
+            black_box(suite::distance_fig_with(
+                SCALE,
+                W,
+                PredictorKind::McFarling,
+                true,
+                "fig9",
+            ))
+        })
+    });
+    g.bench_function("table4", |b| {
+        b.iter(|| black_box(suite::table4_with(SCALE, W)))
+    });
+    g.bench_function("cluster", |b| {
+        b.iter(|| black_box(suite::cluster_with(SCALE, W)))
+    });
+    g.bench_function("boost", |b| {
+        b.iter(|| black_box(suite::boost_with(SCALE, W)))
+    });
+    g.bench_function("table2-detail", |b| {
+        b.iter(|| black_box(suite::table2_detail_with(SCALE, W)))
+    });
+    g.bench_function("ext-jrsmcf", |b| {
+        b.iter(|| black_box(suite::ext_jrsmcf_with(SCALE, W)))
+    });
+    g.bench_function("ext-cir", |b| {
+        b.iter(|| black_box(suite::ext_cir_with(SCALE, W)))
+    });
+    g.bench_function("ext-tune", |b| {
+        b.iter(|| black_box(suite::ext_tune_with(SCALE, W)))
+    });
+    g.bench_function("ext-eager", |b| {
+        b.iter(|| black_box(suite::ext_eager_with(SCALE, W)))
+    });
+    g.bench_function("ext-xinput", |b| {
+        b.iter(|| black_box(suite::ext_xinput_with(SCALE, W)))
+    });
+    g.bench_function("ext-smt", |b| {
+        b.iter(|| {
+            black_box(suite::ext_smt_with(
+                SCALE,
+                &[(WorkloadKind::Compress, WorkloadKind::Gcc)],
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale N] [--out DIR] <experiment>...
+//! repro all
+//! repro --list
+//! ```
+//!
+//! Experiments: `fig1 table1 table2 fig3 fig4 fig5 table3 fig6 fig7 fig8
+//! fig9 table4 cluster boost`. Each prints its table/series to stdout and
+//! writes `<out>/<id>.txt` and `<out>/<id>.json` (default `results/`).
+
+use cestim_sim::suite;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scale: u32,
+    out: PathBuf,
+    ids: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale N] [--out DIR] <experiment>... | all | --list\n\
+         experiments: {}",
+        suite::all_ids().join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut scale = 4u32;
+    let mut out = PathBuf::from("results");
+    let mut ids = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => out = PathBuf::from(argv.next().unwrap_or_else(|| usage())),
+            "--list" => {
+                for id in suite::all_ids() {
+                    println!("{id}");
+                }
+                std::process::exit(0);
+            }
+            "all" => ids.extend(suite::all_ids().iter().map(|s| s.to_string())),
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    Args { scale, out, ids }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failed = false;
+    for id in &args.ids {
+        let start = std::time::Instant::now();
+        match suite::run_experiment(id, args.scale) {
+            Some(r) => {
+                println!("{}\n{}", r.title, r.text);
+                println!("[{} done in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+                if let Err(e) = cestim_bench::write_artifacts(&args.out, id, &r.text, &r.json) {
+                    eprintln!("error: failed to write artifacts for {id}: {e}");
+                    failed = true;
+                }
+            }
+            None => {
+                eprintln!("error: unknown experiment '{id}' (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,40 @@
+//! Quick pipeline-throughput smoke check: one gshare+JRS pass per workload.
+//!
+//! ```text
+//! speed [scale]
+//! ```
+
+use cestim_bpred::Gshare;
+use cestim_pipeline::{PipelineConfig, Simulator};
+use cestim_workloads::WorkloadKind;
+use std::time::Instant;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    for k in WorkloadKind::all() {
+        let w = k.build(scale);
+        let t = Instant::now();
+        let mut sim = Simulator::new(
+            &w.program,
+            PipelineConfig::paper(),
+            Box::new(Gshare::new(12)),
+        );
+        sim.add_estimator(Box::new(cestim_core::Jrs::paper_enhanced()));
+        let stats = sim.run_to_completion();
+        let dt = t.elapsed().as_secs_f64();
+        println!(
+            "{:10} committed={:9} fetched={:9} br={:8} acc={:.3} ratio={:.2} ipc={:.2} {:5.1}M inst/s",
+            k.name(),
+            stats.committed_insts,
+            stats.fetched_insts,
+            stats.committed_branches,
+            stats.accuracy_committed(),
+            stats.speculation_ratio(),
+            stats.ipc(),
+            stats.fetched_insts as f64 / dt / 1e6
+        );
+    }
+}

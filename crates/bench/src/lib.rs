@@ -1,0 +1,54 @@
+//! # cestim-bench
+//!
+//! Benchmark and reproduction harness for the cestim workspace.
+//!
+//! * `repro` binary — regenerates **every table and figure** of Klauser et
+//!   al. (ISCA 1998): `cargo run --release -p cestim-bench --bin repro --
+//!   all` writes text and JSON per experiment under `results/`.
+//! * `speed` binary — quick pipeline-throughput smoke check per workload.
+//! * Criterion benches (`predictors`, `estimators`, `pipeline`, `tables`) —
+//!   component throughput and per-experiment timing/ablation benches.
+//!
+//! This crate intentionally contains no library logic beyond shared helper
+//! functions for its binaries; all measurement code lives in `cestim-sim`.
+
+#![warn(missing_docs)]
+
+use std::path::Path;
+
+/// Writes an experiment's text and JSON artifacts under `dir`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the files.
+pub fn write_artifacts(
+    dir: &Path,
+    id: &str,
+    text: &str,
+    json: &serde_json::Value,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{id}.txt")), text)?;
+    std::fs::write(
+        dir.join(format!("{id}.json")),
+        serde_json::to_string_pretty(json)?,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_land_on_disk() {
+        let dir = std::env::temp_dir().join("cestim-bench-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_artifacts(&dir, "x", "hello", &serde_json::json!({"a": 1})).unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("x.txt")).unwrap(), "hello");
+        let j: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("x.json")).unwrap()).unwrap();
+        assert_eq!(j["a"], 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,140 @@
+//! Bimodal (per-PC two-bit counter) predictor.
+
+use crate::{BranchPredictor, Prediction, PredictorInfo, SaturatingCounter};
+
+/// The classic Smith predictor: a table of 2-bit saturating counters indexed
+/// by the branch PC.
+///
+/// Used standalone as a baseline and as one component of the
+/// [`McFarling`](crate::McFarling) combining predictor.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<SaturatingCounter>,
+    mask: u32,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `2^index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24.
+    pub fn new(index_bits: u32) -> Bimodal {
+        assert!(
+            (1..=24).contains(&index_bits),
+            "bimodal index width {index_bits} out of range"
+        );
+        Bimodal {
+            table: vec![SaturatingCounter::two_bit(); 1 << index_bits],
+            mask: (1u32 << index_bits) - 1,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u32) -> u32 {
+        pc & self.mask
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `false`; the table is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Raw counter value for `pc` (for tests and the McFarling wrapper).
+    pub fn counter(&self, pc: u32) -> u8 {
+        self.table[self.index(pc) as usize].value()
+    }
+
+    pub(crate) fn train(&mut self, index: u32, taken: bool) {
+        self.table[(index & self.mask) as usize].train(taken);
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict(&mut self, pc: u32, _ghr: u32) -> Prediction {
+        let index = self.index(pc);
+        let c = self.table[index as usize];
+        Prediction {
+            taken: c.predict_taken(),
+            info: PredictorInfo::Bimodal {
+                counter: c.value(),
+                index,
+            },
+        }
+    }
+
+    fn update(&mut self, _pc: u32, taken: bool, pred: &Prediction) {
+        match pred.info {
+            PredictorInfo::Bimodal { index, .. } => self.train(index, taken),
+            ref other => panic!("bimodal update with foreign info {other:?}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = Bimodal::new(10);
+        let pc = 0x123;
+        for _ in 0..3 {
+            let pred = p.predict(pc, 0);
+            p.update(pc, true, &pred);
+        }
+        assert!(p.predict(pc, 0).taken);
+        assert_eq!(p.counter(pc), 3);
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = Bimodal::new(10);
+        for _ in 0..3 {
+            let pred = p.predict(1, 0);
+            p.update(1, true, &pred);
+        }
+        assert!(p.predict(1, 0).taken);
+        assert!(!p.predict(2, 0).taken, "untrained entry stays weakly not-taken");
+    }
+
+    #[test]
+    fn aliasing_wraps_at_table_size() {
+        let mut p = Bimodal::new(4); // 16 entries
+        for _ in 0..3 {
+            let pred = p.predict(0, 0);
+            p.update(0, true, &pred);
+        }
+        assert!(p.predict(16, 0).taken, "pc 16 aliases with pc 0");
+    }
+
+    #[test]
+    fn ignores_global_history() {
+        let mut p = Bimodal::new(8);
+        let a = p.predict(7, 0x0);
+        let b = p.predict(7, 0xFFFF);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hysteresis_survives_single_flip() {
+        let mut p = Bimodal::new(8);
+        let pc = 9;
+        for _ in 0..4 {
+            let pred = p.predict(pc, 0);
+            p.update(pc, true, &pred);
+        }
+        let pred = p.predict(pc, 0);
+        p.update(pc, false, &pred);
+        assert!(p.predict(pc, 0).taken, "one not-taken does not flip a strong counter");
+    }
+}

@@ -1,0 +1,177 @@
+//! Saturating up/down counters, the workhorse of two-level predictors.
+
+use serde::{Deserialize, Serialize};
+
+/// An n-bit saturating counter (1 ≤ n ≤ 8).
+///
+/// Branch predictors use 2-bit counters for hysteresis; the JRS confidence
+/// estimator uses 4-bit "miss distance counters". The counter saturates at
+/// `0` and `2^n - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter of `bits` width initialized to `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8, or `initial` exceeds the
+    /// saturation maximum.
+    pub fn new(bits: u32, initial: u8) -> SaturatingCounter {
+        assert!((1..=8).contains(&bits), "counter width {bits} out of range");
+        let max = ((1u16 << bits) - 1) as u8;
+        assert!(initial <= max, "initial value {initial} exceeds max {max}");
+        SaturatingCounter { value: initial, max }
+    }
+
+    /// A 2-bit counter initialized to "weakly not-taken" (1), the
+    /// conventional cold state for branch prediction tables.
+    pub fn two_bit() -> SaturatingCounter {
+        SaturatingCounter::new(2, 1)
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Saturation maximum (`2^bits - 1`).
+    #[inline]
+    pub fn max(self) -> u8 {
+        self.max
+    }
+
+    /// Increments, saturating at the maximum.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Resets to zero (the JRS estimator's action on a misprediction).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Moves toward taken (`increment`) or not-taken (`decrement`).
+    #[inline]
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.increment()
+        } else {
+            self.decrement()
+        }
+    }
+
+    /// Prediction direction: taken when in the upper half of the range.
+    #[inline]
+    pub fn predict_taken(self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// `true` in a saturated ("strong") state — the states the
+    /// saturating-counters confidence estimator maps to high confidence.
+    #[inline]
+    pub fn is_strong(self) -> bool {
+        self.value == 0 || self.value == self.max
+    }
+}
+
+impl Default for SaturatingCounter {
+    /// Equivalent to [`SaturatingCounter::two_bit`].
+    fn default() -> Self {
+        SaturatingCounter::two_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_bit_state_machine_matches_smith_predictor() {
+        let mut c = SaturatingCounter::two_bit();
+        assert_eq!(c.value(), 1);
+        assert!(!c.predict_taken());
+        assert!(!c.is_strong());
+        c.train(true); // 2: weakly taken
+        assert!(c.predict_taken());
+        assert!(!c.is_strong());
+        c.train(true); // 3: strongly taken
+        assert!(c.predict_taken());
+        assert!(c.is_strong());
+        c.train(true); // saturate at 3
+        assert_eq!(c.value(), 3);
+        c.train(false); // 2
+        assert!(c.predict_taken(), "hysteresis keeps predicting taken");
+        c.train(false); // 1
+        assert!(!c.predict_taken());
+        c.train(false); // 0: strongly not-taken
+        assert!(c.is_strong());
+        c.train(false);
+        assert_eq!(c.value(), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn four_bit_counter_for_jrs() {
+        let mut c = SaturatingCounter::new(4, 0);
+        assert_eq!(c.max(), 15);
+        for _ in 0..20 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 15);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = SaturatingCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn oversized_initial_rejected() {
+        let _ = SaturatingCounter::new(2, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn value_stays_in_range(bits in 1u32..=8, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let mut c = SaturatingCounter::new(bits, 0);
+            for taken in ops {
+                c.train(taken);
+                prop_assert!(c.value() <= c.max());
+            }
+        }
+
+        #[test]
+        fn train_is_monotone_in_history(bits in 2u32..=4, ops in proptest::collection::vec(any::<bool>(), 1..100)) {
+            // Training two counters with histories where one saw "taken" at
+            // least as often (pointwise) keeps their values ordered.
+            let mut lo = SaturatingCounter::new(bits, 0);
+            let mut hi = SaturatingCounter::new(bits, 0);
+            for taken in ops {
+                lo.train(taken & false);
+                hi.train(taken | true);
+                prop_assert!(lo.value() <= hi.value());
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Branch history shift registers.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width branch history shift register.
+///
+/// Holds the most recent branch outcomes as bits (1 = taken), newest in the
+/// least-significant position. Used for the global history register owned by
+/// the pipeline and for SAg's per-branch local histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HistoryRegister {
+    bits: u32,
+    width: u32,
+}
+
+impl HistoryRegister {
+    /// Creates an all-zero history of `width` bits (1 ≤ width ≤ 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32.
+    pub fn new(width: u32) -> HistoryRegister {
+        assert!((1..=32).contains(&width), "history width {width} out of range");
+        HistoryRegister { bits: 0, width }
+    }
+
+    /// Shifts in one outcome (newest at bit 0).
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        self.bits = ((self.bits << 1) | taken as u32) & self.mask();
+    }
+
+    /// Current history value.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.bits
+    }
+
+    /// Replaces the entire history value (used for recovery repair).
+    #[inline]
+    pub fn set(&mut self, value: u32) {
+        self.bits = value & self.mask();
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Bit mask covering the history width.
+    #[inline]
+    pub fn mask(self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_shifts_newest_into_bit_zero() {
+        let mut h = HistoryRegister::new(4);
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert_eq!(h.value(), 0b101);
+        h.push(true);
+        assert_eq!(h.value(), 0b1011);
+        h.push(false);
+        assert_eq!(h.value(), 0b0110, "oldest bit falls off");
+    }
+
+    #[test]
+    fn width_32_does_not_overflow_mask() {
+        let mut h = HistoryRegister::new(32);
+        for _ in 0..40 {
+            h.push(true);
+        }
+        assert_eq!(h.value(), u32::MAX);
+    }
+
+    #[test]
+    fn set_masks_to_width() {
+        let mut h = HistoryRegister::new(3);
+        h.set(0xFF);
+        assert_eq!(h.value(), 0b111);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = HistoryRegister::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn value_never_exceeds_mask(width in 1u32..=32, outcomes in proptest::collection::vec(any::<bool>(), 0..100)) {
+            let mut h = HistoryRegister::new(width);
+            for o in outcomes {
+                h.push(o);
+                prop_assert_eq!(h.value() & !h.mask(), 0);
+            }
+        }
+
+        #[test]
+        fn history_reconstructs_recent_outcomes(outcomes in proptest::collection::vec(any::<bool>(), 8..64)) {
+            let mut h = HistoryRegister::new(8);
+            for &o in &outcomes {
+                h.push(o);
+            }
+            // The register must equal the last 8 outcomes, newest at bit 0.
+            let mut expect = 0u32;
+            for &o in &outcomes[outcomes.len() - 8..] {
+                expect = (expect << 1) | o as u32;
+            }
+            prop_assert_eq!(h.value(), expect & 0xFF);
+        }
+    }
+}

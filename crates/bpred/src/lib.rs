@@ -1,0 +1,65 @@
+//! # cestim-bpred
+//!
+//! Branch predictors for the confidence-estimation study: bimodal, gshare,
+//! the McFarling combining predictor, and SAg — the three configurations
+//! evaluated by Klauser et al. (ISCA 1998), plus the bimodal component.
+//!
+//! ## Speculative history discipline
+//!
+//! The paper's gshare and McFarling configurations update the global history
+//! register (GHR) *speculatively* — each prediction shifts its own predicted
+//! outcome into the history before the branch resolves, and mispredict
+//! recovery repairs the register. In this crate the **caller owns the GHR**:
+//! the pipeline simulator keeps the speculative GHR in its branch checkpoint
+//! stack and passes the current value to [`BranchPredictor::predict`]. That
+//! keeps every predictor table non-speculative (updated in program order at
+//! commit) and rollback-free, while still modelling the paper's speculative
+//! history behaviour exactly. SAg keeps *local* per-branch history that is
+//! only updated at commit — the paper's non-speculative SAg configuration.
+//!
+//! ## Predictor introspection
+//!
+//! Every prediction carries a [`PredictorInfo`] snapshot of the internal
+//! state that produced it (counter values, history patterns, meta-predictor
+//! choice). The confidence estimators in `cestim-core` consume these
+//! snapshots: the saturating-counters estimator reads counter strength, the
+//! pattern-history estimator reads history patterns, and the JRS estimator
+//! reuses the same history/index structure as the underlying predictor.
+//!
+//! ## Example
+//!
+//! ```
+//! use cestim_bpred::{BranchPredictor, Gshare};
+//!
+//! let mut p = Gshare::new(12); // 4096-entry PHT, as in the paper
+//! let pc = 0x40;
+//!
+//! // Warm up: the branch at `pc` is always taken. The caller shifts each
+//! // predicted outcome into its own speculative GHR; with an all-taken
+//! // branch the history saturates to all-ones, so the trained index
+//! // stabilizes and the prediction converges.
+//! let ghr = 0xFFF; // steady-state history of an always-taken branch
+//! for _ in 0..4 {
+//!     let pred = p.predict(pc, ghr);
+//!     p.update(pc, true, &pred);
+//! }
+//! assert!(p.predict(pc, ghr).taken);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bimodal;
+mod counter;
+mod gshare;
+mod history;
+mod mcfarling;
+mod sag;
+mod traits;
+
+pub use bimodal::Bimodal;
+pub use counter::SaturatingCounter;
+pub use gshare::Gshare;
+pub use history::HistoryRegister;
+pub use mcfarling::McFarling;
+pub use sag::SAg;
+pub use traits::{BranchPredictor, CounterStrength, Prediction, PredictorInfo};

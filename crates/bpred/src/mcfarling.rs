@@ -1,0 +1,203 @@
+//! The McFarling combining predictor (gshare + bimodal + meta chooser).
+
+use crate::{Bimodal, BranchPredictor, Gshare, Prediction, PredictorInfo, SaturatingCounter};
+
+/// McFarling's combining predictor: a gshare component, a bimodal component,
+/// and a table of 2-bit "meta" counters (indexed by PC) that selects between
+/// them.
+///
+/// Update policy follows the paper (§3.3.1): *both* component predictors are
+/// trained on every committed branch; the meta counter moves toward the
+/// component that was correct only when the two components disagreed.
+#[derive(Debug, Clone)]
+pub struct McFarling {
+    gshare: Gshare,
+    bimodal: Bimodal,
+    meta: Vec<SaturatingCounter>,
+    meta_mask: u32,
+}
+
+impl McFarling {
+    /// Creates the combining predictor with `2^index_bits` entries in each
+    /// of the three tables (the paper uses 12 → 4096 entries each).
+    pub fn new(index_bits: u32) -> McFarling {
+        McFarling {
+            gshare: Gshare::new(index_bits),
+            bimodal: Bimodal::new(index_bits),
+            // Initialize meta to "weakly prefer gshare" (2) so the global
+            // component gets first use, matching common implementations.
+            meta: vec![SaturatingCounter::new(2, 2); 1 << index_bits],
+            meta_mask: (1u32 << index_bits) - 1,
+        }
+    }
+
+    #[inline]
+    fn meta_index(&self, pc: u32) -> u32 {
+        pc & self.meta_mask
+    }
+
+    /// Number of entries in each component table.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// `false`; the tables are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl BranchPredictor for McFarling {
+    fn predict(&mut self, pc: u32, ghr: u32) -> Prediction {
+        let gp = self.gshare.predict(pc, ghr);
+        let bp = self.bimodal.predict(pc, ghr);
+        let (g_ctr, g_idx, history) = match gp.info {
+            PredictorInfo::Gshare {
+                counter,
+                index,
+                history,
+            } => (counter, index, history),
+            _ => unreachable!(),
+        };
+        let (b_ctr, b_idx) = match bp.info {
+            PredictorInfo::Bimodal { counter, index } => (counter, index),
+            _ => unreachable!(),
+        };
+        let m_idx = self.meta_index(pc);
+        let meta = self.meta[m_idx as usize];
+        let chose_gshare = meta.predict_taken(); // upper half = prefer gshare
+        Prediction {
+            taken: if chose_gshare { gp.taken } else { bp.taken },
+            info: PredictorInfo::McFarling {
+                gshare: g_ctr,
+                bimodal: b_ctr,
+                meta: meta.value(),
+                gshare_index: g_idx,
+                bimodal_index: b_idx,
+                history,
+                chose_gshare,
+            },
+        }
+    }
+
+    fn update(&mut self, _pc: u32, taken: bool, pred: &Prediction) {
+        let (g_ctr, b_ctr, g_idx, b_idx) = match pred.info {
+            PredictorInfo::McFarling {
+                gshare,
+                bimodal,
+                gshare_index,
+                bimodal_index,
+                ..
+            } => (gshare, bimodal, gshare_index, bimodal_index),
+            ref other => panic!("mcfarling update with foreign info {other:?}"),
+        };
+        // Reconstruct each component's predicted direction from its counter
+        // snapshot to train the meta chooser.
+        let g_taken = g_ctr > 1;
+        let b_taken = b_ctr > 1;
+        if g_taken != b_taken {
+            // Move toward the component that was right.
+            self.meta[(b_idx & self.meta_mask) as usize].train(g_taken == taken);
+        }
+        self.gshare.train(g_idx, taken);
+        self.bimodal.train(b_idx, taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "mcfarling"
+    }
+
+    fn global_history_width(&self) -> u32 {
+        self.gshare.global_history_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_branch<P: BranchPredictor>(
+        p: &mut P,
+        pc: u32,
+        outcomes: impl IntoIterator<Item = bool>,
+    ) -> (u32, u32) {
+        let mut ghr = 0u32;
+        let (mut correct, mut total) = (0, 0);
+        for taken in outcomes {
+            let pred = p.predict(pc, ghr);
+            if pred.taken == taken {
+                correct += 1;
+            }
+            total += 1;
+            p.update(pc, taken, &pred);
+            ghr = (ghr << 1) | taken as u32;
+        }
+        (correct, total)
+    }
+
+    #[test]
+    fn beats_or_matches_components_on_mixed_workload() {
+        // Branch A: strongly biased taken (bimodal-friendly).
+        // Branch B: alternating (gshare-friendly).
+        let mut mc = McFarling::new(10);
+        let (ca, _) = run_branch(&mut mc, 0x100, std::iter::repeat_n(true, 200));
+        let (cb, _) = run_branch(&mut mc, 0x104, (0..200).map(|i| i % 2 == 0));
+        assert!(ca >= 195, "biased branch nearly perfect, got {ca}");
+        assert!(cb >= 180, "alternating branch learned, got {cb}");
+    }
+
+    #[test]
+    fn meta_converges_to_the_better_component() {
+        let mut mc = McFarling::new(10);
+        // Alternate so bimodal (hovering around weak states) is often wrong
+        // while gshare learns the pattern; meta must settle on gshare.
+        run_branch(&mut mc, 0x40, (0..400).map(|i| i % 2 == 0));
+        let pred = mc.predict(0x40, 0b0101_0101);
+        match pred.info {
+            PredictorInfo::McFarling { chose_gshare, meta, .. } => {
+                assert!(chose_gshare, "meta={meta} should prefer gshare");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn both_components_train_on_every_update() {
+        let mut mc = McFarling::new(10);
+        let pred = mc.predict(0x8, 0);
+        mc.update(0x8, true, &pred);
+        let after = mc.predict(0x8, 0);
+        match after.info {
+            PredictorInfo::McFarling { gshare, bimodal, .. } => {
+                assert_eq!(gshare, 2);
+                assert_eq!(bimodal, 2);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn meta_unchanged_when_components_agree() {
+        let mut mc = McFarling::new(10);
+        let pred = mc.predict(0x8, 0);
+        let before = match pred.info {
+            PredictorInfo::McFarling { meta, .. } => meta,
+            _ => unreachable!(),
+        };
+        // Both components cold => both weakly not-taken => agree.
+        mc.update(0x8, false, &pred);
+        let after = match mc.predict(0x8, 0).info {
+            PredictorInfo::McFarling { meta, .. } => meta,
+            _ => unreachable!(),
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn paper_configuration_sizes() {
+        let mc = McFarling::new(12);
+        assert_eq!(mc.len(), 4096);
+        assert_eq!(mc.global_history_width(), 12);
+        assert_eq!(mc.name(), "mcfarling");
+    }
+}

@@ -1,0 +1,226 @@
+//! The predictor interface and the introspection data estimators consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Strength of a saturating counter's state.
+///
+/// A counter is *strong* when saturated (0 or max) and *weak* in the
+/// transitional states — the distinction the saturating-counters confidence
+/// estimator is built on (Smith, 1981; used by Klauser et al. §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterStrength {
+    /// Saturated state (strongly taken or strongly not-taken).
+    Strong,
+    /// Transitional state.
+    Weak,
+}
+
+impl CounterStrength {
+    /// Classifies a 2-bit counter value.
+    #[inline]
+    pub fn of_two_bit(value: u8) -> CounterStrength {
+        if value == 0 || value == 3 {
+            CounterStrength::Strong
+        } else {
+            CounterStrength::Weak
+        }
+    }
+
+    /// `true` for [`CounterStrength::Strong`].
+    #[inline]
+    pub fn is_strong(self) -> bool {
+        matches!(self, CounterStrength::Strong)
+    }
+}
+
+/// Internal predictor state snapshot captured at prediction time.
+///
+/// Confidence estimators are deliberately cheap by *reusing* branch-predictor
+/// state; this enum is how that state is surfaced. It also carries the table
+/// indexes used, so [`BranchPredictor::update`] can train exactly the entries
+/// that produced the prediction (important under speculative global history:
+/// the history at update time differs from the history at predict time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorInfo {
+    /// Snapshot of a [`Bimodal`](crate::Bimodal) prediction.
+    Bimodal {
+        /// 2-bit counter value that produced the prediction.
+        counter: u8,
+        /// PHT index (hashed from the PC).
+        index: u32,
+    },
+    /// Snapshot of a [`Gshare`](crate::Gshare) prediction.
+    Gshare {
+        /// 2-bit counter value that produced the prediction.
+        counter: u8,
+        /// PHT index (`pc ^ ghr`, masked).
+        index: u32,
+        /// Global history value used for the index.
+        history: u32,
+    },
+    /// Snapshot of a [`McFarling`](crate::McFarling) combining prediction.
+    McFarling {
+        /// gshare component counter value.
+        gshare: u8,
+        /// bimodal component counter value.
+        bimodal: u8,
+        /// meta ("chooser") counter value; ≥ 2 selects gshare.
+        meta: u8,
+        /// gshare PHT index used.
+        gshare_index: u32,
+        /// bimodal/meta table index used.
+        bimodal_index: u32,
+        /// Global history value used.
+        history: u32,
+        /// `true` when the meta predictor selected the gshare component.
+        chose_gshare: bool,
+    },
+    /// Snapshot of a [`SAg`](crate::SAg) prediction.
+    Sag {
+        /// 2-bit pattern-table counter value.
+        counter: u8,
+        /// Per-branch local history pattern used for the PHT index.
+        local_history: u32,
+        /// Width of the local history in bits.
+        history_width: u32,
+        /// Branch history table index (hashed from the PC).
+        bht_index: u32,
+    },
+}
+
+impl PredictorInfo {
+    /// The history pattern most relevant to pattern-based estimators:
+    /// the local history for SAg, the global history otherwise.
+    pub fn history(&self) -> u32 {
+        match *self {
+            PredictorInfo::Bimodal { .. } => 0,
+            PredictorInfo::Gshare { history, .. } => history,
+            PredictorInfo::McFarling { history, .. } => history,
+            PredictorInfo::Sag { local_history, .. } => local_history,
+        }
+    }
+
+    /// Width in bits of [`history`](PredictorInfo::history) (0 for bimodal).
+    pub fn history_width(&self) -> u32 {
+        match *self {
+            PredictorInfo::Bimodal { .. } => 0,
+            PredictorInfo::Gshare { .. } | PredictorInfo::McFarling { .. } => 32,
+            PredictorInfo::Sag { history_width, .. } => history_width,
+        }
+    }
+
+    /// Strength of the counter that directly produced the prediction (the
+    /// selected component for McFarling).
+    pub fn direction_counter_strength(&self) -> CounterStrength {
+        match *self {
+            PredictorInfo::Bimodal { counter, .. }
+            | PredictorInfo::Gshare { counter, .. }
+            | PredictorInfo::Sag { counter, .. } => CounterStrength::of_two_bit(counter),
+            PredictorInfo::McFarling {
+                gshare,
+                bimodal,
+                chose_gshare,
+                ..
+            } => CounterStrength::of_two_bit(if chose_gshare { gshare } else { bimodal }),
+        }
+    }
+}
+
+/// A branch prediction together with the internal state that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Snapshot of the predictor state used.
+    pub info: PredictorInfo,
+}
+
+/// A conditional-branch direction predictor.
+///
+/// The caller owns the speculative global history register and passes its
+/// current value to [`predict`](BranchPredictor::predict); see the
+/// [crate docs](crate) for the rationale. [`update`](BranchPredictor::update)
+/// is called once per *committed* branch, in program order, with the
+/// [`Prediction`] returned at predict time (whose embedded indexes identify
+/// the table entries to train).
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc` given the current
+    /// speculative global history `ghr`.
+    fn predict(&mut self, pc: u32, ghr: u32) -> Prediction;
+
+    /// Trains the predictor with the resolved outcome of a committed branch.
+    fn update(&mut self, pc: u32, taken: bool, pred: &Prediction);
+
+    /// Short human-readable name ("gshare", "mcfarling", ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of global-history bits the predictor consumes (0 when it only
+    /// uses the PC or local history).
+    fn global_history_width(&self) -> u32 {
+        0
+    }
+}
+
+impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
+    fn predict(&mut self, pc: u32, ghr: u32) -> Prediction {
+        (**self).predict(pc, ghr)
+    }
+    fn update(&mut self, pc: u32, taken: bool, pred: &Prediction) {
+        (**self).update(pc, taken, pred)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn global_history_width(&self) -> u32 {
+        (**self).global_history_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_strength_classification() {
+        assert!(CounterStrength::of_two_bit(0).is_strong());
+        assert!(!CounterStrength::of_two_bit(1).is_strong());
+        assert!(!CounterStrength::of_two_bit(2).is_strong());
+        assert!(CounterStrength::of_two_bit(3).is_strong());
+    }
+
+    #[test]
+    fn mcfarling_direction_strength_follows_chosen_component() {
+        let info = PredictorInfo::McFarling {
+            gshare: 3,
+            bimodal: 1,
+            meta: 3,
+            gshare_index: 0,
+            bimodal_index: 0,
+            history: 0,
+            chose_gshare: true,
+        };
+        assert!(info.direction_counter_strength().is_strong());
+        let info = PredictorInfo::McFarling {
+            gshare: 3,
+            bimodal: 1,
+            meta: 0,
+            gshare_index: 0,
+            bimodal_index: 0,
+            history: 0,
+            chose_gshare: false,
+        };
+        assert!(!info.direction_counter_strength().is_strong());
+    }
+
+    #[test]
+    fn history_selects_local_for_sag() {
+        let info = PredictorInfo::Sag {
+            counter: 2,
+            local_history: 0b1010,
+            history_width: 13,
+            bht_index: 5,
+        };
+        assert_eq!(info.history(), 0b1010);
+        assert_eq!(info.history_width(), 13);
+    }
+}

@@ -1,0 +1,212 @@
+//! Closed-form diagnostic-test mathematics (the paper's §1.1 and Figure 1).
+//!
+//! Given a test's sensitivity (SENS), specificity (SPEC) and the base rate
+//! `p` (here: branch prediction accuracy, `P[C]`), Bayes' rule fixes the
+//! predictive values:
+//!
+//! ```text
+//! PVP = SENS·p / (SENS·p + (1−SPEC)·(1−p))
+//! PVN = SPEC·(1−p) / (SPEC·(1−p) + (1−SENS)·p)
+//! ```
+//!
+//! Figure 1 of the paper plots parametric (PVP, PVN) curves holding two of
+//! the three parameters fixed and sweeping the third; [`ParametricCurve`]
+//! regenerates those series, with decile markers.
+
+use serde::{Deserialize, Serialize};
+
+/// Predictive value of a positive test, `P[C | HC]`.
+///
+/// `sens`, `spec` and `p` are probabilities in `[0, 1]`; `p` is the base
+/// rate of the *positive* class (correct predictions).
+pub fn pvp(sens: f64, spec: f64, p: f64) -> f64 {
+    let num = sens * p;
+    num / (num + (1.0 - spec) * (1.0 - p))
+}
+
+/// Predictive value of a negative test, `P[I | LC]`.
+pub fn pvn(sens: f64, spec: f64, p: f64) -> f64 {
+    let num = spec * (1.0 - p);
+    num / (num + (1.0 - sens) * p)
+}
+
+/// Which of the three diagnostic parameters a curve sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweptParameter {
+    /// Sweep sensitivity, holding SPEC and `p` fixed.
+    Sens,
+    /// Sweep specificity, holding SENS and `p` fixed.
+    Spec,
+    /// Sweep prediction accuracy, holding SENS and SPEC fixed.
+    Accuracy,
+}
+
+/// One point on a parametric diagnostic curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Value of the swept parameter.
+    pub param: f64,
+    /// Resulting PVP.
+    pub pvp: f64,
+    /// Resulting PVN.
+    pub pvn: f64,
+    /// `true` when `param` sits on a decile (0.0, 0.1, …, 1.0) — the marker
+    /// positions in the paper's Figure 1.
+    pub decile: bool,
+}
+
+/// A parametric (PVP, PVN) curve for Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParametricCurve {
+    /// The parameter being swept.
+    pub swept: SweptParameter,
+    /// Fixed sensitivity (meaningless when `swept == Sens`).
+    pub sens: f64,
+    /// Fixed specificity (meaningless when `swept == Spec`).
+    pub spec: f64,
+    /// Fixed accuracy (meaningless when `swept == Accuracy`).
+    pub accuracy: f64,
+    /// Sampled points in sweep order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl ParametricCurve {
+    /// Samples a curve with `steps + 1` evenly spaced points of the swept
+    /// parameter over `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or any fixed parameter is outside `[0, 1]`.
+    pub fn sweep(
+        swept: SweptParameter,
+        sens: f64,
+        spec: f64,
+        accuracy: f64,
+        steps: u32,
+    ) -> ParametricCurve {
+        assert!(steps > 0, "need at least one step");
+        for (name, v) in [("sens", sens), ("spec", spec), ("accuracy", accuracy)] {
+            assert!((0.0..=1.0).contains(&v), "{name} {v} outside [0, 1]");
+        }
+        let points = (0..=steps)
+            .map(|i| {
+                let x = i as f64 / steps as f64;
+                let (s, sp, p) = match swept {
+                    SweptParameter::Sens => (x, spec, accuracy),
+                    SweptParameter::Spec => (sens, x, accuracy),
+                    SweptParameter::Accuracy => (sens, spec, x),
+                };
+                CurvePoint {
+                    param: x,
+                    pvp: pvp(s, sp, p),
+                    pvn: pvn(s, sp, p),
+                    decile: (x * 10.0 - (x * 10.0).round()).abs() < 1e-9,
+                }
+            })
+            .collect();
+        ParametricCurve {
+            swept,
+            sens,
+            spec,
+            accuracy,
+            points,
+        }
+    }
+
+    /// The six curves plotted in the paper's Figure 1: sensitivity sweeps at
+    /// `(SPEC, p)` ∈ {(0.7, 0.7), (0.7, 0.9), (0.99, 0.9)} and specificity
+    /// sweeps at `(SENS, p)` ∈ {(0.7, 0.7), (0.7, 0.9), (0.99, 0.9)}.
+    pub fn figure1(steps: u32) -> Vec<ParametricCurve> {
+        let mut curves = Vec::new();
+        for &(spec, p) in &[(0.7, 0.7), (0.7, 0.9), (0.99, 0.9)] {
+            curves.push(ParametricCurve::sweep(SweptParameter::Sens, 0.0, spec, p, steps));
+        }
+        for &(sens, p) in &[(0.7, 0.7), (0.7, 0.9), (0.99, 0.9)] {
+            curves.push(ParametricCurve::sweep(SweptParameter::Spec, sens, 0.0, p, steps));
+        }
+        curves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn elisa_example_from_the_paper() {
+        // §1.1: SENS = 0.977, SPEC = 0.926, p(disease) = 0.0001 → PVP of the
+        // disease test ≈ 0.001319. Note the diagnostic-test convention:
+        // there the "positive" class is the rare disease, so the base rate
+        // fed to `pvp` is the disease prevalence.
+        let v = pvp(0.977, 0.926, 0.0001);
+        assert!((v - 0.001319).abs() < 2e-6, "got {v}");
+    }
+
+    #[test]
+    fn perfect_test_has_unit_predictive_values() {
+        assert_eq!(pvp(1.0, 1.0, 0.5), 1.0);
+        assert_eq!(pvn(1.0, 1.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn high_accuracy_depresses_pvn() {
+        // The paper's conclusion: as prediction accuracy rises, PVN falls
+        // for any fixed estimator quality.
+        let lo = pvn(0.7, 0.9, 0.85);
+        let hi = pvn(0.7, 0.9, 0.97);
+        assert!(hi < lo, "pvn {hi} should drop below {lo}");
+    }
+
+    #[test]
+    fn raising_spec_raises_pvp() {
+        assert!(pvp(0.7, 0.99, 0.9) > pvp(0.7, 0.7, 0.9));
+    }
+
+    #[test]
+    fn figure1_has_six_curves_with_deciles() {
+        let curves = ParametricCurve::figure1(100);
+        assert_eq!(curves.len(), 6);
+        for c in &curves {
+            assert_eq!(c.points.len(), 101);
+            assert_eq!(c.points.iter().filter(|p| p.decile).count(), 11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn sweep_validates_parameters() {
+        let _ = ParametricCurve::sweep(SweptParameter::Sens, 0.0, 1.2, 0.5, 10);
+    }
+
+    proptest! {
+        /// PVP/PVN computed from a random quadrant's SENS/SPEC/p must agree
+        /// with the direct quadrant ratios (cross-check with `Quadrant`).
+        #[test]
+        fn closed_form_matches_quadrant(
+            c_hc in 1u64..500, i_hc in 1u64..500,
+            c_lc in 1u64..500, i_lc in 1u64..500,
+        ) {
+            let q = crate::Quadrant { c_hc, i_hc, c_lc, i_lc };
+            prop_assert!((pvp(q.sens(), q.spec(), q.accuracy()) - q.pvp()).abs() < 1e-9);
+            prop_assert!((pvn(q.sens(), q.spec(), q.accuracy()) - q.pvn()).abs() < 1e-9);
+        }
+
+        /// PVP is monotone nondecreasing in sensitivity.
+        #[test]
+        fn pvp_monotone_in_sens(spec in 0.01f64..0.99, p in 0.01f64..0.99,
+                                a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(pvp(lo, spec, p) <= pvp(hi, spec, p) + 1e-12);
+        }
+
+        /// PVN is monotone nondecreasing in sensitivity too (fewer correct
+        /// branches leak into the LC pool).
+        #[test]
+        fn pvn_monotone_in_sens(spec in 0.01f64..0.99, p in 0.01f64..0.99,
+                                a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(pvn(lo, spec, p) <= pvn(hi, spec, p) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Tuning the static estimator to hit a metric target (the paper's §5).
+//!
+//! "We are working on an algorithm to 'tune' static confidence estimation
+//! to achieve a particular goal for PVN or SPEC." Given a profile (per-site
+//! predictor accuracy), the threshold choice fully determines the predicted
+//! quadrant, so the whole SENS/SPEC frontier can be enumerated: sort branch
+//! sites by profiled accuracy and sweep the cut point. This module does
+//! exactly that and picks the cheapest threshold meeting a target.
+
+use crate::{MetricSummary, ProfileCollector, Quadrant, StaticProfile};
+
+/// Metric a tuned static estimator should reach.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TuneTarget {
+    /// At least this specificity (`P[LC | I]`): catch this fraction of
+    /// mispredictions. Reached by *raising* the threshold (more sites LC).
+    MinSpec(f64),
+    /// At least this predictive value of a negative test (`P[I | LC]`):
+    /// keep LC estimates this trustworthy. Reached by *lowering* the
+    /// threshold (only the worst sites stay LC).
+    MinPvn(f64),
+}
+
+/// A point on the static estimator's tuning frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunePoint {
+    /// Accuracy threshold: sites with profiled accuracy `>= threshold` are
+    /// high confidence.
+    pub threshold: f64,
+    /// Quadrant predicted from the profile itself (exact for a
+    /// self-profiled run, an estimate otherwise).
+    pub predicted: Quadrant,
+}
+
+impl TunePoint {
+    /// Predicted metrics at this point.
+    pub fn metrics(&self) -> MetricSummary {
+        MetricSummary::from_quadrant(&self.predicted)
+    }
+}
+
+/// Enumerates the full tuning frontier of a profile: one point per distinct
+/// per-site accuracy (plus the all-HC endpoint), ordered by rising
+/// threshold (falling SENS, rising SPEC).
+pub fn tuning_frontier(profile: &ProfileCollector) -> Vec<TunePoint> {
+    // Collect (accuracy, correct, total) per site.
+    let mut sites: Vec<(f64, u64, u64)> = profile
+        .sites_iter()
+        .map(|(_, c, t)| (c as f64 / t as f64, c, t))
+        .collect();
+    sites.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("accuracies are finite"));
+
+    let total_c: u64 = sites.iter().map(|s| s.1).sum();
+    let total_i: u64 = sites.iter().map(|s| s.2 - s.1).sum();
+
+    // Sweep the cut: sites below the cut are LC. Start with everything HC
+    // (threshold 0), then move site groups with equal accuracy into LC.
+    let mut points = Vec::new();
+    let mut lc_c = 0u64;
+    let mut lc_i = 0u64;
+    points.push(TunePoint {
+        threshold: 0.0,
+        predicted: Quadrant {
+            c_hc: total_c,
+            i_hc: total_i,
+            c_lc: 0,
+            i_lc: 0,
+        },
+    });
+    let mut i = 0;
+    while i < sites.len() {
+        let acc = sites[i].0;
+        while i < sites.len() && sites[i].0 == acc {
+            lc_c += sites[i].1;
+            lc_i += sites[i].2 - sites[i].1;
+            i += 1;
+        }
+        // Threshold just above `acc` puts every site up to here in LC.
+        let threshold = if i < sites.len() { sites[i].0 } else { acc + f64::EPSILON };
+        points.push(TunePoint {
+            threshold,
+            predicted: Quadrant {
+                c_hc: total_c - lc_c,
+                i_hc: total_i - lc_i,
+                c_lc: lc_c,
+                i_lc: lc_i,
+            },
+        });
+    }
+    points
+}
+
+/// Picks the point on the frontier meeting `target` while giving up as
+/// little as possible of the complementary metric, and builds the tuned
+/// estimator. Returns `None` when no threshold can reach the target (e.g.
+/// a PVN target above what even the worst sites deliver).
+pub fn tune(profile: &ProfileCollector, target: TuneTarget) -> Option<(StaticProfile, TunePoint)> {
+    let frontier = tuning_frontier(profile);
+    let best = match target {
+        TuneTarget::MinSpec(goal) => {
+            // SPEC rises with threshold: take the first point meeting the
+            // goal (maximizes SENS subject to it).
+            frontier
+                .into_iter()
+                .find(|p| p.predicted.spec() >= goal && p.predicted.total() > 0)
+        }
+        TuneTarget::MinPvn(goal) => {
+            // PVN generally falls as more (better) sites become LC: take
+            // the point with the greatest coverage that still meets the
+            // goal.
+            frontier
+                .into_iter()
+                .filter(|p| {
+                    p.predicted.c_lc + p.predicted.i_lc > 0 && p.predicted.pvn() >= goal
+                })
+                .max_by(|a, b| {
+                    (a.predicted.c_lc + a.predicted.i_lc)
+                        .cmp(&(b.predicted.c_lc + b.predicted.i_lc))
+                })
+        }
+    }?;
+    Some((profile.make_estimator(best.threshold), best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three sites: 50 %, 90 %, 99 % accurate, 100 branches each.
+    fn profile() -> ProfileCollector {
+        let mut p = ProfileCollector::new();
+        for i in 0..100u32 {
+            p.record(0x1, i % 2 == 0); // 50 %
+            p.record(0x2, i % 10 != 0); // 90 %
+            p.record(0x3, i != 0); // 99 %
+        }
+        p
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let f = tuning_frontier(&profile());
+        assert_eq!(f.len(), 4, "all-HC + one point per distinct accuracy");
+        for w in f.windows(2) {
+            assert!(w[0].threshold < w[1].threshold);
+            assert!(w[0].predicted.spec() <= w[1].predicted.spec() + 1e-12);
+            // SENS falls as the threshold rises.
+            let s0 = w[0].predicted.sens();
+            let s1 = w[1].predicted.sens();
+            assert!(s1 <= s0 + 1e-12);
+        }
+        // Endpoints: everything HC, then everything LC.
+        assert_eq!(f[0].predicted.c_lc + f[0].predicted.i_lc, 0);
+        let last = f.last().unwrap();
+        assert_eq!(last.predicted.c_hc + last.predicted.i_hc, 0);
+    }
+
+    #[test]
+    fn tune_for_spec_picks_cheapest_sufficient_threshold() {
+        // Mispredictions: 50 + 10 + 1 = 61. Marking only the 50 % site LC
+        // catches 50/61 = 82 %; also the 90 % site: 60/61 = 98 %.
+        let (est, point) = tune(&profile(), TuneTarget::MinSpec(0.9)).unwrap();
+        assert!(point.predicted.spec() >= 0.9);
+        // The 99 % site must stay confident.
+        assert_eq!(est.confident_sites(), 1);
+        // SENS kept as high as the target allows: better than the all-LC point.
+        assert!(point.predicted.sens() > 0.0);
+    }
+
+    #[test]
+    fn tune_for_pvn_prefers_coverage_subject_to_goal() {
+        // LC = {50 % site}: PVN = 50/100 = 50 %.
+        // LC = {50, 90}: PVN = 60/200 = 30 %.
+        let (_, p) = tune(&profile(), TuneTarget::MinPvn(0.4)).unwrap();
+        assert!((p.predicted.pvn() - 0.5).abs() < 1e-12);
+        let (_, p) = tune(&profile(), TuneTarget::MinPvn(0.25)).unwrap();
+        assert!((p.predicted.pvn() - 0.3).abs() < 1e-12, "bigger coverage point");
+    }
+
+    #[test]
+    fn impossible_targets_return_none() {
+        assert!(tune(&profile(), TuneTarget::MinPvn(0.9)).is_none());
+    }
+
+    #[test]
+    fn spec_target_of_one_is_all_lc() {
+        let (est, p) = tune(&profile(), TuneTarget::MinSpec(1.0)).unwrap();
+        assert_eq!(p.predicted.spec(), 1.0);
+        assert_eq!(est.confident_sites(), 0);
+    }
+}

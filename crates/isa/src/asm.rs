@@ -1,0 +1,547 @@
+//! A textual assembler for the cestim ISA.
+//!
+//! [`parse_asm`] turns assembly source into a [`Program`], complementing
+//! the programmatic [`crate::ProgramBuilder`]. The syntax
+//! mirrors the disassembler's output, so `Program::disasm` listings are
+//! round-trippable modulo label names.
+//!
+//! ```text
+//! ; comments start with ';' or '#'
+//! .data table: 1 2 3 5 8       ; named data block (word values)
+//! .zero scratch: 64            ; zero-initialized block
+//!
+//!         li   s0, table       ; data symbols are immediates
+//!         li   t0, 0
+//!         li   t1, 5
+//! loop:   add  t2, s0, t0
+//!         lw   t3, 0(t2)
+//!         add  u4, u4, t3
+//!         addi t0, t0, 1
+//!         blt  t0, t1, loop
+//!         halt
+//! ```
+
+use crate::{AluOp, Cond, DataBlock, Inst, Program, ProgramBuilder, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_asm`], carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses assembly source into a program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the source line for unknown mnemonics or
+/// registers, malformed operands, duplicate or undefined labels/symbols,
+/// and empty programs.
+pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut data: Vec<DataBlock> = Vec::new();
+    let mut next_data = ProgramBuilder::DATA_BASE;
+    // (line number, mnemonic, operand string)
+    let mut lines: Vec<(usize, String, String)> = Vec::new();
+
+    // Pass 1: strip comments, bind labels and data symbols, collect
+    // instruction lines.
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut text = raw;
+        if let Some(p) = text.find([';', '#']) {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = text.strip_prefix(".data").or_else(|| text.strip_prefix(".zero")) {
+            let zero = text.starts_with(".zero");
+            let Some((name, values)) = rest.split_once(':') else {
+                return err(lineno, "expected `.data name: values...`");
+            };
+            let name = name.trim();
+            if name.is_empty() || !is_ident(name) {
+                return err(lineno, format!("bad data symbol name '{name}'"));
+            }
+            if symbols.contains_key(name) {
+                return err(lineno, format!("data symbol '{name}' defined twice"));
+            }
+            let words: Vec<u32> = if zero {
+                let n: u32 = values
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError {
+                        line: lineno,
+                        message: format!("bad length '{}'", values.trim()),
+                    })?;
+                vec![0; n as usize]
+            } else {
+                values
+                    .split_whitespace()
+                    .map(parse_int)
+                    .collect::<Option<Vec<i64>>>()
+                    .ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: format!("bad data values '{}'", values.trim()),
+                    })?
+                    .into_iter()
+                    .map(|v| v as u32)
+                    .collect()
+            };
+            symbols.insert(name.to_string(), next_data);
+            next_data += words.len() as u32;
+            data.push(DataBlock {
+                base: symbols[name],
+                words,
+            });
+            continue;
+        }
+
+        // Labels: `name:` possibly followed by an instruction.
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if !is_ident(name) {
+                break; // not a label; let operand parsing complain
+            }
+            if labels.insert(name.to_string(), lines.len() as u32).is_some() {
+                return err(lineno, format!("label '{name}' defined twice"));
+            }
+            text = rest[1..].trim();
+            if text.is_empty() {
+                break;
+            }
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, operands) = match text.split_once(char::is_whitespace) {
+            Some((m, o)) => (m.to_string(), o.trim().to_string()),
+            None => (text.to_string(), String::new()),
+        };
+        lines.push((lineno, mnemonic.to_lowercase(), operands));
+    }
+
+    // Pass 2: emit instructions.
+    let mut insts = Vec::with_capacity(lines.len());
+    for (lineno, mnemonic, operands) in &lines {
+        let inst = emit(*lineno, mnemonic, operands, &labels, &symbols)?;
+        insts.push(inst);
+    }
+    if insts.is_empty() {
+        return err(0, "program contains no instructions");
+    }
+    Ok(Program::from_parts(insts, data, 0))
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("-0x")) {
+        let v = i64::from_str_radix(hex, 16).ok()?;
+        Some(if s.starts_with('-') { -v } else { v })
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn reg(line: usize, s: &str) -> Result<Reg, ParseError> {
+    let s = s.trim();
+    Reg::all()
+        .find(|r| r.name() == s)
+        .map_or_else(|| err(line, format!("unknown register '{s}'")), Ok)
+}
+
+fn split_operands(s: &str) -> Vec<&str> {
+    s.split(',').map(str::trim).filter(|p| !p.is_empty()).collect()
+}
+
+fn immediate(
+    line: usize,
+    s: &str,
+    symbols: &HashMap<String, u32>,
+) -> Result<i32, ParseError> {
+    if let Some(v) = parse_int(s) {
+        return Ok(v as i32);
+    }
+    if let Some(&addr) = symbols.get(s.trim()) {
+        return Ok(addr as i32);
+    }
+    err(line, format!("bad immediate or unknown symbol '{s}'"))
+}
+
+fn target(
+    line: usize,
+    s: &str,
+    labels: &HashMap<String, u32>,
+) -> Result<u32, ParseError> {
+    labels
+        .get(s.trim())
+        .copied()
+        .map_or_else(|| err(line, format!("unknown label '{s}'")), Ok)
+}
+
+/// `off(base)` memory operand.
+fn mem_operand(line: usize, s: &str) -> Result<(Reg, i32), ParseError> {
+    let s = s.trim();
+    let Some(open) = s.find('(') else {
+        return err(line, format!("expected `off(base)`, got '{s}'"));
+    };
+    if !s.ends_with(')') {
+        return err(line, format!("expected `off(base)`, got '{s}'"));
+    }
+    let off_str = &s[..open];
+    let off = if off_str.trim().is_empty() {
+        0
+    } else {
+        parse_int(off_str).ok_or_else(|| ParseError {
+            line,
+            message: format!("bad offset '{off_str}'"),
+        })? as i32
+    };
+    let base = reg(line, &s[open + 1..s.len() - 1])?;
+    Ok((base, off))
+}
+
+fn alu_op(mnemonic: &str) -> Option<(AluOp, bool)> {
+    let (m, imm) = match mnemonic.strip_suffix('i') {
+        // `slti`, `slli`, `srli`, `addi`, ... — but `sll`/`srl`/`srai` need
+        // care because the base mnemonics don't all end in 'i'.
+        Some(base) => (base, true),
+        None => (mnemonic, false),
+    };
+    let op = match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        _ => return None,
+    };
+    Some((op, imm))
+}
+
+fn cond_op(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "ble" => Cond::Le,
+        "bgt" => Cond::Gt,
+        "bltu" => Cond::Ltu,
+        "bgeu" => Cond::Geu,
+        _ => return None,
+    })
+}
+
+fn emit(
+    line: usize,
+    mnemonic: &str,
+    operands: &str,
+    labels: &HashMap<String, u32>,
+    symbols: &HashMap<String, u32>,
+) -> Result<Inst, ParseError> {
+    let ops = split_operands(operands);
+    let n_ops = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(
+                line,
+                format!("'{mnemonic}' expects {n} operands, got {}", ops.len()),
+            )
+        }
+    };
+
+    if let Some(cond) = cond_op(mnemonic) {
+        n_ops(3)?;
+        return Ok(Inst::Branch {
+            cond,
+            rs1: reg(line, ops[0])?,
+            rs2: reg(line, ops[1])?,
+            target: target(line, ops[2], labels)?,
+        });
+    }
+    match mnemonic {
+        "beqz" | "bnez" => {
+            n_ops(2)?;
+            Ok(Inst::Branch {
+                cond: if mnemonic == "beqz" { Cond::Eq } else { Cond::Ne },
+                rs1: reg(line, ops[0])?,
+                rs2: Reg::ZERO,
+                target: target(line, ops[1], labels)?,
+            })
+        }
+        "li" => {
+            n_ops(2)?;
+            Ok(Inst::Li {
+                rd: reg(line, ops[0])?,
+                imm: immediate(line, ops[1], symbols)?,
+            })
+        }
+        "mv" => {
+            n_ops(2)?;
+            Ok(Inst::Alu {
+                op: AluOp::Add,
+                rd: reg(line, ops[0])?,
+                rs1: reg(line, ops[1])?,
+                rs2: Reg::ZERO,
+            })
+        }
+        "lw" => {
+            n_ops(2)?;
+            let (base, off) = mem_operand(line, ops[1])?;
+            Ok(Inst::Load {
+                rd: reg(line, ops[0])?,
+                base,
+                off,
+            })
+        }
+        "sw" => {
+            n_ops(2)?;
+            let (base, off) = mem_operand(line, ops[1])?;
+            Ok(Inst::Store {
+                rs: reg(line, ops[0])?,
+                base,
+                off,
+            })
+        }
+        "j" => {
+            n_ops(1)?;
+            Ok(Inst::Jump {
+                target: target(line, ops[0], labels)?,
+            })
+        }
+        "call" => {
+            n_ops(1)?;
+            Ok(Inst::Call {
+                target: target(line, ops[0], labels)?,
+            })
+        }
+        "ret" => {
+            n_ops(0)?;
+            Ok(Inst::Ret)
+        }
+        "halt" => {
+            n_ops(0)?;
+            Ok(Inst::Halt)
+        }
+        "nop" => {
+            n_ops(0)?;
+            Ok(Inst::Nop)
+        }
+        other => {
+            let Some((op, imm_form)) = alu_op(other) else {
+                return err(line, format!("unknown mnemonic '{other}'"));
+            };
+            n_ops(3)?;
+            let rd = reg(line, ops[0])?;
+            let rs1 = reg(line, ops[1])?;
+            if imm_form {
+                Ok(Inst::AluImm {
+                    op,
+                    rd,
+                    rs1,
+                    imm: immediate(line, ops[2], symbols)?,
+                })
+            } else {
+                Ok(Inst::Alu {
+                    op,
+                    rd,
+                    rs1,
+                    rs2: reg(line, ops[2])?,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+
+    #[test]
+    fn sums_a_data_table() {
+        let prog = parse_asm(
+            r"
+            ; sum table into u4
+            .data table: 1 2 3 5 8
+                    li   s0, table
+                    li   t0, 0
+                    li   t1, 5
+            loop:   add  t2, s0, t0
+                    lw   t3, 0(t2)
+                    add  u4, u4, t3
+                    addi t0, t0, 1
+                    blt  t0, t1, loop
+                    halt
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new(&prog);
+        m.run(&prog, 10_000);
+        assert!(m.halted());
+        assert_eq!(m.reg(Reg::U4), 19);
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let prog = parse_asm(
+            r"
+                    call double
+                    halt
+            double: li t0, 21
+                    add t0, t0, t0
+                    ret
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new(&prog);
+        m.run(&prog, 100);
+        assert_eq!(m.reg(Reg::T0), 42);
+    }
+
+    #[test]
+    fn zero_directive_and_stores() {
+        let prog = parse_asm(
+            r"
+            .zero buf: 8
+                li s0, buf
+                li t0, 7
+                sw t0, 3(s0)
+                lw t1, 3(s0)
+                halt
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new(&prog);
+        m.run(&prog, 100);
+        assert_eq!(m.reg(Reg::T1), 7);
+    }
+
+    #[test]
+    fn immediates_support_hex_and_negative() {
+        let prog = parse_asm("li t0, 0x10\naddi t0, t0, -6\nhalt\n").unwrap();
+        let mut m = Machine::new(&prog);
+        m.run(&prog, 10);
+        assert_eq!(m.reg(Reg::T0), 10);
+    }
+
+    #[test]
+    fn all_branch_mnemonics_parse() {
+        let src = r"
+        top: beq t0, t1, top
+             bne t0, t1, top
+             blt t0, t1, top
+             bge t0, t1, top
+             ble t0, t1, top
+             bgt t0, t1, top
+             bltu t0, t1, top
+             bgeu t0, t1, top
+             beqz t0, top
+             bnez t0, top
+             halt
+        ";
+        let prog = parse_asm(src).unwrap();
+        assert_eq!(prog.static_branch_count(), 10);
+    }
+
+    #[test]
+    fn label_on_its_own_line() {
+        let prog = parse_asm("start:\n  li t0, 1\n  j done\ndone:\n  halt\n").unwrap();
+        match prog.insts()[1] {
+            Inst::Jump { target } => assert_eq!(target, 2),
+            ref other => panic!("expected jump, got {other}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("li t0, 1\nfrobnicate t1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"), "{e}");
+
+        let e = parse_asm("li t0, 1\nbeq t0, t1, nowhere\nhalt\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("nowhere"));
+
+        let e = parse_asm("li q9, 1\n").unwrap_err();
+        assert!(e.message.contains("q9"));
+
+        let e = parse_asm("lw t0, t1\nhalt\n").unwrap_err();
+        assert!(e.message.contains("off(base)"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_labels_and_symbols_rejected() {
+        assert!(parse_asm("a:\na:\nhalt\n").unwrap_err().message.contains("twice"));
+        assert!(parse_asm(".data x: 1\n.data x: 2\nhalt\n")
+            .unwrap_err()
+            .message
+            .contains("twice"));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(parse_asm("; nothing\n").is_err());
+    }
+
+    #[test]
+    fn disassembly_mnemonics_reassemble() {
+        // Build a program with the builder, disassemble, and check the ALU
+        // and memory lines parse back (branch targets print as @N, which is
+        // the one intentional difference).
+        let mut b = crate::ProgramBuilder::new();
+        b.li(Reg::T0, 5);
+        b.addi(Reg::T1, Reg::T0, 2);
+        b.mul(Reg::T2, Reg::T1, Reg::T0);
+        b.lw(Reg::T3, Reg::SP, 4);
+        b.sw(Reg::T3, Reg::SP, 8);
+        b.halt();
+        let p = b.build().unwrap();
+        for line in p.disasm().lines() {
+            let text = line.split_once(':').unwrap().1.trim();
+            let src = format!("{text}\nhalt\n");
+            assert!(parse_asm(&src).is_ok(), "failed to reparse '{text}'");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for program construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when finalizing a [`ProgramBuilder`](crate::ProgramBuilder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced by an instruction but never bound to a
+    /// location with [`ProgramBuilder::bind`](crate::ProgramBuilder::bind).
+    UnboundLabel {
+        /// Index of the offending label.
+        label: usize,
+        /// Instruction index of (one of) the referencing instructions.
+        at: usize,
+    },
+    /// A label was bound more than once.
+    RebindLabel {
+        /// Index of the offending label.
+        label: usize,
+    },
+    /// The program contains no instructions.
+    EmptyProgram,
+    /// A data allocation overflowed the 32-bit word address space.
+    DataOverflow,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { label, at } => {
+                write!(f, "label {label} referenced at instruction {at} was never bound")
+            }
+            BuildError::RebindLabel { label } => write!(f, "label {label} bound twice"),
+            BuildError::EmptyProgram => f.write_str("program contains no instructions"),
+            BuildError::DataOverflow => f.write_str("data segment overflowed the address space"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = BuildError::UnboundLabel { label: 3, at: 17 };
+        assert_eq!(e.to_string(), "label 3 referenced at instruction 17 was never bound");
+        assert!(BuildError::EmptyProgram.to_string().starts_with("program"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(BuildError::EmptyProgram);
+    }
+}

@@ -1,0 +1,142 @@
+//! Executable programs: code plus an initial data image.
+
+use crate::Inst;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A contiguous block of initialized data words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataBlock {
+    /// First word address of the block.
+    pub base: u32,
+    /// Initial word values.
+    pub words: Vec<u32>,
+}
+
+/// An executable program: instructions, an initial data image, and an entry
+/// point.
+///
+/// Produced by [`ProgramBuilder::build`](crate::ProgramBuilder::build).
+/// Programs are immutable once built; the interpreter and pipeline simulator
+/// borrow them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    insts: Vec<Inst>,
+    data: Vec<DataBlock>,
+    entry: u32,
+}
+
+impl Program {
+    /// Assembles a program from raw parts. Prefer
+    /// [`ProgramBuilder`](crate::ProgramBuilder) for label management.
+    pub fn from_parts(insts: Vec<Inst>, data: Vec<DataBlock>, entry: u32) -> Program {
+        Program { insts, data, entry }
+    }
+
+    /// Instruction at `pc`, or `None` when `pc` falls outside the program.
+    ///
+    /// Wrong-path execution can produce out-of-range PCs (e.g. a `ret`
+    /// through a clobbered return address); callers treat `None` as "fetch
+    /// stalls until recovery".
+    #[inline]
+    pub fn inst(&self, pc: u32) -> Option<&Inst> {
+        self.insts.get(pc as usize)
+    }
+
+    /// Number of static instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when the program has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Entry-point instruction index.
+    #[inline]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// All static instructions in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Initialized data blocks loaded into memory before execution.
+    pub fn data(&self) -> &[DataBlock] {
+        &self.data
+    }
+
+    /// Number of static conditional branch sites.
+    pub fn static_branch_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_cond_branch()).count()
+    }
+
+    /// Renders a full disassembly listing.
+    pub fn disasm(&self) -> String {
+        let mut out = String::new();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            use fmt::Write;
+            let _ = writeln!(out, "{pc:6}: {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Reg};
+
+    fn tiny() -> Program {
+        Program::from_parts(
+            vec![
+                Inst::Li { rd: Reg::T0, imm: 1 },
+                Inst::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::T1,
+                    rs1: Reg::T0,
+                    rs2: Reg::T0,
+                },
+                Inst::Halt,
+            ],
+            vec![DataBlock {
+                base: 100,
+                words: vec![1, 2, 3],
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn inst_lookup_is_bounds_checked() {
+        let p = tiny();
+        assert!(p.inst(0).is_some());
+        assert!(p.inst(2).is_some());
+        assert!(p.inst(3).is_none());
+        assert!(p.inst(u32::MAX).is_none());
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let p = tiny();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.data().len(), 1);
+        assert_eq!(p.static_branch_count(), 0);
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let p = tiny();
+        let d = p.disasm();
+        assert_eq!(d.lines().count(), 3);
+        assert!(d.contains("li t0, 1"));
+        assert!(d.contains("halt"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Architectural register names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the 32 general-purpose registers.
+///
+/// `Reg::ZERO` (`r0`) is hard-wired to zero: writes to it are discarded and
+/// reads always return `0`, matching the convention of MIPS/RISC-V and the
+/// SimpleScalar PISA ISA used by the paper.
+///
+/// The remaining registers follow a MIPS-like ABI split that the synthetic
+/// workloads use by convention (the hardware does not enforce it):
+///
+/// * `RA` — return address (written by [`call`](crate::Inst::Call)),
+/// * `SP` — stack pointer,
+/// * `A0..A7` — arguments,
+/// * `T0..T7` — caller-saved temporaries,
+/// * `S0..S7` — callee-saved values,
+/// * `U0..U4` — extra scratch registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+macro_rules! reg_consts {
+    ($($name:ident = $idx:expr, $doc:expr;)*) => {
+        $(
+            #[doc = $doc]
+            pub const $name: Reg = Reg($idx);
+        )*
+    };
+}
+
+impl Reg {
+    reg_consts! {
+        ZERO = 0, "Hard-wired zero register.";
+        RA = 1, "Return address register, written by `call`.";
+        SP = 2, "Stack pointer (ABI convention).";
+        A0 = 3, "Argument register 0.";
+        A1 = 4, "Argument register 1.";
+        A2 = 5, "Argument register 2.";
+        A3 = 6, "Argument register 3.";
+        A4 = 7, "Argument register 4.";
+        A5 = 8, "Argument register 5.";
+        A6 = 9, "Argument register 6.";
+        A7 = 10, "Argument register 7.";
+        T0 = 11, "Temporary register 0.";
+        T1 = 12, "Temporary register 1.";
+        T2 = 13, "Temporary register 2.";
+        T3 = 14, "Temporary register 3.";
+        T4 = 15, "Temporary register 4.";
+        T5 = 16, "Temporary register 5.";
+        T6 = 17, "Temporary register 6.";
+        T7 = 18, "Temporary register 7.";
+        S0 = 19, "Saved register 0.";
+        S1 = 20, "Saved register 1.";
+        S2 = 21, "Saved register 2.";
+        S3 = 22, "Saved register 3.";
+        S4 = 23, "Saved register 4.";
+        S5 = 24, "Saved register 5.";
+        S6 = 25, "Saved register 6.";
+        S7 = 26, "Saved register 7.";
+        U0 = 27, "Scratch register 0.";
+        U1 = 28, "Scratch register 1.";
+        U2 = 29, "Scratch register 2.";
+        U3 = 30, "Scratch register 3.";
+        U4 = 31, "Scratch register 4.";
+    }
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    #[inline]
+    pub fn new(idx: u8) -> Reg {
+        assert!(idx < 32, "register index {idx} out of range");
+        Reg(idx)
+    }
+
+    /// Raw register index in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` for the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// ABI name of the register (e.g. `"t0"`, `"ra"`, `"zero"`).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "t0", "t1", "t2",
+            "t3", "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "u0",
+            "u1", "u2", "u3", "u4",
+        ];
+        NAMES[self.index()]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+/// Free-standing register constants for glob import in assembly-heavy code:
+/// `use cestim_isa::regs::*;` makes `T0`, `S3`, `RA`, … available unqualified.
+pub mod regs {
+    use super::Reg;
+    macro_rules! free_regs {
+        ($($name:ident),* $(,)?) => {
+            $(
+                #[doc = concat!("Alias for [`Reg::", stringify!($name), "`].")]
+                pub const $name: Reg = Reg::$name;
+            )*
+        };
+    }
+    free_regs!(
+        ZERO, RA, SP, A0, A1, A2, A3, A4, A5, A6, A7, T0, T1, T2, T3, T4, T5, T6, T7, S0, S1,
+        S2, S3, S4, S5, S6, S7, U0, U1, U2, U3, U4,
+    );
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_with_indices() {
+        for (i, r) in Reg::all().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::ZERO.name(), "zero");
+        assert_eq!(Reg::RA.name(), "ra");
+        assert_eq!(Reg::T0.name(), "t0");
+        assert_eq!(Reg::U4.name(), "u4");
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::T0.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Reg::S3.to_string(), "s3");
+    }
+
+    #[test]
+    fn all_yields_32_unique_registers() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for w in regs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Observer hooks for pipeline-level measurements.
+
+use cestim_core::Confidence;
+
+/// A branch entering the pipeline (prediction/decode time).
+///
+/// Because the simulator executes at decode, the *actual* outcome is already
+/// known here — exactly the "speculative trace" capability the paper uses to
+/// study all (committed *and* uncommitted) branches. `seq` numbers branches
+/// in fetch order across the whole run, which is the distance measure of the
+/// paper's "precise" misprediction-distance plots (Figs 6–7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictEvent<'a> {
+    /// Fetch-order sequence number among all fetched branches.
+    pub seq: u64,
+    /// Branch PC.
+    pub pc: u32,
+    /// Predicted direction.
+    pub predicted_taken: bool,
+    /// Architecturally correct direction.
+    pub actual_taken: bool,
+    /// `predicted_taken != actual_taken`.
+    pub mispredicted: bool,
+    /// Cycle of fetch/decode.
+    pub cycle: u64,
+    /// Speculative global history value used for the prediction.
+    pub ghr: u32,
+    /// Confidence estimates, one per attached estimator, in attach order.
+    pub estimates: &'a [Confidence],
+}
+
+/// A branch resolving in the pipeline.
+///
+/// Resolution order differs from fetch order (dataflow-timed, out-of-order
+/// resolution), and wrong-path branches may resolve too — this stream is
+/// what the paper's "perceived" misprediction distance (Figs 8–9) and the
+/// distance estimator observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolveEvent {
+    /// Fetch-order sequence number of the resolving branch.
+    pub seq: u64,
+    /// Branch PC.
+    pub pc: u32,
+    /// Whether the resolution detected a misprediction.
+    pub mispredicted: bool,
+    /// Cycle of resolution.
+    pub cycle: u64,
+}
+
+/// Final disposition of a fetched branch: committed or squashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutcomeEvent<'a> {
+    /// Fetch-order sequence number.
+    pub seq: u64,
+    /// Branch PC.
+    pub pc: u32,
+    /// Predicted direction.
+    pub predicted_taken: bool,
+    /// Architecturally correct direction (relative to the path it was
+    /// fetched on).
+    pub actual_taken: bool,
+    /// `predicted_taken != actual_taken`.
+    pub mispredicted: bool,
+    /// `true` when the branch committed; `false` when it was squashed as
+    /// wrong-path work.
+    pub committed: bool,
+    /// Cycle of fetch/decode.
+    pub fetch_cycle: u64,
+    /// Cycle of resolution, `None` when squashed before resolving.
+    pub resolve_cycle: Option<u64>,
+    /// Speculative global history value at prediction.
+    pub ghr: u32,
+    /// Confidence estimates, one per attached estimator.
+    pub estimates: &'a [Confidence],
+}
+
+/// Passive observer of pipeline events.
+///
+/// All methods default to no-ops; implement only what an analysis needs.
+/// `cestim-trace` provides collectors (distance histograms, clustering,
+/// full traces) built on this trait.
+pub trait SimObserver {
+    /// A branch was fetched, predicted and confidence-estimated.
+    fn on_branch_predicted(&mut self, ev: &PredictEvent<'_>) {
+        let _ = ev;
+    }
+
+    /// A branch resolved (possibly on a wrong path).
+    fn on_branch_resolved(&mut self, ev: &ResolveEvent) {
+        let _ = ev;
+    }
+
+    /// A branch reached its final disposition (commit or squash).
+    fn on_branch_outcome(&mut self, ev: &OutcomeEvent<'_>) {
+        let _ = ev;
+    }
+}
+
+/// An observer that ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// Fans one event stream out to several observers.
+pub struct MultiObserver<'a> {
+    observers: Vec<&'a mut dyn SimObserver>,
+}
+
+impl<'a> MultiObserver<'a> {
+    /// Creates a fan-out over the given observers.
+    pub fn new(observers: Vec<&'a mut dyn SimObserver>) -> MultiObserver<'a> {
+        MultiObserver { observers }
+    }
+}
+
+impl SimObserver for MultiObserver<'_> {
+    fn on_branch_predicted(&mut self, ev: &PredictEvent<'_>) {
+        for o in &mut self.observers {
+            o.on_branch_predicted(ev);
+        }
+    }
+    fn on_branch_resolved(&mut self, ev: &ResolveEvent) {
+        for o in &mut self.observers {
+            o.on_branch_resolved(ev);
+        }
+    }
+    fn on_branch_outcome(&mut self, ev: &OutcomeEvent<'_>) {
+        for o in &mut self.observers {
+            o.on_branch_outcome(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        predicted: u32,
+        resolved: u32,
+        outcomes: u32,
+    }
+
+    impl SimObserver for Counter {
+        fn on_branch_predicted(&mut self, _: &PredictEvent<'_>) {
+            self.predicted += 1;
+        }
+        fn on_branch_resolved(&mut self, _: &ResolveEvent) {
+            self.resolved += 1;
+        }
+        fn on_branch_outcome(&mut self, _: &OutcomeEvent<'_>) {
+            self.outcomes += 1;
+        }
+    }
+
+    fn sample_events(obs: &mut dyn SimObserver) {
+        obs.on_branch_predicted(&PredictEvent {
+            seq: 0,
+            pc: 4,
+            predicted_taken: true,
+            actual_taken: false,
+            mispredicted: true,
+            cycle: 10,
+            ghr: 0,
+            estimates: &[],
+        });
+        obs.on_branch_resolved(&ResolveEvent {
+            seq: 0,
+            pc: 4,
+            mispredicted: true,
+            cycle: 13,
+        });
+        obs.on_branch_outcome(&OutcomeEvent {
+            seq: 0,
+            pc: 4,
+            predicted_taken: true,
+            actual_taken: false,
+            mispredicted: true,
+            committed: true,
+            fetch_cycle: 10,
+            resolve_cycle: Some(13),
+            ghr: 0,
+            estimates: &[],
+        });
+    }
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        sample_events(&mut NullObserver);
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        let mut a = Counter::default();
+        let mut b = Counter::default();
+        {
+            let mut m = MultiObserver::new(vec![&mut a, &mut b]);
+            sample_events(&mut m);
+        }
+        for c in [&a, &b] {
+            assert_eq!(c.predicted, 1);
+            assert_eq!(c.resolved, 1);
+            assert_eq!(c.outcomes, 1);
+        }
+    }
+}

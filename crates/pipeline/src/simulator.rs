@@ -1,0 +1,920 @@
+//! The speculative pipeline simulator.
+
+use crate::{Cache, EstimatorQuadrants, PipelineConfig, PipelineStats};
+use crate::{NullObserver, OutcomeEvent, PredictEvent, ResolveEvent, SimObserver};
+use cestim_bpred::{BranchPredictor, HistoryRegister, Prediction};
+use cestim_core::{Confidence, ConfidenceEstimator};
+use cestim_isa::{AluOp, Checkpoint, Inst, Machine, Program, Reg, Step};
+use std::collections::VecDeque;
+
+/// One speculatively fetched, not-yet-committed conditional branch.
+#[derive(Debug)]
+struct Inflight {
+    seq: u64,
+    pc: u32,
+    pred: Prediction,
+    actual_taken: bool,
+    mispredicted: bool,
+    ghr_at_predict: u32,
+    estimates: Vec<Confidence>,
+    cp_machine: Checkpoint,
+    cp_scoreboard: [u64; Reg::COUNT],
+    cp_ghr: u32,
+    cp_arch_insts: u64,
+    cp_arch_branches: u64,
+    fetch_cycle: u64,
+    resolve_at: u64,
+    resolved: bool,
+    resolve_cycle: Option<u64>,
+    /// Eager execution forked both paths of this branch.
+    forked: bool,
+}
+
+/// Pipeline-level simulator with wrong-path execution.
+///
+/// The model is the measurement vehicle of the paper: a 5-stage,
+/// `fetch_width`-wide pipeline in which
+///
+/// * instructions execute architecturally at decode (so the true outcome of
+///   every branch — even a wrong-path one — is known immediately, exactly
+///   like the paper's "speculative trace"),
+/// * every predicted conditional branch takes a full checkpoint and the
+///   machine *follows the prediction*, right or wrong,
+/// * branches resolve when their operands are ready (register scoreboard;
+///   loads add D-cache latency), so resolution is out of order and takes a
+///   variable number of cycles — the effect behind the paper's "perceived"
+///   misprediction distance (Figs 8–9),
+/// * a resolving misprediction rewinds the machine to its checkpoint,
+///   squashes younger work, repairs the speculative global history, and
+///   charges the configured extra penalty; wrong-path branches can
+///   themselves mispredict and recover (nested recovery),
+/// * predictor and estimator tables train at commit, in program order;
+///   estimators additionally hear every *resolution* via
+///   [`ConfidenceEstimator::on_branch_resolved`].
+///
+/// Any number of confidence estimators can be attached
+/// ([`Simulator::add_estimator`]); each is queried at every branch fetch and
+/// gets its own all/committed [`EstimatorQuadrants`] — one pipeline pass
+/// evaluates a whole sweep of estimator configurations.
+///
+/// # Example
+///
+/// ```
+/// use cestim_bpred::Gshare;
+/// use cestim_core::Jrs;
+/// use cestim_isa::{ProgramBuilder, Reg};
+/// use cestim_pipeline::{PipelineConfig, Simulator};
+///
+/// # fn main() -> Result<(), cestim_isa::BuildError> {
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::T0, 0);
+/// b.li(Reg::T1, 1000);
+/// let top = b.label();
+/// b.bind(top);
+/// b.addi(Reg::T0, Reg::T0, 1);
+/// b.blt(Reg::T0, Reg::T1, top);
+/// b.halt();
+/// let prog = b.build()?;
+///
+/// let mut sim = Simulator::new(&prog, PipelineConfig::paper(), Box::new(Gshare::new(12)));
+/// sim.add_estimator(Box::new(Jrs::paper_enhanced()));
+/// let stats = sim.run_to_completion();
+/// assert_eq!(stats.committed_branches, 1000);
+/// assert!(stats.fetched_insts >= stats.committed_insts);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator<'p> {
+    program: &'p Program,
+    cfg: PipelineConfig,
+    machine: Machine,
+    predictor: Box<dyn BranchPredictor>,
+    estimators: Vec<Box<dyn ConfidenceEstimator>>,
+    quadrants: Vec<EstimatorQuadrants>,
+    ghr: HistoryRegister,
+    scoreboard: [u64; Reg::COUNT],
+    icache: Cache,
+    dcache: Cache,
+    inflight: VecDeque<Inflight>,
+    now: u64,
+    fetch_stall_until: u64,
+    branch_seq: u64,
+    arch_insts: u64,
+    arch_branches: u64,
+    stats: PipelineStats,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator over `program` with the given predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.fetch_width == 0`, `cfg.max_unresolved_branches == 0`,
+    /// or `cfg.gate_threshold == Some(0)` (which would gate fetch forever).
+    pub fn new(
+        program: &'p Program,
+        cfg: PipelineConfig,
+        predictor: Box<dyn BranchPredictor>,
+    ) -> Simulator<'p> {
+        assert!(cfg.fetch_width > 0, "fetch width must be positive");
+        assert!(
+            cfg.max_unresolved_branches > 0,
+            "speculation window must be positive"
+        );
+        assert!(
+            cfg.gate_threshold != Some(0),
+            "a gate threshold of 0 would stall fetch forever"
+        );
+        let machine = Machine::new(program);
+        let ghr = HistoryRegister::new(cfg.ghr_width);
+        let icache = Cache::new(cfg.icache);
+        let dcache = Cache::new(cfg.dcache);
+        Simulator {
+            program,
+            cfg,
+            machine,
+            predictor,
+            estimators: Vec::new(),
+            quadrants: Vec::new(),
+            ghr,
+            scoreboard: [0; Reg::COUNT],
+            icache,
+            dcache,
+            inflight: VecDeque::new(),
+            now: 0,
+            fetch_stall_until: 0,
+            branch_seq: 0,
+            arch_insts: 0,
+            arch_branches: 0,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Attaches a confidence estimator; returns its index (the order of
+    /// [`estimator_quadrants`](Simulator::estimator_quadrants) and of the
+    /// `estimates` slices in events). Estimator 0 drives pipeline gating
+    /// when enabled.
+    pub fn add_estimator(&mut self, estimator: Box<dyn ConfidenceEstimator>) -> usize {
+        self.estimators.push(estimator);
+        self.quadrants.push(EstimatorQuadrants::default());
+        self.quadrants.len() - 1
+    }
+
+    /// Names of the attached estimators, in index order.
+    pub fn estimator_names(&self) -> Vec<String> {
+        self.estimators.iter().map(|e| e.name()).collect()
+    }
+
+    /// Per-estimator quadrants accumulated so far.
+    pub fn estimator_quadrants(&self) -> &[EstimatorQuadrants] {
+        &self.quadrants
+    }
+
+    /// Statistics accumulated so far (finalized counts only after the run
+    /// completes).
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Runs to completion with no observer.
+    pub fn run_to_completion(&mut self) -> PipelineStats {
+        self.run(&mut NullObserver)
+    }
+
+    /// Runs to completion (program halt with an empty pipeline, or
+    /// `max_cycles`), streaming events to `obs`. Returns the final stats.
+    pub fn run(&mut self, obs: &mut dyn SimObserver) -> PipelineStats {
+        while !self.done() && self.now < self.cfg.max_cycles {
+            self.cycle(obs);
+        }
+        self.finalize();
+        self.stats
+    }
+
+    /// `true` once the architectural program has finished and the pipeline
+    /// has drained.
+    pub fn done(&self) -> bool {
+        self.inflight.is_empty()
+            && (self.machine.halted() || self.program.inst(self.machine.pc()).is_none())
+    }
+
+    fn finalize(&mut self) {
+        self.stats.cycles = self.now;
+        self.stats.committed_insts = self.arch_insts;
+        self.stats.icache_accesses = self.icache.accesses();
+        self.stats.icache_misses = self.icache.misses();
+        self.stats.dcache_accesses = self.dcache.accesses();
+        self.stats.dcache_misses = self.dcache.misses();
+    }
+
+    fn cycle(&mut self, obs: &mut dyn SimObserver) {
+        self.step_cycle(true, obs);
+    }
+
+    /// Advances the pipeline by one cycle, fetching only when `allow_fetch`
+    /// is true. Resolution, recovery, and commit always proceed.
+    ///
+    /// This is the building block for multi-threaded front-ends: an
+    /// arbiter (e.g. [`SmtSimulator`](crate::SmtSimulator)) grants the
+    /// shared fetch bandwidth to one thread per cycle, while every
+    /// thread's back end keeps draining.
+    pub fn step_cycle(&mut self, allow_fetch: bool, obs: &mut dyn SimObserver) {
+        self.process_resolutions(obs);
+        self.process_commits(obs);
+        if allow_fetch {
+            self.fetch(obs);
+        }
+        self.now += 1;
+    }
+
+    /// Finalizes and returns the statistics without requiring
+    /// [`run`](Simulator::run) (for externally driven cycling).
+    pub fn finish(&mut self) -> PipelineStats {
+        self.finalize();
+        self.stats
+    }
+
+    /// Number of fetched-but-unresolved branches currently in flight.
+    pub fn outstanding_branches(&self) -> usize {
+        self.inflight.iter().filter(|e| !e.resolved).count()
+    }
+
+    /// Number of in-flight unresolved branches whose estimate from the
+    /// estimator at `index` was low confidence.
+    pub fn outstanding_low_confidence(&self, index: usize) -> usize {
+        self.inflight
+            .iter()
+            .filter(|e| !e.resolved && e.estimates.get(index).is_some_and(|c| c.is_low()))
+            .count()
+    }
+
+    /// The estimate (from estimator `index`) of the most recently fetched
+    /// branch, if any branch is still in flight.
+    pub fn last_estimate(&self, index: usize) -> Option<Confidence> {
+        self.inflight.back().and_then(|e| e.estimates.get(index)).copied()
+    }
+
+    /// Current simulated cycle of this pipeline.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    // ---- resolution & recovery ------------------------------------------
+
+    fn process_resolutions(&mut self, obs: &mut dyn SimObserver) {
+        loop {
+            // Oldest due resolution first; recovery may cancel younger ones,
+            // so re-scan after every resolution.
+            let due = self
+                .inflight
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.resolved && e.resolve_at <= self.now)
+                .min_by_key(|(_, e)| (e.resolve_at, e.seq))
+                .map(|(i, _)| i);
+            let Some(idx) = due else { break };
+            self.resolve_one(idx, obs);
+        }
+    }
+
+    fn resolve_one(&mut self, idx: usize, obs: &mut dyn SimObserver) {
+        let (seq, pc, mispredicted) = {
+            let e = &mut self.inflight[idx];
+            e.resolved = true;
+            e.resolve_cycle = Some(self.now);
+            (e.seq, e.pc, e.mispredicted)
+        };
+        for est in &mut self.estimators {
+            est.on_branch_resolved(mispredicted);
+        }
+        obs.on_branch_resolved(&ResolveEvent {
+            seq,
+            pc,
+            mispredicted,
+            cycle: self.now,
+        });
+        if mispredicted {
+            self.recover(idx, obs);
+        }
+    }
+
+    /// Rewinds to the checkpoint of the mispredicted branch at `idx`,
+    /// squashing everything younger.
+    fn recover(&mut self, idx: usize, obs: &mut dyn SimObserver) {
+        self.stats.recoveries += 1;
+
+        // Squash younger branches (they were fetched down the wrong path).
+        while self.inflight.len() > idx + 1 {
+            let victim = self.inflight.pop_back().expect("victim exists");
+            self.record_outcome(&victim, false, obs);
+        }
+
+        let e = &self.inflight[idx];
+        let forked = e.forked;
+        // Wrong-path work after this branch, excluding the branch itself
+        // (which commits once re-steered).
+        self.stats.squashed_insts += self.arch_insts - (e.cp_arch_insts + 1);
+        self.stats.squashed_branches += self.arch_branches - (e.cp_arch_branches + 1);
+        self.arch_insts = e.cp_arch_insts + 1;
+        self.arch_branches = e.cp_arch_branches + 1;
+
+        // Architectural rewind, then re-execute the branch down its correct
+        // direction.
+        self.machine.restore(&e.cp_machine);
+        let actual = e.actual_taken;
+        let cp_ghr = e.cp_ghr;
+        self.scoreboard = e.cp_scoreboard;
+        let step = self.machine.step_forced(self.program, actual);
+        debug_assert!(matches!(
+            step,
+            Step::Branch { taken, followed, .. } if taken == actual && followed == actual
+        ));
+
+        // Repair the speculative history: outcomes up to the branch, then
+        // the branch's actual direction.
+        self.ghr.set(cp_ghr);
+        self.ghr.push(actual);
+
+        // Flush: fetch resumes after the extra recovery penalty — unless
+        // this branch had an eager fork, in which case the alternate path
+        // is already warm and the re-steer is free.
+        if forked {
+            self.stats.eager_covered += 1;
+        } else {
+            self.fetch_stall_until = self
+                .fetch_stall_until
+                .max(self.now + 1 + self.cfg.mispredict_penalty);
+        }
+    }
+
+    // ---- commit ----------------------------------------------------------
+
+    fn process_commits(&mut self, obs: &mut dyn SimObserver) {
+        while self.inflight.front().is_some_and(|e| e.resolved) {
+            let head = self.inflight.pop_front().expect("head exists");
+            let correct = !head.mispredicted;
+            self.predictor.update(head.pc, head.actual_taken, &head.pred);
+            for (est, &c) in self.estimators.iter_mut().zip(&head.estimates) {
+                let _ = c;
+                est.update(head.pc, head.ghr_at_predict, &head.pred, correct);
+            }
+            self.stats.committed_branches += 1;
+            if head.mispredicted {
+                self.stats.mispredicted_committed += 1;
+            }
+            self.record_outcome(&head, true, obs);
+            // The oldest checkpoint is gone; memory undo entries older than
+            // it can never be needed again.
+            self.machine.release(&head.cp_machine);
+        }
+    }
+
+    fn record_outcome(&mut self, e: &Inflight, committed: bool, obs: &mut dyn SimObserver) {
+        let correct = !e.mispredicted;
+        if e.mispredicted {
+            self.stats.mispredicted_all += 1;
+        }
+        for (q, &c) in self.quadrants.iter_mut().zip(&e.estimates) {
+            q.all.record(correct, c);
+            if committed {
+                q.committed.record(correct, c);
+            }
+        }
+        obs.on_branch_outcome(&OutcomeEvent {
+            seq: e.seq,
+            pc: e.pc,
+            predicted_taken: e.pred.taken,
+            actual_taken: e.actual_taken,
+            mispredicted: e.mispredicted,
+            committed,
+            fetch_cycle: e.fetch_cycle,
+            resolve_cycle: e.resolve_cycle,
+            ghr: e.ghr_at_predict,
+            estimates: &e.estimates,
+        });
+    }
+
+    // ---- fetch / decode / execute-at-decode ------------------------------
+
+    fn active_forks(&self) -> u32 {
+        self.inflight
+            .iter()
+            .filter(|e| !e.resolved && e.forked)
+            .count() as u32
+    }
+
+    fn gated(&mut self) -> bool {
+        let Some(threshold) = self.cfg.gate_threshold else {
+            return false;
+        };
+        let lc = self
+            .inflight
+            .iter()
+            .filter(|e| !e.resolved && e.estimates.first().is_some_and(|c| c.is_low()))
+            .count() as u32;
+        lc >= threshold
+    }
+
+    fn fetch(&mut self, obs: &mut dyn SimObserver) {
+        if self.now < self.fetch_stall_until {
+            return;
+        }
+        if self.gated() {
+            self.stats.gated_cycles += 1;
+            return;
+        }
+        // Active eager forks consume half the fetch slots for the
+        // alternate paths.
+        let mut width = self.cfg.fetch_width;
+        if self.cfg.eager_max_forks.is_some() && self.active_forks() > 0 {
+            let alt = width / 2;
+            self.stats.eager_alt_slots += alt as u64;
+            width -= alt;
+        }
+        for _ in 0..width {
+            if self.machine.halted() {
+                break;
+            }
+            let pc = self.machine.pc();
+            let Some(&inst) = self.program.inst(pc) else {
+                // Wrong-path PC ran off the program; wait for recovery.
+                break;
+            };
+            let access = self.icache.access(pc);
+            if !access.hit {
+                self.fetch_stall_until = self.now + access.latency;
+                break;
+            }
+
+            if inst.is_cond_branch() {
+                if self.inflight.len() >= self.cfg.max_unresolved_branches {
+                    break;
+                }
+                let redirect = self.fetch_branch(pc, &inst, obs);
+                if redirect {
+                    break;
+                }
+            } else if !self.fetch_straightline(&inst) {
+                break;
+            }
+        }
+    }
+
+    /// Fetches a conditional branch; returns `true` when fetch must redirect
+    /// (predicted taken).
+    fn fetch_branch(&mut self, pc: u32, inst: &Inst, obs: &mut dyn SimObserver) -> bool {
+        let ghr_val = self.ghr.value();
+        let pred = self.predictor.predict(pc, ghr_val);
+        let estimates: Vec<Confidence> = self
+            .estimators
+            .iter_mut()
+            .map(|e| e.estimate(pc, ghr_val, &pred))
+            .collect();
+
+        // Eager execution: fork both paths of a low-confidence branch
+        // (decided by estimator 0) while fork capacity remains.
+        let forked = match self.cfg.eager_max_forks {
+            Some(max) => {
+                estimates.first().is_some_and(|c| c.is_low()) && self.active_forks() < max
+            }
+            None => false,
+        };
+        if forked {
+            self.stats.eager_forks += 1;
+        }
+
+        // Checkpoint *before* executing the branch: restoring must land on
+        // the branch so the correct direction can be re-executed.
+        let cp_machine = self.machine.checkpoint();
+        let cp_scoreboard = self.scoreboard;
+        let cp_arch_insts = self.arch_insts;
+        let cp_arch_branches = self.arch_branches;
+
+        let step = self.machine.step_forced(self.program, pred.taken);
+        let actual_taken = match step {
+            Step::Branch { taken, .. } => taken,
+            other => unreachable!("branch instruction stepped to {other:?}"),
+        };
+        let mispredicted = actual_taken != pred.taken;
+
+        let (s1, s2) = inst.srcs();
+        let operands_ready = self.operands_ready(s1, s2);
+        let resolve_at = operands_ready + self.cfg.branch_resolve_latency;
+
+        let seq = self.branch_seq;
+        self.branch_seq += 1;
+        self.stats.fetched_insts += 1;
+        self.stats.fetched_branches += 1;
+        self.arch_insts += 1;
+        self.arch_branches += 1;
+        self.ghr.push(pred.taken);
+
+        obs.on_branch_predicted(&PredictEvent {
+            seq,
+            pc,
+            predicted_taken: pred.taken,
+            actual_taken,
+            mispredicted,
+            cycle: self.now,
+            ghr: ghr_val,
+            estimates: &estimates,
+        });
+
+        self.inflight.push_back(Inflight {
+            seq,
+            pc,
+            pred,
+            actual_taken,
+            mispredicted,
+            ghr_at_predict: ghr_val,
+            estimates,
+            cp_machine,
+            cp_scoreboard,
+            cp_ghr: ghr_val,
+            cp_arch_insts,
+            cp_arch_branches,
+            fetch_cycle: self.now,
+            resolve_at,
+            resolved: false,
+            resolve_cycle: None,
+            forked,
+        });
+        pred.taken
+    }
+
+    /// Fetches a non-branch instruction; returns `false` when fetch must
+    /// stop for this cycle (control redirect or halt).
+    fn fetch_straightline(&mut self, inst: &Inst) -> bool {
+        let (s1, s2) = inst.srcs();
+        let operands_ready = self.operands_ready(s1, s2);
+        let step = self.machine.step(self.program);
+        self.stats.fetched_insts += 1;
+        self.arch_insts += 1;
+
+        let (latency, redirect) = match step {
+            Step::Load { addr } => (self.dcache.access(addr).latency, false),
+            Step::Store { addr } => {
+                // Stores retire through a store buffer; they cost a D-cache
+                // access but do not stall dependents.
+                let _ = self.dcache.access(addr);
+                (1, false)
+            }
+            Step::Alu => (alu_latency(inst), false),
+            Step::Nop => (1, false),
+            Step::Jump { .. } | Step::Ret { .. } => (1, true),
+            Step::Call { .. } => (1, true),
+            Step::Halt => {
+                // Counted as fetched; stop the fetch group.
+                return false;
+            }
+            Step::Branch { .. } | Step::OutOfRange => {
+                unreachable!("handled before straightline fetch")
+            }
+        };
+        if let Some(dst) = inst.dst() {
+            self.scoreboard[dst.index()] = operands_ready + latency;
+        }
+        !redirect
+    }
+
+    fn operands_ready(&self, s1: Option<Reg>, s2: Option<Reg>) -> u64 {
+        let mut t = self.now;
+        for s in [s1, s2].into_iter().flatten() {
+            t = t.max(self.scoreboard[s.index()]);
+        }
+        t
+    }
+}
+
+fn alu_latency(inst: &Inst) -> u64 {
+    let op = match *inst {
+        Inst::Alu { op, .. } | Inst::AluImm { op, .. } => op,
+        _ => return 1,
+    };
+    match op {
+        AluOp::Mul => 3,
+        AluOp::Div | AluOp::Rem => 12,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_bpred::{Bimodal, Gshare};
+    use cestim_core::{AlwaysLow, DistanceEstimator, Jrs, SaturatingConfidence};
+    use cestim_isa::ProgramBuilder;
+
+    /// A counted loop: N-1 taken + 1 not-taken branch at the same site.
+    fn counted_loop(n: i32) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, n);
+        let top = b.label();
+        b.bind(top);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    /// A data-dependent branch stream: branch on an LCG bit each iteration.
+    fn noisy_loop(n: i32) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::S0, 12345); // lcg state
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, n);
+        let top = b.label();
+        let skip = b.label();
+        b.bind(top);
+        b.muli(Reg::S0, Reg::S0, 1664525);
+        b.addi(Reg::S0, Reg::S0, 1013904223);
+        b.srli(Reg::T2, Reg::S0, 19);
+        b.andi(Reg::T2, Reg::T2, 1);
+        b.beqz(Reg::T2, skip);
+        b.addi(Reg::T3, Reg::T3, 1);
+        b.bind(skip);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn sim<'p>(p: &'p Program) -> Simulator<'p> {
+        Simulator::new(p, PipelineConfig::paper(), Box::new(Gshare::new(12)))
+    }
+
+    #[test]
+    fn committed_counts_match_functional_execution() {
+        let p = counted_loop(500);
+        // Functional reference.
+        let mut m = Machine::new(&p);
+        let reference = m.run(&p, 1_000_000);
+        // Pipeline.
+        let mut s = sim(&p);
+        let stats = s.run_to_completion();
+        // `run` does not count the halt instruction; the pipeline counts the
+        // fetched halt. Allow that off-by-one.
+        assert_eq!(stats.committed_insts, reference + 1);
+        assert_eq!(stats.committed_branches, 500);
+        assert_eq!(
+            stats.fetched_insts,
+            stats.committed_insts + stats.squashed_insts
+        );
+        assert_eq!(
+            stats.fetched_branches,
+            stats.committed_branches + stats.squashed_branches
+        );
+    }
+
+    #[test]
+    fn loop_branch_is_learned() {
+        let p = counted_loop(2000);
+        let mut s = sim(&p);
+        let stats = s.run_to_completion();
+        // One cold/exit misprediction region; accuracy near 1.
+        assert!(
+            stats.accuracy_committed() > 0.99,
+            "accuracy {}",
+            stats.accuracy_committed()
+        );
+        assert!(stats.recoveries >= 1, "loop exit must mispredict");
+    }
+
+    #[test]
+    fn wrong_path_work_is_fetched_and_squashed() {
+        let p = noisy_loop(2000);
+        let mut s = sim(&p);
+        let stats = s.run_to_completion();
+        assert!(stats.squashed_insts > 0, "random branch must cause squashes");
+        assert!(stats.speculation_ratio() > 1.0);
+        assert!(
+            stats.mispredicted_committed > 100,
+            "LCG branch is unpredictable, got {}",
+            stats.mispredicted_committed
+        );
+    }
+
+    #[test]
+    fn architectural_results_are_unaffected_by_speculation() {
+        // The pipeline must compute exactly what the pure interpreter does.
+        let p = noisy_loop(300);
+        let mut m = Machine::new(&p);
+        m.run(&p, 1_000_000);
+        let t3_ref = m.reg(Reg::T3);
+
+        let mut s = sim(&p);
+        s.run_to_completion();
+        assert_eq!(s.machine.reg(Reg::T3), t3_ref);
+        assert!(s.machine.halted());
+    }
+
+    #[test]
+    fn estimator_quadrants_cover_all_branches() {
+        let p = noisy_loop(1000);
+        let mut s = sim(&p);
+        s.add_estimator(Box::new(Jrs::paper_enhanced()));
+        s.add_estimator(Box::new(SaturatingConfidence::selected()));
+        let stats = s.run_to_completion();
+        for q in s.estimator_quadrants() {
+            assert_eq!(q.all.total(), stats.fetched_branches);
+            assert_eq!(q.committed.total(), stats.committed_branches);
+        }
+    }
+
+    #[test]
+    fn always_low_estimator_has_unit_spec() {
+        let p = noisy_loop(500);
+        let mut s = sim(&p);
+        s.add_estimator(Box::new(AlwaysLow));
+        s.run_to_completion();
+        let q = s.estimator_quadrants()[0];
+        assert_eq!(q.committed.spec(), 1.0);
+        assert!((q.committed.pvn() - q.committed.misprediction_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_estimator_receives_resolutions() {
+        let p = noisy_loop(500);
+        let mut s = sim(&p);
+        s.add_estimator(Box::new(DistanceEstimator::new(2)));
+        s.run_to_completion();
+        let q = s.estimator_quadrants()[0];
+        // Both confidence classes must be populated: resolutions reset the
+        // counter, correct runs push it up.
+        assert!(q.committed.c_hc + q.committed.i_hc > 0, "some HC");
+        assert!(q.committed.c_lc + q.committed.i_lc > 0, "some LC");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = noisy_loop(800);
+        let run = || {
+            let mut s = sim(&p);
+            s.add_estimator(Box::new(Jrs::paper_enhanced()));
+            let st = s.run_to_completion();
+            (st, s.estimator_quadrants()[0])
+        };
+        let (s1, q1) = run();
+        let (s2, q2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn bimodal_predictor_works_too() {
+        let p = counted_loop(300);
+        let mut s = Simulator::new(&p, PipelineConfig::paper(), Box::new(Bimodal::new(10)));
+        let stats = s.run_to_completion();
+        assert_eq!(stats.committed_branches, 300);
+        assert!(stats.accuracy_committed() > 0.97);
+    }
+
+    #[test]
+    fn gating_reduces_wrong_path_work() {
+        let p = noisy_loop(2000);
+        let mut base = sim(&p);
+        base.add_estimator(Box::new(SaturatingConfidence::selected()));
+        let b = base.run_to_completion();
+
+        let mut gated = Simulator::new(
+            &p,
+            PipelineConfig::paper().with_gating(1),
+            Box::new(Gshare::new(12)),
+        );
+        gated.add_estimator(Box::new(SaturatingConfidence::selected()));
+        let g = gated.run_to_completion();
+
+        assert_eq!(
+            g.committed_insts, b.committed_insts,
+            "gating must not change architectural work"
+        );
+        assert!(g.gated_cycles > 0);
+        assert!(
+            g.squashed_insts < b.squashed_insts,
+            "gating should cut wrong-path work: {} vs {}",
+            g.squashed_insts,
+            b.squashed_insts
+        );
+    }
+
+    #[test]
+    fn eager_execution_waives_covered_penalties() {
+        let p = noisy_loop(3000);
+        let mk = |cfg: PipelineConfig| {
+            let mut s = Simulator::new(&p, cfg, Box::new(Gshare::new(12)));
+            s.add_estimator(Box::new(SaturatingConfidence::selected()));
+            s
+        };
+        let base = mk(PipelineConfig::paper()).run_to_completion();
+        let eager = mk(PipelineConfig::paper().with_eager(1)).run_to_completion();
+
+        assert_eq!(
+            eager.committed_insts, base.committed_insts,
+            "eager execution must not change architectural work"
+        );
+        assert!(eager.eager_forks > 100, "forks {}", eager.eager_forks);
+        assert!(
+            eager.eager_covered > 0 && eager.eager_covered <= eager.eager_forks,
+            "covered {} of {}",
+            eager.eager_covered,
+            eager.eager_forks
+        );
+        assert!(eager.eager_alt_slots > 0);
+        // Covered mispredictions skip the +3 penalty; with a noisy branch
+        // the cycle count should not regress catastrophically and usually
+        // improves. Allow slack for the halved fetch width.
+        assert!(
+            (eager.cycles as f64) < base.cycles as f64 * 1.10,
+            "eager {} vs base {}",
+            eager.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn eager_fork_capacity_is_respected() {
+        let p = noisy_loop(1000);
+        let mut s = Simulator::new(
+            &p,
+            PipelineConfig::paper().with_eager(1),
+            Box::new(Gshare::new(12)),
+        );
+        s.add_estimator(Box::new(SaturatingConfidence::selected()));
+        // Run manually and check the invariant each cycle.
+        while !s.done() {
+            s.step_cycle(true, &mut cestim_pipeline_null());
+            assert!(s.active_forks() <= 1);
+        }
+    }
+
+    fn cestim_pipeline_null() -> crate::NullObserver {
+        crate::NullObserver
+    }
+
+    #[test]
+    fn observer_sees_consistent_event_stream() {
+        #[derive(Default)]
+        struct Check {
+            predicted: u64,
+            resolved: u64,
+            outcomes: u64,
+            committed: u64,
+            out_of_order_resolutions: u64,
+            last_resolved_seq: Option<u64>,
+        }
+        impl SimObserver for Check {
+            fn on_branch_predicted(&mut self, _: &PredictEvent<'_>) {
+                self.predicted += 1;
+            }
+            fn on_branch_resolved(&mut self, ev: &ResolveEvent) {
+                if let Some(prev) = self.last_resolved_seq {
+                    if ev.seq < prev {
+                        self.out_of_order_resolutions += 1;
+                    }
+                }
+                self.last_resolved_seq = Some(ev.seq);
+                self.resolved += 1;
+            }
+            fn on_branch_outcome(&mut self, ev: &OutcomeEvent<'_>) {
+                self.outcomes += 1;
+                self.committed += ev.committed as u64;
+            }
+        }
+
+        let p = noisy_loop(1500);
+        let mut s = sim(&p);
+        let mut chk = Check::default();
+        let stats = s.run(&mut chk);
+        assert_eq!(chk.predicted, stats.fetched_branches);
+        assert_eq!(chk.outcomes, stats.fetched_branches);
+        assert_eq!(chk.committed, stats.committed_branches);
+        assert!(chk.resolved <= chk.predicted);
+        assert!(chk.resolved >= stats.committed_branches, "committed implies resolved");
+    }
+
+    #[test]
+    fn max_cycles_bounds_runaway_programs() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.j(top); // infinite loop
+        let p = b.build().unwrap();
+        let mut cfg = PipelineConfig::paper();
+        cfg.max_cycles = 1000;
+        let mut s = Simulator::new(&p, cfg, Box::new(Gshare::new(10)));
+        let stats = s.run_to_completion();
+        assert_eq!(stats.cycles, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall fetch forever")]
+    fn zero_gate_threshold_rejected() {
+        let p = counted_loop(1);
+        let _ = Simulator::new(
+            &p,
+            PipelineConfig::paper().with_gating(0),
+            Box::new(Gshare::new(10)),
+        );
+    }
+}

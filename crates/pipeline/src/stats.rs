@@ -1,0 +1,112 @@
+//! Aggregate pipeline statistics and per-estimator quadrants.
+
+use cestim_core::Quadrant;
+use serde::{Deserialize, Serialize};
+
+/// Quadrant tables for one attached estimator, kept separately for the two
+/// branch populations the paper distinguishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EstimatorQuadrants {
+    /// All fetched branches, committed and squashed — what the hardware
+    /// actually sees during execution.
+    pub all: Quadrant,
+    /// Committed branches only — what a program trace would contain. The
+    /// paper reports its tables over this population.
+    pub committed: Quadrant,
+}
+
+/// Counters accumulated over one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions fetched/executed, including wrong paths.
+    pub fetched_insts: u64,
+    /// Instructions that committed (architectural path).
+    pub committed_insts: u64,
+    /// Instructions squashed as wrong-path work.
+    pub squashed_insts: u64,
+    /// Conditional branches fetched, including wrong paths.
+    pub fetched_branches: u64,
+    /// Conditional branches committed.
+    pub committed_branches: u64,
+    /// Conditional branches squashed.
+    pub squashed_branches: u64,
+    /// Committed branches whose prediction was wrong.
+    pub mispredicted_committed: u64,
+    /// All fetched branches whose prediction was wrong (relative to the
+    /// path they were fetched on).
+    pub mispredicted_all: u64,
+    /// Misprediction recoveries performed (includes wrong-path recoveries).
+    pub recoveries: u64,
+    /// Cycles fetch was stalled by pipeline gating.
+    pub gated_cycles: u64,
+    /// Dual-path forks opened (eager execution).
+    pub eager_forks: u64,
+    /// Forked branches that were indeed mispredicted (the fork paid off:
+    /// recovery penalty waived).
+    pub eager_covered: u64,
+    /// Fetch slots consumed by alternate paths (eager overhead).
+    pub eager_alt_slots: u64,
+    /// Instruction-cache accesses / misses.
+    pub icache_accesses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data-cache accesses.
+    pub dcache_accesses: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+}
+
+impl PipelineStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.committed_insts as f64 / self.cycles as f64
+    }
+
+    /// Branch prediction accuracy over committed branches.
+    pub fn accuracy_committed(&self) -> f64 {
+        1.0 - self.mispredicted_committed as f64 / self.committed_branches as f64
+    }
+
+    /// Branch prediction accuracy over all fetched branches.
+    pub fn accuracy_all(&self) -> f64 {
+        1.0 - self.mispredicted_all as f64 / self.fetched_branches as f64
+    }
+
+    /// The paper's Table 1 "ratio all/committed" for instructions.
+    pub fn speculation_ratio(&self) -> f64 {
+        self.fetched_insts as f64 / self.committed_insts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = PipelineStats {
+            cycles: 100,
+            fetched_insts: 300,
+            committed_insts: 200,
+            squashed_insts: 100,
+            fetched_branches: 60,
+            committed_branches: 40,
+            mispredicted_committed: 4,
+            mispredicted_all: 9,
+            ..PipelineStats::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.accuracy_committed() - 0.9).abs() < 1e-12);
+        assert!((s.accuracy_all() - 0.85).abs() < 1e-12);
+        assert!((s.speculation_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = PipelineStats::default();
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.fetched_insts, 0);
+    }
+}

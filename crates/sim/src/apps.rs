@@ -1,0 +1,178 @@
+//! Speculation-control application models (the paper's §2.2).
+//!
+//! The paper motivates confidence estimation through architectures that act
+//! on the estimate: pipeline gating for power, SMT thread switching, eager
+//! (dual-path) execution, and bandwidth multithreading. Pipeline gating is
+//! modelled directly in the simulator (fetch stalls while too many
+//! low-confidence branches are outstanding); the others are evaluated by
+//! their figure-of-merit expressions over the measured quadrants, exactly
+//! the way the paper reasons about which metric each application needs.
+
+use crate::{run, EstimatorSpec, PredictorKind, RunConfig};
+use cestim_core::Quadrant;
+use cestim_pipeline::{PipelineConfig, PipelineStats};
+use cestim_workloads::WorkloadKind;
+use serde::{Deserialize, Serialize};
+
+/// One point of a pipeline-gating sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatingPoint {
+    /// Gate threshold (`None` = gating disabled, the baseline).
+    pub threshold: Option<u32>,
+    /// Pipeline counters for the run.
+    pub stats: PipelineStats,
+}
+
+impl GatingPoint {
+    /// Wrong-path (squashed) instructions relative to the baseline's — the
+    /// "extra work" metric of the power-conservation application.
+    pub fn extra_work_ratio(&self, baseline: &PipelineStats) -> f64 {
+        self.stats.squashed_insts as f64 / baseline.squashed_insts as f64
+    }
+
+    /// Slowdown in cycles relative to the baseline.
+    pub fn slowdown(&self, baseline: &PipelineStats) -> f64 {
+        self.stats.cycles as f64 / baseline.cycles as f64
+    }
+}
+
+/// Sweeps pipeline gating over the given thresholds (plus an ungated
+/// baseline as the first point), using `estimator` to classify confidence.
+///
+/// Gating never changes architectural results — only how much wrong-path
+/// work the pipeline performs and how long it takes.
+pub fn gating_sweep(
+    workload: WorkloadKind,
+    scale: u32,
+    predictor: PredictorKind,
+    estimator: &EstimatorSpec,
+    thresholds: &[u32],
+) -> Vec<GatingPoint> {
+    let mut out = Vec::with_capacity(thresholds.len() + 1);
+    let base = RunConfig::paper(workload, scale, predictor);
+    out.push(GatingPoint {
+        threshold: None,
+        stats: run(&base, std::slice::from_ref(estimator)).stats,
+    });
+    for &t in thresholds {
+        let cfg = RunConfig {
+            pipeline: PipelineConfig::paper().with_gating(t),
+            ..base.clone()
+        };
+        out.push(GatingPoint {
+            threshold: Some(t),
+            stats: run(&cfg, std::slice::from_ref(estimator)).stats,
+        });
+    }
+    out
+}
+
+/// Figures of merit for an SMT processor switching threads on low
+/// confidence (§2.2 "SMT").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SmtFigures {
+    /// Probability a switch was justified (the branch was indeed
+    /// mispredicted): the PVN.
+    pub useful_switch_rate: f64,
+    /// Fraction of mispredictions that trigger a switch: the SPEC.
+    pub covered_mispredictions: f64,
+    /// How often the machine switches at all (LC fraction).
+    pub switch_rate: f64,
+}
+
+/// Computes SMT thread-switch figures from a measured quadrant.
+pub fn smt_figures(q: &Quadrant) -> SmtFigures {
+    SmtFigures {
+        useful_switch_rate: q.pvn(),
+        covered_mispredictions: q.spec(),
+        switch_rate: q.coverage(),
+    }
+}
+
+/// Figures of merit for eager (dual-path) execution forking on low
+/// confidence (§2.2 "Eager Execution").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EagerFigures {
+    /// Fraction of branches that fork both paths (LC fraction) — the cost.
+    pub fork_rate: f64,
+    /// Fraction of mispredictions covered by a fork (SPEC) — the benefit.
+    pub covered_mispredictions: f64,
+    /// Fraction of forks wasted on correctly predicted branches (1 − PVN).
+    pub wasted_forks: f64,
+}
+
+/// Computes eager-execution figures from a measured quadrant.
+pub fn eager_figures(q: &Quadrant) -> EagerFigures {
+    EagerFigures {
+        fork_rate: q.coverage(),
+        covered_mispredictions: q.spec(),
+        wasted_forks: 1.0 - q.pvn(),
+    }
+}
+
+/// Figures of merit for bandwidth multithreading, which fetches from the
+/// current thread only on high confidence (§2.2): wants high SENS (keep
+/// fetching when correct) and high PVP (fetched work commits).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BandwidthFigures {
+    /// Fraction of correct-prediction fetch opportunities retained (SENS).
+    pub retained_fetch: f64,
+    /// Probability retained fetch work commits (PVP).
+    pub fetch_efficiency: f64,
+}
+
+/// Computes bandwidth-multithreading figures from a measured quadrant.
+pub fn bandwidth_figures(q: &Quadrant) -> BandwidthFigures {
+    BandwidthFigures {
+        retained_fetch: q.sens(),
+        fetch_efficiency: q.pvp(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: Quadrant = Quadrant {
+        c_hc: 61,
+        i_hc: 2,
+        c_lc: 19,
+        i_lc: 18,
+    };
+
+    #[test]
+    fn figures_reduce_to_the_right_metrics() {
+        let s = smt_figures(&Q);
+        assert!((s.useful_switch_rate - Q.pvn()).abs() < 1e-12);
+        assert!((s.covered_mispredictions - Q.spec()).abs() < 1e-12);
+        assert!((s.switch_rate - 0.37).abs() < 1e-12);
+
+        let e = eager_figures(&Q);
+        assert!((e.wasted_forks - (1.0 - Q.pvn())).abs() < 1e-12);
+
+        let b = bandwidth_figures(&Q);
+        assert!((b.retained_fetch - Q.sens()).abs() < 1e-12);
+        assert!((b.fetch_efficiency - Q.pvp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gating_sweep_reduces_wrong_path_work() {
+        let pts = gating_sweep(
+            WorkloadKind::Go,
+            1,
+            PredictorKind::Gshare,
+            &EstimatorSpec::SatCtr {
+                variant: crate::spec::SatVariantSpec::Selected,
+            },
+            &[1, 2],
+        );
+        assert_eq!(pts.len(), 3);
+        let base = &pts[0].stats;
+        for p in &pts[1..] {
+            assert_eq!(p.stats.committed_insts, base.committed_insts);
+            assert!(p.extra_work_ratio(base) < 1.0, "threshold {:?}", p.threshold);
+        }
+        // Tighter gating saves more wrong-path work.
+        assert!(pts[1].stats.squashed_insts <= pts[2].stats.squashed_insts);
+    }
+}

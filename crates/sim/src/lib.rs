@@ -1,0 +1,50 @@
+//! # cestim-sim
+//!
+//! The experiment layer: declarative predictor/estimator specifications, a
+//! two-pass runner (profiling + measurement) over the synthetic SPECint95
+//! analogs, and the complete experiment suite of Klauser et al. (ISCA 1998)
+//! — every table and figure, regenerated from simulation.
+//!
+//! * [`PredictorKind`] / [`EstimatorSpec`] — buildable descriptions of the
+//!   paper's predictors and estimators, including the per-predictor "paper
+//!   set" used by Table 2.
+//! * [`RunConfig`] / [`run`] — one pipeline pass over one workload with any
+//!   number of estimators attached; profiling passes for the static
+//!   estimator are inserted automatically.
+//! * [`suite`] — `table1` … `table4`, `fig1` … `fig9`, `cluster`, `boost`:
+//!   each returns an [`ExperimentResult`](suite::ExperimentResult) with
+//!   formatted text (the paper's rows/series) and a JSON value for
+//!   machine consumption.
+//! * [`apps`] — speculation-control application models built on the
+//!   estimators: pipeline-gating sweeps, and the SMT/eager-execution
+//!   figure-of-merit calculations of the paper's §2.2.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use cestim_sim::{run, EstimatorSpec, PredictorKind, RunConfig};
+//! use cestim_workloads::WorkloadKind;
+//!
+//! let cfg = RunConfig::paper(WorkloadKind::Compress, 2, PredictorKind::Gshare);
+//! let out = run(&cfg, &EstimatorSpec::paper_set(PredictorKind::Gshare));
+//! for e in &out.estimators {
+//!     println!("{:24} pvn={:.1}%", e.name, e.quadrants.committed.pvn() * 100.0);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+mod profile;
+mod report;
+mod runner;
+mod spec;
+pub mod suite;
+
+pub use profile::ProfileObserver;
+pub use report::{pct, Table};
+pub use runner::{
+    collect_profile, run, run_with_observer, run_with_profile, EstimatorResult, RunConfig,
+    RunOutcome,
+};
+pub use spec::{EstimatorSpec, ParseSpecError, PredictorKind, SatVariantSpec, TuneTargetSpec};

@@ -1,0 +1,129 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// Formats a probability as a percentage ("93.2%"); `NaN` renders as "-".
+pub fn pct(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", v * 100.0)
+    }
+}
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use cestim_sim::Table;
+///
+/// let mut t = Table::new("demo", vec!["name", "value"]);
+/// t.row(vec!["sens".into(), "76.2%".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("sens"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<impl Into<String>>) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (c, w) in cells.iter().zip(&widths) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                first = false;
+                write!(f, "{c:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_and_handles_nan() {
+        assert_eq!(pct(0.932), "93.2%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(f64::NAN), "-");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new("t", vec!["a", "longheader"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("== t =="));
+        // All data lines must have equal length after alignment.
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[4].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("t", vec!["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+}

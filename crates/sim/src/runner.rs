@@ -1,0 +1,182 @@
+//! Single-configuration experiment runner.
+
+use crate::{EstimatorSpec, PredictorKind, ProfileObserver};
+use cestim_core::ProfileCollector;
+use cestim_pipeline::{
+    EstimatorQuadrants, NullObserver, PipelineConfig, PipelineStats, SimObserver, Simulator,
+};
+use cestim_workloads::WorkloadKind;
+use serde::{Deserialize, Serialize};
+
+/// One (workload, scale, predictor, pipeline) configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Which workload to simulate.
+    pub workload: WorkloadKind,
+    /// Workload scale (outer-loop iterations).
+    pub scale: u32,
+    /// Input salt (0 = the default "train" input; other values reseed the
+    /// input generator — see [`WorkloadKind::build_salted`]).
+    pub input_salt: u32,
+    /// Branch predictor.
+    pub predictor: PredictorKind,
+    /// Pipeline parameters.
+    pub pipeline: PipelineConfig,
+}
+
+impl RunConfig {
+    /// The paper's pipeline configuration for a workload and predictor.
+    pub fn paper(workload: WorkloadKind, scale: u32, predictor: PredictorKind) -> RunConfig {
+        RunConfig {
+            workload,
+            scale,
+            input_salt: 0,
+            predictor,
+            pipeline: PipelineConfig::paper(),
+        }
+    }
+
+    /// The same configuration on an alternative input.
+    pub fn with_input_salt(mut self, salt: u32) -> RunConfig {
+        self.input_salt = salt;
+        self
+    }
+}
+
+/// Quadrants of one attached estimator after a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EstimatorResult {
+    /// Estimator name (from its spec).
+    pub name: String,
+    /// All-branches and committed-branches quadrants.
+    pub quadrants: EstimatorQuadrants,
+}
+
+/// Everything measured by one pipeline pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Pipeline counters.
+    pub stats: PipelineStats,
+    /// Per-estimator quadrants, in spec order.
+    pub estimators: Vec<EstimatorResult>,
+}
+
+/// Runs the profiling pass: the same pipeline and predictor, recording
+/// per-branch prediction accuracy over the committed stream.
+pub fn collect_profile(cfg: &RunConfig) -> ProfileCollector {
+    let w = cfg.workload.build_salted(cfg.scale, cfg.input_salt);
+    let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build());
+    let mut obs = ProfileObserver::new();
+    sim.run(&mut obs);
+    obs.into_collector()
+}
+
+/// Runs one configuration with the given estimators attached.
+///
+/// If any estimator needs a profile (the static technique), a profiling
+/// pass with the same configuration is run first.
+pub fn run(cfg: &RunConfig, specs: &[EstimatorSpec]) -> RunOutcome {
+    run_with_observer(cfg, specs, &mut NullObserver)
+}
+
+/// Like [`run`], with an explicitly supplied profile for profile-based
+/// estimators instead of the automatic self-profiling pass — the hook for
+/// *cross-input* evaluation (train on one input salt, measure on another).
+pub fn run_with_profile(
+    cfg: &RunConfig,
+    specs: &[EstimatorSpec],
+    profile: &ProfileCollector,
+) -> RunOutcome {
+    run_inner(cfg, specs, Some(profile), &mut cestim_pipeline::NullObserver)
+}
+
+/// Like [`run`], additionally streaming pipeline events to `obs`.
+pub fn run_with_observer(
+    cfg: &RunConfig,
+    specs: &[EstimatorSpec],
+    obs: &mut dyn SimObserver,
+) -> RunOutcome {
+    run_inner(cfg, specs, None, obs)
+}
+
+fn run_inner(
+    cfg: &RunConfig,
+    specs: &[EstimatorSpec],
+    profile_override: Option<&ProfileCollector>,
+    obs: &mut dyn SimObserver,
+) -> RunOutcome {
+    let own_profile = match profile_override {
+        Some(_) => None,
+        None => specs
+            .iter()
+            .any(EstimatorSpec::needs_profile)
+            .then(|| collect_profile(cfg)),
+    };
+    let profile = profile_override.or(own_profile.as_ref());
+    let w = cfg.workload.build_salted(cfg.scale, cfg.input_salt);
+    let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build());
+    for spec in specs {
+        sim.add_estimator(spec.build(profile));
+    }
+    let stats = sim.run(obs);
+    let estimators = specs
+        .iter()
+        .zip(sim.estimator_quadrants())
+        .map(|(spec, &quadrants)| EstimatorResult {
+            name: spec.label(),
+            quadrants,
+        })
+        .collect();
+    RunOutcome { stats, estimators }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(p: PredictorKind) -> RunConfig {
+        RunConfig::paper(WorkloadKind::Compress, 1, p)
+    }
+
+    #[test]
+    fn run_produces_quadrants_for_every_spec() {
+        let specs = EstimatorSpec::paper_set(PredictorKind::Gshare);
+        let out = run(&cfg(PredictorKind::Gshare), &specs);
+        assert_eq!(out.estimators.len(), 4);
+        for e in &out.estimators {
+            assert_eq!(e.quadrants.committed.total(), out.stats.committed_branches);
+            assert_eq!(e.quadrants.all.total(), out.stats.fetched_branches);
+        }
+        assert_eq!(out.estimators[0].name, "jrs(4096x4b,t>=15,enh)");
+    }
+
+    #[test]
+    fn static_estimator_profile_pass_is_automatic() {
+        let out = run(
+            &cfg(PredictorKind::Gshare),
+            &[EstimatorSpec::Static { threshold: 0.9 }],
+        );
+        let q = out.estimators[0].quadrants.committed;
+        // Self-profiled static estimation must separate the populations:
+        // HC branches should be more accurate than LC branches.
+        assert!(q.pvp() > 1.0 - q.pvn());
+        assert!(q.sens() > 0.2 && q.sens() < 1.0);
+    }
+
+    #[test]
+    fn profile_collection_matches_run_accuracy() {
+        let c = cfg(PredictorKind::Gshare);
+        let profile = collect_profile(&c);
+        let out = run(&c, &[]);
+        assert_eq!(profile.total(), out.stats.committed_branches);
+    }
+
+    #[test]
+    fn all_three_paper_predictors_run() {
+        for p in PredictorKind::paper_three() {
+            let out = run(&cfg(p), &[EstimatorSpec::jrs_paper()]);
+            assert!(out.stats.committed_branches > 10_000, "{p}");
+            assert!(out.stats.accuracy_committed() > 0.7, "{p}");
+        }
+    }
+}

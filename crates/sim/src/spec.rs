@@ -1,0 +1,591 @@
+//! Declarative predictor and estimator specifications.
+
+use cestim_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, SAg};
+use cestim_core::tune::{tune, tuning_frontier, TuneTarget};
+use cestim_core::{
+    AlwaysHigh, AlwaysLow, Boosted, Cir, ConfidenceEstimator, DistanceEstimator, Jrs,
+    JrsCombining, PatternHistory, ProfileCollector, SaturatingConfidence, SaturatingVariant,
+};
+use serde::{Deserialize, Serialize};
+
+/// The branch predictors of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// 4096-entry gshare with speculative global history.
+    Gshare,
+    /// McFarling combining predictor (gshare + bimodal + meta, 4096 each).
+    McFarling,
+    /// SAg with 2048 × 13-bit local histories and an 8192-entry PHT.
+    SAg,
+    /// 1024-entry bimodal baseline (not in the paper's tables).
+    Bimodal,
+}
+
+impl PredictorKind {
+    /// The three predictors the paper compares (Table 2's columns).
+    pub fn paper_three() -> [PredictorKind; 3] {
+        [
+            PredictorKind::Gshare,
+            PredictorKind::McFarling,
+            PredictorKind::SAg,
+        ]
+    }
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Gshare => "gshare",
+            PredictorKind::McFarling => "mcfarling",
+            PredictorKind::SAg => "sag",
+            PredictorKind::Bimodal => "bimodal",
+        }
+    }
+
+    /// Parses a predictor name.
+    pub fn from_name(name: &str) -> Option<PredictorKind> {
+        [
+            PredictorKind::Gshare,
+            PredictorKind::McFarling,
+            PredictorKind::SAg,
+            PredictorKind::Bimodal,
+        ]
+        .into_iter()
+        .find(|p| p.name() == name)
+    }
+
+    /// Builds the predictor in the paper's configuration.
+    pub fn build(self) -> Box<dyn BranchPredictor> {
+        match self {
+            PredictorKind::Gshare => Box::new(Gshare::new(12)),
+            PredictorKind::McFarling => Box::new(McFarling::new(12)),
+            PredictorKind::SAg => Box::new(SAg::paper_config()),
+            PredictorKind::Bimodal => Box::new(Bimodal::new(10)),
+        }
+    }
+
+    /// Width of the history pattern the pattern-history estimator should
+    /// watch for this predictor (global for gshare/McFarling, local for
+    /// SAg).
+    pub fn pattern_width(self) -> u32 {
+        match self {
+            PredictorKind::Gshare | PredictorKind::McFarling => 12,
+            PredictorKind::SAg => 13,
+            PredictorKind::Bimodal => 2, // degenerate; bimodal has no history
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A buildable confidence-estimator description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorSpec {
+    /// JRS miss-distance counters.
+    Jrs {
+        /// log2 of the MDC table size.
+        index_bits: u32,
+        /// High-confidence threshold (4-bit counters saturate at 15).
+        threshold: u8,
+        /// Fold the predicted direction into the index (§3.2.1).
+        enhanced: bool,
+    },
+    /// Saturating-counters estimator.
+    SatCtr {
+        /// Combining-predictor variant.
+        variant: SatVariantSpec,
+    },
+    /// Pattern-history estimator over `width`-bit histories.
+    Pattern {
+        /// History width in bits.
+        width: u32,
+    },
+    /// Static profile estimator at an accuracy threshold (needs a profiling
+    /// pass, inserted by the runner).
+    Static {
+        /// Per-branch accuracy threshold in `[0, 1]`.
+        threshold: f64,
+    },
+    /// Misprediction-distance estimator.
+    Distance {
+        /// High confidence when more than this many branches were fetched
+        /// since the last resolved misprediction.
+        threshold: u64,
+    },
+    /// Boost another estimator by requiring `k` consecutive LC events.
+    Boosted {
+        /// The wrapped estimator.
+        inner: Box<EstimatorSpec>,
+        /// Consecutive-LC requirement.
+        k: u32,
+    },
+    /// Correct/incorrect registers (Jacobsen et al.'s other design).
+    Cir {
+        /// log2 of the register-table size.
+        index_bits: u32,
+        /// Outcome-window width in bits (1..=16).
+        width: u32,
+        /// High confidence when at least this many recorded outcomes were
+        /// correct.
+        threshold: u32,
+        /// Fold the predicted direction into the index.
+        enhanced: bool,
+    },
+    /// JRS specialized for the McFarling combining predictor (the paper's
+    /// §5 future work; see [`JrsCombining`]).
+    JrsMcFarling {
+        /// log2 of the MDC table size.
+        index_bits: u32,
+        /// High-confidence threshold.
+        threshold: u8,
+    },
+    /// Static estimator tuned to a metric target (the paper's §5 future
+    /// work; see [`cestim_core::tune`]). Needs a profiling pass.
+    StaticTuned {
+        /// The target to meet on the profile.
+        target: TuneTargetSpec,
+    },
+    /// Everything high confidence (baseline).
+    AlwaysHigh,
+    /// Everything low confidence (baseline).
+    AlwaysLow,
+}
+
+/// Serializable mirror of [`TuneTarget`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TuneTargetSpec {
+    /// Require at least this specificity.
+    MinSpec(f64),
+    /// Require at least this PVN.
+    MinPvn(f64),
+}
+
+impl From<TuneTargetSpec> for TuneTarget {
+    fn from(t: TuneTargetSpec) -> TuneTarget {
+        match t {
+            TuneTargetSpec::MinSpec(v) => TuneTarget::MinSpec(v),
+            TuneTargetSpec::MinPvn(v) => TuneTarget::MinPvn(v),
+        }
+    }
+}
+
+/// Serializable mirror of [`SaturatingVariant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SatVariantSpec {
+    /// Use the counter that produced the prediction.
+    Selected,
+    /// McFarling "Both Strong".
+    BothStrong,
+    /// McFarling "Either Strong".
+    EitherStrong,
+}
+
+impl From<SatVariantSpec> for SaturatingVariant {
+    fn from(v: SatVariantSpec) -> SaturatingVariant {
+        match v {
+            SatVariantSpec::Selected => SaturatingVariant::Selected,
+            SatVariantSpec::BothStrong => SaturatingVariant::BothStrong,
+            SatVariantSpec::EitherStrong => SaturatingVariant::EitherStrong,
+        }
+    }
+}
+
+impl EstimatorSpec {
+    /// The paper's JRS configuration (4096 × 4-bit, threshold 15, enhanced).
+    pub fn jrs_paper() -> EstimatorSpec {
+        EstimatorSpec::Jrs {
+            index_bits: 12,
+            threshold: 15,
+            enhanced: true,
+        }
+    }
+
+    /// The four Table-2 estimators for a predictor: JRS, saturating
+    /// counters ("Both Strong" on McFarling), pattern history (width
+    /// matched to the predictor), and the 90 % static profile.
+    pub fn paper_set(predictor: PredictorKind) -> Vec<EstimatorSpec> {
+        vec![
+            EstimatorSpec::jrs_paper(),
+            EstimatorSpec::SatCtr {
+                variant: if predictor == PredictorKind::McFarling {
+                    SatVariantSpec::BothStrong
+                } else {
+                    SatVariantSpec::Selected
+                },
+            },
+            EstimatorSpec::Pattern {
+                width: predictor.pattern_width(),
+            },
+            EstimatorSpec::Static { threshold: 0.9 },
+        ]
+    }
+
+    /// `true` when building this estimator requires a profiling pass.
+    pub fn needs_profile(&self) -> bool {
+        match self {
+            EstimatorSpec::Static { .. } | EstimatorSpec::StaticTuned { .. } => true,
+            EstimatorSpec::Boosted { inner, .. } => inner.needs_profile(),
+            _ => false,
+        }
+    }
+
+    /// Builds the estimator. `profile` must be `Some` for specs where
+    /// [`needs_profile`](EstimatorSpec::needs_profile) is true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a profile-needing spec is built without a profile.
+    pub fn build(&self, profile: Option<&ProfileCollector>) -> Box<dyn ConfidenceEstimator> {
+        match self {
+            EstimatorSpec::Jrs {
+                index_bits,
+                threshold,
+                enhanced,
+            } => Box::new(Jrs::new(*index_bits, 4, *threshold, *enhanced)),
+            EstimatorSpec::SatCtr { variant } => {
+                Box::new(SaturatingConfidence::new((*variant).into()))
+            }
+            EstimatorSpec::Pattern { width } => Box::new(PatternHistory::new(*width)),
+            EstimatorSpec::Static { threshold } => {
+                let p = profile.expect("static estimator requires a profiling pass");
+                Box::new(p.make_estimator(*threshold))
+            }
+            EstimatorSpec::Distance { threshold } => Box::new(DistanceEstimator::new(*threshold)),
+            EstimatorSpec::Cir {
+                index_bits,
+                width,
+                threshold,
+                enhanced,
+            } => Box::new(Cir::new(*index_bits, *width, *threshold, *enhanced)),
+            EstimatorSpec::JrsMcFarling {
+                index_bits,
+                threshold,
+            } => Box::new(JrsCombining::new(*index_bits, *threshold)),
+            EstimatorSpec::StaticTuned { target } => {
+                let p = profile.expect("tuned static estimator requires a profiling pass");
+                match tune(p, (*target).into()) {
+                    Some((est, _)) => Box::new(est),
+                    None => {
+                        // Unreachable PVN target: fall back to the highest-
+                        // PVN point on the frontier (smallest useful LC set).
+                        let best = tuning_frontier(p)
+                            .into_iter()
+                            .filter(|pt| pt.predicted.c_lc + pt.predicted.i_lc > 0)
+                            .max_by(|a, b| {
+                                a.predicted
+                                    .pvn()
+                                    .partial_cmp(&b.predicted.pvn())
+                                    .expect("pvn is finite")
+                            })
+                            .expect("profile has at least one site");
+                        Box::new(p.make_estimator(best.threshold))
+                    }
+                }
+            }
+            EstimatorSpec::Boosted { inner, k } => {
+                Box::new(Boosted::new(inner.build(profile), *k))
+            }
+            EstimatorSpec::AlwaysHigh => Box::new(AlwaysHigh),
+            EstimatorSpec::AlwaysLow => Box::new(AlwaysLow),
+        }
+    }
+
+    /// Human-readable name (matches the built estimator's `name()`).
+    pub fn label(&self) -> String {
+        self.build_label()
+    }
+
+    fn build_label(&self) -> String {
+        match self {
+            EstimatorSpec::Jrs {
+                index_bits,
+                threshold,
+                enhanced,
+            } => format!(
+                "jrs({}x4b,t>={}{})",
+                1u32 << index_bits,
+                threshold,
+                if *enhanced { ",enh" } else { "" }
+            ),
+            EstimatorSpec::SatCtr { variant } => match variant {
+                SatVariantSpec::Selected => "satctr".to_string(),
+                SatVariantSpec::BothStrong => "satctr(both-strong)".to_string(),
+                SatVariantSpec::EitherStrong => "satctr(either-strong)".to_string(),
+            },
+            EstimatorSpec::Pattern { width } => format!("pattern({width}b)"),
+            EstimatorSpec::Static { threshold } => {
+                format!("static(>{:.0}%)", threshold * 100.0)
+            }
+            EstimatorSpec::Distance { threshold } => format!("distance(>{threshold})"),
+            EstimatorSpec::Cir {
+                index_bits,
+                width,
+                threshold,
+                enhanced,
+            } => format!(
+                "cir({}x{}b,>={}{})",
+                1u32 << index_bits,
+                width,
+                threshold,
+                if *enhanced { ",enh" } else { "" }
+            ),
+            EstimatorSpec::JrsMcFarling {
+                index_bits,
+                threshold,
+            } => format!("jrs-mcf({}x4b,t>={})", 1u32 << index_bits, threshold),
+            EstimatorSpec::StaticTuned { target } => match target {
+                TuneTargetSpec::MinSpec(v) => format!("static-tuned(spec>={:.0}%)", v * 100.0),
+                TuneTargetSpec::MinPvn(v) => format!("static-tuned(pvn>={:.0}%)", v * 100.0),
+            },
+            EstimatorSpec::Boosted { inner, k } => format!("boost{}({})", k, inner.build_label()),
+            EstimatorSpec::AlwaysHigh => "always-high".to_string(),
+            EstimatorSpec::AlwaysLow => "always-low".to_string(),
+        }
+    }
+}
+
+/// Error from parsing an estimator spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError(String);
+
+impl std::fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad estimator spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+impl std::str::FromStr for EstimatorSpec {
+    type Err = ParseSpecError;
+
+    /// Parses the compact spec grammar used by the `cestim` CLI:
+    ///
+    /// ```text
+    /// jrs[:bits=N][:t=N][:base]      enhanced JRS unless :base
+    /// satctr[:both|:either]          saturating counters
+    /// pattern:WIDTH                  pattern history
+    /// static:THRESHOLD               e.g. static:0.9
+    /// distance:N                     misprediction distance
+    /// cir[:bits=N][:w=N][:t=N]       correct/incorrect registers
+    /// jrsmcf[:bits=N][:t=N]          McFarling-structured JRS
+    /// tuned-spec:V / tuned-pvn:V     tuned static estimator
+    /// boost:K:INNER                  boosted inner spec
+    /// always-high / always-low
+    /// ```
+    fn from_str(s: &str) -> Result<EstimatorSpec, ParseSpecError> {
+        fn bad<T>(s: &str) -> Result<T, ParseSpecError> {
+            Err(ParseSpecError(s.to_string()))
+        }
+        fn kv(parts: &[&str], key: &str) -> Option<String> {
+            parts.iter().find_map(|p| {
+                p.strip_prefix(key)
+                    .and_then(|r| r.strip_prefix('='))
+                    .map(str::to_string)
+            })
+        }
+        let (head, rest) = match s.split_once(':') {
+            Some((h, r)) => (h, r),
+            None => (s, ""),
+        };
+        let parts: Vec<&str> = rest.split(':').filter(|p| !p.is_empty()).collect();
+        match head {
+            "jrs" => {
+                let index_bits = kv(&parts, "bits").map_or(Ok(12), |v| v.parse().or(bad(s)))?;
+                let threshold = kv(&parts, "t").map_or(Ok(15), |v| v.parse().or(bad(s)))?;
+                Ok(EstimatorSpec::Jrs {
+                    index_bits,
+                    threshold,
+                    enhanced: !parts.contains(&"base"),
+                })
+            }
+            "satctr" => Ok(EstimatorSpec::SatCtr {
+                variant: match parts.first() {
+                    None => SatVariantSpec::Selected,
+                    Some(&"both") => SatVariantSpec::BothStrong,
+                    Some(&"either") => SatVariantSpec::EitherStrong,
+                    Some(_) => return bad(s),
+                },
+            }),
+            "pattern" => Ok(EstimatorSpec::Pattern {
+                width: parts.first().map_or(Ok(12), |v| v.parse().or(bad(s)))?,
+            }),
+            "static" => Ok(EstimatorSpec::Static {
+                threshold: parts.first().map_or(Ok(0.9), |v| v.parse().or(bad(s)))?,
+            }),
+            "distance" => Ok(EstimatorSpec::Distance {
+                threshold: parts.first().map_or(Ok(3), |v| v.parse().or(bad(s)))?,
+            }),
+            "cir" => Ok(EstimatorSpec::Cir {
+                index_bits: kv(&parts, "bits").map_or(Ok(12), |v| v.parse().or(bad(s)))?,
+                width: kv(&parts, "w").map_or(Ok(16), |v| v.parse().or(bad(s)))?,
+                threshold: kv(&parts, "t").map_or(Ok(16), |v| v.parse().or(bad(s)))?,
+                enhanced: !parts.contains(&"base"),
+            }),
+            "jrsmcf" => Ok(EstimatorSpec::JrsMcFarling {
+                index_bits: kv(&parts, "bits").map_or(Ok(12), |v| v.parse().or(bad(s)))?,
+                threshold: kv(&parts, "t").map_or(Ok(15), |v| v.parse().or(bad(s)))?,
+            }),
+            "tuned-spec" => Ok(EstimatorSpec::StaticTuned {
+                target: TuneTargetSpec::MinSpec(
+                    parts.first().map_or(Ok(0.9), |v| v.parse().or(bad(s)))?,
+                ),
+            }),
+            "tuned-pvn" => Ok(EstimatorSpec::StaticTuned {
+                target: TuneTargetSpec::MinPvn(
+                    parts.first().map_or(Ok(0.3), |v| v.parse().or(bad(s)))?,
+                ),
+            }),
+            "boost" => {
+                let Some((k, inner)) = rest.split_once(':') else {
+                    return bad(s);
+                };
+                Ok(EstimatorSpec::Boosted {
+                    inner: Box::new(inner.parse()?),
+                    k: k.parse().or(bad(s))?,
+                })
+            }
+            "always-high" => Ok(EstimatorSpec::AlwaysHigh),
+            "always-low" => Ok(EstimatorSpec::AlwaysLow),
+            _ => bad(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_names_round_trip() {
+        for p in [
+            PredictorKind::Gshare,
+            PredictorKind::McFarling,
+            PredictorKind::SAg,
+            PredictorKind::Bimodal,
+        ] {
+            assert_eq!(PredictorKind::from_name(p.name()), Some(p));
+        }
+        assert!(PredictorKind::from_name("foo").is_none());
+    }
+
+    #[test]
+    fn built_predictors_report_their_names() {
+        for p in PredictorKind::paper_three() {
+            assert_eq!(p.build().name(), p.name());
+        }
+    }
+
+    #[test]
+    fn paper_set_adapts_to_the_predictor() {
+        let g = EstimatorSpec::paper_set(PredictorKind::Gshare);
+        let m = EstimatorSpec::paper_set(PredictorKind::McFarling);
+        let s = EstimatorSpec::paper_set(PredictorKind::SAg);
+        assert_eq!(g.len(), 4);
+        assert!(matches!(
+            g[1],
+            EstimatorSpec::SatCtr { variant: SatVariantSpec::Selected }
+        ));
+        assert!(matches!(
+            m[1],
+            EstimatorSpec::SatCtr { variant: SatVariantSpec::BothStrong }
+        ));
+        assert!(matches!(s[2], EstimatorSpec::Pattern { width: 13 }));
+        assert!(matches!(g[2], EstimatorSpec::Pattern { width: 12 }));
+    }
+
+    #[test]
+    fn labels_match_built_names() {
+        let specs = [
+            EstimatorSpec::jrs_paper(),
+            EstimatorSpec::SatCtr {
+                variant: SatVariantSpec::BothStrong,
+            },
+            EstimatorSpec::Pattern { width: 13 },
+            EstimatorSpec::Distance { threshold: 4 },
+            EstimatorSpec::AlwaysHigh,
+            EstimatorSpec::Boosted {
+                inner: Box::new(EstimatorSpec::Distance { threshold: 2 }),
+                k: 2,
+            },
+        ];
+        for s in &specs {
+            assert_eq!(s.label(), s.build(None).name(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn static_label_without_building() {
+        let s = EstimatorSpec::Static { threshold: 0.9 };
+        assert_eq!(s.label(), "static(>90%)");
+        assert!(s.needs_profile());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a profiling pass")]
+    fn static_without_profile_panics() {
+        let _ = EstimatorSpec::Static { threshold: 0.9 }.build(None);
+    }
+
+    #[test]
+    fn spec_strings_parse() {
+        let cases: &[(&str, EstimatorSpec)] = &[
+            ("jrs", EstimatorSpec::jrs_paper()),
+            (
+                "jrs:bits=10:t=8:base",
+                EstimatorSpec::Jrs { index_bits: 10, threshold: 8, enhanced: false },
+            ),
+            (
+                "satctr:both",
+                EstimatorSpec::SatCtr { variant: SatVariantSpec::BothStrong },
+            ),
+            ("pattern:13", EstimatorSpec::Pattern { width: 13 }),
+            ("static:0.95", EstimatorSpec::Static { threshold: 0.95 }),
+            ("distance:5", EstimatorSpec::Distance { threshold: 5 }),
+            (
+                "cir:w=16:t=14",
+                EstimatorSpec::Cir { index_bits: 12, width: 16, threshold: 14, enhanced: true },
+            ),
+            (
+                "jrsmcf:t=12",
+                EstimatorSpec::JrsMcFarling { index_bits: 12, threshold: 12 },
+            ),
+            (
+                "tuned-pvn:0.3",
+                EstimatorSpec::StaticTuned { target: TuneTargetSpec::MinPvn(0.3) },
+            ),
+            (
+                "boost:2:satctr",
+                EstimatorSpec::Boosted {
+                    inner: Box::new(EstimatorSpec::SatCtr {
+                        variant: SatVariantSpec::Selected,
+                    }),
+                    k: 2,
+                },
+            ),
+            ("always-low", EstimatorSpec::AlwaysLow),
+        ];
+        for (text, want) in cases {
+            assert_eq!(&text.parse::<EstimatorSpec>().unwrap(), want, "{text}");
+        }
+    }
+
+    #[test]
+    fn bad_spec_strings_are_errors() {
+        for text in ["", "jrz", "satctr:wat", "pattern:x", "boost:2", "jrs:t=boom"] {
+            assert!(text.parse::<EstimatorSpec>().is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn boosted_propagates_profile_need() {
+        let b = EstimatorSpec::Boosted {
+            inner: Box::new(EstimatorSpec::Static { threshold: 0.9 }),
+            k: 2,
+        };
+        assert!(b.needs_profile());
+    }
+}

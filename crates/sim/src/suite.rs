@@ -1,0 +1,1207 @@
+//! The paper's experiment suite: every table and figure, regenerated.
+//!
+//! Each function returns an [`ExperimentResult`] holding the experiment id
+//! (the paper's table/figure number), a formatted text rendition of the
+//! same rows/series the paper reports, and a JSON value for machine
+//! consumption. [`run_experiment`] dispatches by id; [`all_ids`] lists the
+//! full suite. The `repro` binary in `cestim-bench` is a thin CLI over this
+//! module.
+//!
+//! Absolute numbers will not match the paper (the workloads are synthetic
+//! analogs and the pipeline is a reimplementation); the *shapes* — metric
+//! orderings between estimators, threshold trends, clustering decay, the
+//! enhanced-JRS win — are the reproduction targets, recorded in
+//! `EXPERIMENTS.md`.
+
+use crate::spec::{SatVariantSpec, TuneTargetSpec};
+use crate::{pct, run, run_with_observer, EstimatorSpec, PredictorKind, RunConfig, Table};
+use cestim_core::diagnostic::ParametricCurve;
+use cestim_core::{mean_quadrant, MetricSummary, Quadrant};
+use cestim_pipeline::PipelineStats;
+use cestim_trace::{BoostAnalysis, ClusterAnalysis, DistanceAnalysis, DistanceHistogram, DistanceSeries};
+use cestim_workloads::WorkloadKind;
+use serde_json::{json, Value};
+
+/// Output of one regenerated table or figure.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id ("table2", "fig6", ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Formatted text (the paper's rows/series).
+    pub text: String,
+    /// Machine-readable results.
+    pub json: Value,
+}
+
+/// All experiment ids: the paper's tables/figures in order, followed by
+/// the extension experiments (`ext-*`) implementing the paper's §5 future
+/// work and adjacent design-space completions.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "fig1", "table1", "table2", "table2-detail", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "fig8",
+        "fig9", "table4", "cluster", "boost", "ext-jrsmcf", "ext-cir", "ext-tune", "ext-smt", "ext-eager", "ext-xinput",
+    ]
+}
+
+/// Runs one experiment by id at the given workload scale. Returns `None`
+/// for unknown ids.
+pub fn run_experiment(id: &str, scale: u32) -> Option<ExperimentResult> {
+    let all = WorkloadKind::all();
+    Some(match id {
+        "fig1" => fig1(),
+        "table1" => table1_with(scale, &all),
+        "table2" => table2_with(scale, &all),
+        "table2-detail" => table2_detail_with(scale, &all),
+        "fig3" => fig3_with(scale, &all),
+        "fig4" => fig45_with(scale, &all, PredictorKind::Gshare, "fig4"),
+        "fig5" => fig45_with(scale, &all, PredictorKind::McFarling, "fig5"),
+        "table3" => table3_with(scale, &all),
+        "fig6" => distance_fig_with(scale, &all, PredictorKind::Gshare, false, "fig6"),
+        "fig7" => distance_fig_with(scale, &all, PredictorKind::McFarling, false, "fig7"),
+        "fig8" => distance_fig_with(scale, &all, PredictorKind::Gshare, true, "fig8"),
+        "fig9" => distance_fig_with(scale, &all, PredictorKind::McFarling, true, "fig9"),
+        "table4" => table4_with(scale, &all),
+        "cluster" => cluster_with(scale, &all),
+        "boost" => boost_with(scale, &all),
+        "ext-jrsmcf" => ext_jrsmcf_with(scale, &all),
+        "ext-cir" => ext_cir_with(scale, &all),
+        "ext-tune" => ext_tune_with(scale, &all),
+        "ext-eager" => ext_eager_with(scale, &all),
+        "ext-xinput" => ext_xinput_with(scale, &all),
+        "ext-smt" => ext_smt_with(
+            scale,
+            &[
+                (WorkloadKind::Go, WorkloadKind::Ijpeg),
+                (WorkloadKind::Gcc, WorkloadKind::Vortex),
+                (WorkloadKind::Go, WorkloadKind::Gcc),
+            ],
+        ),
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// shared plumbing
+// ---------------------------------------------------------------------------
+
+/// Per-estimator committed quadrants for one predictor over many workloads.
+struct Matrix {
+    names: Vec<String>,
+    /// `[estimator][workload]` committed quadrants.
+    committed: Vec<Vec<Quadrant>>,
+    /// Pipeline stats per workload.
+    #[allow(dead_code)] // kept for ad-hoc inspection and future experiments
+    stats: Vec<PipelineStats>,
+}
+
+fn run_matrix(
+    predictor: PredictorKind,
+    specs: &[EstimatorSpec],
+    workloads: &[WorkloadKind],
+    scale: u32,
+) -> Matrix {
+    let mut committed = vec![Vec::new(); specs.len()];
+    let mut stats = Vec::new();
+    for &w in workloads {
+        let out = run(&RunConfig::paper(w, scale, predictor), specs);
+        for (i, e) in out.estimators.iter().enumerate() {
+            committed[i].push(e.quadrants.committed);
+        }
+        stats.push(out.stats);
+    }
+    Matrix {
+        names: specs.iter().map(EstimatorSpec::label).collect(),
+        committed,
+        stats,
+    }
+}
+
+fn summary_json(m: &MetricSummary) -> Value {
+    json!({
+        "sens": m.sens, "spec": m.spec, "pvp": m.pvp, "pvn": m.pvn,
+        "accuracy": m.accuracy,
+    })
+}
+
+fn metric_cells(m: &MetricSummary) -> Vec<String> {
+    vec![pct(m.sens), pct(m.spec), pct(m.pvp), pct(m.pvn)]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 — analytic diagnostic curves
+// ---------------------------------------------------------------------------
+
+/// Figure 1: parametric PVP/PVN curves as SENS, SPEC and accuracy vary.
+pub fn fig1() -> ExperimentResult {
+    let curves = ParametricCurve::figure1(100);
+    let mut text = String::new();
+    let mut jcurves = Vec::new();
+    for c in &curves {
+        let label = match c.swept {
+            cestim_core::diagnostic::SweptParameter::Sens => {
+                format!("vary SENS (SPEC={:.2}, p={:.2})", c.spec, c.accuracy)
+            }
+            cestim_core::diagnostic::SweptParameter::Spec => {
+                format!("vary SPEC (SENS={:.2}, p={:.2})", c.sens, c.accuracy)
+            }
+            cestim_core::diagnostic::SweptParameter::Accuracy => {
+                format!("vary p (SENS={:.2}, SPEC={:.2})", c.sens, c.spec)
+            }
+        };
+        let mut t = Table::new(label.clone(), vec!["param", "pvp", "pvn"]);
+        for p in c.points.iter().filter(|p| p.decile) {
+            t.row(vec![format!("{:.1}", p.param), pct(p.pvp), pct(p.pvn)]);
+        }
+        text.push_str(&t.to_string());
+        text.push('\n');
+        jcurves.push(json!({
+            "label": label,
+            "points": c.points.iter().map(|p| json!([p.param, p.pvp, p.pvn])).collect::<Vec<_>>(),
+        }));
+    }
+    ExperimentResult {
+        id: "fig1".into(),
+        title: "Figure 1: PVP/PVN as functions of SENS, SPEC and prediction accuracy".into(),
+        text,
+        json: json!({ "curves": jcurves }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — program characteristics
+// ---------------------------------------------------------------------------
+
+/// Table 1 over an explicit workload list (tests use subsets).
+pub fn table1_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let mut t = Table::new(
+        "Table 1: program characteristics",
+        vec![
+            "application",
+            "inst (M)",
+            "cond br (K)",
+            "acc gshare",
+            "acc mcf",
+            "acc sag",
+            "all inst (M)",
+            "all/committed",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    let mut acc_sums = [0.0f64; 3];
+    let mut ratio_sum = 0.0;
+    for &w in workloads {
+        let by_pred: Vec<PipelineStats> = PredictorKind::paper_three()
+            .iter()
+            .map(|&p| run(&RunConfig::paper(w, scale, p), &[]).stats)
+            .collect();
+        let g = &by_pred[0];
+        let accs: Vec<f64> = by_pred.iter().map(|s| s.accuracy_committed()).collect();
+        for (a, &v) in acc_sums.iter_mut().zip(&accs) {
+            *a += v;
+        }
+        ratio_sum += g.speculation_ratio();
+        t.row(vec![
+            w.name().into(),
+            format!("{:.2}", g.committed_insts as f64 / 1e6),
+            format!("{:.1}", g.committed_branches as f64 / 1e3),
+            pct(accs[0]),
+            pct(accs[1]),
+            pct(accs[2]),
+            format!("{:.2}", g.fetched_insts as f64 / 1e6),
+            format!("{:.2}", g.speculation_ratio()),
+        ]);
+        rows_json.push(json!({
+            "workload": w.name(),
+            "committed_insts": g.committed_insts,
+            "committed_branches": g.committed_branches,
+            "fetched_insts": g.fetched_insts,
+            "ratio": g.speculation_ratio(),
+            "accuracy": { "gshare": accs[0], "mcfarling": accs[1], "sag": accs[2] },
+        }));
+    }
+    let n = workloads.len() as f64;
+    t.row(vec![
+        "mean".into(),
+        "".into(),
+        "".into(),
+        pct(acc_sums[0] / n),
+        pct(acc_sums[1] / n),
+        pct(acc_sums[2] / n),
+        "".into(),
+        format!("{:.2}", ratio_sum / n),
+    ]);
+    ExperimentResult {
+        id: "table1".into(),
+        title: "Table 1: program characteristics".into(),
+        text: t.to_string(),
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — four estimators × three predictors
+// ---------------------------------------------------------------------------
+
+/// Table 2 over an explicit workload list.
+pub fn table2_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let mut text = String::new();
+    let mut jpred = Vec::new();
+    for p in PredictorKind::paper_three() {
+        let specs = EstimatorSpec::paper_set(p);
+        let m = run_matrix(p, &specs, workloads, scale);
+        let mut t = Table::new(
+            format!("Table 2 ({p} predictor)"),
+            vec!["estimator", "sens", "spec", "pvp", "pvn"],
+        );
+        let mut jrows = Vec::new();
+        for (name, quads) in m.names.iter().zip(&m.committed) {
+            let s = mean_quadrant(quads);
+            let mut cells = vec![name.clone()];
+            cells.extend(metric_cells(&s));
+            t.row(cells);
+            jrows.push(json!({ "estimator": name, "metrics": summary_json(&s) }));
+        }
+        text.push_str(&t.to_string());
+        text.push('\n');
+        jpred.push(json!({ "predictor": p.name(), "rows": jrows }));
+    }
+    ExperimentResult {
+        id: "table2".into(),
+        title: "Table 2: confidence estimators across branch predictors".into(),
+        text,
+        json: json!({ "predictors": jpred }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — enhanced vs base JRS
+// ---------------------------------------------------------------------------
+
+/// Figure 3 over an explicit workload list.
+pub fn fig3_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let thresholds: Vec<u8> = (1..=16).collect();
+    let mut specs = Vec::new();
+    for &enhanced in &[false, true] {
+        for &t in &thresholds {
+            specs.push(EstimatorSpec::Jrs {
+                index_bits: 12,
+                threshold: t,
+                enhanced,
+            });
+        }
+    }
+    let m = run_matrix(PredictorKind::Gshare, &specs, workloads, scale);
+    let mut text = String::new();
+    let mut jvariants = Vec::new();
+    for (vi, label) in ["base", "enhanced"].iter().enumerate() {
+        let mut t = Table::new(
+            format!("Figure 3: JRS {label} indexing (gshare)"),
+            vec!["threshold", "sens", "spec", "pvp", "pvn"],
+        );
+        let mut jpoints = Vec::new();
+        for (ti, &thr) in thresholds.iter().enumerate() {
+            let s = mean_quadrant(&m.committed[vi * thresholds.len() + ti]);
+            let mut cells = vec![thr.to_string()];
+            cells.extend(metric_cells(&s));
+            t.row(cells);
+            jpoints.push(json!({ "threshold": thr, "metrics": summary_json(&s) }));
+        }
+        text.push_str(&t.to_string());
+        text.push('\n');
+        jvariants.push(json!({ "variant": label, "points": jpoints }));
+    }
+    ExperimentResult {
+        id: "fig3".into(),
+        title: "Figure 3: enhanced vs base JRS indexing".into(),
+        text,
+        json: json!({ "variants": jvariants }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 4 & 5 — JRS design space
+// ---------------------------------------------------------------------------
+
+/// Figures 4/5 over an explicit workload list.
+pub fn fig45_with(
+    scale: u32,
+    workloads: &[WorkloadKind],
+    predictor: PredictorKind,
+    id: &str,
+) -> ExperimentResult {
+    let sizes: [u32; 4] = [6, 8, 10, 12]; // 64 .. 4096 entries
+    let thresholds: Vec<u8> = (1..=16).collect();
+    let mut specs = Vec::new();
+    for &bits in &sizes {
+        for &t in &thresholds {
+            specs.push(EstimatorSpec::Jrs {
+                index_bits: bits,
+                threshold: t,
+                enhanced: true,
+            });
+        }
+    }
+    let m = run_matrix(predictor, &specs, workloads, scale);
+    let mut text = String::new();
+    let mut jsizes = Vec::new();
+    for (si, &bits) in sizes.iter().enumerate() {
+        let mut t = Table::new(
+            format!("{id}: JRS {} entries ({predictor})", 1u32 << bits),
+            vec!["threshold", "pvp", "pvn"],
+        );
+        let mut jpoints = Vec::new();
+        for (ti, &thr) in thresholds.iter().enumerate() {
+            let s = mean_quadrant(&m.committed[si * thresholds.len() + ti]);
+            t.row(vec![thr.to_string(), pct(s.pvp), pct(s.pvn)]);
+            jpoints.push(json!({ "threshold": thr, "pvp": s.pvp, "pvn": s.pvn }));
+        }
+        text.push_str(&t.to_string());
+        text.push('\n');
+        jsizes.push(json!({ "entries": 1u32 << bits, "points": jpoints }));
+    }
+    ExperimentResult {
+        id: id.into(),
+        title: format!("{id}: JRS design space on {predictor}"),
+        text,
+        json: json!({ "predictor": predictor.name(), "sizes": jsizes }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — BothStrong vs EitherStrong
+// ---------------------------------------------------------------------------
+
+/// Table 3 over an explicit workload list.
+pub fn table3_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let specs = [
+        EstimatorSpec::SatCtr {
+            variant: SatVariantSpec::BothStrong,
+        },
+        EstimatorSpec::SatCtr {
+            variant: SatVariantSpec::EitherStrong,
+        },
+    ];
+    let m = run_matrix(PredictorKind::McFarling, &specs, workloads, scale);
+    let mut t = Table::new(
+        "Table 3: saturating-counter variants on McFarling",
+        vec![
+            "application",
+            "BS sens",
+            "BS spec",
+            "BS pvp",
+            "BS pvn",
+            "ES sens",
+            "ES spec",
+            "ES pvp",
+            "ES pvn",
+        ],
+    );
+    let mut jrows = Vec::new();
+    for (wi, &w) in workloads.iter().enumerate() {
+        let bs = MetricSummary::from_quadrant(&m.committed[0][wi]);
+        let es = MetricSummary::from_quadrant(&m.committed[1][wi]);
+        let mut cells = vec![w.name().to_string()];
+        cells.extend(metric_cells(&bs));
+        cells.extend(metric_cells(&es));
+        t.row(cells);
+        jrows.push(json!({
+            "workload": w.name(),
+            "both_strong": summary_json(&bs),
+            "either_strong": summary_json(&es),
+        }));
+    }
+    let bs = mean_quadrant(&m.committed[0]);
+    let es = mean_quadrant(&m.committed[1]);
+    let mut cells = vec!["mean".to_string()];
+    cells.extend(metric_cells(&bs));
+    cells.extend(metric_cells(&es));
+    t.row(cells);
+    ExperimentResult {
+        id: "table3".into(),
+        title: "Table 3: Both-Strong vs Either-Strong".into(),
+        text: t.to_string(),
+        json: json!({
+            "rows": jrows,
+            "mean": { "both_strong": summary_json(&bs), "either_strong": summary_json(&es) },
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6–9 — misprediction distance
+// ---------------------------------------------------------------------------
+
+const DIST_BUCKETS: u64 = 64;
+
+fn merged_distance(
+    scale: u32,
+    workloads: &[WorkloadKind],
+    predictor: PredictorKind,
+) -> DistanceAnalysis {
+    let mut merged: Option<DistanceAnalysis> = None;
+    for &w in workloads {
+        let mut a = DistanceAnalysis::new(DIST_BUCKETS);
+        run_with_observer(&RunConfig::paper(w, scale, predictor), &[], &mut a);
+        merged = Some(match merged.take() {
+            None => a,
+            Some(acc) => merge_analyses(acc, &a),
+        });
+    }
+    merged.expect("at least one workload")
+}
+
+fn merge_analyses(mut acc: DistanceAnalysis, other: &DistanceAnalysis) -> DistanceAnalysis {
+    // DistanceAnalysis has no public mutable histograms; rebuild by merging
+    // each series into clones held in a fresh wrapper.
+    acc.merge_from(other);
+    acc
+}
+
+fn histogram_rows(h: &DistanceHistogram) -> (Vec<(u64, f64, u64)>, f64) {
+    (h.series(), h.average_rate())
+}
+
+/// Figures 6–9 over an explicit workload list: misprediction rate vs
+/// distance, `perceived` selecting resolution-time (Figs 8–9) rather than
+/// omniscient (Figs 6–7) reset points.
+pub fn distance_fig_with(
+    scale: u32,
+    workloads: &[WorkloadKind],
+    predictor: PredictorKind,
+    perceived: bool,
+    id: &str,
+) -> ExperimentResult {
+    let analysis = merged_distance(scale, workloads, predictor);
+    let (all_series, committed_series) = if perceived {
+        (
+            analysis.histogram(DistanceSeries::PerceivedAll),
+            analysis.histogram(DistanceSeries::PerceivedCommitted),
+        )
+    } else {
+        (
+            analysis.histogram(DistanceSeries::PreciseAll),
+            analysis.histogram(DistanceSeries::PreciseCommitted),
+        )
+    };
+    let kind = if perceived { "perceived" } else { "precise" };
+    let mut t = Table::new(
+        format!("{id}: {kind} misprediction distance ({predictor})"),
+        vec!["distance", "all: rate", "all: n", "committed: rate", "committed: n"],
+    );
+    let (rows_a, avg_a) = histogram_rows(all_series);
+    let (rows_c, avg_c) = histogram_rows(committed_series);
+    let show: Vec<u64> = (1..=16).chain([20, 24, 32, 48, 64]).collect();
+    for d in show {
+        t.row(vec![
+            if d == DIST_BUCKETS {
+                format!(">={d}")
+            } else {
+                d.to_string()
+            },
+            pct(all_series.rate(d)),
+            all_series.count(d).to_string(),
+            pct(committed_series.rate(d)),
+            committed_series.count(d).to_string(),
+        ]);
+    }
+    let mut text = t.to_string();
+    text.push_str(&format!(
+        "average: all {}  committed {}\n",
+        pct(avg_a),
+        pct(avg_c)
+    ));
+    ExperimentResult {
+        id: id.into(),
+        title: format!("{id}: {kind} misprediction distance on {predictor}"),
+        text,
+        json: json!({
+            "predictor": predictor.name(),
+            "kind": kind,
+            "all": { "series": rows_a, "average": avg_a },
+            "committed": { "series": rows_c, "average": avg_c },
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — the distance estimator
+// ---------------------------------------------------------------------------
+
+/// Table 4 over an explicit workload list.
+pub fn table4_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let mut t = Table::new(
+        "Table 4: misprediction distance as a confidence estimator",
+        vec!["estimator", "predictor", "sens", "spec", "pvp", "pvn"],
+    );
+    let mut jrows = Vec::new();
+    for p in [PredictorKind::Gshare, PredictorKind::McFarling] {
+        let mut specs = vec![
+            EstimatorSpec::jrs_paper(),
+            EstimatorSpec::SatCtr {
+                variant: if p == PredictorKind::McFarling {
+                    SatVariantSpec::BothStrong
+                } else {
+                    SatVariantSpec::Selected
+                },
+            },
+            EstimatorSpec::Static { threshold: 0.9 },
+        ];
+        for d in 1..=7 {
+            specs.push(EstimatorSpec::Distance { threshold: d });
+        }
+        let m = run_matrix(p, &specs, workloads, scale);
+        for (name, quads) in m.names.iter().zip(&m.committed) {
+            let s = mean_quadrant(quads);
+            let mut cells = vec![name.clone(), p.name().to_string()];
+            cells.extend(metric_cells(&s));
+            t.row(cells);
+            jrows.push(json!({
+                "estimator": name, "predictor": p.name(), "metrics": summary_json(&s),
+            }));
+        }
+    }
+    // The paper's final row: pattern history on SAg for comparison.
+    let m = run_matrix(
+        PredictorKind::SAg,
+        &[EstimatorSpec::Pattern { width: 13 }],
+        workloads,
+        scale,
+    );
+    let s = mean_quadrant(&m.committed[0]);
+    let mut cells = vec![m.names[0].clone(), "sag".to_string()];
+    cells.extend(metric_cells(&s));
+    t.row(cells);
+    jrows.push(json!({
+        "estimator": m.names[0], "predictor": "sag", "metrics": summary_json(&s),
+    }));
+
+    ExperimentResult {
+        id: "table4".into(),
+        title: "Table 4: distance estimator vs table-based estimators".into(),
+        text: t.to_string(),
+        json: json!({ "rows": jrows }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §4.1 clustering of mis-estimations
+// ---------------------------------------------------------------------------
+
+/// Mis-estimation clustering (§4.1) over an explicit workload list.
+pub fn cluster_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let configs: Vec<(PredictorKind, EstimatorSpec, &str)> = vec![
+        (PredictorKind::Gshare, EstimatorSpec::jrs_paper(), "jrs/gshare"),
+        (
+            PredictorKind::McFarling,
+            EstimatorSpec::jrs_paper(),
+            "jrs/mcfarling",
+        ),
+        (
+            PredictorKind::McFarling,
+            EstimatorSpec::SatCtr {
+                variant: SatVariantSpec::BothStrong,
+            },
+            "satctr/mcfarling",
+        ),
+    ];
+    let mut t = Table::new(
+        "Mis-estimation clustering (§4.1)",
+        vec!["config", "rate@1", "rate@4", "rate>8", "average"],
+    );
+    let mut jrows = Vec::new();
+    for (p, spec, label) in configs {
+        let mut merged = DistanceHistogram::new(32);
+        for &w in workloads {
+            let mut a = ClusterAnalysis::new(0, 32);
+            run_with_observer(
+                &RunConfig::paper(w, scale, p),
+                std::slice::from_ref(&spec),
+                &mut a,
+            );
+            merged.merge(a.histogram());
+        }
+        let summary = ClusterAnalysis::summary_of(&merged);
+        t.row(vec![
+            label.to_string(),
+            pct(summary.rate_at_1),
+            pct(summary.rate_at_4),
+            pct(summary.rate_beyond_8),
+            pct(summary.average),
+        ]);
+        jrows.push(json!({
+            "config": label,
+            "rate_at_1": summary.rate_at_1,
+            "rate_at_4": summary.rate_at_4,
+            "rate_beyond_8": summary.rate_beyond_8,
+            "average": summary.average,
+        }));
+    }
+    ExperimentResult {
+        id: "cluster".into(),
+        title: "Mis-estimation clustering".into(),
+        text: t.to_string(),
+        json: json!({ "rows": jrows }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §4.2 boosting
+// ---------------------------------------------------------------------------
+
+/// Boosting (§4.2): measured `P[≥1 misprediction | k consecutive LC]`
+/// vs the Bernoulli model `1 − (1 − PVN)^k`, plus the per-branch behaviour
+/// of the [`Boosted`](cestim_core::Boosted) estimator transform (whose
+/// coverage shrinks as k rises).
+pub fn boost_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let base = EstimatorSpec::SatCtr {
+        variant: SatVariantSpec::Selected,
+    };
+    // Attach the base estimator plus the per-branch boosted transforms, and
+    // observe windows with BoostAnalysis over the base estimator (index 0).
+    let mut specs = vec![base.clone()];
+    for k in 2..=4 {
+        specs.push(EstimatorSpec::Boosted {
+            inner: Box::new(base.clone()),
+            k,
+        });
+    }
+    let mut windows = BoostAnalysis::new(0, 4);
+    let mut committed: Vec<Vec<Quadrant>> = vec![Vec::new(); specs.len()];
+    for &w in workloads {
+        let out = run_with_observer(
+            &RunConfig::paper(w, scale, PredictorKind::Gshare),
+            &specs,
+            &mut windows,
+        );
+        for (i, e) in out.estimators.iter().enumerate() {
+            committed[i].push(e.quadrants.committed);
+        }
+    }
+    let base_pvn = mean_quadrant(&committed[0]).pvn;
+    let mut t = Table::new(
+        "Boosting low-confidence estimates (§4.2, gshare + satctr)",
+        vec![
+            "k",
+            "windows",
+            "measured P[>=1 wrong]",
+            "bernoulli model",
+            "transform coverage",
+        ],
+    );
+    let mut jrows = Vec::new();
+    for k in 1..=4u32 {
+        let measured = windows.boosted_pvn(k);
+        let model = BoostAnalysis::model(base_pvn, k);
+        // Coverage of the per-branch Boosted transform at this k (k=1 is
+        // the base estimator itself).
+        let cov: f64 = {
+            let quads = &committed[(k - 1) as usize];
+            let f: Vec<[f64; 4]> = quads.iter().map(Quadrant::fractions).collect();
+            f.iter().map(|x| x[2] + x[3]).sum::<f64>() / f.len() as f64
+        };
+        t.row(vec![
+            k.to_string(),
+            windows.windows(k).to_string(),
+            pct(measured),
+            pct(model),
+            pct(cov),
+        ]);
+        jrows.push(json!({
+            "k": k,
+            "windows": windows.windows(k),
+            "measured": measured,
+            "model": model,
+            "transform_coverage": cov,
+        }));
+    }
+    ExperimentResult {
+        id: "boost".into(),
+        title: "Boosting: measured vs Bernoulli model".into(),
+        text: t.to_string(),
+        json: json!({ "base_pvn": base_pvn, "rows": jrows }),
+    }
+}
+
+
+// ---------------------------------------------------------------------------
+// Extensions (the paper's §5 future work and design-space completions)
+// ---------------------------------------------------------------------------
+
+/// Extension: the McFarling-structured JRS (§5 future work) vs the plain
+/// enhanced JRS, on the McFarling predictor, across thresholds.
+pub fn ext_jrsmcf_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let thresholds: [u8; 4] = [4, 8, 12, 15];
+    let mut specs = Vec::new();
+    for &t in &thresholds {
+        specs.push(EstimatorSpec::Jrs {
+            index_bits: 12,
+            threshold: t,
+            enhanced: true,
+        });
+        specs.push(EstimatorSpec::JrsMcFarling {
+            index_bits: 12,
+            threshold: t,
+        });
+    }
+    let m = run_matrix(PredictorKind::McFarling, &specs, workloads, scale);
+    let mut t = Table::new(
+        "Extension: structure-aware JRS on McFarling (paper §5 future work)",
+        vec!["estimator", "sens", "spec", "pvp", "pvn"],
+    );
+    let mut jrows = Vec::new();
+    for (name, quads) in m.names.iter().zip(&m.committed) {
+        let s = mean_quadrant(quads);
+        let mut cells = vec![name.clone()];
+        cells.extend(metric_cells(&s));
+        t.row(cells);
+        jrows.push(json!({ "estimator": name, "metrics": summary_json(&s) }));
+    }
+    ExperimentResult {
+        id: "ext-jrsmcf".into(),
+        title: "Extension: JRS specialized for the McFarling predictor".into(),
+        text: t.to_string(),
+        json: json!({ "rows": jrows }),
+    }
+}
+
+/// Extension: correct/incorrect registers (Jacobsen et al.'s other
+/// one-level design) vs the resetting-counter JRS, on gshare.
+pub fn ext_cir_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let specs = vec![
+        EstimatorSpec::jrs_paper(),
+        EstimatorSpec::Cir {
+            index_bits: 12,
+            width: 16,
+            threshold: 16,
+            enhanced: true,
+        },
+        EstimatorSpec::Cir {
+            index_bits: 12,
+            width: 16,
+            threshold: 14,
+            enhanced: true,
+        },
+        EstimatorSpec::Cir {
+            index_bits: 12,
+            width: 8,
+            threshold: 8,
+            enhanced: true,
+        },
+    ];
+    let m = run_matrix(PredictorKind::Gshare, &specs, workloads, scale);
+    let mut t = Table::new(
+        "Extension: resetting counters (JRS) vs correct/incorrect registers (CIR), gshare",
+        vec!["estimator", "sens", "spec", "pvp", "pvn"],
+    );
+    let mut jrows = Vec::new();
+    for (name, quads) in m.names.iter().zip(&m.committed) {
+        let s = mean_quadrant(quads);
+        let mut cells = vec![name.clone()];
+        cells.extend(metric_cells(&s));
+        t.row(cells);
+        jrows.push(json!({ "estimator": name, "metrics": summary_json(&s) }));
+    }
+    ExperimentResult {
+        id: "ext-cir".into(),
+        title: "Extension: CIR vs JRS one-level estimators".into(),
+        text: t.to_string(),
+        json: json!({ "rows": jrows }),
+    }
+}
+
+/// Extension: tuned static estimation (§5 future work) — pick thresholds
+/// meeting SPEC/PVN targets on the profile and verify the measured run
+/// lands on target.
+pub fn ext_tune_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let targets = [
+        ("spec>=85%", TuneTargetSpec::MinSpec(0.85)),
+        ("spec>=95%", TuneTargetSpec::MinSpec(0.95)),
+        ("pvn>=25%", TuneTargetSpec::MinPvn(0.25)),
+        ("pvn>=35%", TuneTargetSpec::MinPvn(0.35)),
+    ];
+    let specs: Vec<EstimatorSpec> = targets
+        .iter()
+        .map(|&(_, target)| EstimatorSpec::StaticTuned { target })
+        .collect();
+    let mut t = Table::new(
+        "Extension: tuned static estimation (per-workload, gshare)",
+        vec!["workload", "target", "sens", "spec", "pvp", "pvn", "on target"],
+    );
+    let mut jrows = Vec::new();
+    for &w in workloads {
+        let out = run(&RunConfig::paper(w, scale, PredictorKind::Gshare), &specs);
+        for ((label, target), e) in targets.iter().zip(&out.estimators) {
+            let q = e.quadrants.committed;
+            let met = match target {
+                TuneTargetSpec::MinSpec(v) => q.spec() >= *v - 1e-9,
+                TuneTargetSpec::MinPvn(v) => q.pvn() >= *v - 1e-9 || q.c_lc + q.i_lc == 0,
+            };
+            let s = MetricSummary::from_quadrant(&q);
+            let mut cells = vec![w.name().to_string(), label.to_string()];
+            cells.extend(metric_cells(&s));
+            cells.push(if met { "yes".into() } else { "NO (unreachable)".into() });
+            t.row(cells);
+            jrows.push(json!({
+                "workload": w.name(), "target": label, "met": met,
+                "metrics": summary_json(&s),
+            }));
+        }
+    }
+    ExperimentResult {
+        id: "ext-tune".into(),
+        title: "Extension: tuning static estimation to SPEC/PVN targets".into(),
+        text: t.to_string(),
+        json: json!({ "rows": jrows }),
+    }
+}
+
+
+/// Extension: confidence-driven SMT fetch arbitration, measured on the real
+/// two-thread [`SmtSimulator`](cestim_pipeline::SmtSimulator) — the paper's
+/// §1 motivating application, quantified.
+pub fn ext_smt_with(scale: u32, pairs: &[(WorkloadKind, WorkloadKind)]) -> ExperimentResult {
+    use cestim_core::SaturatingConfidence;
+    use cestim_pipeline::{FetchPolicy, PipelineConfig, Simulator, SmtSimulator};
+
+    let policies = [
+        FetchPolicy::RoundRobin,
+        FetchPolicy::FewestOutstanding,
+        FetchPolicy::SwitchOnLowConfidence,
+        FetchPolicy::FewestLowConfidence,
+    ];
+    let mut t = Table::new(
+        "Extension: SMT fetch arbitration (two threads, gshare + satctr)",
+        vec!["threads", "policy", "cycles", "ipc", "squashed", "waste"],
+    );
+    let mut jrows = Vec::new();
+    for &(wa, wb) in pairs {
+        let a = wa.build(scale);
+        let b = wb.build(scale);
+        for policy in policies {
+            let mk = |p| {
+                let mut s =
+                    Simulator::new(p, PipelineConfig::paper(), PredictorKind::Gshare.build());
+                s.add_estimator(Box::new(SaturatingConfidence::selected()));
+                s
+            };
+            let mut smt = SmtSimulator::new(vec![mk(&a.program), mk(&b.program)], policy);
+            let stats = smt.run(u64::MAX);
+            let fetched: u64 = stats.per_thread.iter().map(|s| s.fetched_insts).sum();
+            let waste = stats.total_squashed() as f64 / fetched as f64;
+            t.row(vec![
+                format!("{}+{}", wa.name(), wb.name()),
+                policy.name().to_string(),
+                stats.cycles.to_string(),
+                format!("{:.2}", stats.throughput()),
+                stats.total_squashed().to_string(),
+                pct(waste),
+            ]);
+            jrows.push(json!({
+                "threads": [wa.name(), wb.name()],
+                "policy": policy.name(),
+                "cycles": stats.cycles,
+                "ipc": stats.throughput(),
+                "squashed": stats.total_squashed(),
+                "waste": waste,
+            }));
+        }
+    }
+    ExperimentResult {
+        id: "ext-smt".into(),
+        title: "Extension: SMT fetch arbitration driven by confidence".into(),
+        text: t.to_string(),
+        json: json!({ "rows": jrows }),
+    }
+}
+
+
+/// Extension: eager (dual-path) execution in the pipeline — fork both paths
+/// of a low-confidence branch; covered mispredictions skip the recovery
+/// penalty at the price of halved fetch bandwidth while forked.
+pub fn ext_eager_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    use cestim_pipeline::PipelineConfig;
+    let triggers = [
+        (
+            "satctr",
+            EstimatorSpec::SatCtr {
+                variant: SatVariantSpec::Selected,
+            },
+        ),
+        ("jrs", EstimatorSpec::jrs_paper()),
+        ("distance>3", EstimatorSpec::Distance { threshold: 3 }),
+    ];
+    let mut t = Table::new(
+        "Extension: dual-path (eager) execution, gshare",
+        vec![
+            "workload", "trigger", "base cyc", "eager cyc", "speedup", "forks", "covered",
+            "alt slots",
+        ],
+    );
+    let mut jrows = Vec::new();
+    for &w in workloads {
+        for (label, spec) in &triggers {
+            let base = run(
+                &RunConfig::paper(w, scale, PredictorKind::Gshare),
+                std::slice::from_ref(spec),
+            )
+            .stats;
+            let eager = run(
+                &RunConfig {
+                    pipeline: PipelineConfig::paper().with_eager(1),
+                    ..RunConfig::paper(w, scale, PredictorKind::Gshare)
+                },
+                std::slice::from_ref(spec),
+            )
+            .stats;
+            let speedup = base.cycles as f64 / eager.cycles as f64;
+            t.row(vec![
+                w.name().to_string(),
+                label.to_string(),
+                base.cycles.to_string(),
+                eager.cycles.to_string(),
+                format!("{speedup:.3}x"),
+                eager.eager_forks.to_string(),
+                pct(eager.eager_covered as f64 / eager.eager_forks as f64),
+                eager.eager_alt_slots.to_string(),
+            ]);
+            jrows.push(json!({
+                "workload": w.name(),
+                "trigger": label,
+                "base_cycles": base.cycles,
+                "eager_cycles": eager.cycles,
+                "speedup": speedup,
+                "forks": eager.eager_forks,
+                "covered": eager.eager_covered,
+                "alt_slots": eager.eager_alt_slots,
+            }));
+        }
+    }
+    ExperimentResult {
+        id: "ext-eager".into(),
+        title: "Extension: eager execution gated by confidence".into(),
+        text: t.to_string(),
+        json: json!({ "rows": jrows }),
+    }
+}
+
+
+/// Extension: cross-input static estimation. The paper's static results
+/// are self-profiled ("a best-case evaluation"); this experiment trains
+/// the profile on an alternative input (salt 1) and measures on the
+/// default input, quantifying the degradation — and compares against the
+/// self-profiled upper bound and the input-independent JRS.
+pub fn ext_xinput_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let static_spec = EstimatorSpec::Static { threshold: 0.9 };
+    let mut t = Table::new(
+        "Extension: static estimation off its training input (gshare)",
+        vec![
+            "workload", "variant", "sens", "spec", "pvp", "pvn",
+        ],
+    );
+    let mut jrows = Vec::new();
+    let mut self_q = Vec::new();
+    let mut cross_q = Vec::new();
+    let mut jrs_q = Vec::new();
+    for &w in workloads {
+        let eval_cfg = RunConfig::paper(w, scale, PredictorKind::Gshare);
+        let train_cfg = eval_cfg.clone().with_input_salt(1);
+        // Self-profiled (the paper's best case).
+        let own = run(&eval_cfg, std::slice::from_ref(&static_spec));
+        // Cross-input: profile from the salted input.
+        let foreign_profile = crate::collect_profile(&train_cfg);
+        let cross = crate::run_with_profile(
+            &eval_cfg,
+            std::slice::from_ref(&static_spec),
+            &foreign_profile,
+        );
+        // Dynamic reference.
+        let jrs = run(&eval_cfg, &[EstimatorSpec::jrs_paper()]);
+
+        for (variant, out) in [("self", &own), ("cross", &cross)] {
+            let q = out.estimators[0].quadrants.committed;
+            let s = MetricSummary::from_quadrant(&q);
+            let mut cells = vec![w.name().to_string(), variant.to_string()];
+            cells.extend(metric_cells(&s));
+            t.row(cells);
+            jrows.push(json!({
+                "workload": w.name(), "variant": variant, "metrics": summary_json(&s),
+            }));
+        }
+        self_q.push(own.estimators[0].quadrants.committed);
+        cross_q.push(cross.estimators[0].quadrants.committed);
+        jrs_q.push(jrs.estimators[0].quadrants.committed);
+    }
+    for (label, quads) in [
+        ("mean self", &self_q),
+        ("mean cross", &cross_q),
+        ("mean jrs (dynamic)", &jrs_q),
+    ] {
+        let s = mean_quadrant(quads);
+        let mut cells = vec!["".to_string(), label.to_string()];
+        cells.extend(metric_cells(&s));
+        t.row(cells);
+        jrows.push(json!({ "workload": null, "variant": label, "metrics": summary_json(&s) }));
+    }
+    ExperimentResult {
+        id: "ext-xinput".into(),
+        title: "Extension: cross-input static estimation".into(),
+        text: t.to_string(),
+        json: json!({ "rows": jrows }),
+    }
+}
+
+
+/// Per-application detail behind Table 2 (the paper reports means and
+/// points at its tech report for the full data; this regenerates it).
+pub fn table2_detail_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let mut text = String::new();
+    let mut jpred = Vec::new();
+    for p in PredictorKind::paper_three() {
+        let specs = EstimatorSpec::paper_set(p);
+        let m = run_matrix(p, &specs, workloads, scale);
+        let mut t = Table::new(
+            format!("Table 2 detail ({p} predictor)"),
+            vec!["application", "estimator", "sens", "spec", "pvp", "pvn"],
+        );
+        let mut jrows = Vec::new();
+        for (wi, &w) in workloads.iter().enumerate() {
+            for (name, quads) in m.names.iter().zip(&m.committed) {
+                let s = MetricSummary::from_quadrant(&quads[wi]);
+                let mut cells = vec![w.name().to_string(), name.clone()];
+                cells.extend(metric_cells(&s));
+                t.row(cells);
+                jrows.push(json!({
+                    "workload": w.name(), "estimator": name, "metrics": summary_json(&s),
+                }));
+            }
+        }
+        text.push_str(&t.to_string());
+        text.push('\n');
+        jpred.push(json!({ "predictor": p.name(), "rows": jrows }));
+    }
+    ExperimentResult {
+        id: "table2-detail".into(),
+        title: "Table 2 detail: per-application estimator metrics".into(),
+        text,
+        json: json!({ "predictors": jpred }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &[WorkloadKind] = &[WorkloadKind::Compress];
+
+    #[test]
+    fn fig1_is_analytic_and_complete() {
+        let r = fig1();
+        assert_eq!(r.id, "fig1");
+        assert_eq!(r.json["curves"].as_array().unwrap().len(), 6);
+        assert!(r.text.contains("vary SENS"));
+    }
+
+    #[test]
+    fn all_ids_dispatch() {
+        for &id in all_ids() {
+            // Only check the dispatcher wiring for cheap ids; heavier ones
+            // are covered by integration tests and the repro binary.
+            if id == "fig1" {
+                assert!(run_experiment(id, 1).is_some());
+            }
+        }
+        assert!(run_experiment("nope", 1).is_none());
+    }
+
+    #[test]
+    fn table2_small_has_expected_shape() {
+        let r = table2_with(1, SMALL);
+        let preds = r.json["predictors"].as_array().unwrap();
+        assert_eq!(preds.len(), 3);
+        for p in preds {
+            assert_eq!(p["rows"].as_array().unwrap().len(), 4);
+        }
+        assert!(r.text.contains("jrs(4096x4b,t>=15,enh)"));
+    }
+
+    #[test]
+    fn fig3_enhanced_beats_base_on_pvp_at_matched_sens() {
+        let r = fig3_with(1, SMALL);
+        let v = r.json["variants"].as_array().unwrap();
+        assert_eq!(v[0]["variant"], "base");
+        assert_eq!(v[1]["variant"], "enhanced");
+        // At the paper threshold (15), enhanced PVP >= base PVP.
+        let base = v[0]["points"][14]["metrics"]["pvp"].as_f64().unwrap();
+        let enh = v[1]["points"][14]["metrics"]["pvp"].as_f64().unwrap();
+        assert!(enh >= base - 0.01, "enhanced {enh} vs base {base}");
+    }
+
+    #[test]
+    fn remaining_experiments_have_expected_shapes() {
+        // table1: one row per workload plus the mean row.
+        let r = table1_with(1, SMALL);
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 1);
+        assert!(r.text.contains("mean"));
+
+        // table2-detail: 4 estimator rows per workload per predictor.
+        let r = table2_detail_with(1, SMALL);
+        for p in r.json["predictors"].as_array().unwrap() {
+            assert_eq!(p["rows"].as_array().unwrap().len(), 4);
+        }
+
+        // fig4: 4 table sizes x 16 thresholds, PVP falls as threshold
+        // rises at fixed size (more selective HC set... PVP *rises*; check
+        // monotone trend of SENS via spec json instead: PVN at t=16 equals
+        // the misprediction rate is covered by fig3; here just shape).
+        let r = fig45_with(1, SMALL, PredictorKind::Gshare, "fig4");
+        let sizes = r.json["sizes"].as_array().unwrap();
+        assert_eq!(sizes.len(), 4);
+        for sz in sizes {
+            assert_eq!(sz["points"].as_array().unwrap().len(), 16);
+        }
+        // Larger tables dominate at the paper threshold: 4096-entry PVP >=
+        // 64-entry PVP at t=15.
+        let pvp_small = sizes[0]["points"][14]["pvp"].as_f64().unwrap();
+        let pvp_large = sizes[3]["points"][14]["pvp"].as_f64().unwrap();
+        assert!(pvp_large >= pvp_small - 0.01, "{pvp_large} vs {pvp_small}");
+
+        // table4: 10 rows per predictor + the SAg pattern row.
+        let r = table4_with(1, SMALL);
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 21);
+
+        // table3: per-workload rows + mean.
+        let r = table3_with(1, SMALL);
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 1);
+        assert!(r.json["mean"]["both_strong"]["spec"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn extension_experiments_run_on_small_inputs() {
+        let r = ext_cir_with(1, SMALL);
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 4);
+        let r = ext_jrsmcf_with(1, SMALL);
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 8);
+        let r = ext_tune_with(1, SMALL);
+        // Every SPEC target must be met (always reachable).
+        for row in r.json["rows"].as_array().unwrap() {
+            if row["target"].as_str().unwrap().starts_with("spec") {
+                assert_eq!(row["met"], true, "{row}");
+            }
+        }
+        let r = ext_smt_with(1, &[(WorkloadKind::Compress, WorkloadKind::Compress)]);
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn distance_fig_small_runs() {
+        let r = distance_fig_with(1, &[WorkloadKind::Gcc], PredictorKind::Gshare, false, "fig6");
+        let avg = r.json["all"]["average"].as_f64().unwrap();
+        assert!(avg > 0.0 && avg < 0.5);
+        // Clustering: distance-1 rate above the average rate.
+        let series = r.json["all"]["series"].as_array().unwrap();
+        let d1 = series[0][1].as_f64().unwrap();
+        assert!(d1 > avg, "clustering expected: rate@1 {d1} vs avg {avg}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Mis-estimation clustering analysis (the paper's §4.1, last paragraph).
+
+use crate::DistanceHistogram;
+use cestim_pipeline::{OutcomeEvent, SimObserver};
+use serde::{Deserialize, Serialize};
+
+/// Streaming observer measuring how *confidence mis-estimations* cluster.
+///
+/// A confidence estimate is **wrong** (a mis-estimation) when it disagrees
+/// with the eventual prediction outcome: high confidence on a mispredicted
+/// branch, or low confidence on a correctly predicted one. The paper
+/// measures a "mis-estimation distance" analogous to the misprediction
+/// distance and finds mis-estimations are only *slightly* clustered (45 %
+/// mis-estimation rate immediately after a mis-estimation, decaying to 33 %
+/// beyond distance 8 in their configurations) — which is what licenses
+/// treating consecutive low-confidence events as near-independent Bernoulli
+/// trials for boosting (§4.2).
+///
+/// The analysis runs over the committed branch stream and watches the
+/// estimator at `estimator_index` in the simulator's attach order.
+#[derive(Debug, Clone)]
+pub struct ClusterAnalysis {
+    estimator_index: usize,
+    histogram: DistanceHistogram,
+    since_misestimate: u64,
+}
+
+/// Condensed clustering numbers, in the form the paper quotes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    /// Mis-estimation rate immediately after a mis-estimation (distance 1).
+    pub rate_at_1: f64,
+    /// Mis-estimation rate at distance 4.
+    pub rate_at_4: f64,
+    /// Mis-estimation rate beyond distance 8 (the far bucket).
+    pub rate_beyond_8: f64,
+    /// Overall mis-estimation rate.
+    pub average: f64,
+}
+
+impl ClusterAnalysis {
+    /// Creates the analysis for the estimator at `estimator_index`, with
+    /// distance buckets up to `max_distance`.
+    pub fn new(estimator_index: usize, max_distance: u64) -> ClusterAnalysis {
+        ClusterAnalysis {
+            estimator_index,
+            histogram: DistanceHistogram::new(max_distance),
+            since_misestimate: u64::MAX / 2,
+        }
+    }
+
+    /// The distance histogram (distance = committed branches since the last
+    /// mis-estimation; "misprediction" in the histogram's field names reads
+    /// as "mis-estimation" here).
+    pub fn histogram(&self) -> &DistanceHistogram {
+        &self.histogram
+    }
+
+    /// Summary statistics in the paper's form.
+    ///
+    /// Values may be `NaN` when the corresponding bucket is empty. The far
+    /// bucket is the aggregate of all distances `> 8` when the histogram has
+    /// more than 9 buckets.
+    pub fn summary(&self) -> ClusterSummary {
+        ClusterAnalysis::summary_of(&self.histogram)
+    }
+
+    /// Summary of an arbitrary mis-estimation distance histogram — e.g. one
+    /// merged across benchmarks with
+    /// [`DistanceHistogram::merge`](crate::DistanceHistogram::merge).
+    pub fn summary_of(histogram: &DistanceHistogram) -> ClusterSummary {
+        // Aggregate everything beyond distance 8 by re-walking the series.
+        let (mut mis, mut tot) = (0u64, 0u64);
+        for (d, rate, count) in histogram.series() {
+            if d > 8 {
+                mis += (rate * count as f64).round() as u64;
+                tot += count;
+            }
+        }
+        ClusterSummary {
+            rate_at_1: histogram.rate(1),
+            rate_at_4: histogram.rate(4),
+            rate_beyond_8: mis as f64 / tot as f64,
+            average: histogram.average_rate(),
+        }
+    }
+}
+
+impl SimObserver for ClusterAnalysis {
+    fn on_branch_outcome(&mut self, ev: &OutcomeEvent<'_>) {
+        if !ev.committed {
+            return;
+        }
+        let Some(est) = ev.estimates.get(self.estimator_index) else {
+            return;
+        };
+        // High confidence is "correct" estimation iff the prediction was
+        // correct; low confidence iff it was mispredicted.
+        let misestimated = est.is_high() == ev.mispredicted;
+        let d = self.since_misestimate.saturating_add(1);
+        self.histogram.record(d, misestimated);
+        if misestimated {
+            self.since_misestimate = 0;
+        } else {
+            self.since_misestimate += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_core::Confidence;
+
+    fn ev(seq: u64, mispredicted: bool, est: Confidence, committed: bool) -> OutcomeEvent<'static> {
+        let estimates: &'static [Confidence] = match est {
+            Confidence::High => &[Confidence::High],
+            Confidence::Low => &[Confidence::Low],
+        };
+        OutcomeEvent {
+            seq,
+            pc: 0,
+            predicted_taken: true,
+            actual_taken: !mispredicted,
+            mispredicted,
+            committed,
+            fetch_cycle: seq,
+            resolve_cycle: Some(seq),
+            ghr: 0,
+            estimates,
+        }
+    }
+
+    #[test]
+    fn misestimation_definition() {
+        use Confidence::{High, Low};
+        let mut a = ClusterAnalysis::new(0, 16);
+        // HC+correct and LC+mispredicted are *good* estimates.
+        a.on_branch_outcome(&ev(0, false, High, true));
+        a.on_branch_outcome(&ev(1, true, Low, true));
+        assert_eq!(a.histogram().total(), 2);
+        assert_eq!(a.histogram().average_rate(), 0.0);
+        // HC+mispredicted and LC+correct are mis-estimations.
+        a.on_branch_outcome(&ev(2, true, High, true));
+        a.on_branch_outcome(&ev(3, false, Low, true));
+        assert!((a.histogram().average_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_resets_on_misestimation() {
+        use Confidence::{High, Low};
+        let mut a = ClusterAnalysis::new(0, 16);
+        a.on_branch_outcome(&ev(0, false, Low, true)); // mis-est, reset
+        a.on_branch_outcome(&ev(1, false, High, true)); // dist 1, good
+        a.on_branch_outcome(&ev(2, false, Low, true)); // dist 2, mis-est
+        assert_eq!(a.histogram().count(1), 1);
+        assert_eq!(a.histogram().rate(1), 0.0);
+        assert_eq!(a.histogram().rate(2), 1.0);
+    }
+
+    #[test]
+    fn squashed_branches_are_ignored() {
+        use Confidence::High;
+        let mut a = ClusterAnalysis::new(0, 16);
+        a.on_branch_outcome(&ev(0, true, High, false));
+        assert_eq!(a.histogram().total(), 0);
+    }
+
+    #[test]
+    fn missing_estimator_index_is_ignored() {
+        let mut a = ClusterAnalysis::new(3, 16);
+        a.on_branch_outcome(&ev(0, false, Confidence::High, true));
+        assert_eq!(a.histogram().total(), 0);
+    }
+
+    #[test]
+    fn summary_aggregates_far_bucket() {
+        use Confidence::{High, Low};
+        let mut a = ClusterAnalysis::new(0, 32);
+        // One mis-estimation, then a long run of good estimates, then one
+        // far mis-estimation.
+        a.on_branch_outcome(&ev(0, false, Low, true));
+        for s in 1..=20 {
+            a.on_branch_outcome(&ev(s, false, High, true));
+        }
+        a.on_branch_outcome(&ev(21, false, Low, true));
+        let s = a.summary();
+        assert_eq!(s.rate_at_1, 0.0);
+        assert!(s.rate_beyond_8 > 0.0, "far mis-estimation captured");
+        assert!(s.average < 0.15);
+    }
+}

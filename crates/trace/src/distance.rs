@@ -1,0 +1,368 @@
+//! Misprediction-distance histograms (the paper's Figures 6–9).
+
+use cestim_pipeline::{OutcomeEvent, PredictEvent, ResolveEvent, SimObserver};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Histogram of branch outcomes bucketed by distance to the previous
+/// misprediction.
+///
+/// Distance 1 is the branch immediately following a misprediction; the last
+/// bucket aggregates all distances `>= max_distance`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceHistogram {
+    max_distance: u64,
+    /// `(mispredictions, total)` per distance bucket, index 0 = distance 1.
+    buckets: Vec<(u64, u64)>,
+    mispredicted: u64,
+    total: u64,
+}
+
+impl DistanceHistogram {
+    /// Creates an empty histogram with `max_distance` buckets; the final
+    /// bucket aggregates all larger distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_distance == 0`.
+    pub fn new(max_distance: u64) -> DistanceHistogram {
+        assert!(max_distance >= 1, "need at least one distance bucket");
+        DistanceHistogram {
+            max_distance,
+            buckets: vec![(0, 0); max_distance as usize],
+            mispredicted: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one branch at `distance` (1-based) after the previous
+    /// misprediction (or mis-estimation).
+    pub fn record(&mut self, distance: u64, mispredicted: bool) {
+        debug_assert!(distance >= 1);
+        let idx = (distance.min(self.max_distance) - 1) as usize;
+        self.buckets[idx].0 += mispredicted as u64;
+        self.buckets[idx].1 += 1;
+        self.mispredicted += mispredicted as u64;
+        self.total += 1;
+    }
+
+    /// Misprediction rate of branches at `distance` (1-based); `NaN` when
+    /// the bucket is empty. Distances beyond the cap share the last bucket.
+    pub fn rate(&self, distance: u64) -> f64 {
+        let (m, t) = self.buckets[(distance.min(self.max_distance) - 1) as usize];
+        m as f64 / t as f64
+    }
+
+    /// Number of branches observed at `distance`.
+    pub fn count(&self, distance: u64) -> u64 {
+        self.buckets[(distance.min(self.max_distance) - 1) as usize].1
+    }
+
+    /// Overall average misprediction rate (the flat reference line in the
+    /// paper's figures).
+    pub fn average_rate(&self) -> f64 {
+        self.mispredicted as f64 / self.total as f64
+    }
+
+    /// Total branches observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest tracked distance (final bucket is `>= max_distance`).
+    pub fn max_distance(&self) -> u64 {
+        self.max_distance
+    }
+
+    /// Merges another histogram (bucket-wise addition), for aggregating
+    /// across benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different `max_distance`.
+    pub fn merge(&mut self, other: &DistanceHistogram) {
+        assert_eq!(
+            self.max_distance, other.max_distance,
+            "cannot merge histograms of different depth"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            a.0 += b.0;
+            a.1 += b.1;
+        }
+        self.mispredicted += other.mispredicted;
+        self.total += other.total;
+    }
+
+    /// `(distance, rate, count)` series for plotting; empty buckets are
+    /// skipped.
+    pub fn series(&self) -> Vec<(u64, f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, t))| t > 0)
+            .map(|(i, &(m, t))| (i as u64 + 1, m as f64 / t as f64, t))
+            .collect()
+    }
+}
+
+/// Which of the four figure-series a histogram belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceSeries {
+    /// Precise misprediction information, all fetched branches.
+    PreciseAll,
+    /// Precise misprediction information, committed branches only.
+    PreciseCommitted,
+    /// Perceived (resolution-time) information, all fetched branches.
+    PerceivedAll,
+    /// Perceived information, committed branches only.
+    PerceivedCommitted,
+}
+
+/// Streaming observer computing all four misprediction-distance series.
+///
+/// * **Precise / all** (Figs 6–7 "all branches"): distance counted in the
+///   fetch-order stream of all branches, reset the moment a mispredicted
+///   branch is *fetched* — the simulator's omniscient view.
+/// * **Precise / committed** (Figs 6–7 "committed branches"): distance
+///   counted in the committed-branch stream only (what an ordinary program
+///   trace would measure, as in Heil & Smith).
+/// * **Perceived / all** and **perceived / committed** (Figs 8–9): distance
+///   since the most recent misprediction *resolution* — what real hardware
+///   can know. The reset is driven by resolution events (including
+///   wrong-path resolutions), so the clustering appears stretched to longer
+///   distances.
+///
+/// Model note: with in-order fetch and recovery-at-resolution, every
+/// wrong-path fetch shadow ends in a perceived-counter reset, so for the
+/// *committed* population the perceived distance provably equals the
+/// precise committed distance — the perceived skew the paper highlights
+/// lives in the all-branches population (which, as the paper notes, is the
+/// population a real pipeline acts on).
+#[derive(Debug, Clone)]
+pub struct DistanceAnalysis {
+    precise_all: DistanceHistogram,
+    precise_committed: DistanceHistogram,
+    perceived_all: DistanceHistogram,
+    perceived_committed: DistanceHistogram,
+    /// Branches since the last mispredicted branch, fetch order.
+    since_fetch_mispredict: u64,
+    /// Committed branches since the last mispredicted committed branch.
+    since_commit_mispredict: u64,
+    /// Branches fetched since the last *resolved* misprediction.
+    since_resolved_mispredict: u64,
+    /// seq → perceived distance captured at predict time, joined with the
+    /// commit/squash outcome later. Bounded by the speculation window.
+    pending_perceived: HashMap<u64, u64>,
+}
+
+impl DistanceAnalysis {
+    /// Creates the analysis with `max_distance` buckets per series (the
+    /// paper plots up to a few tens of branches; 64 is comfortable).
+    pub fn new(max_distance: u64) -> DistanceAnalysis {
+        DistanceAnalysis {
+            precise_all: DistanceHistogram::new(max_distance),
+            precise_committed: DistanceHistogram::new(max_distance),
+            perceived_all: DistanceHistogram::new(max_distance),
+            perceived_committed: DistanceHistogram::new(max_distance),
+            since_fetch_mispredict: u64::MAX / 2, // "no misprediction yet"
+            since_commit_mispredict: u64::MAX / 2,
+            since_resolved_mispredict: u64::MAX / 2,
+            pending_perceived: HashMap::new(),
+        }
+    }
+
+    /// Merges another analysis's histograms into this one (for aggregating
+    /// across benchmarks). Run-position state (distance counters, pending
+    /// joins) is not merged — merge only *completed* analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two analyses use different bucket depths.
+    pub fn merge_from(&mut self, other: &DistanceAnalysis) {
+        self.precise_all.merge(&other.precise_all);
+        self.precise_committed.merge(&other.precise_committed);
+        self.perceived_all.merge(&other.perceived_all);
+        self.perceived_committed.merge(&other.perceived_committed);
+    }
+
+    /// The histogram for one of the four series.
+    pub fn histogram(&self, series: DistanceSeries) -> &DistanceHistogram {
+        match series {
+            DistanceSeries::PreciseAll => &self.precise_all,
+            DistanceSeries::PreciseCommitted => &self.precise_committed,
+            DistanceSeries::PerceivedAll => &self.perceived_all,
+            DistanceSeries::PerceivedCommitted => &self.perceived_committed,
+        }
+    }
+}
+
+impl SimObserver for DistanceAnalysis {
+    fn on_branch_predicted(&mut self, ev: &PredictEvent<'_>) {
+        // Precise, all branches: omniscient reset at fetch of a mispredict.
+        let d = self.since_fetch_mispredict.saturating_add(1);
+        self.precise_all.record(d, ev.mispredicted);
+        if ev.mispredicted {
+            self.since_fetch_mispredict = 0;
+        } else {
+            self.since_fetch_mispredict += 1;
+        }
+
+        // Perceived: distance since last resolved misprediction, recorded
+        // now, classified by commit status at outcome time.
+        let pd = self.since_resolved_mispredict.saturating_add(1);
+        self.perceived_all.record(pd, ev.mispredicted);
+        self.pending_perceived.insert(ev.seq, pd);
+        self.since_resolved_mispredict = self.since_resolved_mispredict.saturating_add(1);
+    }
+
+    fn on_branch_resolved(&mut self, ev: &ResolveEvent) {
+        if ev.mispredicted {
+            self.since_resolved_mispredict = 0;
+        }
+    }
+
+    fn on_branch_outcome(&mut self, ev: &OutcomeEvent<'_>) {
+        let pd = self.pending_perceived.remove(&ev.seq);
+        if !ev.committed {
+            return;
+        }
+        // Precise, committed stream (trace-equivalent measurement).
+        let d = self.since_commit_mispredict.saturating_add(1);
+        self.precise_committed.record(d, ev.mispredicted);
+        if ev.mispredicted {
+            self.since_commit_mispredict = 0;
+        } else {
+            self.since_commit_mispredict += 1;
+        }
+        if let Some(pd) = pd {
+            self.perceived_committed.record(pd, ev.mispredicted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predict_ev(seq: u64, mispredicted: bool) -> PredictEvent<'static> {
+        PredictEvent {
+            seq,
+            pc: 0,
+            predicted_taken: true,
+            actual_taken: !mispredicted,
+            mispredicted,
+            cycle: seq,
+            ghr: 0,
+            estimates: &[],
+        }
+    }
+
+    fn outcome_ev(seq: u64, mispredicted: bool, committed: bool) -> OutcomeEvent<'static> {
+        OutcomeEvent {
+            seq,
+            pc: 0,
+            predicted_taken: true,
+            actual_taken: !mispredicted,
+            mispredicted,
+            committed,
+            fetch_cycle: seq,
+            resolve_cycle: Some(seq + 3),
+            ghr: 0,
+            estimates: &[],
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_rates() {
+        let mut h = DistanceHistogram::new(8);
+        h.record(1, true);
+        h.record(1, false);
+        h.record(3, false);
+        h.record(100, true); // clamps into the >=8 bucket
+        assert!((h.rate(1) - 0.5).abs() < 1e-12);
+        assert_eq!(h.rate(3), 0.0);
+        assert_eq!(h.rate(8), 1.0);
+        assert_eq!(h.count(8), 1);
+        assert!((h.average_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(h.series().len(), 3);
+    }
+
+    #[test]
+    fn precise_all_clusters_resets_at_fetch() {
+        let mut a = DistanceAnalysis::new(16);
+        // Mispredict, then three correct, then mispredict.
+        for (seq, mis) in [(0, true), (1, false), (2, false), (3, false), (4, true)] {
+            a.on_branch_predicted(&predict_ev(seq, mis));
+        }
+        let h = a.histogram(DistanceSeries::PreciseAll);
+        // seq1 is at distance 1 after the seq0 mispredict; seq4 at distance 4.
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.rate(1), 0.0);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.rate(4), 1.0);
+    }
+
+    #[test]
+    fn committed_stream_ignores_squashed_branches() {
+        let mut a = DistanceAnalysis::new(16);
+        a.on_branch_predicted(&predict_ev(0, true));
+        a.on_branch_predicted(&predict_ev(1, false)); // wrong path, squashed
+        a.on_branch_predicted(&predict_ev(2, false));
+        a.on_branch_outcome(&outcome_ev(0, true, true));
+        a.on_branch_outcome(&outcome_ev(1, false, false));
+        a.on_branch_outcome(&outcome_ev(2, false, true));
+        let h = a.histogram(DistanceSeries::PreciseCommitted);
+        assert_eq!(h.total(), 2, "only committed branches counted");
+        // seq2 is the first *committed* branch after the mispredict: dist 1.
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn perceived_resets_only_at_resolution() {
+        let mut a = DistanceAnalysis::new(16);
+        // A mispredicted branch is fetched at seq0 but resolves later;
+        // branches seq1,seq2 fetched meanwhile measure a long distance.
+        a.on_branch_predicted(&predict_ev(0, true));
+        a.on_branch_predicted(&predict_ev(1, false));
+        a.on_branch_predicted(&predict_ev(2, false));
+        a.on_branch_resolved(&ResolveEvent {
+            seq: 0,
+            pc: 0,
+            mispredicted: true,
+            cycle: 5,
+        });
+        a.on_branch_predicted(&predict_ev(3, false));
+        let h = a.histogram(DistanceSeries::PerceivedAll);
+        // seq3 is the first branch after the resolution: perceived dist 1.
+        assert_eq!(h.count(1), 1);
+        // seq0..2 land in the far bucket (no resolution seen yet).
+        assert_eq!(h.count(16), 3);
+    }
+
+    #[test]
+    fn perceived_committed_joins_on_outcome() {
+        let mut a = DistanceAnalysis::new(16);
+        a.on_branch_predicted(&predict_ev(0, true));
+        a.on_branch_resolved(&ResolveEvent {
+            seq: 0,
+            pc: 0,
+            mispredicted: true,
+            cycle: 3,
+        });
+        a.on_branch_predicted(&predict_ev(1, false)); // dist 1, will squash
+        a.on_branch_predicted(&predict_ev(2, false)); // dist 2, will commit
+        a.on_branch_outcome(&outcome_ev(0, true, true));
+        a.on_branch_outcome(&outcome_ev(1, false, false));
+        a.on_branch_outcome(&outcome_ev(2, false, true));
+        let h = a.histogram(DistanceSeries::PerceivedCommitted);
+        assert_eq!(h.total(), 2, "seq0 (far bucket) and seq2");
+        assert_eq!(h.count(2), 1);
+        assert!(a.pending_perceived.is_empty(), "pending map drains");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_buckets_rejected() {
+        let _ = DistanceHistogram::new(0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Retained speculative traces and their serialization.
+
+use cestim_core::Confidence;
+use cestim_pipeline::{OutcomeEvent, SimObserver};
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// One fetched conditional branch, with everything the paper's analyses
+/// need: prediction, outcome, commit status, timing, and the confidence
+/// estimates of every attached estimator.
+///
+/// This is the owned form of
+/// [`OutcomeEvent`](cestim_pipeline::OutcomeEvent), suitable for retention
+/// and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Fetch-order sequence number among all fetched branches.
+    pub seq: u64,
+    /// Branch PC.
+    pub pc: u32,
+    /// Predicted direction.
+    pub predicted_taken: bool,
+    /// Architecturally correct direction on the fetched path.
+    pub actual_taken: bool,
+    /// `predicted_taken != actual_taken`.
+    pub mispredicted: bool,
+    /// `true` when the branch committed.
+    pub committed: bool,
+    /// Fetch/decode cycle.
+    pub fetch_cycle: u64,
+    /// Resolution cycle; `None` when squashed before resolving.
+    pub resolve_cycle: Option<u64>,
+    /// Speculative global history at prediction.
+    pub ghr: u32,
+    /// Per-estimator confidence estimates, in attach order.
+    pub estimates: Vec<Confidence>,
+}
+
+impl From<&OutcomeEvent<'_>> for BranchRecord {
+    fn from(ev: &OutcomeEvent<'_>) -> BranchRecord {
+        BranchRecord {
+            seq: ev.seq,
+            pc: ev.pc,
+            predicted_taken: ev.predicted_taken,
+            actual_taken: ev.actual_taken,
+            mispredicted: ev.mispredicted,
+            committed: ev.committed,
+            fetch_cycle: ev.fetch_cycle,
+            resolve_cycle: ev.resolve_cycle,
+            ghr: ev.ghr,
+            estimates: ev.estimates.to_vec(),
+        }
+    }
+}
+
+/// Observer retaining the full speculative branch trace in memory.
+///
+/// Only use for bounded runs — one record per fetched branch. The streaming
+/// analyses ([`DistanceAnalysis`](crate::DistanceAnalysis),
+/// [`ClusterAnalysis`](crate::ClusterAnalysis)) cover the paper's
+/// measurements without retention.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    records: Vec<BranchRecord>,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> TraceCollector {
+        TraceCollector::default()
+    }
+
+    /// Records collected so far, in outcome order (commits in program
+    /// order, squashes at their recovery points).
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Consumes the collector and returns the records.
+    pub fn into_records(self) -> Vec<BranchRecord> {
+        self.records
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl SimObserver for TraceCollector {
+    fn on_branch_outcome(&mut self, ev: &OutcomeEvent<'_>) {
+        self.records.push(BranchRecord::from(ev));
+    }
+}
+
+/// Writes records as JSON lines.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer; serialization of `BranchRecord`
+/// itself cannot fail.
+pub fn write_jsonl<W: Write>(mut w: W, records: &[BranchRecord]) -> io::Result<()> {
+    for r in records {
+        serde_json::to_writer(&mut w, r)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads records from JSON lines (blank lines are skipped).
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or malformed JSON.
+pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Vec<BranchRecord>> {
+    let mut out = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64) -> BranchRecord {
+        BranchRecord {
+            seq,
+            pc: 0x40,
+            predicted_taken: true,
+            actual_taken: false,
+            mispredicted: true,
+            committed: seq.is_multiple_of(2),
+            fetch_cycle: seq * 2,
+            resolve_cycle: (!seq.is_multiple_of(3)).then_some(seq * 2 + 5),
+            ghr: 0xABC,
+            estimates: vec![Confidence::High, Confidence::Low],
+        }
+    }
+
+    #[test]
+    fn collector_retains_outcomes() {
+        let mut c = TraceCollector::new();
+        assert!(c.is_empty());
+        let est = [Confidence::Low];
+        c.on_branch_outcome(&OutcomeEvent {
+            seq: 7,
+            pc: 1,
+            predicted_taken: false,
+            actual_taken: false,
+            mispredicted: false,
+            committed: true,
+            fetch_cycle: 10,
+            resolve_cycle: Some(14),
+            ghr: 3,
+            estimates: &est,
+        });
+        assert_eq!(c.len(), 1);
+        let r = &c.records()[0];
+        assert_eq!(r.seq, 7);
+        assert_eq!(r.estimates, vec![Confidence::Low]);
+        assert_eq!(c.into_records().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let records: Vec<BranchRecord> = (0..5).map(sample).collect();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 5);
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn read_skips_blank_lines() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[sample(1)]).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        write_jsonl(&mut buf, &[sample(2)]).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let res = read_jsonl(&b"{not json}\n"[..]);
+        assert!(res.is_err());
+    }
+}

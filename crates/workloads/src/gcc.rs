@@ -1,0 +1,390 @@
+//! `gcc` analog: tokenizer + parser state machine over pseudo-source text.
+//!
+//! SPECint95 `gcc` (cc1) spends its time in scanning, parsing and
+//! tree-walking code with very many static branch sites and deep if/else
+//! chains. This analog lexes a pseudo-source character stream through a
+//! character-class branch tree and a three-state tokenizer, tracking brace
+//! depth like a parser would.
+
+use crate::{Workload, CHECKSUM_REG};
+use cestim_isa::ProgramBuilder;
+
+const INPUT_LEN: usize = 8192;
+
+/// Pseudo-source text: ASCII codes shaped roughly like C source
+/// (identifiers, numbers, whitespace, punctuation including braces).
+pub fn input(salt: u32) -> Vec<u32> {
+    let raw = crate::xorshift_bytes(0x6CC1_57A7 ^ salt.wrapping_mul(0x9E37_79B9), INPUT_LEN, 100);
+    raw.iter()
+        .map(|&r| match r {
+            0..=39 => 97 + (r % 26),       // lowercase letters
+            40..=49 => 65 + (r % 26),      // uppercase letters
+            50..=69 => 48 + (r % 10),      // digits
+            70..=89 => match r % 3 {
+                0 => 32, // space
+                1 => 10, // newline
+                _ => 9,  // tab
+            },
+            90..=94 => 123, // '{'
+            95..=99 => 125, // '}'
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+fn is_alpha(c: u32) -> bool {
+    (65..=90).contains(&c) || (97..=122).contains(&c)
+}
+
+fn is_digit(c: u32) -> bool {
+    (48..=57).contains(&c)
+}
+
+fn is_space(c: u32) -> bool {
+    c == 32 || c == 10 || c == 9
+}
+
+/// Reference implementation mirrored by the assembly.
+pub fn reference(text: &[u32], scale: u32) -> u32 {
+    let (mut idents, mut numbers, mut puncts) = (0u32, 0u32, 0u32);
+    let mut depth = 0i32;
+    let mut max_depth = 0i32;
+    for _ in 0..scale {
+        let mut state = 0u32; // 0 start, 1 ident, 2 number
+        for &c in text {
+            match state {
+                0 => {
+                    if is_alpha(c) {
+                        state = 1;
+                        idents = idents.wrapping_add(1);
+                    } else if is_digit(c) {
+                        state = 2;
+                        numbers = numbers.wrapping_add(1);
+                    } else if is_space(c) {
+                        // skip
+                    } else {
+                        puncts = puncts.wrapping_add(1);
+                        if c == 123 {
+                            depth += 1;
+                            if depth > max_depth {
+                                max_depth = depth;
+                            }
+                        } else if c == 125 {
+                            depth -= 1;
+                        }
+                    }
+                }
+                1 => {
+                    if !(is_alpha(c) || is_digit(c)) {
+                        state = 0;
+                        if is_space(c) {
+                            // token ends cleanly
+                        } else {
+                            puncts = puncts.wrapping_add(1);
+                            if c == 123 {
+                                depth += 1;
+                                if depth > max_depth {
+                                    max_depth = depth;
+                                }
+                            } else if c == 125 {
+                                depth -= 1;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if !is_digit(c) {
+                        state = 0;
+                        if is_alpha(c) {
+                            state = 1;
+                            idents = idents.wrapping_add(1);
+                        } else if is_space(c) {
+                            // skip
+                        } else {
+                            puncts = puncts.wrapping_add(1);
+                            if c == 123 {
+                                depth += 1;
+                                if depth > max_depth {
+                                    max_depth = depth;
+                                }
+                            } else if c == 125 {
+                                depth -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    idents
+        .wrapping_mul(3)
+        .wrapping_add(numbers.wrapping_mul(5))
+        .wrapping_add(puncts.wrapping_mul(7))
+        .wrapping_add(max_depth as u32)
+}
+
+/// Builds the workload: the tokenizer as assembly.
+///
+/// The punctuation handling is factored into a `punct` subroutine (call/ret)
+/// so the workload also exercises call-linkage like real parser code.
+pub fn build(scale: u32, salt: u32) -> Workload {
+    use cestim_isa::regs::*;
+    let text = input(salt);
+    let mut b = ProgramBuilder::new();
+    let base = b.alloc(&text);
+
+    // S0 = &text, S1 = n, S2 = idents, S3 = numbers, S4 = puncts,
+    // S5 = depth, S6 = max_depth, S7 = state, A0 = pass, A1 = scale,
+    // T0 = index, T1 = c.
+    b.li(S0, base as i32);
+    b.li(S1, text.len() as i32);
+    b.li(S2, 0);
+    b.li(S3, 0);
+    b.li(S4, 0);
+    b.li(S5, 0);
+    b.li(S6, 0);
+    b.li(A0, 0);
+    b.li(A1, scale as i32);
+
+    let punct_fn = b.label();
+    let pass_top = b.label();
+    let pass_end = b.label();
+    let done = b.label();
+
+    b.j(pass_top);
+
+    // ---- punct(c in T1): puncts++, track brace depth --------------------
+    b.bind(punct_fn);
+    {
+        let not_open = b.label();
+        let not_close = b.label();
+        let out = b.label();
+        b.addi(S4, S4, 1);
+        b.li(T5, 123);
+        b.bne(T1, T5, not_open);
+        b.addi(S5, S5, 1);
+        b.ble(S5, S6, out);
+        b.mv(S6, S5);
+        b.j(out);
+        b.bind(not_open);
+        b.li(T5, 125);
+        b.bne(T1, T5, not_close);
+        b.addi(S5, S5, -1);
+        b.bind(not_close);
+        b.bind(out);
+        b.ret();
+    }
+
+    // ---- classify(c in T1) -> T2 (0 alpha, 1 digit, 2 space, 3 punct) ---
+    // Inlined as a branch tree at each use via this subroutine.
+    let classify_fn = b.label();
+    b.bind(classify_fn);
+    {
+        let not_lower = b.label();
+        let not_upper = b.label();
+        let not_digit = b.label();
+        let not_sp = b.label();
+        let not_nl = b.label();
+        let alpha = b.label();
+        let out = b.label();
+        // lowercase?
+        b.slti(T5, T1, 97);
+        b.bnez(T5, not_lower);
+        b.slti(T5, T1, 123);
+        b.bnez(T5, alpha);
+        b.bind(not_lower);
+        // uppercase?
+        b.slti(T5, T1, 65);
+        b.bnez(T5, not_upper);
+        b.slti(T5, T1, 91);
+        b.bnez(T5, alpha);
+        b.bind(not_upper);
+        // digit?
+        b.slti(T5, T1, 48);
+        b.bnez(T5, not_digit);
+        b.slti(T5, T1, 58);
+        b.beqz(T5, not_digit);
+        b.li(T2, 1);
+        b.j(out);
+        b.bind(not_digit);
+        // space / newline / tab?
+        b.li(T5, 32);
+        b.bne(T1, T5, not_sp);
+        b.li(T2, 2);
+        b.j(out);
+        b.bind(not_sp);
+        b.li(T5, 10);
+        b.bne(T1, T5, not_nl);
+        b.li(T2, 2);
+        b.j(out);
+        b.bind(not_nl);
+        let punct = b.label();
+        b.li(T5, 9);
+        b.bne(T1, T5, punct);
+        b.li(T2, 2);
+        b.j(out);
+        b.bind(punct);
+        b.li(T2, 3);
+        b.j(out);
+        b.bind(alpha);
+        b.li(T2, 0);
+        b.bind(out);
+        b.ret();
+    }
+
+    // ---- main ------------------------------------------------------------
+    b.bind(pass_top);
+    b.bge(A0, A1, pass_end);
+    b.li(S7, 0); // state = start
+    b.li(T0, 0);
+    let char_top = b.label();
+    let char_next = b.label();
+    let char_end = b.label();
+    b.bind(char_top);
+    b.bge(T0, S1, char_end);
+    b.add(T7, S0, T0);
+    b.lw(T1, T7, 0);
+    // T2 = classify(c). The classifier clobbers T5 only.
+    // NOTE: `call` clobbers RA; the tokenizer keeps no state in RA.
+    b.call(classify_fn);
+
+    let st_ident = b.label();
+    let st_number = b.label();
+    // state dispatch
+    b.li(T5, 1);
+    b.beq(S7, T5, st_ident);
+    b.li(T5, 2);
+    b.beq(S7, T5, st_number);
+
+    // state 0: start
+    {
+        let not_alpha = b.label();
+        let not_digit = b.label();
+        let not_space = b.label();
+        b.bnez(T2, not_alpha);
+        b.li(S7, 1);
+        b.addi(S2, S2, 1);
+        b.j(char_next);
+        b.bind(not_alpha);
+        b.li(T5, 1);
+        b.bne(T2, T5, not_digit);
+        b.li(S7, 2);
+        b.addi(S3, S3, 1);
+        b.j(char_next);
+        b.bind(not_digit);
+        b.li(T5, 2);
+        b.bne(T2, T5, not_space);
+        b.j(char_next);
+        b.bind(not_space);
+        b.call(punct_fn);
+        b.j(char_next);
+    }
+
+    // state 1: identifier
+    b.bind(st_ident);
+    {
+        let end_tok = b.label();
+        // alpha or digit continues the identifier
+        b.slti(T5, T2, 2);
+        b.beqz(T5, end_tok);
+        b.j(char_next);
+        b.bind(end_tok);
+        b.li(S7, 0);
+        let is_punct = b.label();
+        b.li(T5, 2);
+        b.bne(T2, T5, is_punct);
+        b.j(char_next); // space ends token cleanly
+        b.bind(is_punct);
+        b.call(punct_fn);
+        b.j(char_next);
+    }
+
+    // state 2: number
+    b.bind(st_number);
+    {
+        let end_num = b.label();
+        b.li(T5, 1);
+        b.bne(T2, T5, end_num);
+        b.j(char_next); // still a digit
+        b.bind(end_num);
+        b.li(S7, 0);
+        let not_alpha = b.label();
+        let not_space = b.label();
+        b.bnez(T2, not_alpha);
+        b.li(S7, 1);
+        b.addi(S2, S2, 1);
+        b.j(char_next);
+        b.bind(not_alpha);
+        b.li(T5, 2);
+        b.bne(T2, T5, not_space);
+        b.j(char_next);
+        b.bind(not_space);
+        b.call(punct_fn);
+        b.j(char_next);
+    }
+
+    b.bind(char_next);
+    b.addi(T0, T0, 1);
+    b.j(char_top);
+    b.bind(char_end);
+    b.addi(A0, A0, 1);
+    b.j(pass_top);
+
+    b.bind(pass_end);
+    // checksum = idents*3 + numbers*5 + puncts*7 + max_depth
+    b.muli(T1, S2, 3);
+    b.muli(T2, S3, 5);
+    b.muli(T3, S4, 7);
+    b.add(CHECKSUM_REG, T1, T2);
+    b.add(CHECKSUM_REG, CHECKSUM_REG, T3);
+    b.add(CHECKSUM_REG, CHECKSUM_REG, S6);
+    b.j(done);
+    b.bind(done);
+    b.halt();
+
+    Workload {
+        name: "gcc",
+        description: "tokenizer + parser state machine over pseudo-source (branch-tree heavy)",
+        program: b.build().expect("gcc assembles"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_isa::Machine;
+
+    #[test]
+    fn assembly_matches_reference() {
+        for (scale, salt) in [(1, 0), (2, 0), (1, 3)] {
+            let w = build(scale, salt);
+            let mut m = Machine::new(&w.program);
+            m.run(&w.program, u64::MAX);
+            assert!(m.halted());
+            assert_eq!(
+                m.reg(CHECKSUM_REG),
+                reference(&input(salt), scale),
+                "scale {scale} salt {salt}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_covers_all_character_classes() {
+        let t = input(0);
+        assert!(t.iter().any(|&c| is_alpha(c)));
+        assert!(t.iter().any(|&c| is_digit(c)));
+        assert!(t.iter().any(|&c| is_space(c)));
+        assert!(t.contains(&123));
+        assert!(t.contains(&125));
+    }
+
+    #[test]
+    fn reference_counts_are_sane() {
+        // A hand-built snippet: "ab 12{x}"
+        let text: Vec<u32> = "ab 12{x}".chars().map(|c| c as u32).collect();
+        // idents: "ab", "x" = 2; numbers: "12" = 1; puncts: '{','}' = 2;
+        // max_depth = 1.
+        assert_eq!(reference(&text, 1), 2 * 3 + 5 + 2 * 7 + 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! `go` analog: board-position evaluator over a random 19×19 board.
+//!
+//! SPECint95 `go` has the worst branch behaviour of the suite: its
+//! evaluation functions branch on essentially random board contents. This
+//! analog evaluates liberties and a diagonal pattern for every stone on a
+//! pseudo-random 19×19 board, mutating one cell per pass so consecutive
+//! passes stay decorrelated — the branches remain data-dependent and hard
+//! to predict, like the original.
+
+use crate::{Workload, CHECKSUM_REG};
+use cestim_isa::ProgramBuilder;
+
+const SIZE: u32 = 19;
+const CELLS: u32 = SIZE * SIZE;
+/// Evaluation passes per unit of scale.
+const PASSES_PER_SCALE: u32 = 12;
+
+/// Board with *clustered* stones: random-walk chains over an empty board.
+///
+/// Real game positions have dense fighting regions and empty space; a
+/// uniformly random board would make every branch equally hard and erase
+/// the misprediction clustering the paper's §4 depends on. The row-major
+/// evaluation scan turns spatial clusters into temporal bursts of
+/// hard-to-predict branches.
+pub fn board(salt: u32) -> Vec<u32> {
+    let mut b = vec![0u32; CELLS as usize];
+    let rnd = crate::xorshift_bytes(0x60B0_A3D1 ^ salt.wrapping_mul(0x9E37_79B9), 40 * (2 + 8), u32::MAX);
+    let mut r = rnd.iter().copied();
+    for _ in 0..40 {
+        let mut pos = r.next().unwrap() % CELLS;
+        let colour = 1 + r.next().unwrap() % 2;
+        for _ in 0..8 {
+            b[pos as usize] = colour;
+            let dir = r.next().unwrap() % 4;
+            let (row, col) = (pos / SIZE, pos % SIZE);
+            let (nr, nc) = match dir {
+                0 if row > 0 => (row - 1, col),
+                1 if row < SIZE - 1 => (row + 1, col),
+                2 if col > 0 => (row, col - 1),
+                _ if col < SIZE - 1 => (row, col + 1),
+                _ => (row, col),
+            };
+            pos = nr * SIZE + nc;
+        }
+    }
+    b
+}
+
+/// Reference implementation mirrored by the assembly.
+pub fn reference(board: &[u32], scale: u32) -> u32 {
+    let mut b = board.to_vec();
+    let mut total = 0u32;
+    let passes = scale * PASSES_PER_SCALE;
+    for pass in 0..passes {
+        let mut score = 0u32;
+        for r in 0..SIZE {
+            for c in 0..SIZE {
+                let idx = (r * SIZE + c) as usize;
+                let v = b[idx];
+                if v == 0 {
+                    continue;
+                }
+                let mut libs = 0u32;
+                if r > 0 && b[idx - SIZE as usize] == 0 {
+                    libs += 1;
+                }
+                if r < SIZE - 1 && b[idx + SIZE as usize] == 0 {
+                    libs += 1;
+                }
+                if c > 0 && b[idx - 1] == 0 {
+                    libs += 1;
+                }
+                if c < SIZE - 1 && b[idx + 1] == 0 {
+                    libs += 1;
+                }
+                if v == 1 {
+                    score = score.wrapping_add(libs);
+                } else {
+                    score = score.wrapping_sub(libs);
+                }
+                if r > 0 && c > 0 && b[idx - SIZE as usize - 1] == v {
+                    score = score.wrapping_add(2);
+                }
+            }
+        }
+        total = total.wrapping_add(score);
+        // Mutate a *contiguous* run of cells: localized novelty, so the
+        // next pass hits a burst of freshly unpredictable branches.
+        for k in 0..8u32 {
+            let m = ((pass.wrapping_mul(89)).wrapping_add(k) % CELLS) as usize;
+            b[m] = (b[m] + 1) % 3;
+        }
+    }
+    total | 1
+}
+
+/// Builds the workload.
+pub fn build(scale: u32, salt: u32) -> Workload {
+    use cestim_isa::regs::*;
+    let board_data = board(salt);
+    let mut b = ProgramBuilder::new();
+    let base = b.alloc(&board_data);
+
+    // S0 = &board, S1 = SIZE, S2 = total, S3 = pass, S4 = passes,
+    // S5 = score, S6 = SIZE-1, T0 = r, T1 = c, T2 = idx, T3 = v, T4 = libs.
+    b.li(S0, base as i32);
+    b.li(S1, SIZE as i32);
+    b.li(S2, 0);
+    b.li(S3, 0);
+    b.li(S4, (scale * PASSES_PER_SCALE) as i32);
+    b.li(S6, (SIZE - 1) as i32);
+
+    let pass_top = b.label();
+    let pass_end = b.label();
+    b.bind(pass_top);
+    b.bge(S3, S4, pass_end);
+    b.li(S5, 0); // score
+
+    b.li(T0, 0); // r
+    let row_top = b.label();
+    let row_end = b.label();
+    b.bind(row_top);
+    b.bge(T0, S1, row_end);
+    b.li(T1, 0); // c
+    // S7 = row base = r * SIZE
+    b.mul(S7, T0, S1);
+    let col_top = b.label();
+    let col_end = b.label();
+    let cell_next = b.label();
+    b.bind(col_top);
+    b.bge(T1, S1, col_end);
+    // idx, v
+    b.add(T2, S7, T1);
+    b.add(T7, S0, T2);
+    b.lw(T3, T7, 0);
+    b.beqz(T3, cell_next); // empty cell: skip
+
+    b.li(T4, 0); // libs
+    // up: r > 0 && board[idx-SIZE] == 0
+    {
+        let skip = b.label();
+        b.beqz(T0, skip);
+        b.add(T7, S0, T2);
+        b.lw(T5, T7, -(SIZE as i32));
+        b.bnez(T5, skip);
+        b.addi(T4, T4, 1);
+        b.bind(skip);
+    }
+    // down: r < SIZE-1 && board[idx+SIZE] == 0
+    {
+        let skip = b.label();
+        b.bge(T0, S6, skip);
+        b.add(T7, S0, T2);
+        b.lw(T5, T7, SIZE as i32);
+        b.bnez(T5, skip);
+        b.addi(T4, T4, 1);
+        b.bind(skip);
+    }
+    // left: c > 0 && board[idx-1] == 0
+    {
+        let skip = b.label();
+        b.beqz(T1, skip);
+        b.add(T7, S0, T2);
+        b.lw(T5, T7, -1);
+        b.bnez(T5, skip);
+        b.addi(T4, T4, 1);
+        b.bind(skip);
+    }
+    // right: c < SIZE-1 && board[idx+1] == 0
+    {
+        let skip = b.label();
+        b.bge(T1, S6, skip);
+        b.add(T7, S0, T2);
+        b.lw(T5, T7, 1);
+        b.bnez(T5, skip);
+        b.addi(T4, T4, 1);
+        b.bind(skip);
+    }
+    // score += libs (black) or -= libs (white)
+    {
+        let white = b.label();
+        let scored = b.label();
+        b.li(T5, 1);
+        b.bne(T3, T5, white);
+        b.add(S5, S5, T4);
+        b.j(scored);
+        b.bind(white);
+        b.sub(S5, S5, T4);
+        b.bind(scored);
+    }
+    // diagonal pattern: r > 0 && c > 0 && board[idx-SIZE-1] == v
+    {
+        let skip = b.label();
+        b.beqz(T0, skip);
+        b.beqz(T1, skip);
+        b.add(T7, S0, T2);
+        b.lw(T5, T7, -(SIZE as i32) - 1);
+        b.bne(T5, T3, skip);
+        b.addi(S5, S5, 2);
+        b.bind(skip);
+    }
+
+    b.bind(cell_next);
+    b.addi(T1, T1, 1);
+    b.j(col_top);
+    b.bind(col_end);
+    b.addi(T0, T0, 1);
+    b.j(row_top);
+    b.bind(row_end);
+
+    // total += score; mutate 8 cells at (pass*31 + k*121) % CELLS
+    b.add(S2, S2, S5);
+    b.li(T0, 0); // k
+    {
+        let m_top = b.label();
+        let m_end = b.label();
+        b.bind(m_top);
+        b.slti(T5, T0, 8);
+        b.beqz(T5, m_end);
+        b.muli(T5, S3, 89);
+        b.add(T5, T5, T0);
+        b.remi(T6, T5, CELLS as i32);
+        b.add(T7, S0, T6);
+        b.lw(T5, T7, 0);
+        b.addi(T5, T5, 1);
+        b.remi(T5, T5, 3);
+        b.sw(T5, T7, 0);
+        b.addi(T0, T0, 1);
+        b.j(m_top);
+        b.bind(m_end);
+    }
+
+    b.addi(S3, S3, 1);
+    b.j(pass_top);
+    b.bind(pass_end);
+
+    b.ori(CHECKSUM_REG, S2, 1);
+    b.halt();
+
+    Workload {
+        name: "go",
+        description: "liberties/pattern board evaluator on a mutating random board (hard branches)",
+        program: b.build().expect("go assembles"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_isa::Machine;
+
+    #[test]
+    fn assembly_matches_reference() {
+        for (scale, salt) in [(1, 0), (2, 0), (1, 9)] {
+            let w = build(scale, salt);
+            let mut m = Machine::new(&w.program);
+            m.run(&w.program, u64::MAX);
+            assert_eq!(
+                m.reg(CHECKSUM_REG),
+                reference(&board(salt), scale),
+                "scale {scale} salt {salt}"
+            );
+        }
+    }
+
+    #[test]
+    fn board_is_mixed() {
+        let b = board(0);
+        assert_eq!(b.len(), 361);
+        for v in 0..3u32 {
+            assert!(b.iter().filter(|&&x| x == v).count() > 50, "value {v} too rare");
+        }
+    }
+
+    #[test]
+    fn mutation_decorrelates_passes() {
+        // Two consecutive single-pass totals must differ (the board changed).
+        let r1 = reference(&board(0), 1);
+        let r2 = reference(&board(0), 2);
+        assert_ne!(r1, r2);
+    }
+}

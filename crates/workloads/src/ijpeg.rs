@@ -1,0 +1,346 @@
+//! `ijpeg` analog: 8×8 block transform, quantization, and zero run-length.
+//!
+//! SPECint95 `ijpeg` compresses images: fixed-trip-count butterfly loops
+//! (perfectly predictable), quantization with biased clamping branches, and
+//! a zero-run entropy pre-pass whose branches follow the (mostly-zero)
+//! coefficient data. This analog runs the same structure over a
+//! pseudo-random image: per pass, each 8×8 block is loaded (with a per-pass
+//! bias so passes differ), row/column butterflies are applied, and the
+//! coefficients are quantized, clamped, and zero-run coded.
+
+use crate::{Workload, CHECKSUM_REG};
+use cestim_isa::ProgramBuilder;
+
+const DIM: u32 = 64; // image is DIM × DIM
+const BLOCKS_PER_SIDE: u32 = DIM / 8;
+/// Image passes per unit of scale.
+const PASSES_PER_SCALE: u32 = 3;
+
+/// Pseudo-random 8-bit image.
+pub fn image(salt: u32) -> Vec<u32> {
+    crate::xorshift_bytes(0x1BE6_0D11 ^ salt.wrapping_mul(0x9E37_79B9), (DIM * DIM) as usize, 256)
+}
+
+/// Quantization table: gently increasing divisors.
+pub fn quant() -> Vec<u32> {
+    (0..64).map(|i| 1 + (i % 8) + i / 8).collect()
+}
+
+/// Reference implementation mirrored by the assembly.
+pub fn reference(image: &[u32], quant: &[u32], scale: u32) -> u32 {
+    let mut sum = 0u32;
+    for pass in 0..scale * PASSES_PER_SCALE {
+        for brow in 0..BLOCKS_PER_SIDE {
+            for bcol in 0..BLOCKS_PER_SIDE {
+                // load block (+pass bias)
+                let mut blk = [0i32; 64];
+                for by in 0..8 {
+                    for bx in 0..8 {
+                        let src = ((brow * 8 + by) * DIM + bcol * 8 + bx) as usize;
+                        blk[(by * 8 + bx) as usize] = image[src] as i32 + pass as i32;
+                    }
+                }
+                // row butterflies
+                for by in 0..8 {
+                    let base = by * 8;
+                    for i in 0..4 {
+                        let a = blk[base + i];
+                        let bb = blk[base + 7 - i];
+                        blk[base + i] = a + bb;
+                        blk[base + 7 - i] = a - bb;
+                    }
+                }
+                // column butterflies
+                for bx in 0..8 {
+                    for i in 0..4 {
+                        let a = blk[i * 8 + bx];
+                        let bb = blk[(7 - i) * 8 + bx];
+                        blk[i * 8 + bx] = a + bb;
+                        blk[(7 - i) * 8 + bx] = a - bb;
+                    }
+                }
+                // quantize + clamp + zero-RLE
+                let mut zrun = 0i32;
+                for i in 0..64 {
+                    let q = (blk[i] / quant[i] as i32).clamp(-255, 255);
+                    if q == 0 {
+                        zrun += 1;
+                    } else {
+                        sum = sum
+                            .wrapping_add(q as u32)
+                            .wrapping_add((zrun * 3) as u32);
+                        zrun = 0;
+                    }
+                }
+            }
+        }
+    }
+    sum | 1
+}
+
+/// Builds the workload.
+pub fn build(scale: u32, salt: u32) -> Workload {
+    use cestim_isa::regs::*;
+    let img = image(salt);
+    let qt = quant();
+    let mut b = ProgramBuilder::new();
+    let img_base = b.alloc(&img);
+    let quant_base = b.alloc(&qt);
+    let blk = b.alloc_zeroed(64);
+
+    // S0 = &image, S1 = &quant, S2 = &blk, S3 = pass, S4 = passes,
+    // S5 = brow, S6 = bcol, S7 = sum.
+    b.li(S0, img_base as i32);
+    b.li(S1, quant_base as i32);
+    b.li(S2, blk as i32);
+    b.li(S3, 0);
+    b.li(S4, (scale * PASSES_PER_SCALE) as i32);
+    b.li(S7, 0);
+
+    let pass_top = b.label();
+    let pass_end = b.label();
+    b.bind(pass_top);
+    b.bge(S3, S4, pass_end);
+    b.li(S5, 0); // brow
+    let brow_top = b.label();
+    let brow_end = b.label();
+    b.bind(brow_top);
+    b.li(T5, BLOCKS_PER_SIDE as i32);
+    b.bge(S5, T5, brow_end);
+    b.li(S6, 0); // bcol
+    let bcol_top = b.label();
+    let bcol_end = b.label();
+    b.bind(bcol_top);
+    b.li(T5, BLOCKS_PER_SIDE as i32);
+    b.bge(S6, T5, bcol_end);
+
+    // ---- load block with per-pass bias ----
+    // for by in 0..8 { for bx in 0..8 { blk[by*8+bx] = img[(brow*8+by)*64 + bcol*8+bx] + pass } }
+    b.li(T0, 0); // by
+    {
+        let by_top = b.label();
+        let by_end = b.label();
+        b.bind(by_top);
+        b.slti(T5, T0, 8);
+        b.beqz(T5, by_end);
+        // A0 = (brow*8 + by) * 64 + bcol*8
+        b.muli(A0, S5, 8);
+        b.add(A0, A0, T0);
+        b.muli(A0, A0, DIM as i32);
+        b.muli(T6, S6, 8);
+        b.add(A0, A0, T6);
+        b.add(A0, S0, A0);
+        // A1 = &blk[by*8]
+        b.muli(A1, T0, 8);
+        b.add(A1, S2, A1);
+        b.li(T1, 0); // bx
+        let bx_top = b.label();
+        let bx_end = b.label();
+        b.bind(bx_top);
+        b.slti(T5, T1, 8);
+        b.beqz(T5, bx_end);
+        b.add(T7, A0, T1);
+        b.lw(T2, T7, 0);
+        b.add(T2, T2, S3);
+        b.add(T7, A1, T1);
+        b.sw(T2, T7, 0);
+        b.addi(T1, T1, 1);
+        b.j(bx_top);
+        b.bind(bx_end);
+        b.addi(T0, T0, 1);
+        b.j(by_top);
+        b.bind(by_end);
+    }
+
+    // ---- row butterflies ----
+    b.li(T0, 0); // by
+    {
+        let by_top = b.label();
+        let by_end = b.label();
+        b.bind(by_top);
+        b.slti(T5, T0, 8);
+        b.beqz(T5, by_end);
+        b.muli(A0, T0, 8);
+        b.add(A0, S2, A0); // &blk[base]
+        b.li(T1, 0); // i
+        let i_top = b.label();
+        let i_end = b.label();
+        b.bind(i_top);
+        b.slti(T5, T1, 4);
+        b.beqz(T5, i_end);
+        b.add(T7, A0, T1);
+        b.lw(T2, T7, 0); // a
+        b.li(T6, 7);
+        b.sub(T6, T6, T1);
+        b.add(A1, A0, T6);
+        b.lw(T3, A1, 0); // b
+        b.add(T4, T2, T3);
+        b.sw(T4, T7, 0);
+        b.sub(T4, T2, T3);
+        b.sw(T4, A1, 0);
+        b.addi(T1, T1, 1);
+        b.j(i_top);
+        b.bind(i_end);
+        b.addi(T0, T0, 1);
+        b.j(by_top);
+        b.bind(by_end);
+    }
+
+    // ---- column butterflies ----
+    b.li(T0, 0); // bx
+    {
+        let bx_top = b.label();
+        let bx_end = b.label();
+        b.bind(bx_top);
+        b.slti(T5, T0, 8);
+        b.beqz(T5, bx_end);
+        b.li(T1, 0); // i
+        let i_top = b.label();
+        let i_end = b.label();
+        b.bind(i_top);
+        b.slti(T5, T1, 4);
+        b.beqz(T5, i_end);
+        // &blk[i*8+bx], &blk[(7-i)*8+bx]
+        b.muli(T6, T1, 8);
+        b.add(T6, T6, T0);
+        b.add(T7, S2, T6);
+        b.lw(T2, T7, 0); // a
+        b.li(T6, 7);
+        b.sub(T6, T6, T1);
+        b.muli(T6, T6, 8);
+        b.add(T6, T6, T0);
+        b.add(A1, S2, T6);
+        b.lw(T3, A1, 0); // b
+        b.add(T4, T2, T3);
+        b.sw(T4, T7, 0);
+        b.sub(T4, T2, T3);
+        b.sw(T4, A1, 0);
+        b.addi(T1, T1, 1);
+        b.j(i_top);
+        b.bind(i_end);
+        b.addi(T0, T0, 1);
+        b.j(bx_top);
+        b.bind(bx_end);
+    }
+
+    // ---- quantize + clamp + zero-RLE ----
+    b.li(T0, 0); // i
+    b.li(A2, 0); // zrun
+    {
+        let i_top = b.label();
+        let i_end = b.label();
+        b.bind(i_top);
+        b.li(T5, 64);
+        b.bge(T0, T5, i_end);
+        b.add(T7, S2, T0);
+        b.lw(T1, T7, 0); // v
+        b.add(T7, S1, T0);
+        b.lw(T2, T7, 0); // quant divisor
+        b.div(T1, T1, T2); // q
+        // clamp to [-255, 255]
+        {
+            let no_hi = b.label();
+            let no_lo = b.label();
+            b.li(T5, 255);
+            b.ble(T1, T5, no_hi);
+            b.li(T1, 255);
+            b.bind(no_hi);
+            b.li(T5, -255);
+            b.bge(T1, T5, no_lo);
+            b.li(T1, -255);
+            b.bind(no_lo);
+        }
+        // RLE
+        {
+            let nonzero = b.label();
+            let next = b.label();
+            b.bnez(T1, nonzero);
+            b.addi(A2, A2, 1);
+            b.j(next);
+            b.bind(nonzero);
+            b.add(S7, S7, T1);
+            b.muli(T5, A2, 3);
+            b.add(S7, S7, T5);
+            b.li(A2, 0);
+            b.bind(next);
+        }
+        b.addi(T0, T0, 1);
+        b.j(i_top);
+        b.bind(i_end);
+    }
+
+    b.addi(S6, S6, 1);
+    b.j(bcol_top);
+    b.bind(bcol_end);
+    b.addi(S5, S5, 1);
+    b.j(brow_top);
+    b.bind(brow_end);
+    b.addi(S3, S3, 1);
+    b.j(pass_top);
+    b.bind(pass_end);
+
+    b.ori(CHECKSUM_REG, S7, 1);
+    b.halt();
+
+    Workload {
+        name: "ijpeg",
+        description: "8x8 block butterflies, quantize with clamping, zero run-length coding",
+        program: b.build().expect("ijpeg assembles"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_isa::Machine;
+
+    #[test]
+    fn assembly_matches_reference() {
+        for (scale, salt) in [(1, 0), (2, 0), (1, 13)] {
+            let w = build(scale, salt);
+            let mut m = Machine::new(&w.program);
+            m.run(&w.program, u64::MAX);
+            assert!(m.halted());
+            assert_eq!(
+                m.reg(CHECKSUM_REG),
+                reference(&image(salt), &quant(), scale),
+                "scale {scale} salt {salt}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantization_produces_zero_runs() {
+        // The RLE branch profile depends on a healthy mix of zero and
+        // non-zero coefficients; verify on the reference path.
+        let img = image(0);
+        let qt = quant();
+        let mut zeros = 0usize;
+        let mut nonzeros = 0usize;
+        let mut blk = [0i32; 64];
+        for (i, b) in blk.iter_mut().enumerate() {
+            *b = img[i] as i32;
+        }
+        // emulate one row butterfly + quantize
+        for by in 0..8 {
+            for i in 0..4 {
+                let (a, b2) = (blk[by * 8 + i], blk[by * 8 + 7 - i]);
+                blk[by * 8 + i] = a + b2;
+                blk[by * 8 + 7 - i] = a - b2;
+            }
+        }
+        for i in 0..64 {
+            if blk[i] / qt[i] as i32 == 0 {
+                zeros += 1;
+            } else {
+                nonzeros += 1;
+            }
+        }
+        assert!(zeros > 0 && nonzeros > 0);
+    }
+
+    #[test]
+    fn quant_divisors_are_positive() {
+        assert!(quant().iter().all(|&q| q >= 1));
+    }
+}

@@ -1,0 +1,308 @@
+//! `m88ksim` analog: a fetch/decode/execute emulator main loop.
+//!
+//! SPECint95 `m88ksim` emulates an MC88100; its branch behaviour is
+//! dominated by the emulator's dispatch loop re-executing the same guest
+//! code, which makes it one of the most predictable programs in the suite.
+//! This analog emulates a tiny 8-register guest CPU running a short guest
+//! loop: the host-level branches (opcode dispatch tree, guest-branch test)
+//! repeat with strong patterns, exactly the profile of the original.
+
+use crate::{Workload, CHECKSUM_REG};
+use cestim_isa::ProgramBuilder;
+
+/// Guest steps per unit of scale.
+const STEPS_PER_SCALE: u32 = 12_000;
+const GMEM_WORDS: u32 = 64;
+
+/// Guest instruction encoding: `op<<12 | rd<<9 | rs<<6 | imm` with
+/// `op < 8`, `rd, rs < 8`, `imm < 64`.
+fn enc(op: u32, rd: u32, rs: u32, imm: u32) -> u32 {
+    assert!(op < 8 && rd < 8 && rs < 8 && imm < 64);
+    (op << 12) | (rd << 9) | (rs << 6) | imm
+}
+
+/// The guest program: a short loop with two conditional guest branches.
+pub fn guest_program() -> Vec<u32> {
+    vec![
+        enc(0, 0, 0, 1),  // addi r0, 1
+        enc(1, 1, 0, 0),  // add  r1, r0
+        enc(4, 3, 1, 0),  // load r3, gmem[r1 & 63]
+        enc(2, 2, 1, 0),  // xor  r2, r1
+        enc(5, 2, 0, 0),  // store gmem[r0 & 63] = r2
+        enc(0, 4, 0, 5),  // addi r4, 5
+        enc(3, 1, 0, 1),  // shr  r1, 1
+        enc(1, 5, 2, 0),  // add  r5, r2
+        enc(6, 0, 0, 3),  // branch to 0 if r0 & 3 != 0 (75% taken)
+        enc(0, 6, 0, 1),  // addi r6, 1
+        enc(6, 6, 0, 1),  // branch to 0 if r6 & 1 != 0 (alternating)
+        enc(0, 7, 0, 9),  // addi r7, 9 (falls off the end; gpc wraps)
+    ]
+}
+
+/// Initial guest-memory image: a few salted words the guest loads mix in.
+pub fn gmem_init(salt: u32) -> Vec<u32> {
+    let mut words = vec![0u32; GMEM_WORDS as usize];
+    let rnd = crate::xorshift_bytes(0x88D0_0D1E ^ salt.wrapping_mul(0x9E37_79B9), 8, 1 << 16);
+    words[..8].copy_from_slice(&rnd);
+    words
+}
+
+/// Reference emulator mirrored by the assembly.
+pub fn reference(gprog: &[u32], scale: u32, salt: u32) -> u32 {
+    let mut regs = [0u32; 8];
+    let mut gmem = [0u32; GMEM_WORDS as usize];
+    gmem.copy_from_slice(&gmem_init(salt));
+    let mut gpc = 0usize;
+    let steps = scale * STEPS_PER_SCALE;
+    for _ in 0..steps {
+        let inst = gprog[gpc];
+        let op = (inst >> 12) & 7;
+        let rd = ((inst >> 9) & 7) as usize;
+        let rs = ((inst >> 6) & 7) as usize;
+        let imm = inst & 63;
+        let mut next = gpc + 1;
+        match op {
+            0 => regs[rd] = regs[rd].wrapping_add(imm),
+            1 => regs[rd] = regs[rd].wrapping_add(regs[rs]),
+            2 => regs[rd] ^= regs[rs],
+            3 => regs[rd] >>= imm & 31,
+            4 => {
+                let a = (regs[rs] & (GMEM_WORDS - 1)) as usize;
+                regs[rd] = regs[rd].wrapping_add(gmem[a]);
+            }
+            5 => {
+                let a = (regs[rs] & (GMEM_WORDS - 1)) as usize;
+                gmem[a] = regs[rd];
+            }
+            _ => {
+                if regs[rd] & imm != 0 {
+                    next = 0;
+                }
+            }
+        }
+        gpc = if next >= gprog.len() { 0 } else { next };
+    }
+    let mut sum = 0u32;
+    for r in regs {
+        sum = sum.wrapping_add(r);
+    }
+    for &m in &gmem[..8] {
+        sum = sum.wrapping_add(m);
+    }
+    sum | 1
+}
+
+/// Builds the workload.
+pub fn build(scale: u32, salt: u32) -> Workload {
+    use cestim_isa::regs::*;
+    let gprog = guest_program();
+    let mut b = ProgramBuilder::new();
+    let prog_base = b.alloc(&gprog);
+    let regs_base = b.alloc_zeroed(8);
+    let gmem_base = b.alloc(&gmem_init(salt));
+
+    // S0 = &gprog, S1 = gprog len, S2 = &gregs, S3 = &gmem,
+    // S4 = step limit, S5 = step, S6 = gpc.
+    b.li(S0, prog_base as i32);
+    b.li(S1, gprog.len() as i32);
+    b.li(S2, regs_base as i32);
+    b.li(S3, gmem_base as i32);
+    b.li(S4, (scale * STEPS_PER_SCALE) as i32);
+    b.li(S5, 0);
+    b.li(S6, 0);
+
+    let loop_top = b.label();
+    let loop_end = b.label();
+    let advance = b.label(); // gpc = next (T6), wrap, step++
+    b.bind(loop_top);
+    b.bge(S5, S4, loop_end);
+    // fetch
+    b.add(T7, S0, S6);
+    b.lw(T0, T7, 0);
+    // decode: T1 = op, T2 = rd, T3 = rs, T4 = imm
+    b.srli(T1, T0, 12);
+    b.andi(T1, T1, 7);
+    b.srli(T2, T0, 9);
+    b.andi(T2, T2, 7);
+    b.srli(T3, T0, 6);
+    b.andi(T3, T3, 7);
+    b.andi(T4, T0, 63);
+    // default next = gpc + 1
+    b.addi(T6, S6, 1);
+
+    // dispatch tree
+    let ops: Vec<_> = (0..7).map(|_| b.label()).collect();
+    for (v, &l) in ops.iter().enumerate().take(6) {
+        b.li(T5, v as i32);
+        b.beq(T1, T5, l);
+    }
+    b.j(ops[6]);
+
+    // op0: addi — gregs[rd] += imm
+    b.bind(ops[0]);
+    b.add(T7, S2, T2);
+    b.lw(T5, T7, 0);
+    b.add(T5, T5, T4);
+    b.sw(T5, T7, 0);
+    b.j(advance);
+    // op1: add — gregs[rd] += gregs[rs]
+    b.bind(ops[1]);
+    b.add(T7, S2, T3);
+    b.lw(T5, T7, 0);
+    b.add(T7, S2, T2);
+    b.lw(A0, T7, 0);
+    b.add(A0, A0, T5);
+    b.sw(A0, T7, 0);
+    b.j(advance);
+    // op2: xor
+    b.bind(ops[2]);
+    b.add(T7, S2, T3);
+    b.lw(T5, T7, 0);
+    b.add(T7, S2, T2);
+    b.lw(A0, T7, 0);
+    b.xor(A0, A0, T5);
+    b.sw(A0, T7, 0);
+    b.j(advance);
+    // op3: shr — gregs[rd] >>= imm & 31
+    b.bind(ops[3]);
+    b.add(T7, S2, T2);
+    b.lw(T5, T7, 0);
+    b.andi(A0, T4, 31);
+    b.srl(T5, T5, A0);
+    b.sw(T5, T7, 0);
+    b.j(advance);
+    // op4: load — gregs[rd] += gmem[gregs[rs] & 63]
+    b.bind(ops[4]);
+    b.add(T7, S2, T3);
+    b.lw(T5, T7, 0);
+    b.andi(T5, T5, (GMEM_WORDS - 1) as i32);
+    b.add(T7, S3, T5);
+    b.lw(T5, T7, 0);
+    b.add(T7, S2, T2);
+    b.lw(A0, T7, 0);
+    b.add(A0, A0, T5);
+    b.sw(A0, T7, 0);
+    b.j(advance);
+    // op5: store — gmem[gregs[rs] & 63] = gregs[rd]
+    b.bind(ops[5]);
+    b.add(T7, S2, T3);
+    b.lw(T5, T7, 0);
+    b.andi(T5, T5, (GMEM_WORDS - 1) as i32);
+    b.add(A0, S3, T5);
+    b.add(T7, S2, T2);
+    b.lw(T5, T7, 0);
+    b.sw(T5, A0, 0);
+    b.j(advance);
+    // op6: guest branch — if gregs[rd] & imm != 0 then next = 0
+    b.bind(ops[6]);
+    {
+        let not_taken = b.label();
+        b.add(T7, S2, T2);
+        b.lw(T5, T7, 0);
+        b.and(T5, T5, T4);
+        b.beqz(T5, not_taken);
+        b.li(T6, 0);
+        b.bind(not_taken);
+    }
+
+    b.bind(advance);
+    {
+        let no_wrap = b.label();
+        b.blt(T6, S1, no_wrap);
+        b.li(T6, 0);
+        b.bind(no_wrap);
+    }
+    b.mv(S6, T6);
+    b.addi(S5, S5, 1);
+    b.j(loop_top);
+    b.bind(loop_end);
+
+    // checksum = sum(gregs) + sum(gmem[..8]), made odd
+    b.li(CHECKSUM_REG, 0);
+    b.li(T0, 0);
+    {
+        let top = b.label();
+        let end = b.label();
+        b.bind(top);
+        b.slti(T5, T0, 8);
+        b.beqz(T5, end);
+        b.add(T7, S2, T0);
+        b.lw(T5, T7, 0);
+        b.add(CHECKSUM_REG, CHECKSUM_REG, T5);
+        b.add(T7, S3, T0);
+        b.lw(T5, T7, 0);
+        b.add(CHECKSUM_REG, CHECKSUM_REG, T5);
+        b.addi(T0, T0, 1);
+        b.j(top);
+        b.bind(end);
+    }
+    b.ori(CHECKSUM_REG, CHECKSUM_REG, 1);
+    b.halt();
+
+    Workload {
+        name: "m88ksim",
+        description: "guest-CPU emulator dispatch loop (highly repetitive, very predictable)",
+        program: b.build().expect("m88ksim assembles"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_isa::Machine;
+
+    #[test]
+    fn assembly_matches_reference() {
+        for (scale, salt) in [(1, 0), (2, 0), (1, 6)] {
+            let w = build(scale, salt);
+            let mut m = Machine::new(&w.program);
+            m.run(&w.program, u64::MAX);
+            assert!(m.halted());
+            assert_eq!(
+                m.reg(CHECKSUM_REG),
+                reference(&guest_program(), scale, salt),
+                "scale {scale} salt {salt}"
+            );
+        }
+    }
+
+    #[test]
+    fn guest_branches_fire_both_ways() {
+        // Run the reference with instrumented branch outcomes.
+        let gprog = guest_program();
+        let mut regs = [0u32; 8];
+        let (mut taken, mut not_taken) = (0, 0);
+        let mut gpc = 0usize;
+        for _ in 0..10_000 {
+            let inst = gprog[gpc];
+            let op = (inst >> 12) & 7;
+            let rd = ((inst >> 9) & 7) as usize;
+            let imm = inst & 63;
+            let mut next = gpc + 1;
+            match op {
+                0 => regs[rd] = regs[rd].wrapping_add(imm),
+                6 => {
+                    if regs[rd] & imm != 0 {
+                        next = 0;
+                        taken += 1;
+                    } else {
+                        not_taken += 1;
+                    }
+                }
+                _ => {}
+            }
+            gpc = if next >= gprog.len() { 0 } else { next };
+        }
+        assert!(taken > 100, "taken {taken}");
+        assert!(not_taken > 100, "not taken {not_taken}");
+    }
+
+    #[test]
+    fn encoding_round_trips() {
+        let i = enc(6, 3, 5, 42);
+        assert_eq!((i >> 12) & 7, 6);
+        assert_eq!((i >> 9) & 7, 3);
+        assert_eq!((i >> 6) & 7, 5);
+        assert_eq!(i & 63, 42);
+    }
+}

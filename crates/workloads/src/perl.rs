@@ -1,0 +1,296 @@
+//! `perl` analog: multi-pattern text matching plus opcode dispatch.
+//!
+//! SPECint95 `perl` interleaves regex-style text scanning (inner compare
+//! loops with data-dependent exits) with interpreter opcode dispatch (a
+//! dense indirect switch, here a branch tree). Both components appear in
+//! this analog: a naive multi-pattern matcher over a small-alphabet text,
+//! then an 8-way "bytecode" dispatch loop over the same text.
+
+use crate::{Workload, CHECKSUM_REG};
+use cestim_isa::ProgramBuilder;
+
+const TEXT_LEN: usize = 4096;
+const ALPHABET: u32 = 8;
+
+/// Text over a small alphabet so that pattern prefixes match often.
+///
+/// Segmented into repetitive (motif-cycling, easy) and random (hard)
+/// regions so mispredictions arrive in bursts, as with real text.
+pub fn text(salt: u32) -> Vec<u32> {
+    const SEG: usize = 256;
+    let raw = crate::xorshift_bytes(0x9E81_AB12 ^ salt.wrapping_mul(0x9E37_79B9), TEXT_LEN, u32::MAX);
+    let motif = [1u32, 2, 3, 0, 5, 4, 2, 1, 2, 3, 7, 0];
+    let mut out = vec![0u32; TEXT_LEN];
+    for seg in 0..TEXT_LEN / SEG {
+        let base = seg * SEG;
+        if (raw[base] >> 6).is_multiple_of(3) {
+            // Hard segment: uniform random symbols.
+            for i in 0..SEG {
+                out[base + i] = raw[base + i] % ALPHABET;
+            }
+        } else {
+            // Easy segment: cycle a motif with a per-segment phase.
+            let phase = (raw[base] % 12) as usize;
+            for i in 0..SEG {
+                out[base + i] = motif[(phase + i) % motif.len()];
+            }
+        }
+    }
+    out
+}
+
+/// The search patterns (small alphabet, mixed lengths).
+pub fn patterns() -> Vec<Vec<u32>> {
+    vec![
+        vec![1, 2, 3],
+        vec![0, 0, 7, 1],
+        vec![5, 4],
+        vec![2, 2, 2, 6, 1],
+    ]
+}
+
+/// Reference implementation mirrored by the assembly.
+pub fn reference(text: &[u32], pats: &[Vec<u32>], scale: u32) -> u32 {
+    let mut matches = 0u32;
+    let mut possum = 0u32;
+    let mut acc = 1u32;
+    for _ in 0..scale {
+        for pat in pats {
+            let len = pat.len();
+            if len > text.len() {
+                continue;
+            }
+            for i in 0..=(text.len() - len) {
+                let mut j = 0usize;
+                while j < len && text[i + j] == pat[j] {
+                    j += 1;
+                }
+                if j == len {
+                    matches = matches.wrapping_add(1);
+                    possum = possum.wrapping_add(i as u32);
+                }
+            }
+        }
+        for (i, &c) in text.iter().enumerate() {
+            match c {
+                0 => acc = acc.wrapping_add(1),
+                1 => acc = acc.wrapping_add(i as u32),
+                2 => acc ^= c,
+                3 => acc = acc.wrapping_shl(1),
+                4 => acc = acc.wrapping_sub(2),
+                5 => acc = acc.wrapping_add(acc >> 3),
+                6 => acc = acc.wrapping_mul(3),
+                _ => {
+                    if acc & 1 == 1 {
+                        acc = acc.wrapping_add(5);
+                    } else {
+                        acc = acc.wrapping_add(7);
+                    }
+                }
+            }
+        }
+    }
+    matches
+        .wrapping_mul(31)
+        .wrapping_add(possum)
+        .wrapping_add(acc)
+}
+
+/// Builds the workload.
+pub fn build(scale: u32, salt: u32) -> Workload {
+    use cestim_isa::regs::*;
+    let text = text(salt);
+    let pats = patterns();
+    let mut b = ProgramBuilder::new();
+    let text_base = b.alloc(&text);
+    let flat: Vec<u32> = pats.iter().flatten().copied().collect();
+    let pats_base = b.alloc(&flat);
+    let offs: Vec<u32> = pats
+        .iter()
+        .scan(0u32, |o, p| {
+            let cur = *o;
+            *o += p.len() as u32;
+            Some(cur)
+        })
+        .collect();
+    let offs_base = b.alloc(&offs);
+    let lens: Vec<u32> = pats.iter().map(|p| p.len() as u32).collect();
+    let lens_base = b.alloc(&lens);
+
+    // S0 = &text, S1 = n, S2 = &pats, S3 = &offs, S4 = &lens,
+    // S5 = matches, S6 = possum, S7 = acc, A0 = pass, A1 = scale.
+    b.li(S0, text_base as i32);
+    b.li(S1, text.len() as i32);
+    b.li(S2, pats_base as i32);
+    b.li(S3, offs_base as i32);
+    b.li(S4, lens_base as i32);
+    b.li(S5, 0);
+    b.li(S6, 0);
+    b.li(S7, 1);
+    b.li(A0, 0);
+    b.li(A1, scale as i32);
+
+    let pass_top = b.label();
+    let pass_end = b.label();
+    b.bind(pass_top);
+    b.bge(A0, A1, pass_end);
+
+    // ---- matcher ---------------------------------------------------------
+    // A2 = pattern index
+    b.li(A2, 0);
+    let pat_top = b.label();
+    let pat_end = b.label();
+    b.bind(pat_top);
+    b.li(T5, pats.len() as i32);
+    b.bge(A2, T5, pat_end);
+    // A3 = &pats[off], A4 = len, A5 = n - len (last valid start)
+    b.add(T7, S3, A2);
+    b.lw(T6, T7, 0);
+    b.add(A3, S2, T6);
+    b.add(T7, S4, A2);
+    b.lw(A4, T7, 0);
+    b.sub(A5, S1, A4);
+    // T0 = i
+    b.li(T0, 0);
+    let pos_top = b.label();
+    let pos_end = b.label();
+    b.bind(pos_top);
+    b.bgt(T0, A5, pos_end);
+    // inner compare: T1 = j
+    b.li(T1, 0);
+    let cmp_top = b.label();
+    let cmp_fail = b.label();
+    let cmp_done = b.label();
+    b.bind(cmp_top);
+    b.bge(T1, A4, cmp_done); // j == len: full match
+    b.add(T7, T0, T1);
+    b.add(T7, S0, T7);
+    b.lw(T2, T7, 0);
+    b.add(T7, A3, T1);
+    b.lw(T3, T7, 0);
+    b.bne(T2, T3, cmp_fail);
+    b.addi(T1, T1, 1);
+    b.j(cmp_top);
+    b.bind(cmp_done);
+    b.addi(S5, S5, 1);
+    b.add(S6, S6, T0);
+    b.bind(cmp_fail);
+    b.addi(T0, T0, 1);
+    b.j(pos_top);
+    b.bind(pos_end);
+    b.addi(A2, A2, 1);
+    b.j(pat_top);
+    b.bind(pat_end);
+
+    // ---- dispatch loop ----------------------------------------------------
+    b.li(T0, 0);
+    let disp_top = b.label();
+    let disp_next = b.label();
+    let disp_end = b.label();
+    b.bind(disp_top);
+    b.bge(T0, S1, disp_end);
+    b.add(T7, S0, T0);
+    b.lw(T1, T7, 0);
+    // 8-way branch tree on T1
+    let ops: Vec<_> = (0..8).map(|_| b.label()).collect();
+    for (v, &l) in ops.iter().enumerate().take(7) {
+        b.li(T5, v as i32);
+        b.beq(T1, T5, l);
+    }
+    b.j(ops[7]);
+    // op 0: acc += 1
+    b.bind(ops[0]);
+    b.addi(S7, S7, 1);
+    b.j(disp_next);
+    // op 1: acc += i
+    b.bind(ops[1]);
+    b.add(S7, S7, T0);
+    b.j(disp_next);
+    // op 2: acc ^= c
+    b.bind(ops[2]);
+    b.xor(S7, S7, T1);
+    b.j(disp_next);
+    // op 3: acc <<= 1
+    b.bind(ops[3]);
+    b.slli(S7, S7, 1);
+    b.j(disp_next);
+    // op 4: acc -= 2
+    b.bind(ops[4]);
+    b.addi(S7, S7, -2);
+    b.j(disp_next);
+    // op 5: acc += acc >> 3
+    b.bind(ops[5]);
+    b.srli(T5, S7, 3);
+    b.add(S7, S7, T5);
+    b.j(disp_next);
+    // op 6: acc *= 3
+    b.bind(ops[6]);
+    b.muli(S7, S7, 3);
+    b.j(disp_next);
+    // op 7: parity-dependent add
+    b.bind(ops[7]);
+    {
+        let even = b.label();
+        b.andi(T5, S7, 1);
+        b.beqz(T5, even);
+        b.addi(S7, S7, 5);
+        b.j(disp_next);
+        b.bind(even);
+        b.addi(S7, S7, 7);
+    }
+    b.bind(disp_next);
+    b.addi(T0, T0, 1);
+    b.j(disp_top);
+    b.bind(disp_end);
+
+    b.addi(A0, A0, 1);
+    b.j(pass_top);
+    b.bind(pass_end);
+
+    // checksum = matches*31 + possum + acc
+    b.muli(T1, S5, 31);
+    b.add(CHECKSUM_REG, T1, S6);
+    b.add(CHECKSUM_REG, CHECKSUM_REG, S7);
+    b.halt();
+
+    Workload {
+        name: "perl",
+        description: "multi-pattern text matcher + opcode dispatch (interpreter branch profile)",
+        program: b.build().expect("perl assembles"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_isa::Machine;
+
+    #[test]
+    fn assembly_matches_reference() {
+        for (scale, salt) in [(1, 0), (2, 0), (1, 5)] {
+            let w = build(scale, salt);
+            let mut m = Machine::new(&w.program);
+            m.run(&w.program, u64::MAX);
+            assert!(m.halted());
+            assert_eq!(
+                m.reg(CHECKSUM_REG),
+                reference(&text(salt), &patterns(), scale),
+                "scale {scale} salt {salt}"
+            );
+        }
+    }
+
+    #[test]
+    fn patterns_actually_match() {
+        let t = text(0);
+        let mut matches = 0;
+        for p in patterns() {
+            for i in 0..=(t.len() - p.len()) {
+                if t[i..i + p.len()] == p[..] {
+                    matches += 1;
+                }
+            }
+        }
+        assert!(matches > 5, "alphabet too sparse: {matches} matches");
+    }
+}

@@ -1,0 +1,252 @@
+//! `vortex` analog: a hash-indexed record store under a lookup-heavy mix.
+//!
+//! SPECint95 `vortex` is an object database; its branch behaviour is
+//! dominated by index probes that almost always hit on the first try,
+//! making it one of the most predictable programs in the suite. This analog
+//! builds an open-addressing hash index over records and runs a query mix
+//! of mostly-present keys (first-probe hits) with a sprinkle of absent keys
+//! (probe-to-empty).
+
+use crate::{Workload, CHECKSUM_REG};
+use cestim_isa::ProgramBuilder;
+
+const RECORDS: usize = 512;
+const TABLE: u32 = 1024; // power of two; 50 % load factor
+const QUERIES: u32 = 1024;
+const HOT_KEYS: u32 = 32; // working set of the query mix
+/// Query-mix repetitions per unit of scale.
+const REPS_PER_SCALE: u32 = 10;
+
+/// Distinct non-zero record keys and their values.
+pub fn records(salt: u32) -> (Vec<u32>, Vec<u32>) {
+    let raw = crate::xorshift_bytes(0x0BEC_7041 ^ salt.wrapping_mul(0x9E37_79B9), RECORDS * 4, 100_000);
+    let mut keys: Vec<u32> = Vec::with_capacity(RECORDS);
+    let mut seen = std::collections::HashSet::new();
+    for r in raw {
+        let k = r + 1;
+        if seen.insert(k) {
+            keys.push(k);
+            if keys.len() == RECORDS {
+                break;
+            }
+        }
+    }
+    assert_eq!(keys.len(), RECORDS, "not enough distinct keys");
+    let vals: Vec<u32> = keys.iter().map(|k| k.wrapping_mul(2654435761) >> 8).collect();
+    (keys, vals)
+}
+
+/// Reference implementation mirrored by the assembly.
+pub fn reference(keys: &[u32], vals: &[u32], scale: u32) -> u32 {
+    let mask = TABLE - 1;
+    let mut tkeys = vec![0u32; TABLE as usize];
+    let mut tvals = vec![0u32; TABLE as usize];
+    for (&k, &v) in keys.iter().zip(vals) {
+        let mut h = k & mask;
+        while tkeys[h as usize] != 0 {
+            h = (h + 1) & mask;
+        }
+        tkeys[h as usize] = k;
+        tvals[h as usize] = v;
+    }
+    let mut sum = 0u32;
+    for _ in 0..scale * REPS_PER_SCALE {
+        for q in 0..QUERIES {
+            // Mostly a hot working set (first-probe hits, easy branches);
+            // one query window in eight is a burst of cold/absent keys
+            // (long probes, hard branches) — bursty like a real query log.
+            let key = if (q >> 5) & 7 == 7 {
+                let base = keys[((q * 13) % RECORDS as u32) as usize];
+                if q & 1 == 1 {
+                    base + 1_000_000
+                } else {
+                    base
+                }
+            } else {
+                keys[(q % HOT_KEYS) as usize]
+            };
+            let mut h = key & mask;
+            loop {
+                let t = tkeys[h as usize];
+                if t == key {
+                    sum = sum.wrapping_add(tvals[h as usize]);
+                    break;
+                }
+                if t == 0 {
+                    sum = sum.wrapping_add(1);
+                    break;
+                }
+                h = (h + 1) & mask;
+            }
+        }
+    }
+    sum | 1
+}
+
+/// Builds the workload.
+pub fn build(scale: u32, salt: u32) -> Workload {
+    use cestim_isa::regs::*;
+    let (keys, vals) = records(salt);
+    let mut b = ProgramBuilder::new();
+    let keys_base = b.alloc(&keys);
+    let vals_base = b.alloc(&vals);
+    let tkeys = b.alloc_zeroed(TABLE);
+    let tvals = b.alloc_zeroed(TABLE);
+
+    // S0 = &keys, S1 = &vals, S2 = &tkeys, S3 = &tvals, S4 = mask,
+    // S5 = rep, S6 = reps, S7 = sum.
+    b.li(S0, keys_base as i32);
+    b.li(S1, vals_base as i32);
+    b.li(S2, tkeys as i32);
+    b.li(S3, tvals as i32);
+    b.li(S4, (TABLE - 1) as i32);
+    b.li(S7, 0);
+
+    // ---- insert phase ------------------------------------------------------
+    b.li(T0, 0); // i
+    let ins_top = b.label();
+    let ins_end = b.label();
+    b.bind(ins_top);
+    b.li(T5, RECORDS as i32);
+    b.bge(T0, T5, ins_end);
+    b.add(T7, S0, T0);
+    b.lw(T1, T7, 0); // key
+    b.add(T7, S1, T0);
+    b.lw(T2, T7, 0); // val
+    b.and(T3, T1, S4); // h
+    let probe_ins = b.label();
+    let slot_found = b.label();
+    b.bind(probe_ins);
+    b.add(T7, S2, T3);
+    b.lw(T4, T7, 0);
+    b.beqz(T4, slot_found);
+    b.addi(T3, T3, 1);
+    b.and(T3, T3, S4);
+    b.j(probe_ins);
+    b.bind(slot_found);
+    b.sw(T1, T7, 0);
+    b.add(T7, S3, T3);
+    b.sw(T2, T7, 0);
+    b.addi(T0, T0, 1);
+    b.j(ins_top);
+    b.bind(ins_end);
+
+    // ---- query mix ----------------------------------------------------------
+    b.li(S5, 0);
+    b.li(S6, (scale * REPS_PER_SCALE) as i32);
+    let rep_top = b.label();
+    let rep_end = b.label();
+    b.bind(rep_top);
+    b.bge(S5, S6, rep_end);
+    b.li(T0, 0); // q
+    let q_top = b.label();
+    let q_end = b.label();
+    b.bind(q_top);
+    b.li(T5, QUERIES as i32);
+    b.bge(T0, T5, q_end);
+    // key selection: cold burst when (q >> 5) & 7 == 7, else hot set.
+    {
+        let hot = b.label();
+        let chosen = b.label();
+        b.srli(T5, T0, 5);
+        b.andi(T5, T5, 7);
+        b.li(T6, 7);
+        b.bne(T5, T6, hot);
+        // cold: key = keys[(q * 13) % RECORDS], absent when q is odd
+        b.muli(T1, T0, 13);
+        b.remi(T1, T1, RECORDS as i32);
+        b.add(T7, S0, T1);
+        b.lw(T1, T7, 0);
+        {
+            let present = b.label();
+            b.andi(T5, T0, 1);
+            b.beqz(T5, present);
+            b.li(T6, 1_000_000);
+            b.add(T1, T1, T6);
+            b.bind(present);
+        }
+        b.j(chosen);
+        b.bind(hot);
+        b.remi(T1, T0, HOT_KEYS as i32);
+        b.add(T7, S0, T1);
+        b.lw(T1, T7, 0);
+        b.bind(chosen);
+    }
+    // probe
+    b.and(T3, T1, S4);
+    let probe = b.label();
+    let hit = b.label();
+    let miss = b.label();
+    let q_next = b.label();
+    b.bind(probe);
+    b.add(T7, S2, T3);
+    b.lw(T4, T7, 0);
+    b.beq(T4, T1, hit);
+    b.beqz(T4, miss);
+    b.addi(T3, T3, 1);
+    b.and(T3, T3, S4);
+    b.j(probe);
+    b.bind(hit);
+    b.add(T7, S3, T3);
+    b.lw(T4, T7, 0);
+    b.add(S7, S7, T4);
+    b.j(q_next);
+    b.bind(miss);
+    b.addi(S7, S7, 1);
+    b.bind(q_next);
+    b.addi(T0, T0, 1);
+    b.j(q_top);
+    b.bind(q_end);
+    b.addi(S5, S5, 1);
+    b.j(rep_top);
+    b.bind(rep_end);
+
+    b.ori(CHECKSUM_REG, S7, 1);
+    b.halt();
+
+    Workload {
+        name: "vortex",
+        description: "hash-indexed record store, lookup-heavy query mix (first-probe hits)",
+        program: b.build().expect("vortex assembles"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_isa::Machine;
+
+    #[test]
+    fn assembly_matches_reference() {
+        for (scale, salt) in [(1, 0), (2, 0), (1, 11)] {
+            let (keys, vals) = records(salt);
+            let w = build(scale, salt);
+            let mut m = Machine::new(&w.program);
+            m.run(&w.program, u64::MAX);
+            assert!(m.halted());
+            assert_eq!(
+                m.reg(CHECKSUM_REG),
+                reference(&keys, &vals, scale),
+                "scale {scale} salt {salt}"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_and_nonzero() {
+        let (keys, _) = records(0);
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+        assert!(keys.iter().all(|&k| k != 0));
+    }
+
+    #[test]
+    fn absent_keys_probe_to_empty() {
+        // The absent-key offset must not collide with any real key.
+        let (keys, _) = records(0);
+        let set: std::collections::HashSet<_> = keys.iter().copied().collect();
+        for &k in &keys {
+            assert!(!set.contains(&(k + 1_000_000)));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! `xlisp` analog: cons-cell lists, recursive traversal, and a mark pass.
+//!
+//! SPECint95 `xlisp` is a Lisp interpreter: pointer-chasing over cons
+//! cells, deep recursion through `call`/`ret`, and garbage-collector mark
+//! phases with data-dependent but biased branches. This analog builds cons
+//! lists on a heap, sums them with a genuinely recursive function (explicit
+//! stack discipline through `SP`), and runs a mark pass that branches on
+//! cell contents.
+
+use crate::{Workload, CHECKSUM_REG};
+use cestim_isa::ProgramBuilder;
+
+const NUM_LISTS: u32 = 16;
+const HEAP_CELLS: u32 = 2048;
+/// Traversal+mark repetitions per unit of scale.
+const REPS_PER_SCALE: u32 = 18;
+
+fn list_len(j: u32) -> u32 {
+    20 + (j * 7) % 50
+}
+
+fn car_value(j: u32, k: u32, salt: u32) -> u32 {
+    // xorshift scramble so the parity (mark) branch is pseudo-random, like
+    // real heap contents — (j*31 + k*17) alone alternates parity.
+    let mut x = j
+        .wrapping_mul(977)
+        .wrapping_add(k.wrapping_mul(331))
+        .wrapping_add(1)
+        .wrapping_add(salt.wrapping_mul(0x9E37_79B9));
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    x % 256
+}
+
+/// Reference implementation mirrored by the assembly.
+pub fn reference(scale: u32, salt: u32) -> u32 {
+    // Build phase: cell 0 is nil; cells are (car, cdr) pairs.
+    let mut cars = vec![0u32];
+    let mut cdrs = vec![0u32];
+    let mut heads = Vec::new();
+    for j in 0..NUM_LISTS {
+        let mut head = 0u32;
+        for k in 0..list_len(j) {
+            cars.push(car_value(j, k, salt));
+            cdrs.push(head);
+            head = (cars.len() - 1) as u32;
+        }
+        heads.push(head);
+    }
+
+    fn rsum(p: u32, cars: &[u32], cdrs: &[u32]) -> u32 {
+        if p == 0 {
+            0
+        } else {
+            rsum(cdrs[p as usize], cars, cdrs).wrapping_add(cars[p as usize])
+        }
+    }
+
+    let mut checksum = 0u32;
+    for _ in 0..scale * REPS_PER_SCALE {
+        for &h in &heads {
+            checksum = checksum.wrapping_add(rsum(h, &cars, &cdrs));
+        }
+        let odd = cars[1..].iter().filter(|&&c| c & 1 == 1).count() as u32;
+        checksum = checksum.wrapping_add(odd);
+    }
+    checksum | 1
+}
+
+/// Builds the workload.
+pub fn build(scale: u32, salt: u32) -> Workload {
+    use cestim_isa::regs::*;
+    let mut b = ProgramBuilder::new();
+    // Heap: 3 words per cell (car, cdr, mark); cell 0 is nil.
+    let heap = b.alloc_zeroed(HEAP_CELLS * 3);
+    let heads = b.alloc_zeroed(NUM_LISTS);
+    let stack = b.alloc_zeroed(4096);
+
+    // S0 = heap, S1 = free cell index, S2 = &heads, S3 = reps done,
+    // S4 = reps limit, S5/S6/S7 = loop temps, SP = stack pointer (grows up).
+    b.li(S0, heap as i32);
+    b.li(S1, 1);
+    b.li(S2, heads as i32);
+    b.li(SP, stack as i32);
+    b.li(CHECKSUM_REG, 0);
+
+    let rsum_fn = b.label();
+    let start = b.label();
+    b.j(start);
+
+    // ---- rsum(A0 = cell index) -> A1 = sum -------------------------------
+    b.bind(rsum_fn);
+    {
+        let nonnil = b.label();
+        b.bnez(A0, nonnil);
+        b.li(A1, 0);
+        b.ret();
+        b.bind(nonnil);
+        // push RA, A0
+        b.sw(RA, SP, 0);
+        b.sw(A0, SP, 1);
+        b.addi(SP, SP, 2);
+        // A0 = cdr(A0) = heap[A0*3 + 1]
+        b.muli(T7, A0, 3);
+        b.add(T7, S0, T7);
+        b.lw(A0, T7, 1);
+        b.call(rsum_fn);
+        // pop A0, RA
+        b.addi(SP, SP, -2);
+        b.lw(RA, SP, 0);
+        b.lw(A0, SP, 1);
+        // A1 += car(A0)
+        b.muli(T7, A0, 3);
+        b.add(T7, S0, T7);
+        b.lw(T6, T7, 0);
+        b.add(A1, A1, T6);
+        b.ret();
+    }
+
+    // ---- build phase ------------------------------------------------------
+    b.bind(start);
+    // for j in 0..NUM_LISTS
+    b.li(S5, 0); // j
+    let build_j = b.label();
+    let build_done = b.label();
+    b.bind(build_j);
+    b.li(T5, NUM_LISTS as i32);
+    b.bge(S5, T5, build_done);
+    // len = 20 + (j*7) % 50
+    b.muli(T0, S5, 7);
+    b.remi(T0, T0, 50);
+    b.addi(T0, T0, 20); // T0 = len
+    b.li(T1, 0); // k
+    b.li(A2, 0); // head = nil
+    let build_k = b.label();
+    let build_k_done = b.label();
+    b.bind(build_k);
+    b.bge(T1, T0, build_k_done);
+    // car = xorshift(j*977 + k*331 + 1 + salt*GOLDEN) % 256
+    b.muli(T2, S5, 977);
+    b.muli(T3, T1, 331);
+    b.add(T2, T2, T3);
+    b.addi(
+        T2,
+        T2,
+        1i32.wrapping_add((salt.wrapping_mul(0x9E37_79B9)) as i32),
+    );
+    b.slli(T3, T2, 13);
+    b.xor(T2, T2, T3);
+    b.srli(T3, T2, 17);
+    b.xor(T2, T2, T3);
+    b.slli(T3, T2, 5);
+    b.xor(T2, T2, T3);
+    b.andi(T2, T2, 255);
+    // cell = free++; heap[cell*3] = car; heap[cell*3+1] = head; head = cell
+    b.muli(T7, S1, 3);
+    b.add(T7, S0, T7);
+    b.sw(T2, T7, 0);
+    b.sw(A2, T7, 1);
+    b.mv(A2, S1);
+    b.addi(S1, S1, 1);
+    b.addi(T1, T1, 1);
+    b.j(build_k);
+    b.bind(build_k_done);
+    // heads[j] = head
+    b.add(T7, S2, S5);
+    b.sw(A2, T7, 0);
+    b.addi(S5, S5, 1);
+    b.j(build_j);
+    b.bind(build_done);
+
+    // ---- repetition loop: recursive sums + mark pass ----------------------
+    b.li(S3, 0);
+    b.li(S4, (scale * REPS_PER_SCALE) as i32);
+    let rep_top = b.label();
+    let rep_end = b.label();
+    b.bind(rep_top);
+    b.bge(S3, S4, rep_end);
+
+    // sums
+    b.li(S5, 0); // j
+    let sum_j = b.label();
+    let sum_done = b.label();
+    b.bind(sum_j);
+    b.li(T5, NUM_LISTS as i32);
+    b.bge(S5, T5, sum_done);
+    b.add(T7, S2, S5);
+    b.lw(A0, T7, 0);
+    b.call(rsum_fn);
+    b.add(CHECKSUM_REG, CHECKSUM_REG, A1);
+    b.addi(S5, S5, 1);
+    b.j(sum_j);
+    b.bind(sum_done);
+
+    // mark pass: odd cars get mark 1, count them
+    b.li(S5, 1); // cell index
+    b.li(S6, 0); // odd count
+    let mark_top = b.label();
+    let mark_done = b.label();
+    b.bind(mark_top);
+    b.bge(S5, S1, mark_done);
+    b.muli(T7, S5, 3);
+    b.add(T7, S0, T7);
+    b.lw(T0, T7, 0);
+    b.andi(T0, T0, 1);
+    {
+        let even = b.label();
+        let joined = b.label();
+        b.beqz(T0, even);
+        b.li(T1, 1);
+        b.sw(T1, T7, 2);
+        b.addi(S6, S6, 1);
+        b.j(joined);
+        b.bind(even);
+        b.sw(ZERO, T7, 2);
+        b.bind(joined);
+    }
+    b.addi(S5, S5, 1);
+    b.j(mark_top);
+    b.bind(mark_done);
+    b.add(CHECKSUM_REG, CHECKSUM_REG, S6);
+
+    b.addi(S3, S3, 1);
+    b.j(rep_top);
+    b.bind(rep_end);
+
+    b.ori(CHECKSUM_REG, CHECKSUM_REG, 1);
+    b.halt();
+
+    Workload {
+        name: "xlisp",
+        description: "cons-list building, recursive sums, and a GC-style mark pass",
+        program: b.build().expect("xlisp assembles"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_isa::Machine;
+
+    #[test]
+    fn assembly_matches_reference() {
+        for (scale, salt) in [(1, 0), (2, 0), (1, 4)] {
+            let w = build(scale, salt);
+            let mut m = Machine::new(&w.program);
+            m.run(&w.program, u64::MAX);
+            assert!(m.halted());
+            assert_eq!(
+                m.reg(CHECKSUM_REG),
+                reference(scale, salt),
+                "scale {scale} salt {salt}"
+            );
+        }
+    }
+
+    #[test]
+    fn heap_capacity_is_sufficient() {
+        let total: u32 = (0..NUM_LISTS).map(list_len).sum();
+        assert!(total < HEAP_CELLS, "lists need {total} cells");
+    }
+
+    #[test]
+    fn lists_have_varied_lengths() {
+        let lens: Vec<u32> = (0..NUM_LISTS).map(list_len).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(min >= 20 && max < 70 && min != max);
+    }
+}

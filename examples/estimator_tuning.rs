@@ -1,0 +1,86 @@
+//! Picking an operating point: sweep the JRS design space and print the
+//! PVP/PVN frontier (the data behind the paper's Figures 3–5).
+//!
+//! One pipeline pass evaluates the whole sweep: the simulator supports a
+//! bank of estimators, each seeing the same predictions.
+//!
+//! ```text
+//! cargo run --release --example estimator_tuning [workload] [scale]
+//! ```
+
+use cestim::{EstimatorSpec, PredictorKind, RunConfig, WorkloadKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workload = args
+        .next()
+        .and_then(|n| WorkloadKind::from_name(&n))
+        .unwrap_or(WorkloadKind::Gcc);
+    let scale = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    // 4 table sizes x 16 thresholds, all enhanced-index JRS.
+    let sizes = [6u32, 8, 10, 12];
+    let mut specs = Vec::new();
+    for &bits in &sizes {
+        for t in 1..=16u8 {
+            specs.push(EstimatorSpec::Jrs {
+                index_bits: bits,
+                threshold: t,
+                enhanced: true,
+            });
+        }
+    }
+    let cfg = RunConfig::paper(workload, scale, PredictorKind::Gshare);
+    let out = cestim::run(&cfg, &specs);
+
+    println!(
+        "JRS design space on `{workload}` (gshare, scale {scale}): {} configurations in one pass\n",
+        specs.len()
+    );
+    for (si, &bits) in sizes.iter().enumerate() {
+        println!("{} MDC entries:", 1u32 << bits);
+        println!("  {:>4} {:>8} {:>8} {:>8} {:>8}", "t", "sens", "spec", "pvp", "pvn");
+        for t in 0..16usize {
+            let q = out.estimators[si * 16 + t].quadrants.committed;
+            println!(
+                "  {:>4} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+                t + 1,
+                q.sens() * 100.0,
+                q.spec() * 100.0,
+                q.pvp() * 100.0,
+                q.pvn() * 100.0
+            );
+        }
+        println!();
+    }
+
+    // Suggest operating points for the two application families.
+    let best = |score: &dyn Fn(&cestim::Quadrant) -> f64| {
+        out.estimators
+            .iter()
+            .max_by(|a, b| {
+                score(&a.quadrants.committed)
+                    .partial_cmp(&score(&b.quadrants.committed))
+                    .unwrap()
+            })
+            .unwrap()
+    };
+    // Speculation control: maximize SPEC subject to PVN at least 60% of max.
+    let max_pvn = out
+        .estimators
+        .iter()
+        .map(|e| e.quadrants.committed.pvn())
+        .fold(0.0f64, f64::max);
+    let gating = best(&|q| {
+        if q.pvn() >= 0.6 * max_pvn {
+            q.spec()
+        } else {
+            f64::NEG_INFINITY
+        }
+    });
+    let bandwidth = best(&|q| q.sens() * q.pvp());
+    println!(
+        "suggested operating points:\n  speculation control (SPEC with viable PVN): {}\n  bandwidth multithreading (SENS x PVP):      {}",
+        gating.name, bandwidth.name
+    );
+}

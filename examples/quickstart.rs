@@ -1,0 +1,66 @@
+//! Quickstart: attach the paper's confidence estimators to a gshare
+//! pipeline, run one synthetic SPECint95 analog, and print the 2×2
+//! confidence/outcome tables with the four diagnostic metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [scale]
+//! ```
+
+use cestim::{pipeline::EstimatorQuadrants, EstimatorSpec, PredictorKind, RunConfig, WorkloadKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workload = args
+        .next()
+        .and_then(|n| WorkloadKind::from_name(&n))
+        .unwrap_or(WorkloadKind::Compress);
+    let scale = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    println!("workload: {workload} (scale {scale}), predictor: gshare (paper config)\n");
+    let cfg = RunConfig::paper(workload, scale, PredictorKind::Gshare);
+    let specs = EstimatorSpec::paper_set(PredictorKind::Gshare);
+    let out = cestim::run(&cfg, &specs);
+
+    let s = &out.stats;
+    println!(
+        "pipeline: {} cycles, {} committed insts (IPC {:.2}), {} fetched ({:.2}x speculation)",
+        s.cycles,
+        s.committed_insts,
+        s.ipc(),
+        s.fetched_insts,
+        s.speculation_ratio()
+    );
+    println!(
+        "branches: {} committed, accuracy {:.1}% ({} recoveries)\n",
+        s.committed_branches,
+        s.accuracy_committed() * 100.0,
+        s.recoveries
+    );
+
+    for e in &out.estimators {
+        let EstimatorQuadrants { committed: q, .. } = e.quadrants;
+        println!("--- {} (committed branches) ---", e.name);
+        println!("{q}");
+        println!(
+            "  SENS {:5.1}%  (correct predictions marked high-confidence)",
+            q.sens() * 100.0
+        );
+        println!(
+            "  SPEC {:5.1}%  (mispredictions caught as low-confidence)",
+            q.spec() * 100.0
+        );
+        println!(
+            "  PVP  {:5.1}%  (a high-confidence estimate is right this often)",
+            q.pvp() * 100.0
+        );
+        println!(
+            "  PVN  {:5.1}%  (a low-confidence estimate is right this often)\n",
+            q.pvn() * 100.0
+        );
+    }
+    println!(
+        "Reading the table: speculation control wants high SPEC and PVN \
+         (catch mispredictions without crying wolf); bandwidth-style uses \
+         want high SENS and PVP. See the paper's §2.2 or `examples/smt_fetch.rs`."
+    );
+}

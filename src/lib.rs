@@ -1,0 +1,71 @@
+//! # cestim — Confidence Estimation for Speculation Control
+//!
+//! A production-quality Rust reproduction of **Klauser, Grunwald, Manne &
+//! Pleszkun, "Confidence Estimation for Speculation Control" (ISCA 1998)**:
+//! confidence estimators for branch predictions, the diagnostic-test metric
+//! framework used to compare them, and the full pipeline-level simulation
+//! stack needed to evaluate them the way the paper does — including
+//! wrong-path execution, speculative history, and misprediction-distance
+//! analysis.
+//!
+//! This crate is a facade re-exporting the workspace's layers:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `cestim-core` | the paper's contribution: [`Quadrant`] metrics (SENS/SPEC/PVP/PVN), estimators ([`Jrs`], [`SaturatingConfidence`], [`PatternHistory`], [`StaticProfile`], [`DistanceEstimator`], [`Boosted`]), diagnostic math |
+//! | [`bpred`] | `cestim-bpred` | gshare, McFarling, SAg, bimodal predictors |
+//! | [`isa`] | `cestim-isa` | the RISC ISA, program builder, checkpointing interpreter |
+//! | [`pipeline`] | `cestim-pipeline` | the speculative pipeline simulator with wrong-path execution and gating |
+//! | [`trace`] | `cestim-trace` | distance/clustering analyses and trace serialization |
+//! | [`workloads`] | `cestim-workloads` | the eight SPECint95 analogs |
+//! | [`sim`] | `cestim-sim` | experiment specs, runner, and the paper's full table/figure suite |
+//!
+//! The most common types are re-exported at the crate root.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cestim::{EstimatorSpec, PredictorKind, RunConfig, WorkloadKind};
+//!
+//! // Run the paper's estimator set on one workload with a gshare pipeline.
+//! let cfg = RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare);
+//! let out = cestim::run(&cfg, &EstimatorSpec::paper_set(PredictorKind::Gshare));
+//! for e in &out.estimators {
+//!     let q = e.quadrants.committed;
+//!     println!(
+//!         "{:24} sens={:.2} spec={:.2} pvp={:.2} pvn={:.2}",
+//!         e.name, q.sens(), q.spec(), q.pvp(), q.pvn()
+//!     );
+//! }
+//! ```
+//!
+//! Regenerate every table and figure of the paper with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p cestim-bench --bin repro -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cestim_bpred as bpred;
+pub use cestim_core as core;
+pub use cestim_isa as isa;
+pub use cestim_pipeline as pipeline;
+pub use cestim_sim as sim;
+pub use cestim_trace as trace;
+pub use cestim_workloads as workloads;
+
+pub use cestim_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, Prediction, SAg};
+pub use cestim_core::{
+    Boosted, Confidence, ConfidenceEstimator, DistanceEstimator, Jrs, MetricSummary,
+    PatternHistory, ProfileCollector, Quadrant, SaturatingConfidence, SaturatingVariant,
+    StaticProfile,
+};
+pub use cestim_isa::{Machine, Program, ProgramBuilder, Reg};
+pub use cestim_pipeline::{PipelineConfig, PipelineStats, SimObserver, Simulator};
+pub use cestim_sim::{
+    apps, collect_profile, run, run_with_observer, run_with_profile, EstimatorSpec,
+    PredictorKind, RunConfig, RunOutcome,
+};
+pub use cestim_trace::{ClusterAnalysis, DistanceAnalysis, DistanceSeries};
+pub use cestim_workloads::{Workload, WorkloadKind};

@@ -1,0 +1,198 @@
+//! Tests for the beyond-paper extensions (the paper's §5 future work).
+
+use cestim::core::tune::{tune, TuneTarget};
+use cestim::{
+    collect_profile, run, EstimatorSpec, PredictorKind, Quadrant, RunConfig, WorkloadKind,
+};
+use cestim_sim::TuneTargetSpec;
+
+/// Self-profiled tuning is exact: the measured quadrant of the tuned
+/// estimator equals the quadrant predicted from the profile, because the
+/// profile pass and the measured pass are deterministic replicas.
+#[test]
+fn tuned_static_predictions_are_exact() {
+    let cfg = RunConfig::paper(WorkloadKind::Gcc, 1, PredictorKind::Gshare);
+    let profile = collect_profile(&cfg);
+    let (_, point) = tune(&profile, TuneTarget::MinSpec(0.9)).expect("spec target reachable");
+    let out = run(
+        &cfg,
+        &[EstimatorSpec::StaticTuned {
+            target: TuneTargetSpec::MinSpec(0.9),
+        }],
+    );
+    assert_eq!(out.estimators[0].quadrants.committed, point.predicted);
+    assert!(point.predicted.spec() >= 0.9);
+}
+
+/// Reachable targets are met on the measured run; the SPEC=1 target
+/// degenerates to always-low.
+#[test]
+fn tuned_static_meets_reachable_targets() {
+    for target in [
+        TuneTargetSpec::MinSpec(0.8),
+        TuneTargetSpec::MinSpec(1.0),
+        TuneTargetSpec::MinPvn(0.15),
+    ] {
+        let out = run(
+            &RunConfig::paper(WorkloadKind::Go, 1, PredictorKind::Gshare),
+            &[EstimatorSpec::StaticTuned { target }],
+        );
+        let q = out.estimators[0].quadrants.committed;
+        match target {
+            TuneTargetSpec::MinSpec(v) => {
+                assert!(q.spec() >= v - 1e-9, "{target:?}: spec {}", q.spec())
+            }
+            TuneTargetSpec::MinPvn(v) => {
+                assert!(q.pvn() >= v - 1e-9, "{target:?}: pvn {}", q.pvn())
+            }
+        }
+    }
+}
+
+/// Supplying the self-profile explicitly must match automatic
+/// self-profiling exactly, and cross-input profiles produce a valid (if
+/// different) estimator.
+#[test]
+fn explicit_profile_matches_self_profiling() {
+    let cfg = RunConfig::paper(WorkloadKind::Perl, 1, PredictorKind::Gshare);
+    let spec = [EstimatorSpec::Static { threshold: 0.9 }];
+    let auto = run(&cfg, &spec);
+    let own_profile = collect_profile(&cfg);
+    let explicit = cestim::run_with_profile(&cfg, &spec, &own_profile);
+    assert_eq!(
+        auto.estimators[0].quadrants.committed,
+        explicit.estimators[0].quadrants.committed
+    );
+
+    let cross_profile = collect_profile(&cfg.clone().with_input_salt(1));
+    let cross = cestim::run_with_profile(&cfg, &spec, &cross_profile);
+    assert_eq!(
+        cross.estimators[0].quadrants.committed.total(),
+        auto.estimators[0].quadrants.committed.total(),
+        "same evaluated branch stream"
+    );
+}
+
+fn aggregate(specs: &[EstimatorSpec], predictor: PredictorKind) -> Vec<Quadrant> {
+    let mut totals = vec![Quadrant::default(); specs.len()];
+    for w in [WorkloadKind::Gcc, WorkloadKind::Go, WorkloadKind::Perl] {
+        let out = run(&RunConfig::paper(w, 1, predictor), specs);
+        for (t, e) in totals.iter_mut().zip(&out.estimators) {
+            *t += e.quadrants.committed;
+        }
+    }
+    totals
+}
+
+/// The CIR window (14-of-16) trades a little SPEC for a large PVN gain over
+/// the resetting-counter JRS — the design-space point the extension adds.
+#[test]
+fn cir_window_offers_a_higher_pvn_point() {
+    let q = aggregate(
+        &[
+            EstimatorSpec::jrs_paper(),
+            EstimatorSpec::Cir {
+                index_bits: 12,
+                width: 16,
+                threshold: 14,
+                enhanced: true,
+            },
+        ],
+        PredictorKind::Gshare,
+    );
+    let (jrs, cir) = (&q[0], &q[1]);
+    assert!(
+        cir.pvn() > jrs.pvn() + 0.03,
+        "cir pvn {} vs jrs {}",
+        cir.pvn(),
+        jrs.pvn()
+    );
+    assert!(
+        cir.sens() > jrs.sens(),
+        "cir keeps more sensitivity: {} vs {}",
+        cir.sens(),
+        jrs.sens()
+    );
+}
+
+/// A full-window CIR (16-of-16) behaves like the JRS threshold-15 point:
+/// the two one-level designs converge at their strict ends.
+#[test]
+fn strict_cir_approximates_jrs() {
+    let q = aggregate(
+        &[
+            EstimatorSpec::jrs_paper(),
+            EstimatorSpec::Cir {
+                index_bits: 12,
+                width: 16,
+                threshold: 16,
+                enhanced: true,
+            },
+        ],
+        PredictorKind::Gshare,
+    );
+    let (jrs, cir) = (&q[0], &q[1]);
+    for (a, b, m) in [
+        (jrs.sens(), cir.sens(), "sens"),
+        (jrs.spec(), cir.spec(), "spec"),
+        (jrs.pvn(), cir.pvn(), "pvn"),
+    ] {
+        assert!((a - b).abs() < 0.05, "{m}: jrs {a} vs cir {b}");
+    }
+}
+
+/// Eager execution is speculation control, not semantics control — and on
+/// a hard workload with a decent-PVN trigger it genuinely saves cycles.
+#[test]
+fn eager_execution_preserves_semantics_and_pays_off_on_hard_code() {
+    use cestim::PipelineConfig;
+    let spec = EstimatorSpec::jrs_paper();
+    let base = run(
+        &RunConfig::paper(WorkloadKind::Gcc, 1, PredictorKind::Gshare),
+        std::slice::from_ref(&spec),
+    )
+    .stats;
+    let eager = run(
+        &RunConfig {
+            pipeline: PipelineConfig::paper().with_eager(1),
+            ..RunConfig::paper(WorkloadKind::Gcc, 1, PredictorKind::Gshare)
+        },
+        std::slice::from_ref(&spec),
+    )
+    .stats;
+    assert_eq!(eager.committed_insts, base.committed_insts);
+    assert_eq!(eager.committed_branches, base.committed_branches);
+    assert!(eager.eager_forks > 0);
+    assert!(
+        eager.cycles < base.cycles,
+        "eager should win on gcc: {} vs {}",
+        eager.cycles,
+        base.cycles
+    );
+}
+
+/// The structure-aware McFarling JRS is non-inferior to plain enhanced JRS
+/// (within noise) — recorded as a negative result: the extra index bits do
+/// not buy what §5 hoped, because they halve the effective history reach.
+#[test]
+fn jrs_mcfarling_is_non_inferior() {
+    let q = aggregate(
+        &[
+            EstimatorSpec::jrs_paper(),
+            EstimatorSpec::JrsMcFarling {
+                index_bits: 12,
+                threshold: 15,
+            },
+        ],
+        PredictorKind::McFarling,
+    );
+    let (jrs, mcf) = (&q[0], &q[1]);
+    for (a, b, m) in [
+        (jrs.sens(), mcf.sens(), "sens"),
+        (jrs.spec(), mcf.spec(), "spec"),
+        (jrs.pvp(), mcf.pvp(), "pvp"),
+        (jrs.pvn(), mcf.pvn(), "pvn"),
+    ] {
+        assert!(b > a - 0.03, "{m}: jrs-mcf {b} too far below jrs {a}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Serialization round-trips on real simulation output.
+
+use cestim::trace::{read_jsonl, write_jsonl, TraceCollector};
+use cestim::{run_with_observer, EstimatorSpec, PredictorKind, RunConfig, WorkloadKind};
+
+#[test]
+fn trace_of_a_real_run_round_trips_through_jsonl() {
+    let mut collector = TraceCollector::new();
+    let out = run_with_observer(
+        &RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare),
+        &[EstimatorSpec::jrs_paper()],
+        &mut collector,
+    );
+    assert_eq!(collector.len() as u64, out.stats.fetched_branches);
+
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, collector.records()).unwrap();
+    let back = read_jsonl(buf.as_slice()).unwrap();
+    assert_eq!(back, collector.records());
+
+    // Sanity on the content: committed records are in program order by seq,
+    // every record carries exactly one estimate.
+    let committed: Vec<_> = back.iter().filter(|r| r.committed).collect();
+    assert!(committed.windows(2).all(|w| w[0].seq < w[1].seq));
+    assert!(back.iter().all(|r| r.estimates.len() == 1));
+    let mispredicted = back.iter().filter(|r| r.committed && r.mispredicted).count();
+    assert_eq!(mispredicted as u64, out.stats.mispredicted_committed);
+}
+
+#[test]
+fn run_outcome_serializes_to_json() {
+    let out = cestim::run(
+        &RunConfig::paper(WorkloadKind::Ijpeg, 1, PredictorKind::Gshare),
+        &[EstimatorSpec::jrs_paper()],
+    );
+    let s = serde_json::to_string(&out.stats).unwrap();
+    let back: cestim::PipelineStats = serde_json::from_str(&s).unwrap();
+    assert_eq!(back, out.stats);
+
+    let e = serde_json::to_string(&out.estimators).unwrap();
+    assert!(e.contains("c_hc"));
+}
+
+#[test]
+fn programs_serialize_and_reload() {
+    let w = WorkloadKind::Perl.build(1);
+    let s = serde_json::to_string(&w.program).unwrap();
+    let back: cestim::Program = serde_json::from_str(&s).unwrap();
+    assert_eq!(back, w.program);
+    // The reloaded program must run identically.
+    let mut m1 = cestim::Machine::new(&w.program);
+    let mut m2 = cestim::Machine::new(&back);
+    m1.run(&w.program, u64::MAX);
+    m2.run(&back, u64::MAX);
+    assert_eq!(
+        m1.reg(cestim_workloads::CHECKSUM_REG),
+        m2.reg(cestim_workloads::CHECKSUM_REG)
+    );
+}
