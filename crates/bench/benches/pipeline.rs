@@ -24,7 +24,11 @@ fn run(workload: WorkloadKind, cfg: PipelineConfig, estimators: usize) -> u64 {
 fn bench_workload_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline_throughput");
     g.sample_size(10);
-    for w in [WorkloadKind::Compress, WorkloadKind::Go, WorkloadKind::Ijpeg] {
+    for w in [
+        WorkloadKind::Compress,
+        WorkloadKind::Go,
+        WorkloadKind::Ijpeg,
+    ] {
         let insts = run(w, PipelineConfig::paper(), 0);
         g.throughput(Throughput::Elements(insts));
         g.bench_with_input(BenchmarkId::new("gshare", w.name()), &w, |b, &w| {

@@ -15,9 +15,9 @@ fn stream(len: usize) -> Vec<(u32, bool)> {
             x ^= x << 5;
             let pc = 0x100 + (x % 64) * 4;
             let taken = match pc % 3 {
-                0 => true,                 // biased
-                1 => i % 2 == 0,           // alternating
-                _ => x & 0x100 != 0,       // noisy
+                0 => true,           // biased
+                1 => i % 2 == 0,     // alternating
+                _ => x & 0x100 != 0, // noisy
             };
             (pc, taken)
         })

@@ -1,16 +1,35 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures, with optional run telemetry.
 //!
 //! ```text
 //! repro [--scale N] [--out DIR] <experiment>...
 //! repro all
 //! repro --list
+//! repro [--scale N] [--workload NAME] [--trace-out FILE]
+//!       [--metrics-out FILE] [--obs-summary] [<experiment>...]
 //! ```
 //!
 //! Experiments: `fig1 table1 table2 fig3 fig4 fig5 table3 fig6 fig7 fig8
 //! fig9 table4 cluster boost`. Each prints its table/series to stdout and
 //! writes `<out>/<id>.txt` and `<out>/<id>.json` (default `results/`).
+//!
+//! Any of `--trace-out`, `--metrics-out`, `--obs-summary` additionally run
+//! one fully instrumented pipeline pass (default workload `compress`,
+//! gshare predictor, the paper estimator set):
+//!
+//! * `--trace-out FILE` — record every pipeline event and write a JSONL
+//!   trace replayable by `cestim-trace`'s `replay_jsonl`.
+//! * `--metrics-out FILE` — export the full metrics snapshot (counters,
+//!   rates, per-estimator quadrants, phase timings) as JSON.
+//! * `--obs-summary` — print the per-phase wall-clock table and the run's
+//!   key derived rates.
+//!
+//! Every invocation also writes `<out>/telemetry.json` with per-experiment
+//! wall-clock spans and the instrumented run's phase timings.
 
-use cestim_sim::suite;
+use cestim_obs::{render_timing_table, Span, Tracer};
+use cestim_pipeline::NullObserver;
+use cestim_sim::{run_instrumented, suite, EstimatorSpec, PredictorKind, RunConfig};
+use cestim_workloads::WorkloadKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,58 +37,152 @@ struct Args {
     scale: u32,
     out: PathBuf,
     ids: Vec<String>,
+    workload: WorkloadKind,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    obs_summary: bool,
+}
+
+impl Args {
+    fn instrumented(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.obs_summary
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale N] [--out DIR] <experiment>... | all | --list\n\
-         experiments: {}",
-        suite::all_ids().join(" ")
+        "usage: repro [--scale N] [--out DIR] [--workload NAME] [--trace-out FILE]\n\
+         \x20            [--metrics-out FILE] [--obs-summary] <experiment>... | all | --list\n\
+         experiments: {}\n\
+         workloads:   {}",
+        suite::all_ids().join(" "),
+        WorkloadKind::all()
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut scale = 4u32;
-    let mut out = PathBuf::from("results");
-    let mut ids = Vec::new();
+    let mut args = Args {
+        scale: 4,
+        out: PathBuf::from("results"),
+        ids: Vec::new(),
+        workload: WorkloadKind::Compress,
+        trace_out: None,
+        metrics_out: None,
+        obs_summary: false,
+    };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--scale" => {
-                scale = argv
+                args.scale = argv
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
-            "--out" => out = PathBuf::from(argv.next().unwrap_or_else(|| usage())),
+            "--out" => args.out = PathBuf::from(argv.next().unwrap_or_else(|| usage())),
+            "--workload" => {
+                args.workload = argv
+                    .next()
+                    .and_then(|v| WorkloadKind::from_name(&v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--obs-summary" => args.obs_summary = true,
             "--list" => {
                 for id in suite::all_ids() {
                     println!("{id}");
                 }
                 std::process::exit(0);
             }
-            "all" => ids.extend(suite::all_ids().iter().map(|s| s.to_string())),
+            "all" => args
+                .ids
+                .extend(suite::all_ids().iter().map(|s| s.to_string())),
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => usage(),
-            other => ids.push(other.to_string()),
+            other => args.ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
+    if args.ids.is_empty() && !args.instrumented() {
         usage();
     }
-    Args { scale, out, ids }
+    args
+}
+
+/// One instrumented pass: gshare + the paper estimator set on the chosen
+/// workload, with tracing (if requested), phase profiling, and metrics.
+fn run_instrumented_pass(args: &Args) -> std::io::Result<serde_json::Value> {
+    let cfg = RunConfig::paper(args.workload, args.scale, PredictorKind::Gshare);
+    let specs = EstimatorSpec::paper_set(PredictorKind::Gshare);
+    let tracer = if args.trace_out.is_some() {
+        Tracer::unbounded()
+    } else {
+        Tracer::disabled()
+    };
+    let inst = run_instrumented(&cfg, &specs, tracer, &mut NullObserver);
+
+    if let Some(path) = &args.trace_out {
+        let n = cestim_bench::write_trace(path, &inst.tracer)?;
+        println!("[trace: {n} events -> {}]", path.display());
+    }
+    if let Some(path) = &args.metrics_out {
+        cestim_bench::write_metrics(path, &inst.metrics)?;
+        println!("[metrics -> {}]", path.display());
+    }
+    if args.obs_summary {
+        println!(
+            "instrumented run: workload={} predictor=gshare scale={} ({:.2}s)",
+            args.workload.name(),
+            args.scale,
+            inst.wall_seconds
+        );
+        print!("{}", render_timing_table(&inst.phase_timings));
+        println!();
+        print!("{}", cestim_bench::stats_summary(&inst.outcome.stats));
+        for e in &inst.outcome.estimators {
+            let q = e.quadrants.committed;
+            println!(
+                "estimator {:28} pvn={:5.1}% sens={:5.1}%",
+                e.name,
+                q.pvn() * 100.0,
+                q.sens() * 100.0
+            );
+        }
+    }
+
+    Ok(serde_json::json!({
+        "workload": args.workload.name(),
+        "predictor": PredictorKind::Gshare.name(),
+        "scale": args.scale,
+        "wall_seconds": inst.wall_seconds,
+        "trace_events": inst.tracer.len(),
+        "phase_timings": inst.phase_timings,
+        "stats": inst.outcome.stats,
+    }))
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
     let mut failed = false;
+    let mut experiment_spans = Vec::new();
     for id in &args.ids {
-        let start = std::time::Instant::now();
+        let span = Span::begin(id.clone());
         match suite::run_experiment(id, args.scale) {
             Some(r) => {
                 println!("{}\n{}", r.title, r.text);
-                println!("[{} done in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+                let timing = span.end();
+                let seconds = timing.nanos as f64 / 1e9;
+                println!("[{id} done in {seconds:.1}s]\n");
+                experiment_spans.push(serde_json::json!({ "id": id, "seconds": seconds }));
                 if let Err(e) = cestim_bench::write_artifacts(&args.out, id, &r.text, &r.json) {
                     eprintln!("error: failed to write artifacts for {id}: {e}");
                     failed = true;
@@ -81,6 +194,27 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    let mut instrumented = serde_json::Value::Null;
+    if args.instrumented() {
+        match run_instrumented_pass(&args) {
+            Ok(v) => instrumented = v,
+            Err(e) => {
+                eprintln!("error: instrumented run failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let telemetry = serde_json::json!({
+        "experiments": experiment_spans,
+        "instrumented": instrumented,
+    });
+    if let Err(e) = cestim_bench::write_telemetry(&args.out, &telemetry) {
+        eprintln!("error: failed to write telemetry: {e}");
+        failed = true;
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {

@@ -1,21 +1,84 @@
 //! Quick pipeline-throughput smoke check: one gshare+JRS pass per workload.
 //!
 //! ```text
-//! speed [scale]
+//! speed [scale] [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
 //! ```
+//!
+//! Tracing and profiling stay fully disabled unless requested, so the
+//! default invocation measures the uninstrumented pipeline:
+//!
+//! * `--trace-out FILE` — record every workload's events into one JSONL
+//!   trace (replayable by `cestim-trace`).
+//! * `--metrics-out FILE` — export per-workload metrics (labelled by
+//!   workload) as one JSON snapshot.
+//! * `--obs-summary` — profile pipeline phases and print the wall-clock
+//!   table per workload.
 
 use cestim_bpred::Gshare;
+use cestim_obs::{render_timing_table, Registry, TraceWriter, Tracer};
 use cestim_pipeline::{PipelineConfig, Simulator};
 use cestim_workloads::WorkloadKind;
+use std::path::PathBuf;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
-    let scale: u32 = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+struct Args {
+    scale: u32,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    obs_summary: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: speed [scale] [--trace-out FILE] [--metrics-out FILE] [--obs-summary]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 4,
+        trace_out: None,
+        metrics_out: None,
+        obs_summary: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--obs-summary" => args.obs_summary = true,
+            "-h" | "--help" => usage(),
+            other => match other.parse() {
+                Ok(scale) => args.scale = scale,
+                Err(_) => usage(),
+            },
+        }
+    }
+    args
+}
+
+fn run() -> std::io::Result<()> {
+    let args = parse_args();
+    let registry = Registry::new();
+    let mut trace_writer = match &args.trace_out {
+        Some(path) => {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)?;
+            }
+            Some(TraceWriter::new(std::io::BufWriter::new(
+                std::fs::File::create(path)?,
+            )))
+        }
+        None => None,
+    };
+    let scale_label = args.scale.to_string();
+
     for k in WorkloadKind::all() {
-        let w = k.build(scale);
+        let w = k.build(args.scale);
         let t = Instant::now();
         let mut sim = Simulator::new(
             &w.program,
@@ -23,6 +86,12 @@ fn main() {
             Box::new(Gshare::new(12)),
         );
         sim.add_estimator(Box::new(cestim_core::Jrs::paper_enhanced()));
+        if trace_writer.is_some() {
+            sim.set_tracer(Tracer::unbounded());
+        }
+        if args.obs_summary {
+            sim.set_profiling(true);
+        }
         let stats = sim.run_to_completion();
         let dt = t.elapsed().as_secs_f64();
         println!(
@@ -36,5 +105,45 @@ fn main() {
             stats.ipc(),
             stats.fetched_insts as f64 / dt / 1e6
         );
+        if let Some(writer) = &mut trace_writer {
+            for ev in sim.tracer().events() {
+                writer.write(ev)?;
+            }
+        }
+        if args.metrics_out.is_some() {
+            sim.export_metrics(
+                &registry,
+                &[
+                    ("workload", k.name()),
+                    ("predictor", "gshare"),
+                    ("scale", scale_label.as_str()),
+                ],
+            );
+        }
+        if args.obs_summary {
+            print!("{}", render_timing_table(&sim.phase_timings()));
+        }
+    }
+
+    if let Some(writer) = trace_writer {
+        let n = writer.written();
+        writer.finish()?;
+        let path = args.trace_out.as_ref().expect("writer implies path");
+        println!("[trace: {n} events -> {}]", path.display());
+    }
+    if let Some(path) = &args.metrics_out {
+        cestim_bench::write_metrics(path, &registry.snapshot())?;
+        println!("[metrics -> {}]", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -14,6 +14,9 @@
 
 #![warn(missing_docs)]
 
+use cestim_obs::{MetricsSnapshot, Tracer};
+use cestim_pipeline::PipelineStats;
+use std::io::Write;
 use std::path::Path;
 
 /// Writes an experiment's text and JSON artifacts under `dir`.
@@ -36,6 +39,74 @@ pub fn write_artifacts(
     Ok(())
 }
 
+/// Writes a recorded trace as JSONL to `path`; returns the event count.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_trace(path: &Path, tracer: &Tracer) -> std::io::Result<u64> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let n = tracer.export_jsonl(&mut w)?;
+    w.flush()?;
+    Ok(n)
+}
+
+/// Writes a metrics snapshot as pretty-printed JSON to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_metrics(path: &Path, snapshot: &MetricsSnapshot) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, serde_json::to_string_pretty(snapshot)?)
+}
+
+/// Writes `telemetry.json` (experiment spans + instrumented-run detail)
+/// under `dir`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_telemetry(dir: &Path, telemetry: &serde_json::Value) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join("telemetry.json"),
+        serde_json::to_string_pretty(telemetry)?,
+    )
+}
+
+/// Renders the key derived rates of one run as an aligned text block,
+/// using [`PipelineStats`]' rate helpers.
+pub fn stats_summary(stats: &PipelineStats) -> String {
+    format!(
+        "cycles            {:>12}\n\
+         committed insts   {:>12}\n\
+         ipc               {:>12.3}\n\
+         mispredict rate   {:>11.2}%  (committed)\n\
+         speculation ratio {:>12.3}\n\
+         squashed fraction {:>11.2}%\n\
+         gated cycles      {:>11.2}%\n\
+         recoveries/kinst  {:>12.2}\n\
+         icache miss rate  {:>11.2}%\n\
+         dcache miss rate  {:>11.2}%\n",
+        stats.cycles,
+        stats.committed_insts,
+        stats.ipc(),
+        stats.mispredict_rate_committed() * 100.0,
+        stats.speculation_ratio(),
+        stats.squashed_fraction() * 100.0,
+        stats.gated_fraction() * 100.0,
+        stats.recoveries_per_kilo_inst(),
+        stats.icache_miss_rate() * 100.0,
+        stats.dcache_miss_rate() * 100.0,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +121,54 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(dir.join("x.json")).unwrap()).unwrap();
         assert_eq!(j["a"], 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn obs_writers_land_on_disk() {
+        let dir = std::env::temp_dir().join("cestim-bench-obs-test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut tracer = Tracer::unbounded();
+        tracer.record(cestim_obs::TraceEvent::Gate {
+            cycle: 1,
+            low_confidence: 2,
+        });
+        assert_eq!(write_trace(&dir.join("t.jsonl"), &tracer).unwrap(), 1);
+        let lines = std::fs::read_to_string(dir.join("t.jsonl")).unwrap();
+        assert_eq!(lines.lines().count(), 1);
+
+        let reg = cestim_obs::Registry::new();
+        reg.counter("x", &[]).add(3);
+        write_metrics(&dir.join("m.json"), &reg.snapshot()).unwrap();
+        let m: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("m.json")).unwrap()).unwrap();
+        assert!(m.to_string().contains('x'));
+
+        write_telemetry(&dir, &serde_json::json!({ "experiments": [] })).unwrap();
+        let t: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("telemetry.json")).unwrap())
+                .unwrap();
+        assert!(t["experiments"].as_array().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_summary_uses_rate_helpers() {
+        let s = PipelineStats {
+            cycles: 100,
+            committed_insts: 200,
+            fetched_insts: 300,
+            squashed_insts: 100,
+            committed_branches: 40,
+            mispredicted_committed: 4,
+            icache_accesses: 100,
+            icache_misses: 1,
+            dcache_accesses: 100,
+            dcache_misses: 2,
+            ..PipelineStats::default()
+        };
+        let text = stats_summary(&s);
+        assert!(text.contains("2.000"), "{text}"); // ipc
+        assert!(text.contains("10.00%"), "{text}"); // mispredict rate
     }
 }

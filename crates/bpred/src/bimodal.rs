@@ -104,7 +104,10 @@ mod tests {
             p.update(1, true, &pred);
         }
         assert!(p.predict(1, 0).taken);
-        assert!(!p.predict(2, 0).taken, "untrained entry stays weakly not-taken");
+        assert!(
+            !p.predict(2, 0).taken,
+            "untrained entry stays weakly not-taken"
+        );
     }
 
     #[test]
@@ -135,6 +138,9 @@ mod tests {
         }
         let pred = p.predict(pc, 0);
         p.update(pc, false, &pred);
-        assert!(p.predict(pc, 0).taken, "one not-taken does not flip a strong counter");
+        assert!(
+            p.predict(pc, 0).taken,
+            "one not-taken does not flip a strong counter"
+        );
     }
 }

@@ -24,7 +24,10 @@ impl SaturatingCounter {
         assert!((1..=8).contains(&bits), "counter width {bits} out of range");
         let max = ((1u16 << bits) - 1) as u8;
         assert!(initial <= max, "initial value {initial} exceeds max {max}");
-        SaturatingCounter { value: initial, max }
+        SaturatingCounter {
+            value: initial,
+            max,
+        }
     }
 
     /// A 2-bit counter initialized to "weakly not-taken" (1), the

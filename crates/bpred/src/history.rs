@@ -20,7 +20,10 @@ impl HistoryRegister {
     ///
     /// Panics if `width` is 0 or greater than 32.
     pub fn new(width: u32) -> HistoryRegister {
-        assert!((1..=32).contains(&width), "history width {width} out of range");
+        assert!(
+            (1..=32).contains(&width),
+            "history width {width} out of range"
+        );
         HistoryRegister { bits: 0, width }
     }
 

@@ -154,7 +154,9 @@ mod tests {
         run_branch(&mut mc, 0x40, (0..400).map(|i| i % 2 == 0));
         let pred = mc.predict(0x40, 0b0101_0101);
         match pred.info {
-            PredictorInfo::McFarling { chose_gshare, meta, .. } => {
+            PredictorInfo::McFarling {
+                chose_gshare, meta, ..
+            } => {
                 assert!(chose_gshare, "meta={meta} should prefer gshare");
             }
             _ => unreachable!(),
@@ -168,7 +170,9 @@ mod tests {
         mc.update(0x8, true, &pred);
         let after = mc.predict(0x8, 0);
         match after.info {
-            PredictorInfo::McFarling { gshare, bimodal, .. } => {
+            PredictorInfo::McFarling {
+                gshare, bimodal, ..
+            } => {
                 assert_eq!(gshare, 2);
                 assert_eq!(bimodal, 2);
             }

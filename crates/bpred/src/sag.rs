@@ -31,7 +31,10 @@ impl SAg {
     /// Panics if `bht_bits` is 0 or greater than 20, or `history_width` is 0
     /// or greater than 20.
     pub fn new(bht_bits: u32, history_width: u32) -> SAg {
-        assert!((1..=20).contains(&bht_bits), "BHT width {bht_bits} out of range");
+        assert!(
+            (1..=20).contains(&bht_bits),
+            "BHT width {bht_bits} out of range"
+        );
         assert!(
             (1..=20).contains(&history_width),
             "history width {history_width} out of range"

@@ -33,7 +33,11 @@ impl<E: ConfidenceEstimator> Boosted<E> {
     /// Panics if `k == 0`.
     pub fn new(inner: E, k: u32) -> Boosted<E> {
         assert!(k >= 1, "boost factor must be at least 1");
-        Boosted { inner, k, lc_run: 0 }
+        Boosted {
+            inner,
+            k,
+            lc_run: 0,
+        }
     }
 
     /// The boost factor `k`.
@@ -93,7 +97,10 @@ mod tests {
     fn pred() -> Prediction {
         Prediction {
             taken: true,
-            info: PredictorInfo::Bimodal { counter: 0, index: 0 },
+            info: PredictorInfo::Bimodal {
+                counter: 0,
+                index: 0,
+            },
         }
     }
 
@@ -126,7 +133,11 @@ mod tests {
         assert_eq!(b.estimate(0, 0, &pred()), High, "single LC suppressed");
         assert_eq!(b.estimate(0, 0, &pred()), High, "inner HC passes through");
         assert_eq!(b.estimate(0, 0, &pred()), High, "run restarts");
-        assert_eq!(b.estimate(0, 0, &pred()), Low, "second consecutive LC fires");
+        assert_eq!(
+            b.estimate(0, 0, &pred()),
+            Low,
+            "second consecutive LC fires"
+        );
         assert_eq!(b.estimate(0, 0, &pred()), Low, "run continues firing");
     }
 

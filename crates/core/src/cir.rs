@@ -126,7 +126,10 @@ mod tests {
     fn pred(taken: bool) -> Prediction {
         Prediction {
             taken,
-            info: PredictorInfo::Bimodal { counter: 2, index: 0 },
+            info: PredictorInfo::Bimodal {
+                counter: 2,
+                index: 0,
+            },
         }
     }
 
@@ -141,7 +144,11 @@ mod tests {
         let mut c = Cir::new(8, 8, 6, false);
         let (pc, ghr) = (0x20, 0b101);
         for i in 0..6 {
-            assert_eq!(c.estimate(pc, ghr, &pred(true)), Confidence::Low, "after {i}");
+            assert_eq!(
+                c.estimate(pc, ghr, &pred(true)),
+                Confidence::Low,
+                "after {i}"
+            );
             c.update(pc, ghr, &pred(true), true);
         }
         assert_eq!(c.estimate(pc, ghr, &pred(true)), Confidence::High);

@@ -119,10 +119,22 @@ impl ParametricCurve {
     pub fn figure1(steps: u32) -> Vec<ParametricCurve> {
         let mut curves = Vec::new();
         for &(spec, p) in &[(0.7, 0.7), (0.7, 0.9), (0.99, 0.9)] {
-            curves.push(ParametricCurve::sweep(SweptParameter::Sens, 0.0, spec, p, steps));
+            curves.push(ParametricCurve::sweep(
+                SweptParameter::Sens,
+                0.0,
+                spec,
+                p,
+                steps,
+            ));
         }
         for &(sens, p) in &[(0.7, 0.7), (0.7, 0.9), (0.99, 0.9)] {
-            curves.push(ParametricCurve::sweep(SweptParameter::Spec, sens, 0.0, p, steps));
+            curves.push(ParametricCurve::sweep(
+                SweptParameter::Spec,
+                sens,
+                0.0,
+                p,
+                steps,
+            ));
         }
         curves
     }

@@ -83,7 +83,10 @@ mod tests {
     fn pred() -> Prediction {
         Prediction {
             taken: true,
-            info: PredictorInfo::Bimodal { counter: 3, index: 0 },
+            info: PredictorInfo::Bimodal {
+                counter: 3,
+                index: 0,
+            },
         }
     }
 

@@ -142,7 +142,10 @@ mod tests {
     fn dummy_pred() -> Prediction {
         Prediction {
             taken: true,
-            info: PredictorInfo::Bimodal { counter: 3, index: 0 },
+            info: PredictorInfo::Bimodal {
+                counter: 3,
+                index: 0,
+            },
         }
     }
 

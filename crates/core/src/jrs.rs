@@ -149,7 +149,10 @@ mod tests {
     fn pred(taken: bool) -> Prediction {
         Prediction {
             taken,
-            info: PredictorInfo::Bimodal { counter: 2, index: 0 },
+            info: PredictorInfo::Bimodal {
+                counter: 2,
+                index: 0,
+            },
         }
     }
 
@@ -164,7 +167,11 @@ mod tests {
         let mut j = Jrs::new(8, 4, 15, false);
         let (pc, ghr) = (0x10, 0b1010);
         for i in 0..15 {
-            assert_eq!(j.estimate(pc, ghr, &pred(true)), Confidence::Low, "after {i}");
+            assert_eq!(
+                j.estimate(pc, ghr, &pred(true)),
+                Confidence::Low,
+                "after {i}"
+            );
             j.update(pc, ghr, &pred(true), true);
         }
         assert_eq!(j.estimate(pc, ghr, &pred(true)), Confidence::High);

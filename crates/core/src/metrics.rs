@@ -108,7 +108,12 @@ mod tests {
     #[test]
     fn mean_quadrant_weights_benchmarks_equally() {
         // A huge benchmark must not dominate: fractions are averaged.
-        let small = Quadrant { c_hc: 8, i_hc: 1, c_lc: 0, i_lc: 1 }; // acc 0.8
+        let small = Quadrant {
+            c_hc: 8,
+            i_hc: 1,
+            c_lc: 0,
+            i_lc: 1,
+        }; // acc 0.8
         let large = Quadrant {
             c_hc: 4000,
             i_hc: 3000,
@@ -121,7 +126,12 @@ mod tests {
 
     #[test]
     fn mean_of_identical_quadrants_is_identity() {
-        let q = Quadrant { c_hc: 61, i_hc: 2, c_lc: 19, i_lc: 18 };
+        let q = Quadrant {
+            c_hc: 61,
+            i_hc: 2,
+            c_lc: 19,
+            i_lc: 18,
+        };
         let m = mean_quadrant(&[q, q, q]);
         let direct = MetricSummary::from_quadrant(&q);
         assert!((m.sens - direct.sens).abs() < 1e-12);
@@ -131,8 +141,18 @@ mod tests {
     #[test]
     fn mean_differs_from_metric_averaging() {
         // The paper's prescription: mean the cells, then take ratios.
-        let a = Quadrant { c_hc: 90, i_hc: 0, c_lc: 0, i_lc: 10 };
-        let b = Quadrant { c_hc: 10, i_hc: 40, c_lc: 10, i_lc: 40 };
+        let a = Quadrant {
+            c_hc: 90,
+            i_hc: 0,
+            c_lc: 0,
+            i_lc: 10,
+        };
+        let b = Quadrant {
+            c_hc: 10,
+            i_hc: 40,
+            c_lc: 10,
+            i_lc: 40,
+        };
         let m = mean_quadrant(&[a, b]);
         let naive = (a.pvp() + b.pvp()) / 2.0;
         assert!((m.pvp - naive).abs() > 0.05, "cell averaging must differ");
@@ -166,7 +186,12 @@ mod tests {
 
     #[test]
     fn summary_display_is_percentages() {
-        let q = Quadrant { c_hc: 61, i_hc: 2, c_lc: 19, i_lc: 18 };
+        let q = Quadrant {
+            c_hc: 61,
+            i_hc: 2,
+            c_lc: 19,
+            i_lc: 18,
+        };
         let s = MetricSummary::from_quadrant(&q).to_string();
         assert!(s.contains("76.2%"), "{s}");
         assert!(s.contains("90.0%"), "{s}");

@@ -38,7 +38,10 @@ impl PatternHistory {
     ///
     /// Panics if `width` is not in `2..=32`.
     pub fn new(width: u32) -> PatternHistory {
-        assert!((2..=32).contains(&width), "pattern width {width} out of range");
+        assert!(
+            (2..=32).contains(&width),
+            "pattern width {width} out of range"
+        );
         let mask = if width == 32 {
             u32::MAX
         } else {

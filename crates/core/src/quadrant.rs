@@ -229,7 +229,10 @@ mod tests {
         let mut q = PAPER;
         q += PAPER;
         assert_eq!(q.total(), 200);
-        assert!((q.sens() - PAPER.sens()).abs() < 1e-12, "metrics scale-invariant");
+        assert!(
+            (q.sens() - PAPER.sens()).abs() < 1e-12,
+            "metrics scale-invariant"
+        );
     }
 
     #[test]

@@ -51,9 +51,7 @@ impl ProfileCollector {
 
     /// Profiled prediction accuracy of the branch at `pc`, if seen.
     pub fn accuracy(&self, pc: u32) -> Option<f64> {
-        self.counts
-            .get(&pc)
-            .map(|&(c, t)| c as f64 / t as f64)
+        self.counts.get(&pc).map(|&(c, t)| c as f64 / t as f64)
     }
 
     /// Builds the static estimator: branches with profiled accuracy
@@ -134,7 +132,10 @@ mod tests {
     fn pred() -> Prediction {
         Prediction {
             taken: true,
-            info: PredictorInfo::Bimodal { counter: 3, index: 0 },
+            info: PredictorInfo::Bimodal {
+                counter: 3,
+                index: 0,
+            },
         }
     }
 

@@ -76,7 +76,11 @@ pub fn tuning_frontier(profile: &ProfileCollector) -> Vec<TunePoint> {
             i += 1;
         }
         // Threshold just above `acc` puts every site up to here in LC.
-        let threshold = if i < sites.len() { sites[i].0 } else { acc + f64::EPSILON };
+        let threshold = if i < sites.len() {
+            sites[i].0
+        } else {
+            acc + f64::EPSILON
+        };
         points.push(TunePoint {
             threshold,
             predicted: Quadrant {
@@ -110,9 +114,7 @@ pub fn tune(profile: &ProfileCollector, target: TuneTarget) -> Option<(StaticPro
             // goal.
             frontier
                 .into_iter()
-                .filter(|p| {
-                    p.predicted.c_lc + p.predicted.i_lc > 0 && p.predicted.pvn() >= goal
-                })
+                .filter(|p| p.predicted.c_lc + p.predicted.i_lc > 0 && p.predicted.pvn() >= goal)
                 .max_by(|a, b| {
                     (a.predicted.c_lc + a.predicted.i_lc)
                         .cmp(&(b.predicted.c_lc + b.predicted.i_lc))
@@ -174,7 +176,10 @@ mod tests {
         let (_, p) = tune(&profile(), TuneTarget::MinPvn(0.4)).unwrap();
         assert!((p.predicted.pvn() - 0.5).abs() < 1e-12);
         let (_, p) = tune(&profile(), TuneTarget::MinPvn(0.25)).unwrap();
-        assert!((p.predicted.pvn() - 0.3).abs() < 1e-12, "bigger coverage point");
+        assert!(
+            (p.predicted.pvn() - 0.3).abs() < 1e-12,
+            "bigger coverage point"
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
             continue;
         }
 
-        if let Some(rest) = text.strip_prefix(".data").or_else(|| text.strip_prefix(".zero")) {
+        if let Some(rest) = text
+            .strip_prefix(".data")
+            .or_else(|| text.strip_prefix(".zero"))
+        {
             let zero = text.starts_with(".zero");
             let Some((name, values)) = rest.split_once(':') else {
                 return err(lineno, "expected `.data name: values...`");
@@ -91,13 +94,10 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
                 return err(lineno, format!("data symbol '{name}' defined twice"));
             }
             let words: Vec<u32> = if zero {
-                let n: u32 = values
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError {
-                        line: lineno,
-                        message: format!("bad length '{}'", values.trim()),
-                    })?;
+                let n: u32 = values.trim().parse().map_err(|_| ParseError {
+                    line: lineno,
+                    message: format!("bad length '{}'", values.trim()),
+                })?;
                 vec![0; n as usize]
             } else {
                 values
@@ -128,7 +128,10 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
             if !is_ident(name) {
                 break; // not a label; let operand parsing complain
             }
-            if labels.insert(name.to_string(), lines.len() as u32).is_some() {
+            if labels
+                .insert(name.to_string(), lines.len() as u32)
+                .is_some()
+            {
                 return err(lineno, format!("label '{name}' defined twice"));
             }
             text = rest[1..].trim();
@@ -160,7 +163,9 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -182,14 +187,13 @@ fn reg(line: usize, s: &str) -> Result<Reg, ParseError> {
 }
 
 fn split_operands(s: &str) -> Vec<&str> {
-    s.split(',').map(str::trim).filter(|p| !p.is_empty()).collect()
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect()
 }
 
-fn immediate(
-    line: usize,
-    s: &str,
-    symbols: &HashMap<String, u32>,
-) -> Result<i32, ParseError> {
+fn immediate(line: usize, s: &str, symbols: &HashMap<String, u32>) -> Result<i32, ParseError> {
     if let Some(v) = parse_int(s) {
         return Ok(v as i32);
     }
@@ -199,11 +203,7 @@ fn immediate(
     err(line, format!("bad immediate or unknown symbol '{s}'"))
 }
 
-fn target(
-    line: usize,
-    s: &str,
-    labels: &HashMap<String, u32>,
-) -> Result<u32, ParseError> {
+fn target(line: usize, s: &str, labels: &HashMap<String, u32>) -> Result<u32, ParseError> {
     labels
         .get(s.trim())
         .copied()
@@ -304,7 +304,11 @@ fn emit(
         "beqz" | "bnez" => {
             n_ops(2)?;
             Ok(Inst::Branch {
-                cond: if mnemonic == "beqz" { Cond::Eq } else { Cond::Ne },
+                cond: if mnemonic == "beqz" {
+                    Cond::Eq
+                } else {
+                    Cond::Ne
+                },
                 rs1: reg(line, ops[0])?,
                 rs2: Reg::ZERO,
                 target: target(line, ops[1], labels)?,
@@ -513,7 +517,10 @@ mod tests {
 
     #[test]
     fn duplicate_labels_and_symbols_rejected() {
-        assert!(parse_asm("a:\na:\nhalt\n").unwrap_err().message.contains("twice"));
+        assert!(parse_asm("a:\na:\nhalt\n")
+            .unwrap_err()
+            .message
+            .contains("twice"));
         assert!(parse_asm(".data x: 1\n.data x: 2\nhalt\n")
             .unwrap_err()
             .message

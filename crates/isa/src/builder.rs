@@ -107,7 +107,10 @@ impl ProgramBuilder {
     /// Allocates `len` zeroed words, returning the base word address.
     pub fn alloc_zeroed(&mut self, len: u32) -> u32 {
         let base = self.next_data;
-        self.next_data = self.next_data.checked_add(len).expect("data segment overflow");
+        self.next_data = self
+            .next_data
+            .checked_add(len)
+            .expect("data segment overflow");
         // Zero is the default memory value; recording the block anyway keeps
         // the program image self-describing.
         self.data.push(DataBlock {
@@ -139,10 +142,8 @@ impl ProgramBuilder {
             return Err(BuildError::EmptyProgram);
         }
         for &(at, label) in &self.patches {
-            let target = self.labels[label.0].ok_or(BuildError::UnboundLabel {
-                label: label.0,
-                at,
-            })?;
+            let target =
+                self.labels[label.0].ok_or(BuildError::UnboundLabel { label: label.0, at })?;
             match &mut self.insts[at] {
                 Inst::Branch { target: t, .. }
                 | Inst::Jump { target: t }
@@ -157,84 +158,184 @@ impl ProgramBuilder {
 
     /// `rd = rs1 + rs2`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 - rs2`.
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 & rs2`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::And, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 | rs2`.
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 ^ rs2`.
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 << (rs2 & 31)`.
     pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 >> (rs2 & 31)` (logical).
     pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 * rs2` (wrapping).
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 / rs2` (signed; `0` when `rs2 == 0`).
     pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Div, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 % rs2` (signed; `0` when `rs2 == 0`).
     pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Rem, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Rem,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = (rs1 < rs2) as u32` (signed).
     pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+        self.emit(Inst::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 + imm`.
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Inst::AluImm { op: AluOp::Add, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 & imm`.
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Inst::AluImm { op: AluOp::And, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 ^ imm`.
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 | imm`.
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Inst::AluImm { op: AluOp::Or, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 << imm`.
     pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 >> imm` (logical).
     pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 * imm`.
     pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Inst::AluImm { op: AluOp::Mul, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 % imm`.
     pub fn remi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Inst::AluImm { op: AluOp::Rem, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Rem,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = (rs1 < imm) as u32` (signed).
     pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.emit(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm });
+        self.emit(Inst::AluImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = imm`.
     pub fn li(&mut self, rd: Reg, imm: i32) {
@@ -264,7 +365,15 @@ impl ProgramBuilder {
 
     /// Conditional branch with an explicit condition.
     pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) {
-        self.emit_patched(Inst::Branch { cond, rs1, rs2, target: u32::MAX }, target);
+        self.emit_patched(
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target: u32::MAX,
+            },
+            target,
+        );
     }
     /// Branch if equal.
     pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) {
@@ -357,7 +466,10 @@ mod tests {
 
     #[test]
     fn empty_program_is_an_error() {
-        assert_eq!(ProgramBuilder::new().build().unwrap_err(), BuildError::EmptyProgram);
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            BuildError::EmptyProgram
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::UnboundLabel { label, at } => {
-                write!(f, "label {label} referenced at instruction {at} was never bound")
+                write!(
+                    f,
+                    "label {label} referenced at instruction {at} was never bound"
+                )
             }
             BuildError::RebindLabel { label } => write!(f, "label {label} bound twice"),
             BuildError::EmptyProgram => f.write_str("program contains no instructions"),
@@ -47,7 +50,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_specific() {
         let e = BuildError::UnboundLabel { label: 3, at: 17 };
-        assert_eq!(e.to_string(), "label 3 referenced at instruction 17 was never bound");
+        assert_eq!(
+            e.to_string(),
+            "label 3 referenced at instruction 17 was never bound"
+        );
         assert!(BuildError::EmptyProgram.to_string().starts_with("program"));
     }
 

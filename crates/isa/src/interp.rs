@@ -227,11 +227,20 @@ impl Machine {
                 self.pc = next;
                 Step::Store { addr }
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let taken = cond.eval(self.reg(rs1), self.reg(rs2));
                 let followed = force.unwrap_or(taken);
                 self.pc = if followed { target } else { next };
-                Step::Branch { taken, followed, target }
+                Step::Branch {
+                    taken,
+                    followed,
+                    target,
+                }
             }
             Inst::Jump { target } => {
                 self.pc = target;
@@ -397,7 +406,11 @@ mod tests {
         // We are on the wrong path.
         assert_eq!(m.pc(), 2);
         m.step(&p);
-        assert_eq!(m.reg(Reg::T1), 100, "wrong-path effects are visible until rollback");
+        assert_eq!(
+            m.reg(Reg::T1),
+            100,
+            "wrong-path effects are visible until rollback"
+        );
     }
 
     #[test]
@@ -521,9 +534,6 @@ mod tests {
         assert_eq!(m.reg(Reg::T1), 3);
         assert_eq!(m.reg(Reg::T2), 1);
         // Spot-check the encoding directly.
-        assert!(matches!(
-            p.insts()[1],
-            Inst::AluImm { op: AluOp::Rem, .. }
-        ));
+        assert!(matches!(p.insts()[1], Inst::AluImm { op: AluOp::Rem, .. }));
     }
 }

@@ -94,7 +94,10 @@ impl SparseMemory {
         while self.undo_base + self.undo.len() as u64 > mark.0 {
             let (addr, old) = self.undo.pop_back().expect("undo log underflow");
             // Restore directly; the page must exist because it was written.
-            let page = self.pages.get_mut(&(addr >> PAGE_BITS)).expect("page vanished");
+            let page = self
+                .pages
+                .get_mut(&(addr >> PAGE_BITS))
+                .expect("page vanished");
             page[(addr & OFFSET_MASK) as usize] = old;
         }
     }

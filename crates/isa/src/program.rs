@@ -95,7 +95,10 @@ mod tests {
     fn tiny() -> Program {
         Program::from_parts(
             vec![
-                Inst::Li { rd: Reg::T0, imm: 1 },
+                Inst::Li {
+                    rd: Reg::T0,
+                    imm: 1,
+                },
                 Inst::Alu {
                     op: AluOp::Add,
                     rd: Reg::T1,

@@ -121,8 +121,8 @@ pub mod regs {
         };
     }
     free_regs!(
-        ZERO, RA, SP, A0, A1, A2, A3, A4, A5, A6, A7, T0, T1, T2, T3, T4, T5, T6, T7, S0, S1,
-        S2, S3, S4, S5, S6, S7, U0, U1, U2, U3, U4,
+        ZERO, RA, SP, A0, A1, A2, A3, A4, A5, A6, A7, T0, T1, T2, T3, T4, T5, T6, T7, S0, S1, S2,
+        S3, S4, S5, S6, S7, U0, U1, U2, U3, U4,
     );
 }
 

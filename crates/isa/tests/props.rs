@@ -97,9 +97,16 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
         (op.clone(), reg.clone(), reg.clone(), reg.clone())
             .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
-        (op, reg.clone(), reg.clone(), any::<i16>())
-            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm: imm as i32 }),
-        (reg.clone(), any::<i16>()).prop_map(|(rd, imm)| Inst::Li { rd, imm: imm as i32 }),
+        (op, reg.clone(), reg.clone(), any::<i16>()).prop_map(|(op, rd, rs1, imm)| Inst::AluImm {
+            op,
+            rd,
+            rs1,
+            imm: imm as i32
+        }),
+        (reg.clone(), any::<i16>()).prop_map(|(rd, imm)| Inst::Li {
+            rd,
+            imm: imm as i32
+        }),
         // Loads/stores into a small window to exercise the same pages.
         (reg.clone(), reg.clone(), 0i32..64).prop_map(|(rd, base, off)| Inst::Load {
             rd,

@@ -1,0 +1,37 @@
+//! # cestim-obs
+//!
+//! Observability substrate for the cestim workspace: a metrics registry,
+//! a structured event tracer, and wall-clock profiling spans.
+//!
+//! The paper's entire contribution is *measurement* — quadrant counts,
+//! SENS/SPEC/PVP/PVN, misprediction-distance histograms over the
+//! speculative branch stream — so the simulator needs first-class
+//! telemetry rather than ad-hoc counters:
+//!
+//! * [`Registry`] — named [`Counter`] / [`Gauge`] / log2-bucketed
+//!   [`Histogram`] handles with `(key, value)` labels, snapshotable to a
+//!   serializable [`MetricsSnapshot`]. Handles touch atomics only; the
+//!   registry lock is taken at registration time.
+//! * [`Tracer`] — a bounded ring buffer of owned [`TraceEvent`]s
+//!   (fetch/predict/resolve/commit/squash/recovery/gate) behind a
+//!   near-zero-cost [`Tracer::enabled`] guard, with JSONL export
+//!   ([`TraceWriter`]) and a reader ([`read_trace_jsonl`]) so analyses can
+//!   replay a recorded run post-hoc.
+//! * [`Span`] / [`ScopedTimer`] / [`PhaseProfiler`] — wall-clock profiling
+//!   around pipeline phases and suite experiments, rendered with
+//!   [`render_timing_table`].
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod span;
+mod trace;
+
+pub use metrics::{
+    Counter, FloatGauge, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricSample,
+    MetricValue, MetricsSnapshot, Registry, BUCKET_COUNT,
+};
+pub use span::{
+    render_timing_table, PhaseId, PhaseProfiler, PhaseTiming, ScopedTimer, Span, SpanTiming,
+};
+pub use trace::{read_trace_jsonl, TraceEvent, TraceWriter, Tracer};

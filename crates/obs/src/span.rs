@@ -1,0 +1,263 @@
+//! Wall-clock profiling: RAII spans, scoped timers, and a start/stop
+//! phase profiler for tight simulator loops.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A named wall-clock interval, closed explicitly with [`Span::end`].
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span now.
+    pub fn begin(name: impl Into<String>) -> Span {
+        Span {
+            name: name.into(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Ends the span, returning its timing.
+    pub fn end(self) -> SpanTiming {
+        SpanTiming {
+            name: self.name,
+            nanos: self.start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// Result of a closed [`Span`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanTiming {
+    /// Span name.
+    pub name: String,
+    /// Elapsed wall-clock nanoseconds.
+    pub nanos: u64,
+}
+
+/// RAII timer accumulating elapsed nanoseconds into a caller-owned slot on
+/// drop. Useful where the accumulator outlives the timed scope:
+///
+/// ```
+/// let mut nanos = 0u64;
+/// {
+///     let _t = cestim_obs::ScopedTimer::new(&mut nanos);
+///     // ... timed work ...
+/// }
+/// // `nanos` now holds the elapsed time.
+/// ```
+#[derive(Debug)]
+pub struct ScopedTimer<'a> {
+    acc: &'a mut u64,
+    start: Instant,
+}
+
+impl<'a> ScopedTimer<'a> {
+    /// Starts timing into `acc`.
+    pub fn new(acc: &'a mut u64) -> ScopedTimer<'a> {
+        ScopedTimer {
+            acc,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        *self.acc += self.start.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Accumulated wall-clock time for one named phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name (e.g. `fetch`, `resolve`, `commit`).
+    pub name: String,
+    /// Total elapsed nanoseconds.
+    pub nanos: u64,
+    /// Number of timed entries.
+    pub calls: u64,
+}
+
+/// Start/stop phase profiler for loops where an RAII guard would fight the
+/// borrow checker (e.g. `Simulator::step` timing its own `&mut self`
+/// phases). Disabled profilers cost one branch per phase.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    enabled: bool,
+    phases: Vec<PhaseAcc>,
+}
+
+#[derive(Debug)]
+struct PhaseAcc {
+    name: &'static str,
+    nanos: u64,
+    calls: u64,
+}
+
+/// Handle naming a registered phase (index into the profiler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseId(usize);
+
+impl PhaseProfiler {
+    /// Creates a profiler; a disabled one records nothing.
+    pub fn new(enabled: bool) -> PhaseProfiler {
+        PhaseProfiler {
+            enabled,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Whether timing is being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or finds) a phase by name.
+    pub fn phase(&mut self, name: &'static str) -> PhaseId {
+        if let Some(i) = self.phases.iter().position(|p| p.name == name) {
+            return PhaseId(i);
+        }
+        self.phases.push(PhaseAcc {
+            name,
+            nanos: 0,
+            calls: 0,
+        });
+        PhaseId(self.phases.len() - 1)
+    }
+
+    /// Starts a measurement (`None` when disabled — pass it to [`stop`]).
+    ///
+    /// [`stop`]: PhaseProfiler::stop
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a measurement begun with [`start`](PhaseProfiler::start).
+    #[inline]
+    pub fn stop(&mut self, phase: PhaseId, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let acc = &mut self.phases[phase.0];
+            acc.nanos += t0.elapsed().as_nanos() as u64;
+            acc.calls += 1;
+        }
+    }
+
+    /// Accumulated timings in registration order.
+    pub fn timings(&self) -> Vec<PhaseTiming> {
+        self.phases
+            .iter()
+            .map(|p| PhaseTiming {
+                name: p.name.to_string(),
+                nanos: p.nanos,
+                calls: p.calls,
+            })
+            .collect()
+    }
+}
+
+/// Renders phase timings as an aligned text table.
+pub fn render_timing_table(timings: &[PhaseTiming]) -> String {
+    let total: u64 = timings.iter().map(|t| t.nanos).sum();
+    let name_w = timings
+        .iter()
+        .map(|t| t.name.len())
+        .chain(["phase".len()])
+        .max()
+        .unwrap_or(5);
+    let mut out = format!(
+        "{:<name_w$}  {:>12}  {:>10}  {:>6}\n",
+        "phase", "total ms", "calls", "share"
+    );
+    for t in timings {
+        let share = if total == 0 {
+            0.0
+        } else {
+            t.nanos as f64 / total as f64 * 100.0
+        };
+        out.push_str(&format!(
+            "{:<name_w$}  {:>12.3}  {:>10}  {share:>5.1}%\n",
+            t.name,
+            t.nanos as f64 / 1e6,
+            t.calls
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_timer_accumulates() {
+        let mut nanos = 0u64;
+        {
+            let _t = ScopedTimer::new(&mut nanos);
+            std::hint::black_box((0..1000).sum::<u64>());
+        }
+        // Time passed (can be small, but the drop ran).
+        let first = nanos;
+        {
+            let _t = ScopedTimer::new(&mut nanos);
+        }
+        assert!(nanos >= first);
+    }
+
+    #[test]
+    fn profiler_records_only_when_enabled() {
+        let mut off = PhaseProfiler::new(false);
+        let p = off.phase("fetch");
+        let t0 = off.start();
+        assert!(t0.is_none());
+        off.stop(p, t0);
+        assert_eq!(off.timings()[0].calls, 0);
+
+        let mut on = PhaseProfiler::new(true);
+        let p = on.phase("fetch");
+        let t0 = on.start();
+        on.stop(p, t0);
+        let t = on.timings();
+        assert_eq!(t[0].name, "fetch");
+        assert_eq!(t[0].calls, 1);
+    }
+
+    #[test]
+    fn phase_ids_are_stable() {
+        let mut prof = PhaseProfiler::new(true);
+        let a = prof.phase("a");
+        let b = prof.phase("b");
+        assert_ne!(a, b);
+        assert_eq!(prof.phase("a"), a);
+    }
+
+    #[test]
+    fn span_and_table() {
+        let s = Span::begin("experiment");
+        let timing = s.end();
+        assert_eq!(timing.name, "experiment");
+        let table = render_timing_table(&[
+            PhaseTiming {
+                name: "fetch".into(),
+                nanos: 1_000_000,
+                calls: 10,
+            },
+            PhaseTiming {
+                name: "resolve".into(),
+                nanos: 3_000_000,
+                calls: 10,
+            },
+        ]);
+        assert!(table.contains("fetch"));
+        assert!(table.contains("75.0%"));
+    }
+}

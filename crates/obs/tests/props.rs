@@ -1,0 +1,83 @@
+//! Property tests for the log2 histogram bucketing.
+
+use cestim_obs::{Histogram, HistogramSnapshot, Registry};
+use proptest::collection::vec;
+use proptest::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+fn fresh_histogram(reg: &Registry, name: &str) -> Histogram {
+    reg.histogram(name, &[])
+}
+
+fn histogram_of(samples: &[u64]) -> HistogramSnapshot {
+    let reg = Registry::new();
+    let h = fresh_histogram(&reg, "h");
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every sample lands in exactly one bucket, and that bucket's bounds
+    /// contain it.
+    #[test]
+    fn each_sample_lands_in_exactly_one_bucket(v in any::<u64>()) {
+        let snap = histogram_of(&[v]);
+        prop_assert_eq!(snap.count, 1);
+        prop_assert_eq!(snap.sum, v);
+        let holding: Vec<_> = snap
+            .buckets
+            .iter()
+            .filter(|b| b.low <= v && v <= b.high)
+            .collect();
+        prop_assert_eq!(holding.len(), 1);
+        prop_assert_eq!(holding[0].count, 1);
+        // No stray counts anywhere else.
+        let total: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, 1);
+    }
+
+    /// Bucket ranges in a snapshot are disjoint and sorted, and counts sum
+    /// to the sample count.
+    #[test]
+    fn buckets_are_disjoint_sorted_and_complete(
+        samples in vec(any::<u64>(), 0..200usize),
+    ) {
+        let snap = histogram_of(&samples);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().fold(0u64, |a, &s| a.wrapping_add(s)));
+        let total: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, samples.len() as u64);
+        for w in snap.buckets.windows(2) {
+            prop_assert!(w[0].high < w[1].low, "overlapping or unsorted buckets");
+        }
+        for b in &snap.buckets {
+            prop_assert!(b.low <= b.high);
+            prop_assert!(b.count > 0, "snapshot must omit empty buckets");
+        }
+    }
+
+    /// Merging the snapshots of two histograms equals the snapshot of one
+    /// histogram fed the concatenated samples.
+    #[test]
+    fn merge_equals_histogram_of_concatenation(
+        a in vec(any::<u64>(), 0..100usize),
+        b in vec(any::<u64>(), 0..100usize),
+    ) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, histogram_of(&concat));
+    }
+
+    /// Recording order doesn't matter: a reversed sample stream yields the
+    /// identical snapshot.
+    #[test]
+    fn snapshot_is_order_independent(samples in vec(any::<u64>(), 0..150usize)) {
+        let mut rev = samples.clone();
+        rev.reverse();
+        prop_assert_eq!(histogram_of(&samples), histogram_of(&rev));
+    }
+}

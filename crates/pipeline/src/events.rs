@@ -74,6 +74,33 @@ pub struct OutcomeEvent<'a> {
     pub estimates: &'a [Confidence],
 }
 
+/// A misprediction recovery: the checkpoint rewind after a mispredicted
+/// branch resolves, with everything younger squashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Fetch-order sequence number of the mispredicted branch.
+    pub seq: u64,
+    /// Its PC.
+    pub pc: u32,
+    /// Cycle the recovery happened (the resolution cycle).
+    pub cycle: u64,
+    /// Younger speculative branches squashed by the rewind.
+    pub squashed: u32,
+    /// Extra penalty cycles charged (0 when an eager fork covered the
+    /// misprediction).
+    pub penalty: u64,
+}
+
+/// Fetch stalled for one cycle by confidence-driven pipeline gating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateEvent {
+    /// The stalled cycle.
+    pub cycle: u64,
+    /// Low-confidence unresolved branches in flight (at or above the
+    /// configured gate threshold).
+    pub low_confidence: u32,
+}
+
 /// Passive observer of pipeline events.
 ///
 /// All methods default to no-ops; implement only what an analysis needs.
@@ -92,6 +119,16 @@ pub trait SimObserver {
 
     /// A branch reached its final disposition (commit or squash).
     fn on_branch_outcome(&mut self, ev: &OutcomeEvent<'_>) {
+        let _ = ev;
+    }
+
+    /// A misprediction recovery rewound the machine.
+    fn on_recovery(&mut self, ev: &RecoveryEvent) {
+        let _ = ev;
+    }
+
+    /// Pipeline gating stalled fetch this cycle.
+    fn on_fetch_gated(&mut self, ev: &GateEvent) {
         let _ = ev;
     }
 }
@@ -130,6 +167,16 @@ impl SimObserver for MultiObserver<'_> {
             o.on_branch_outcome(ev);
         }
     }
+    fn on_recovery(&mut self, ev: &RecoveryEvent) {
+        for o in &mut self.observers {
+            o.on_recovery(ev);
+        }
+    }
+    fn on_fetch_gated(&mut self, ev: &GateEvent) {
+        for o in &mut self.observers {
+            o.on_fetch_gated(ev);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +188,8 @@ mod tests {
         predicted: u32,
         resolved: u32,
         outcomes: u32,
+        recoveries: u32,
+        gated: u32,
     }
 
     impl SimObserver for Counter {
@@ -152,6 +201,12 @@ mod tests {
         }
         fn on_branch_outcome(&mut self, _: &OutcomeEvent<'_>) {
             self.outcomes += 1;
+        }
+        fn on_recovery(&mut self, _: &RecoveryEvent) {
+            self.recoveries += 1;
+        }
+        fn on_fetch_gated(&mut self, _: &GateEvent) {
+            self.gated += 1;
         }
     }
 
@@ -184,6 +239,17 @@ mod tests {
             ghr: 0,
             estimates: &[],
         });
+        obs.on_recovery(&RecoveryEvent {
+            seq: 0,
+            pc: 4,
+            cycle: 13,
+            squashed: 2,
+            penalty: 3,
+        });
+        obs.on_fetch_gated(&GateEvent {
+            cycle: 14,
+            low_confidence: 1,
+        });
     }
 
     #[test]
@@ -203,6 +269,8 @@ mod tests {
             assert_eq!(c.predicted, 1);
             assert_eq!(c.resolved, 1);
             assert_eq!(c.outcomes, 1);
+            assert_eq!(c.recoveries, 1);
+            assert_eq!(c.gated, 1);
         }
     }
 }

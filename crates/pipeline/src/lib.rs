@@ -37,7 +37,8 @@ mod stats;
 pub use cache::{Cache, CacheAccess};
 pub use config::{CacheConfig, PipelineConfig};
 pub use events::{
-    MultiObserver, NullObserver, OutcomeEvent, PredictEvent, ResolveEvent, SimObserver,
+    GateEvent, MultiObserver, NullObserver, OutcomeEvent, PredictEvent, RecoveryEvent,
+    ResolveEvent, SimObserver,
 };
 pub use simulator::Simulator;
 pub use smt::{FetchPolicy, SmtSimulator, SmtStats};

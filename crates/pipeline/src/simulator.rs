@@ -1,10 +1,12 @@
 //! The speculative pipeline simulator.
 
 use crate::{Cache, EstimatorQuadrants, PipelineConfig, PipelineStats};
-use crate::{NullObserver, OutcomeEvent, PredictEvent, ResolveEvent, SimObserver};
+use crate::{GateEvent, NullObserver, OutcomeEvent, PredictEvent, RecoveryEvent};
+use crate::{ResolveEvent, SimObserver};
 use cestim_bpred::{BranchPredictor, HistoryRegister, Prediction};
 use cestim_core::{Confidence, ConfidenceEstimator};
 use cestim_isa::{AluOp, Checkpoint, Inst, Machine, Program, Reg, Step};
+use cestim_obs::{PhaseProfiler, PhaseTiming, Registry, TraceEvent, Tracer};
 use std::collections::VecDeque;
 
 /// One speculatively fetched, not-yet-committed conditional branch.
@@ -102,6 +104,8 @@ pub struct Simulator<'p> {
     arch_insts: u64,
     arch_branches: u64,
     stats: PipelineStats,
+    tracer: Tracer,
+    profiler: PhaseProfiler,
 }
 
 impl<'p> Simulator<'p> {
@@ -147,6 +151,100 @@ impl<'p> Simulator<'p> {
             arch_insts: 0,
             arch_branches: 0,
             stats: PipelineStats::default(),
+            tracer: Tracer::disabled(),
+            profiler: PhaseProfiler::default(),
+        }
+    }
+
+    /// Installs an event tracer; subsequent pipeline events are recorded
+    /// into it, mirroring the [`SimObserver`] stream. Pass
+    /// [`Tracer::disabled`] to turn tracing back off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Removes and returns the tracer, leaving tracing disabled.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// Enables (or disables) per-phase wall-clock profiling of
+    /// [`step_cycle`](Simulator::step_cycle)'s resolve/commit/fetch phases.
+    /// Resets any previously accumulated timings.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiler = PhaseProfiler::new(enabled);
+    }
+
+    /// Accumulated per-phase wall-clock timings (empty unless profiling was
+    /// enabled).
+    pub fn phase_timings(&self) -> Vec<PhaseTiming> {
+        self.profiler.timings()
+    }
+
+    /// Exports the run's statistics, per-estimator quadrants, and phase
+    /// timings into `registry` under the given base labels. Call after the
+    /// run completes (counters like `pipeline.cycles` are finalized by
+    /// [`run`](Simulator::run) / [`finish`](Simulator::finish)).
+    pub fn export_metrics(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        let s = &self.stats;
+        for (name, v) in [
+            ("pipeline.cycles", s.cycles),
+            ("pipeline.fetched_insts", s.fetched_insts),
+            ("pipeline.committed_insts", s.committed_insts),
+            ("pipeline.squashed_insts", s.squashed_insts),
+            ("pipeline.fetched_branches", s.fetched_branches),
+            ("pipeline.committed_branches", s.committed_branches),
+            ("pipeline.squashed_branches", s.squashed_branches),
+            ("pipeline.mispredicted_committed", s.mispredicted_committed),
+            ("pipeline.mispredicted_all", s.mispredicted_all),
+            ("pipeline.recoveries", s.recoveries),
+            ("pipeline.gated_cycles", s.gated_cycles),
+            ("pipeline.icache_accesses", s.icache_accesses),
+            ("pipeline.icache_misses", s.icache_misses),
+            ("pipeline.dcache_accesses", s.dcache_accesses),
+            ("pipeline.dcache_misses", s.dcache_misses),
+        ] {
+            registry.counter(name, labels).set(v);
+        }
+        for (name, v) in [
+            ("pipeline.ipc", s.ipc()),
+            ("pipeline.accuracy_committed", s.accuracy_committed()),
+            (
+                "pipeline.mispredict_rate_committed",
+                s.mispredict_rate_committed(),
+            ),
+            ("pipeline.icache_miss_rate", s.icache_miss_rate()),
+            ("pipeline.speculation_ratio", s.speculation_ratio()),
+        ] {
+            registry.float_gauge(name, labels).set(v);
+        }
+        let names = self.estimator_names();
+        for (name, q) in names.iter().zip(&self.quadrants) {
+            for (population, quad) in [("all", &q.all), ("committed", &q.committed)] {
+                for (cell, v) in [
+                    ("c_hc", quad.c_hc),
+                    ("i_hc", quad.i_hc),
+                    ("c_lc", quad.c_lc),
+                    ("i_lc", quad.i_lc),
+                ] {
+                    let mut l = labels.to_vec();
+                    l.push(("estimator", name.as_str()));
+                    l.push(("population", population));
+                    l.push(("cell", cell));
+                    registry.counter("estimator.quadrant", &l).set(v);
+                }
+            }
+        }
+        for t in self.profiler.timings() {
+            let mut l = labels.to_vec();
+            l.push(("phase", &t.name));
+            registry.counter("pipeline.phase_nanos", &l).set(t.nanos);
+            registry.counter("pipeline.phase_calls", &l).set(t.calls);
         }
     }
 
@@ -219,10 +317,29 @@ impl<'p> Simulator<'p> {
     /// shared fetch bandwidth to one thread per cycle, while every
     /// thread's back end keeps draining.
     pub fn step_cycle(&mut self, allow_fetch: bool, obs: &mut dyn SimObserver) {
-        self.process_resolutions(obs);
-        self.process_commits(obs);
-        if allow_fetch {
-            self.fetch(obs);
+        if self.profiler.enabled() {
+            let p = self.profiler.phase("resolve");
+            let t = self.profiler.start();
+            self.process_resolutions(obs);
+            self.profiler.stop(p, t);
+
+            let p = self.profiler.phase("commit");
+            let t = self.profiler.start();
+            self.process_commits(obs);
+            self.profiler.stop(p, t);
+
+            if allow_fetch {
+                let p = self.profiler.phase("fetch");
+                let t = self.profiler.start();
+                self.fetch(obs);
+                self.profiler.stop(p, t);
+            }
+        } else {
+            self.process_resolutions(obs);
+            self.process_commits(obs);
+            if allow_fetch {
+                self.fetch(obs);
+            }
         }
         self.now += 1;
     }
@@ -251,7 +368,10 @@ impl<'p> Simulator<'p> {
     /// The estimate (from estimator `index`) of the most recently fetched
     /// branch, if any branch is still in flight.
     pub fn last_estimate(&self, index: usize) -> Option<Confidence> {
-        self.inflight.back().and_then(|e| e.estimates.get(index)).copied()
+        self.inflight
+            .back()
+            .and_then(|e| e.estimates.get(index))
+            .copied()
     }
 
     /// Current simulated cycle of this pipeline.
@@ -293,6 +413,14 @@ impl<'p> Simulator<'p> {
             mispredicted,
             cycle: self.now,
         });
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Resolve {
+                seq,
+                pc,
+                cycle: self.now,
+                mispredicted,
+            });
+        }
         if mispredicted {
             self.recover(idx, obs);
         }
@@ -302,6 +430,7 @@ impl<'p> Simulator<'p> {
     /// squashing everything younger.
     fn recover(&mut self, idx: usize, obs: &mut dyn SimObserver) {
         self.stats.recoveries += 1;
+        let squashed = (self.inflight.len() - idx - 1) as u32;
 
         // Squash younger branches (they were fetched down the wrong path).
         while self.inflight.len() > idx + 1 {
@@ -338,12 +467,33 @@ impl<'p> Simulator<'p> {
         // Flush: fetch resumes after the extra recovery penalty — unless
         // this branch had an eager fork, in which case the alternate path
         // is already warm and the re-steer is free.
-        if forked {
+        let penalty = if forked {
             self.stats.eager_covered += 1;
+            0
         } else {
             self.fetch_stall_until = self
                 .fetch_stall_until
                 .max(self.now + 1 + self.cfg.mispredict_penalty);
+            self.cfg.mispredict_penalty
+        };
+
+        let e = &self.inflight[idx];
+        let (seq, pc) = (e.seq, e.pc);
+        obs.on_recovery(&RecoveryEvent {
+            seq,
+            pc,
+            cycle: self.now,
+            squashed,
+            penalty,
+        });
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Recovery {
+                seq,
+                pc,
+                cycle: self.now,
+                squashed,
+                penalty,
+            });
         }
     }
 
@@ -353,7 +503,8 @@ impl<'p> Simulator<'p> {
         while self.inflight.front().is_some_and(|e| e.resolved) {
             let head = self.inflight.pop_front().expect("head exists");
             let correct = !head.mispredicted;
-            self.predictor.update(head.pc, head.actual_taken, &head.pred);
+            self.predictor
+                .update(head.pc, head.actual_taken, &head.pred);
             for (est, &c) in self.estimators.iter_mut().zip(&head.estimates) {
                 let _ = c;
                 est.update(head.pc, head.ghr_at_predict, &head.pred, correct);
@@ -392,6 +543,34 @@ impl<'p> Simulator<'p> {
             ghr: e.ghr_at_predict,
             estimates: &e.estimates,
         });
+        if self.tracer.enabled() {
+            let event = if committed {
+                TraceEvent::Commit {
+                    seq: e.seq,
+                    pc: e.pc,
+                    predicted_taken: e.pred.taken,
+                    actual_taken: e.actual_taken,
+                    mispredicted: e.mispredicted,
+                    fetch_cycle: e.fetch_cycle,
+                    resolve_cycle: e.resolve_cycle,
+                    ghr: e.ghr_at_predict,
+                    estimates: e.estimates.clone(),
+                }
+            } else {
+                TraceEvent::Squash {
+                    seq: e.seq,
+                    pc: e.pc,
+                    predicted_taken: e.pred.taken,
+                    actual_taken: e.actual_taken,
+                    mispredicted: e.mispredicted,
+                    fetch_cycle: e.fetch_cycle,
+                    resolve_cycle: e.resolve_cycle,
+                    ghr: e.ghr_at_predict,
+                    estimates: e.estimates.clone(),
+                }
+            };
+            self.tracer.record(event);
+        }
     }
 
     // ---- fetch / decode / execute-at-decode ------------------------------
@@ -403,26 +582,38 @@ impl<'p> Simulator<'p> {
             .count() as u32
     }
 
-    fn gated(&mut self) -> bool {
-        let Some(threshold) = self.cfg.gate_threshold else {
-            return false;
-        };
+    /// When gating is enabled and the threshold is met, returns the number
+    /// of low-confidence unresolved branches in flight.
+    fn gated(&self) -> Option<u32> {
+        let threshold = self.cfg.gate_threshold?;
         let lc = self
             .inflight
             .iter()
             .filter(|e| !e.resolved && e.estimates.first().is_some_and(|c| c.is_low()))
             .count() as u32;
-        lc >= threshold
+        (lc >= threshold).then_some(lc)
     }
 
     fn fetch(&mut self, obs: &mut dyn SimObserver) {
         if self.now < self.fetch_stall_until {
             return;
         }
-        if self.gated() {
+        if let Some(low_confidence) = self.gated() {
             self.stats.gated_cycles += 1;
+            obs.on_fetch_gated(&GateEvent {
+                cycle: self.now,
+                low_confidence,
+            });
+            if self.tracer.enabled() {
+                self.tracer.record(TraceEvent::Gate {
+                    cycle: self.now,
+                    low_confidence,
+                });
+            }
             return;
         }
+        let burst_pc = self.machine.pc();
+        let fetched_before = self.stats.fetched_insts;
         // Active eager forks consume half the fetch slots for the
         // alternate paths.
         let mut width = self.cfg.fetch_width;
@@ -458,6 +649,16 @@ impl<'p> Simulator<'p> {
                 break;
             }
         }
+        if self.tracer.enabled() {
+            let count = (self.stats.fetched_insts - fetched_before) as u32;
+            if count > 0 {
+                self.tracer.record(TraceEvent::Fetch {
+                    cycle: self.now,
+                    pc: burst_pc,
+                    count,
+                });
+            }
+        }
     }
 
     /// Fetches a conditional branch; returns `true` when fetch must redirect
@@ -474,9 +675,7 @@ impl<'p> Simulator<'p> {
         // Eager execution: fork both paths of a low-confidence branch
         // (decided by estimator 0) while fork capacity remains.
         let forked = match self.cfg.eager_max_forks {
-            Some(max) => {
-                estimates.first().is_some_and(|c| c.is_low()) && self.active_forks() < max
-            }
+            Some(max) => estimates.first().is_some_and(|c| c.is_low()) && self.active_forks() < max,
             None => false,
         };
         if forked {
@@ -519,6 +718,18 @@ impl<'p> Simulator<'p> {
             ghr: ghr_val,
             estimates: &estimates,
         });
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Predict {
+                seq,
+                pc,
+                cycle: self.now,
+                predicted_taken: pred.taken,
+                actual_taken,
+                mispredicted,
+                ghr: ghr_val,
+                estimates: estimates.clone(),
+            });
+        }
 
         self.inflight.push_back(Inflight {
             seq,
@@ -686,7 +897,10 @@ mod tests {
         let p = noisy_loop(2000);
         let mut s = sim(&p);
         let stats = s.run_to_completion();
-        assert!(stats.squashed_insts > 0, "random branch must cause squashes");
+        assert!(
+            stats.squashed_insts > 0,
+            "random branch must cause squashes"
+        );
         assert!(stats.speculation_ratio() > 1.0);
         assert!(
             stats.mispredicted_committed > 100,
@@ -890,7 +1104,10 @@ mod tests {
         assert_eq!(chk.outcomes, stats.fetched_branches);
         assert_eq!(chk.committed, stats.committed_branches);
         assert!(chk.resolved <= chk.predicted);
-        assert!(chk.resolved >= stats.committed_branches, "committed implies resolved");
+        assert!(
+            chk.resolved >= stats.committed_branches,
+            "committed implies resolved"
+        );
     }
 
     #[test]

@@ -170,7 +170,11 @@ mod tests {
         let base = &pts[0].stats;
         for p in &pts[1..] {
             assert_eq!(p.stats.committed_insts, base.committed_insts);
-            assert!(p.extra_work_ratio(base) < 1.0, "threshold {:?}", p.threshold);
+            assert!(
+                p.extra_work_ratio(base) < 1.0,
+                "threshold {:?}",
+                p.threshold
+            );
         }
         // Tighter gating saves more wrong-path work.
         assert!(pts[1].stats.squashed_insts <= pts[2].stats.squashed_insts);

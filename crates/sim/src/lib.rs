@@ -44,7 +44,7 @@ pub mod suite;
 pub use profile::ProfileObserver;
 pub use report::{pct, Table};
 pub use runner::{
-    collect_profile, run, run_with_observer, run_with_profile, EstimatorResult, RunConfig,
-    RunOutcome,
+    collect_profile, run, run_instrumented, run_with_observer, run_with_profile, EstimatorResult,
+    InstrumentedOutcome, RunConfig, RunOutcome,
 };
 pub use spec::{EstimatorSpec, ParseSpecError, PredictorKind, SatVariantSpec, TuneTargetSpec};

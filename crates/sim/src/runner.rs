@@ -2,6 +2,7 @@
 
 use crate::{EstimatorSpec, PredictorKind, ProfileObserver};
 use cestim_core::ProfileCollector;
+use cestim_obs::{MetricsSnapshot, PhaseTiming, Registry, Tracer};
 use cestim_pipeline::{
     EstimatorQuadrants, NullObserver, PipelineConfig, PipelineStats, SimObserver, Simulator,
 };
@@ -87,7 +88,80 @@ pub fn run_with_profile(
     specs: &[EstimatorSpec],
     profile: &ProfileCollector,
 ) -> RunOutcome {
-    run_inner(cfg, specs, Some(profile), &mut cestim_pipeline::NullObserver)
+    run_inner(
+        cfg,
+        specs,
+        Some(profile),
+        &mut cestim_pipeline::NullObserver,
+    )
+}
+
+/// Everything produced by one fully instrumented pipeline pass:
+/// the regular [`RunOutcome`] plus the recorded trace, per-phase wall-clock
+/// timings, and a metrics snapshot labelled by workload/predictor/scale.
+#[derive(Debug)]
+pub struct InstrumentedOutcome {
+    /// Stats and per-estimator quadrants, as from [`run`].
+    pub outcome: RunOutcome,
+    /// The tracer handed in, now holding the recorded events.
+    pub tracer: Tracer,
+    /// Wall-clock nanoseconds per pipeline phase (resolve/commit/fetch).
+    pub phase_timings: Vec<PhaseTiming>,
+    /// Snapshot of every exported metric.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock seconds of the measurement pass.
+    pub wall_seconds: f64,
+}
+
+/// Like [`run`], with full observability: events are recorded into
+/// `tracer` (pass [`Tracer::disabled`] to skip tracing), pipeline phases
+/// are wall-clock profiled, and stats/quadrants/timings are exported to a
+/// metrics registry labelled `workload`/`predictor`/`scale`.
+pub fn run_instrumented(
+    cfg: &RunConfig,
+    specs: &[EstimatorSpec],
+    tracer: Tracer,
+    obs: &mut dyn SimObserver,
+) -> InstrumentedOutcome {
+    let own_profile = specs
+        .iter()
+        .any(EstimatorSpec::needs_profile)
+        .then(|| collect_profile(cfg));
+    let w = cfg.workload.build_salted(cfg.scale, cfg.input_salt);
+    let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build());
+    for spec in specs {
+        sim.add_estimator(spec.build(own_profile.as_ref()));
+    }
+    sim.set_tracer(tracer);
+    sim.set_profiling(true);
+    let t0 = std::time::Instant::now();
+    let stats = sim.run(obs);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let registry = Registry::new();
+    let scale = cfg.scale.to_string();
+    let labels = [
+        ("workload", cfg.workload.name()),
+        ("predictor", cfg.predictor.name()),
+        ("scale", scale.as_str()),
+    ];
+    sim.export_metrics(&registry, &labels);
+
+    let estimators = specs
+        .iter()
+        .zip(sim.estimator_quadrants())
+        .map(|(spec, &quadrants)| EstimatorResult {
+            name: spec.label(),
+            quadrants,
+        })
+        .collect();
+    InstrumentedOutcome {
+        outcome: RunOutcome { stats, estimators },
+        tracer: sim.take_tracer(),
+        phase_timings: sim.phase_timings(),
+        metrics: registry.snapshot(),
+        wall_seconds,
+    }
 }
 
 /// Like [`run`], additionally streaming pipeline events to `obs`.
@@ -169,6 +243,42 @@ mod tests {
         let profile = collect_profile(&c);
         let out = run(&c, &[]);
         assert_eq!(profile.total(), out.stats.committed_branches);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run_and_exports_metrics() {
+        let c = cfg(PredictorKind::Gshare);
+        let specs = [EstimatorSpec::jrs_paper()];
+        let plain = run(&c, &specs);
+        let inst = run_instrumented(&c, &specs, Tracer::unbounded(), &mut NullObserver);
+        // Instrumentation must not perturb the simulation itself.
+        assert_eq!(inst.outcome.stats, plain.stats);
+        assert_eq!(
+            inst.outcome.estimators[0].quadrants,
+            plain.estimators[0].quadrants
+        );
+        assert!(!inst.tracer.is_empty());
+        assert_eq!(inst.tracer.dropped(), 0);
+        let phases: Vec<&str> = inst.phase_timings.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(phases, ["resolve", "commit", "fetch"]);
+        assert_eq!(
+            inst.metrics.counter_value("pipeline.cycles"),
+            Some(plain.stats.cycles)
+        );
+        assert!(inst.metrics.float_value("pipeline.ipc").unwrap() > 0.0);
+        assert!(inst.wall_seconds > 0.0);
+        // Labels carried through to the snapshot.
+        assert!(inst
+            .metrics
+            .get_labeled(
+                "pipeline.cycles",
+                &[
+                    ("workload", "compress"),
+                    ("predictor", "gshare"),
+                    ("scale", "1")
+                ]
+            )
+            .is_some());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use cestim_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, SAg};
 use cestim_core::tune::{tune, tuning_frontier, TuneTarget};
 use cestim_core::{
-    AlwaysHigh, AlwaysLow, Boosted, Cir, ConfidenceEstimator, DistanceEstimator, Jrs,
-    JrsCombining, PatternHistory, ProfileCollector, SaturatingConfidence, SaturatingVariant,
+    AlwaysHigh, AlwaysLow, Boosted, Cir, ConfidenceEstimator, DistanceEstimator, Jrs, JrsCombining,
+    PatternHistory, ProfileCollector, SaturatingConfidence, SaturatingVariant,
 };
 use serde::{Deserialize, Serialize};
 
@@ -285,9 +285,7 @@ impl EstimatorSpec {
                     }
                 }
             }
-            EstimatorSpec::Boosted { inner, k } => {
-                Box::new(Boosted::new(inner.build(profile), *k))
-            }
+            EstimatorSpec::Boosted { inner, k } => Box::new(Boosted::new(inner.build(profile), *k)),
             EstimatorSpec::AlwaysHigh => Box::new(AlwaysHigh),
             EstimatorSpec::AlwaysLow => Box::new(AlwaysLow),
         }
@@ -487,11 +485,15 @@ mod tests {
         assert_eq!(g.len(), 4);
         assert!(matches!(
             g[1],
-            EstimatorSpec::SatCtr { variant: SatVariantSpec::Selected }
+            EstimatorSpec::SatCtr {
+                variant: SatVariantSpec::Selected
+            }
         ));
         assert!(matches!(
             m[1],
-            EstimatorSpec::SatCtr { variant: SatVariantSpec::BothStrong }
+            EstimatorSpec::SatCtr {
+                variant: SatVariantSpec::BothStrong
+            }
         ));
         assert!(matches!(s[2], EstimatorSpec::Pattern { width: 13 }));
         assert!(matches!(g[2], EstimatorSpec::Pattern { width: 12 }));
@@ -536,26 +538,42 @@ mod tests {
             ("jrs", EstimatorSpec::jrs_paper()),
             (
                 "jrs:bits=10:t=8:base",
-                EstimatorSpec::Jrs { index_bits: 10, threshold: 8, enhanced: false },
+                EstimatorSpec::Jrs {
+                    index_bits: 10,
+                    threshold: 8,
+                    enhanced: false,
+                },
             ),
             (
                 "satctr:both",
-                EstimatorSpec::SatCtr { variant: SatVariantSpec::BothStrong },
+                EstimatorSpec::SatCtr {
+                    variant: SatVariantSpec::BothStrong,
+                },
             ),
             ("pattern:13", EstimatorSpec::Pattern { width: 13 }),
             ("static:0.95", EstimatorSpec::Static { threshold: 0.95 }),
             ("distance:5", EstimatorSpec::Distance { threshold: 5 }),
             (
                 "cir:w=16:t=14",
-                EstimatorSpec::Cir { index_bits: 12, width: 16, threshold: 14, enhanced: true },
+                EstimatorSpec::Cir {
+                    index_bits: 12,
+                    width: 16,
+                    threshold: 14,
+                    enhanced: true,
+                },
             ),
             (
                 "jrsmcf:t=12",
-                EstimatorSpec::JrsMcFarling { index_bits: 12, threshold: 12 },
+                EstimatorSpec::JrsMcFarling {
+                    index_bits: 12,
+                    threshold: 12,
+                },
             ),
             (
                 "tuned-pvn:0.3",
-                EstimatorSpec::StaticTuned { target: TuneTargetSpec::MinPvn(0.3) },
+                EstimatorSpec::StaticTuned {
+                    target: TuneTargetSpec::MinPvn(0.3),
+                },
             ),
             (
                 "boost:2:satctr",
@@ -575,7 +593,14 @@ mod tests {
 
     #[test]
     fn bad_spec_strings_are_errors() {
-        for text in ["", "jrz", "satctr:wat", "pattern:x", "boost:2", "jrs:t=boom"] {
+        for text in [
+            "",
+            "jrz",
+            "satctr:wat",
+            "pattern:x",
+            "boost:2",
+            "jrs:t=boom",
+        ] {
             assert!(text.parse::<EstimatorSpec>().is_err(), "{text}");
         }
     }

@@ -18,7 +18,9 @@ use crate::{pct, run, run_with_observer, EstimatorSpec, PredictorKind, RunConfig
 use cestim_core::diagnostic::ParametricCurve;
 use cestim_core::{mean_quadrant, MetricSummary, Quadrant};
 use cestim_pipeline::PipelineStats;
-use cestim_trace::{BoostAnalysis, ClusterAnalysis, DistanceAnalysis, DistanceHistogram, DistanceSeries};
+use cestim_trace::{
+    BoostAnalysis, ClusterAnalysis, DistanceAnalysis, DistanceHistogram, DistanceSeries,
+};
 use cestim_workloads::WorkloadKind;
 use serde_json::{json, Value};
 
@@ -40,8 +42,27 @@ pub struct ExperimentResult {
 /// work and adjacent design-space completions.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "fig1", "table1", "table2", "table2-detail", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "fig8",
-        "fig9", "table4", "cluster", "boost", "ext-jrsmcf", "ext-cir", "ext-tune", "ext-smt", "ext-eager", "ext-xinput",
+        "fig1",
+        "table1",
+        "table2",
+        "table2-detail",
+        "fig3",
+        "fig4",
+        "fig5",
+        "table3",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "table4",
+        "cluster",
+        "boost",
+        "ext-jrsmcf",
+        "ext-cir",
+        "ext-tune",
+        "ext-smt",
+        "ext-eager",
+        "ext-xinput",
     ]
 }
 
@@ -488,7 +509,13 @@ pub fn distance_fig_with(
     let kind = if perceived { "perceived" } else { "precise" };
     let mut t = Table::new(
         format!("{id}: {kind} misprediction distance ({predictor})"),
-        vec!["distance", "all: rate", "all: n", "committed: rate", "committed: n"],
+        vec![
+            "distance",
+            "all: rate",
+            "all: n",
+            "committed: rate",
+            "committed: n",
+        ],
     );
     let (rows_a, avg_a) = histogram_rows(all_series);
     let (rows_c, avg_c) = histogram_rows(committed_series);
@@ -592,7 +619,11 @@ pub fn table4_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
 /// Mis-estimation clustering (§4.1) over an explicit workload list.
 pub fn cluster_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let configs: Vec<(PredictorKind, EstimatorSpec, &str)> = vec![
-        (PredictorKind::Gshare, EstimatorSpec::jrs_paper(), "jrs/gshare"),
+        (
+            PredictorKind::Gshare,
+            EstimatorSpec::jrs_paper(),
+            "jrs/gshare",
+        ),
         (
             PredictorKind::McFarling,
             EstimatorSpec::jrs_paper(),
@@ -724,7 +755,6 @@ pub fn boost_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     }
 }
 
-
 // ---------------------------------------------------------------------------
 // Extensions (the paper's §5 future work and design-space completions)
 // ---------------------------------------------------------------------------
@@ -827,7 +857,15 @@ pub fn ext_tune_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult
         .collect();
     let mut t = Table::new(
         "Extension: tuned static estimation (per-workload, gshare)",
-        vec!["workload", "target", "sens", "spec", "pvp", "pvn", "on target"],
+        vec![
+            "workload",
+            "target",
+            "sens",
+            "spec",
+            "pvp",
+            "pvn",
+            "on target",
+        ],
     );
     let mut jrows = Vec::new();
     for &w in workloads {
@@ -841,7 +879,11 @@ pub fn ext_tune_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult
             let s = MetricSummary::from_quadrant(&q);
             let mut cells = vec![w.name().to_string(), label.to_string()];
             cells.extend(metric_cells(&s));
-            cells.push(if met { "yes".into() } else { "NO (unreachable)".into() });
+            cells.push(if met {
+                "yes".into()
+            } else {
+                "NO (unreachable)".into()
+            });
             t.row(cells);
             jrows.push(json!({
                 "workload": w.name(), "target": label, "met": met,
@@ -856,7 +898,6 @@ pub fn ext_tune_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult
         json: json!({ "rows": jrows }),
     }
 }
-
 
 /// Extension: confidence-driven SMT fetch arbitration, measured on the real
 /// two-thread [`SmtSimulator`](cestim_pipeline::SmtSimulator) — the paper's
@@ -916,7 +957,6 @@ pub fn ext_smt_with(scale: u32, pairs: &[(WorkloadKind, WorkloadKind)]) -> Exper
     }
 }
 
-
 /// Extension: eager (dual-path) execution in the pipeline — fork both paths
 /// of a low-confidence branch; covered mispredictions skip the recovery
 /// penalty at the price of halved fetch bandwidth while forked.
@@ -935,7 +975,13 @@ pub fn ext_eager_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResul
     let mut t = Table::new(
         "Extension: dual-path (eager) execution, gshare",
         vec![
-            "workload", "trigger", "base cyc", "eager cyc", "speedup", "forks", "covered",
+            "workload",
+            "trigger",
+            "base cyc",
+            "eager cyc",
+            "speedup",
+            "forks",
+            "covered",
             "alt slots",
         ],
     );
@@ -963,7 +1009,7 @@ pub fn ext_eager_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResul
                 eager.cycles.to_string(),
                 format!("{speedup:.3}x"),
                 eager.eager_forks.to_string(),
-                pct(eager.eager_covered as f64 / eager.eager_forks as f64),
+                pct(eager.eager_coverage()),
                 eager.eager_alt_slots.to_string(),
             ]);
             jrows.push(json!({
@@ -986,7 +1032,6 @@ pub fn ext_eager_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResul
     }
 }
 
-
 /// Extension: cross-input static estimation. The paper's static results
 /// are self-profiled ("a best-case evaluation"); this experiment trains
 /// the profile on an alternative input (salt 1) and measures on the
@@ -996,9 +1041,7 @@ pub fn ext_xinput_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResu
     let static_spec = EstimatorSpec::Static { threshold: 0.9 };
     let mut t = Table::new(
         "Extension: static estimation off its training input (gshare)",
-        vec![
-            "workload", "variant", "sens", "spec", "pvp", "pvn",
-        ],
+        vec!["workload", "variant", "sens", "spec", "pvp", "pvn"],
     );
     let mut jrows = Vec::new();
     let mut self_q = Vec::new();
@@ -1051,7 +1094,6 @@ pub fn ext_xinput_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResu
         json: json!({ "rows": jrows }),
     }
 }
-
 
 /// Per-application detail behind Table 2 (the paper reports means and
 /// points at its tech report for the full data; this regenerates it).
@@ -1196,7 +1238,13 @@ mod tests {
 
     #[test]
     fn distance_fig_small_runs() {
-        let r = distance_fig_with(1, &[WorkloadKind::Gcc], PredictorKind::Gshare, false, "fig6");
+        let r = distance_fig_with(
+            1,
+            &[WorkloadKind::Gcc],
+            PredictorKind::Gshare,
+            false,
+            "fig6",
+        );
         let avg = r.json["all"]["average"].as_f64().unwrap();
         assert!(avg > 0.0 && avg < 0.5);
         // Clustering: distance-1 rate above the average rate.

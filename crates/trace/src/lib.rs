@@ -26,6 +26,9 @@
 //!   pipeline-state property validated against the Bernoulli model.
 //! * [`TraceCollector`] / [`BranchRecord`] — retain or serialize the full
 //!   per-branch speculative trace (JSON-lines via serde).
+//! * [`replay`] / [`replay_jsonl`] — feed a recorded `cestim-obs` trace
+//!   back through any observer, reproducing the live analyses post-hoc
+//!   bit-for-bit from a trace file.
 
 #![warn(missing_docs)]
 
@@ -33,8 +36,10 @@ mod boost;
 mod cluster;
 mod distance;
 mod record;
+mod replay;
 
 pub use boost::BoostAnalysis;
 pub use cluster::{ClusterAnalysis, ClusterSummary};
 pub use distance::{DistanceAnalysis, DistanceHistogram, DistanceSeries};
 pub use record::{read_jsonl, write_jsonl, BranchRecord, TraceCollector};
+pub use replay::{load_trace, replay, replay_event, replay_jsonl};

@@ -21,7 +21,11 @@ const MAX_RUN: i32 = 64;
 /// misprediction clustering") that the paper's §4 measures.
 pub fn input(salt: u32) -> Vec<u32> {
     const SEG: usize = 128;
-    let raw = crate::xorshift_bytes(0xC04F_FEE1 ^ salt.wrapping_mul(0x9E37_79B9), INPUT_LEN, u32::MAX);
+    let raw = crate::xorshift_bytes(
+        0xC04F_FEE1 ^ salt.wrapping_mul(0x9E37_79B9),
+        INPUT_LEN,
+        u32::MAX,
+    );
     let mut data = vec![0u32; INPUT_LEN];
     for seg in 0..INPUT_LEN / SEG {
         // Half short-run segments (runs of 2–9 straddle the run>=3 emit
@@ -74,10 +78,16 @@ pub fn reference(data: &[u32], scale: u32) -> u32 {
                 run += 1;
             }
             if run >= 3 {
-                sum = sum.wrapping_add(c.wrapping_mul(run as u32)).wrapping_add(257);
+                sum = sum
+                    .wrapping_add(c.wrapping_mul(run as u32))
+                    .wrapping_add(257);
                 i += run;
             } else {
-                let nxt = if i + 1 < data.len() { data[i + 1] } else { data[0] };
+                let nxt = if i + 1 < data.len() {
+                    data[i + 1]
+                } else {
+                    data[0]
+                };
                 let h = (c.wrapping_mul(31).wrapping_add(nxt) & 255) as usize;
                 if dict[h] == c {
                     sum = sum.wrapping_add(1);
@@ -222,7 +232,10 @@ mod tests {
         let d = input(0);
         assert_eq!(d.len(), INPUT_LEN);
         assert!(d.iter().all(|&v| (1..=255).contains(&v)));
-        let runs = d.windows(3).filter(|w| w[0] == w[1] && w[1] == w[2]).count();
+        let runs = d
+            .windows(3)
+            .filter(|w| w[0] == w[1] && w[1] == w[2])
+            .count();
         assert!(runs > 100, "expected plenty of runs, got {runs}");
     }
 }

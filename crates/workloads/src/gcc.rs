@@ -17,9 +17,9 @@ pub fn input(salt: u32) -> Vec<u32> {
     let raw = crate::xorshift_bytes(0x6CC1_57A7 ^ salt.wrapping_mul(0x9E37_79B9), INPUT_LEN, 100);
     raw.iter()
         .map(|&r| match r {
-            0..=39 => 97 + (r % 26),       // lowercase letters
-            40..=49 => 65 + (r % 26),      // uppercase letters
-            50..=69 => 48 + (r % 10),      // digits
+            0..=39 => 97 + (r % 26),  // lowercase letters
+            40..=49 => 65 + (r % 26), // uppercase letters
+            50..=69 => 48 + (r % 10), // digits
             70..=89 => match r % 3 {
                 0 => 32, // space
                 1 => 10, // newline

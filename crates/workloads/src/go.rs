@@ -24,7 +24,11 @@ const PASSES_PER_SCALE: u32 = 12;
 /// hard-to-predict branches.
 pub fn board(salt: u32) -> Vec<u32> {
     let mut b = vec![0u32; CELLS as usize];
-    let rnd = crate::xorshift_bytes(0x60B0_A3D1 ^ salt.wrapping_mul(0x9E37_79B9), 40 * (2 + 8), u32::MAX);
+    let rnd = crate::xorshift_bytes(
+        0x60B0_A3D1 ^ salt.wrapping_mul(0x9E37_79B9),
+        40 * (2 + 8),
+        u32::MAX,
+    );
     let mut r = rnd.iter().copied();
     for _ in 0..40 {
         let mut pos = r.next().unwrap() % CELLS;
@@ -122,7 +126,7 @@ pub fn build(scale: u32, salt: u32) -> Workload {
     b.bind(row_top);
     b.bge(T0, S1, row_end);
     b.li(T1, 0); // c
-    // S7 = row base = r * SIZE
+                 // S7 = row base = r * SIZE
     b.mul(S7, T0, S1);
     let col_top = b.label();
     let col_end = b.label();
@@ -136,7 +140,7 @@ pub fn build(scale: u32, salt: u32) -> Workload {
     b.beqz(T3, cell_next); // empty cell: skip
 
     b.li(T4, 0); // libs
-    // up: r > 0 && board[idx-SIZE] == 0
+                 // up: r > 0 && board[idx-SIZE] == 0
     {
         let skip = b.label();
         b.beqz(T0, skip);
@@ -268,7 +272,10 @@ mod tests {
         let b = board(0);
         assert_eq!(b.len(), 361);
         for v in 0..3u32 {
-            assert!(b.iter().filter(|&&x| x == v).count() > 50, "value {v} too rare");
+            assert!(
+                b.iter().filter(|&&x| x == v).count() > 50,
+                "value {v} too rare"
+            );
         }
     }
 

@@ -18,7 +18,11 @@ const PASSES_PER_SCALE: u32 = 3;
 
 /// Pseudo-random 8-bit image.
 pub fn image(salt: u32) -> Vec<u32> {
-    crate::xorshift_bytes(0x1BE6_0D11 ^ salt.wrapping_mul(0x9E37_79B9), (DIM * DIM) as usize, 256)
+    crate::xorshift_bytes(
+        0x1BE6_0D11 ^ salt.wrapping_mul(0x9E37_79B9),
+        (DIM * DIM) as usize,
+        256,
+    )
 }
 
 /// Quantization table: gently increasing divisors.
@@ -66,9 +70,7 @@ pub fn reference(image: &[u32], quant: &[u32], scale: u32) -> u32 {
                     if q == 0 {
                         zrun += 1;
                     } else {
-                        sum = sum
-                            .wrapping_add(q as u32)
-                            .wrapping_add((zrun * 3) as u32);
+                        sum = sum.wrapping_add(q as u32).wrapping_add((zrun * 3) as u32);
                         zrun = 0;
                     }
                 }
@@ -237,7 +239,7 @@ pub fn build(scale: u32, salt: u32) -> Workload {
         b.add(T7, S1, T0);
         b.lw(T2, T7, 0); // quant divisor
         b.div(T1, T1, T2); // q
-        // clamp to [-255, 255]
+                           // clamp to [-255, 255]
         {
             let no_hi = b.label();
             let no_lo = b.label();

@@ -24,18 +24,18 @@ fn enc(op: u32, rd: u32, rs: u32, imm: u32) -> u32 {
 /// The guest program: a short loop with two conditional guest branches.
 pub fn guest_program() -> Vec<u32> {
     vec![
-        enc(0, 0, 0, 1),  // addi r0, 1
-        enc(1, 1, 0, 0),  // add  r1, r0
-        enc(4, 3, 1, 0),  // load r3, gmem[r1 & 63]
-        enc(2, 2, 1, 0),  // xor  r2, r1
-        enc(5, 2, 0, 0),  // store gmem[r0 & 63] = r2
-        enc(0, 4, 0, 5),  // addi r4, 5
-        enc(3, 1, 0, 1),  // shr  r1, 1
-        enc(1, 5, 2, 0),  // add  r5, r2
-        enc(6, 0, 0, 3),  // branch to 0 if r0 & 3 != 0 (75% taken)
-        enc(0, 6, 0, 1),  // addi r6, 1
-        enc(6, 6, 0, 1),  // branch to 0 if r6 & 1 != 0 (alternating)
-        enc(0, 7, 0, 9),  // addi r7, 9 (falls off the end; gpc wraps)
+        enc(0, 0, 0, 1), // addi r0, 1
+        enc(1, 1, 0, 0), // add  r1, r0
+        enc(4, 3, 1, 0), // load r3, gmem[r1 & 63]
+        enc(2, 2, 1, 0), // xor  r2, r1
+        enc(5, 2, 0, 0), // store gmem[r0 & 63] = r2
+        enc(0, 4, 0, 5), // addi r4, 5
+        enc(3, 1, 0, 1), // shr  r1, 1
+        enc(1, 5, 2, 0), // add  r5, r2
+        enc(6, 0, 0, 3), // branch to 0 if r0 & 3 != 0 (75% taken)
+        enc(0, 6, 0, 1), // addi r6, 1
+        enc(6, 6, 0, 1), // branch to 0 if r6 & 1 != 0 (alternating)
+        enc(0, 7, 0, 9), // addi r7, 9 (falls off the end; gpc wraps)
     ]
 }
 

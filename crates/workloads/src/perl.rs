@@ -18,7 +18,11 @@ const ALPHABET: u32 = 8;
 /// regions so mispredictions arrive in bursts, as with real text.
 pub fn text(salt: u32) -> Vec<u32> {
     const SEG: usize = 256;
-    let raw = crate::xorshift_bytes(0x9E81_AB12 ^ salt.wrapping_mul(0x9E37_79B9), TEXT_LEN, u32::MAX);
+    let raw = crate::xorshift_bytes(
+        0x9E81_AB12 ^ salt.wrapping_mul(0x9E37_79B9),
+        TEXT_LEN,
+        u32::MAX,
+    );
     let motif = [1u32, 2, 3, 0, 5, 4, 2, 1, 2, 3, 7, 0];
     let mut out = vec![0u32; TEXT_LEN];
     for seg in 0..TEXT_LEN / SEG {

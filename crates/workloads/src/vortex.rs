@@ -19,7 +19,11 @@ const REPS_PER_SCALE: u32 = 10;
 
 /// Distinct non-zero record keys and their values.
 pub fn records(salt: u32) -> (Vec<u32>, Vec<u32>) {
-    let raw = crate::xorshift_bytes(0x0BEC_7041 ^ salt.wrapping_mul(0x9E37_79B9), RECORDS * 4, 100_000);
+    let raw = crate::xorshift_bytes(
+        0x0BEC_7041 ^ salt.wrapping_mul(0x9E37_79B9),
+        RECORDS * 4,
+        100_000,
+    );
     let mut keys: Vec<u32> = Vec::with_capacity(RECORDS);
     let mut seen = std::collections::HashSet::new();
     for r in raw {
@@ -32,7 +36,10 @@ pub fn records(salt: u32) -> (Vec<u32>, Vec<u32>) {
         }
     }
     assert_eq!(keys.len(), RECORDS, "not enough distinct keys");
-    let vals: Vec<u32> = keys.iter().map(|k| k.wrapping_mul(2654435761) >> 8).collect();
+    let vals: Vec<u32> = keys
+        .iter()
+        .map(|k| k.wrapping_mul(2654435761) >> 8)
+        .collect();
     (keys, vals)
 }
 

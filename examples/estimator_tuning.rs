@@ -39,7 +39,10 @@ fn main() {
     );
     for (si, &bits) in sizes.iter().enumerate() {
         println!("{} MDC entries:", 1u32 << bits);
-        println!("  {:>4} {:>8} {:>8} {:>8} {:>8}", "t", "sens", "spec", "pvp", "pvn");
+        println!(
+            "  {:>4} {:>8} {:>8} {:>8} {:>8}",
+            "t", "sens", "spec", "pvp", "pvn"
+        );
         for t in 0..16usize {
             let q = out.estimators[si * 16 + t].quadrants.committed;
             println!(

@@ -58,10 +58,9 @@ fn parse_run_args(mut argv: impl Iterator<Item = String>) -> RunArgs {
         match a.as_str() {
             "--workload" => {
                 let v = value();
-                args.workload =
-                    Some(WorkloadKind::from_name(&v).unwrap_or_else(|| {
-                        fail(format!("unknown workload '{v}' (try `cestim workloads`)"))
-                    }));
+                args.workload = Some(WorkloadKind::from_name(&v).unwrap_or_else(|| {
+                    fail(format!("unknown workload '{v}' (try `cestim workloads`)"))
+                }));
             }
             "--asm" => args.asm = Some(value()),
             "--predictor" => {
@@ -72,8 +71,7 @@ fn parse_run_args(mut argv: impl Iterator<Item = String>) -> RunArgs {
             "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
             "--estimator" => {
                 let v = value();
-                args.estimators
-                    .push(v.parse().unwrap_or_else(|e| fail(e)));
+                args.estimators.push(v.parse().unwrap_or_else(|e| fail(e)));
             }
             "--gate" => args.gate = Some(value().parse().unwrap_or_else(|_| usage())),
             "--json" => args.json = true,
@@ -83,7 +81,11 @@ fn parse_run_args(mut argv: impl Iterator<Item = String>) -> RunArgs {
     args
 }
 
-fn load_program(workload: Option<WorkloadKind>, asm: &Option<String>, scale: u32) -> (String, Program) {
+fn load_program(
+    workload: Option<WorkloadKind>,
+    asm: &Option<String>,
+    scale: u32,
+) -> (String, Program) {
     match (workload, asm) {
         (Some(w), None) => (w.name().to_string(), w.build(scale).program),
         (None, Some(path)) => {
@@ -147,7 +149,10 @@ fn cmd_run(argv: impl Iterator<Item = String>) -> ExitCode {
             "stats": out.stats,
             "estimators": out.estimators,
         });
-        println!("{}", serde_json::to_string_pretty(&v).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&v).expect("serializable")
+        );
         return ExitCode::SUCCESS;
     }
 

@@ -64,8 +64,8 @@ pub use cestim_core::{
 pub use cestim_isa::{Machine, Program, ProgramBuilder, Reg};
 pub use cestim_pipeline::{PipelineConfig, PipelineStats, SimObserver, Simulator};
 pub use cestim_sim::{
-    apps, collect_profile, run, run_with_observer, run_with_profile, EstimatorSpec,
-    PredictorKind, RunConfig, RunOutcome,
+    apps, collect_profile, run, run_with_observer, run_with_profile, EstimatorSpec, PredictorKind,
+    RunConfig, RunOutcome,
 };
 pub use cestim_trace::{ClusterAnalysis, DistanceAnalysis, DistanceSeries};
 pub use cestim_workloads::{Workload, WorkloadKind};

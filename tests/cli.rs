@@ -18,7 +18,9 @@ fn workloads_lists_all_eight() {
     let out = cestim().arg("workloads").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for name in ["compress", "gcc", "perl", "go", "m88ksim", "xlisp", "vortex", "ijpeg"] {
+    for name in [
+        "compress", "gcc", "perl", "go", "m88ksim", "xlisp", "vortex", "ijpeg",
+    ] {
         assert!(text.contains(name), "missing {name}");
     }
 }

@@ -61,7 +61,10 @@ fn satctr_is_sensitive_but_unspecific_on_gshare() {
 /// becomes competitive with per-branch (SAg) history.
 #[test]
 fn pattern_history_needs_local_history() {
-    let on_gshare = aggregate(PredictorKind::Gshare, &[EstimatorSpec::Pattern { width: 12 }]);
+    let on_gshare = aggregate(
+        PredictorKind::Gshare,
+        &[EstimatorSpec::Pattern { width: 12 }],
+    );
     let on_sag = aggregate(PredictorKind::SAg, &[EstimatorSpec::Pattern { width: 13 }]);
     assert!(
         on_gshare[0].sens() < 0.35,
@@ -160,11 +163,7 @@ fn mispredictions_cluster_and_perception_skews() {
     let mut merged = DistanceAnalysis::new(64);
     for &w in WORKLOADS {
         let mut a = DistanceAnalysis::new(64);
-        cestim::run_with_observer(
-            &RunConfig::paper(w, 1, PredictorKind::Gshare),
-            &[],
-            &mut a,
-        );
+        cestim::run_with_observer(&RunConfig::paper(w, 1, PredictorKind::Gshare), &[], &mut a);
         merged.merge_from(&a);
     }
     let precise = merged.histogram(DistanceSeries::PreciseAll);

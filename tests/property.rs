@@ -14,15 +14,38 @@ struct GenProgram {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Alu { kind: u8, dst: u8, a: u8, b: u8 },
-    AluImm { kind: u8, dst: u8, a: u8, imm: i16 },
-    Load { dst: u8, addr: u8 },
-    Store { src: u8, addr: u8 },
+    Alu {
+        kind: u8,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    AluImm {
+        kind: u8,
+        dst: u8,
+        a: u8,
+        imm: i16,
+    },
+    Load {
+        dst: u8,
+        addr: u8,
+    },
+    Store {
+        src: u8,
+        addr: u8,
+    },
     /// Counted loop over the following `body` ops with a data-dependent
     /// branch inside.
-    Loop { trips: u8, body: Vec<Op> },
+    Loop {
+        trips: u8,
+        body: Vec<Op>,
+    },
     /// If-then-else on a register's parity.
-    Cond { reg: u8, then_imm: i16, else_imm: i16 },
+    Cond {
+        reg: u8,
+        then_imm: i16,
+        else_imm: i16,
+    },
 }
 
 const SCRATCH: u32 = ProgramBuilder::DATA_BASE;
@@ -49,7 +72,12 @@ fn temp(i: u8) -> Reg {
 
 fn emit(b: &mut ProgramBuilder, op: &Op, depth: u32) {
     match op {
-        Op::Alu { kind, dst, a, b: rb } => {
+        Op::Alu {
+            kind,
+            dst,
+            a,
+            b: rb,
+        } => {
             let (d, ra, rb) = (temp(*dst), temp(*a), temp(*rb));
             match kind % 6 {
                 0 => b.add(d, ra, rb),
@@ -97,7 +125,11 @@ fn emit(b: &mut ProgramBuilder, op: &Op, depth: u32) {
             b.j(top);
             b.bind(done);
         }
-        Op::Cond { reg, then_imm, else_imm } => {
+        Op::Cond {
+            reg,
+            then_imm,
+            else_imm,
+        } => {
             let els = b.label();
             let join = b.label();
             b.andi(Reg::U0, temp(*reg), 1);
@@ -114,7 +146,9 @@ fn emit(b: &mut ProgramBuilder, op: &Op, depth: u32) {
 fn build(p: &GenProgram) -> cestim::Program {
     let mut b = ProgramBuilder::new();
     // Seed registers and scratch memory deterministically.
-    let seed: Vec<u32> = (0u32..64).map(|i| i.wrapping_mul(2654435761) % 997).collect();
+    let seed: Vec<u32> = (0u32..64)
+        .map(|i| i.wrapping_mul(2654435761) % 997)
+        .collect();
     let _ = b.alloc(&seed);
     for i in 0..12u8 {
         b.li(temp(i), (i as i32 + 1) * 37);

@@ -23,7 +23,10 @@ fn trace_of_a_real_run_round_trips_through_jsonl() {
     let committed: Vec<_> = back.iter().filter(|r| r.committed).collect();
     assert!(committed.windows(2).all(|w| w[0].seq < w[1].seq));
     assert!(back.iter().all(|r| r.estimates.len() == 1));
-    let mispredicted = back.iter().filter(|r| r.committed && r.mispredicted).count();
+    let mispredicted = back
+        .iter()
+        .filter(|r| r.committed && r.mispredicted)
+        .count();
     assert_eq!(mispredicted as u64, out.stats.mispredicted_committed);
 }
 

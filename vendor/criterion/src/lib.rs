@@ -1,0 +1,225 @@
+//! Minimal, offline-friendly reimplementation of the `criterion` surface
+//! used by the cestim benches (`harness = false` targets).
+//!
+//! Behaviour: when invoked with `--bench` (as `cargo bench` does), each
+//! benchmark runs a short warm-up plus `sample_size` timed samples and
+//! prints mean wall-clock time per iteration (and throughput when
+//! configured). Invoked any other way — e.g. compiled-and-run by
+//! `cargo test` — every benchmark is a no-op so test runs stay fast.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Criterion {
+    /// Builds from process arguments (`--bench` enables measurement).
+    pub fn from_args() -> Criterion {
+        Criterion {
+            enabled: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.enabled, &id.id, 30, None, |b| f(b));
+        self
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display identity (`group/name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            self.criterion.enabled,
+            &label,
+            self.sample_size,
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            self.criterion.enabled,
+            &label,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher {
+    enabled: bool,
+    samples: usize,
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, discarding its output.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.enabled {
+            return;
+        }
+        // Warm-up.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn run_one(
+    enabled: bool,
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        enabled,
+        samples: sample_size,
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    if !enabled || b.iters == 0 {
+        return;
+    }
+    let per_iter = b.total_nanos as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / per_iter * 1e3),
+        Throughput::Bytes(n) => format!(" ({:.1} MB/s)", n as f64 / per_iter * 1e3),
+    });
+    println!(
+        "bench {label:<48} {:>12.0} ns/iter{}",
+        per_iter,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

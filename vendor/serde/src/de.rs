@@ -1,0 +1,260 @@
+//! The `Deserialize` trait and impls for std types.
+
+use crate::error::Error;
+use crate::value::{Number, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::Hash;
+
+/// Types constructible from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Builds `Self` when a struct field is absent from the input.
+    ///
+    /// Only `Option` overrides this (absent optional fields deserialize to
+    /// `None`, as with serde_json); everything else errors.
+    fn from_missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(field))
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(Number::PosInt(u)) => <$t>::try_from(*u)
+                        .map_err(|_| Error::custom(format!(
+                            "integer {u} out of range for {}", stringify!($t)))),
+                    other => Err(Error::invalid_type(stringify!($t), other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! de_int {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let out_of_range =
+                    |v: &dyn std::fmt::Display| Error::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)));
+                match value {
+                    Value::Number(Number::PosInt(u)) => {
+                        <$t>::try_from(*u).map_err(|_| out_of_range(u))
+                    }
+                    Value::Number(Number::NegInt(i)) => {
+                        <$t>::try_from(*i).map_err(|_| out_of_range(i))
+                    }
+                    other => Err(Error::invalid_type(stringify!($t), other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+de_uint!(u8 u16 u32 u64 usize);
+de_int!(i8 i16 i32 i64 isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            // serde_json writes non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::invalid_type("f64", other.kind())),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::invalid_type("bool", value.kind()))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::invalid_type("string", value.kind()))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::invalid_type("array", value.kind()))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::invalid_type("array", value.kind()))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::invalid_type("null", other.kind())),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let a = value
+                    .as_array()
+                    .ok_or_else(|| Error::invalid_type("array", value.kind()))?;
+                if a.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected an array of length {}, found {}",
+                        $len,
+                        a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys parsed back from JSON object member names.
+pub trait DeserializeKey: Sized {
+    /// Parses the key from an object member name.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl DeserializeKey for String {
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! de_key_int {
+    ($($t:ty)*) => {$(
+        impl DeserializeKey for $t {
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!(
+                        "invalid {} map key `{key}`", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+de_key_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: DeserializeKey + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let m = value
+            .as_object()
+            .ok_or_else(|| Error::invalid_type("object", value.kind()))?;
+        m.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: DeserializeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let m = value
+            .as_object()
+            .ok_or_else(|| Error::invalid_type("object", value.kind()))?;
+        m.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+/// Externally-tagged enum helper used by derived code: splits an enum
+/// payload into `(variant_name, data)`.
+///
+/// A bare string is a unit variant; a single-entry object is a
+/// newtype/tuple/struct variant.
+pub fn enum_parts<'v>(value: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), Error> {
+    match value {
+        Value::String(s) => Ok((s.as_str(), None)),
+        Value::Object(m) if m.len() == 1 => {
+            let (k, v) = m.iter().next().expect("len checked");
+            Ok((k.as_str(), Some(v)))
+        }
+        other => Err(Error::invalid_type(
+            &format!("string or single-key map for enum {ty}"),
+            other.kind(),
+        )),
+    }
+}

@@ -1,0 +1,48 @@
+//! Deserialization error type.
+
+use std::fmt;
+
+/// Error produced by [`Deserialize`](crate::Deserialize) implementations
+/// (and re-used by the vendored `serde_json` parser).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// A struct field was absent from the input object.
+    pub fn missing_field(field: &str) -> Error {
+        Error::custom(format!("missing field `{field}`"))
+    }
+
+    /// The input had the wrong JSON type.
+    pub fn invalid_type(expected: &str, got: &str) -> Error {
+        Error::custom(format!("invalid type: expected {expected}, found {got}"))
+    }
+
+    /// An enum variant name was not recognized.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Error {
+        Error::custom(format!("unknown variant `{variant}` for enum {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}

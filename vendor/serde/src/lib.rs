@@ -1,0 +1,30 @@
+//! Minimal, offline-friendly reimplementation of the `serde` facade.
+//!
+//! The real `serde` crate cannot be fetched in this build environment, so
+//! this vendored stand-in provides the same *external* surface the cestim
+//! workspace uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (via the vendored `serde_derive`
+//!   proc-macro) for structs and enums without generics, using serde's
+//!   externally-tagged enum representation;
+//! * `Serialize` / `Deserialize` traits with impls for the primitive and
+//!   collection types the workspace serializes;
+//! * a JSON-shaped [`Value`] data model ([`Map`], [`Number`]) that the
+//!   vendored `serde_json` re-exports.
+//!
+//! Instead of serde's visitor architecture, serialization goes through
+//! [`Value`]: `Serialize` renders a value tree and `Deserialize` reads one.
+//! This matches observable `serde_json` behaviour for every type in this
+//! workspace (externally tagged enums, `Option` as `null`, maps with
+//! stringified integer keys, non-finite floats as `null`).
+
+mod de;
+mod error;
+mod ser;
+mod value;
+
+pub use de::{enum_parts, Deserialize, DeserializeKey};
+pub use error::Error;
+pub use ser::{to_value, Serialize, SerializeKey};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};

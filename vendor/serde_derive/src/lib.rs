@@ -1,0 +1,405 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored serde.
+//!
+//! Parses the item's `TokenStream` directly (no `syn`/`quote` — this build
+//! environment is offline): only the *shape* matters — struct/enum, field
+//! and variant names, tuple arities. Field types never need to be parsed
+//! because the generated code calls trait methods whose concrete impl is
+//! resolved by inference at the use site.
+//!
+//! Supported shapes (everything the cestim workspace derives):
+//! * structs with named fields, tuple structs (newtype + wider), unit
+//!   structs;
+//! * enums with unit, newtype, tuple, and struct variants, using serde's
+//!   externally-tagged representation;
+//! * no generic parameters and no `#[serde(...)]` attributes (compile
+//!   error if present).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated code parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated code parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attribute groups and visibility qualifiers.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(t) if is_punct(t, '#') => match toks.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+                _ => return i,
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let keyword = ident_of(&toks[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("expected type name");
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("vendored serde_derive does not support generic types");
+    }
+    match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+                name,
+                kind: Kind::TupleStruct(count_top_level_elements(g.stream())),
+            },
+            _ => Input {
+                name,
+                kind: Kind::UnitStruct,
+            },
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            _ => panic!("expected enum body"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Field names of a `{ ... }` struct body (types are skipped, tracking
+/// angle-bracket depth so commas inside generic arguments don't split).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("expected field name");
+        fields.push(name);
+        i += 1; // name
+        assert!(is_punct(&toks[i], ':'), "expected `:` after field name");
+        i += 1;
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a `( ... )` tuple body.
+fn count_top_level_elements(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut depth = 0i32;
+    let mut arity = 0;
+    let mut in_element = false;
+    for t in &toks {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            if in_element {
+                arity += 1;
+            }
+            in_element = false;
+            continue;
+        }
+        in_element = true;
+    }
+    if in_element {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("expected variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_elements(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("{ let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m) }");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{vn}\"), {payload}); \
+                             ::serde::Value::Object(__m) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = String::from("{ let mut __inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__inner) }");
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{vn}\"), {inner}); \
+                             ::serde::Value::Object(__m) }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_ctor(target: &str, fields: &[String], source: &str) -> String {
+    let mut s = format!("{target} {{\n");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: match {source}.get(\"{f}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => ::serde::Deserialize::from_missing_field(\"{f}\")?,\n\
+             }},\n"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn tuple_ctor(target: &str, n: usize, source: &str, ty: &str) -> String {
+    let mut s = format!(
+        "{{ let __a = {source}.as_array().ok_or_else(|| \
+         ::serde::Error::invalid_type(\"array\", {source}.kind()))?;\n\
+         if __a.len() != {n} {{ return ::std::result::Result::Err(\
+         ::serde::Error::custom(format!(\
+         \"expected {n} elements for {ty}, found {{}}\", __a.len()))); }}\n\
+         {target}("
+    );
+    for i in 0..n {
+        s.push_str(&format!("::serde::Deserialize::from_value(&__a[{i}])?, "));
+    }
+    s.push_str(") }");
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => format!(
+            "::std::result::Result::Ok({})",
+            tuple_ctor(name, *n, "__v", name)
+        ),
+        Kind::NamedStruct(fields) => format!(
+            "{{ let __m = __v.as_object().ok_or_else(|| \
+             ::serde::Error::invalid_type(\"object\", __v.kind()))?;\n\
+             ::std::result::Result::Ok({}) }}",
+            named_fields_ctor(name, fields, "__m")
+        ),
+        Kind::Enum(variants) => {
+            let mut s = format!(
+                "{{ let (__tag, __data) = ::serde::enum_parts(__v, \"{name}\")?;\n\
+                 match __tag {{\n"
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let need_data = format!(
+                            "let __d = __data.ok_or_else(|| ::serde::Error::custom(\
+                             \"expected a value for variant `{vn}`\"))?;"
+                        );
+                        if *n == 1 {
+                            s.push_str(&format!(
+                                "\"{vn}\" => {{ {need_data} \
+                                 ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__d)?)) }}\n"
+                            ));
+                        } else {
+                            s.push_str(&format!(
+                                "\"{vn}\" => {{ {need_data} \
+                                 ::std::result::Result::Ok({}) }}\n",
+                                tuple_ctor(&format!("{name}::{vn}"), *n, "__d", vn)
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        s.push_str(&format!(
+                            "\"{vn}\" => {{ let __d = __data.ok_or_else(|| \
+                             ::serde::Error::custom(\
+                             \"expected a value for variant `{vn}`\"))?;\n\
+                             let __m = __d.as_object().ok_or_else(|| \
+                             ::serde::Error::invalid_type(\"object\", __d.kind()))?;\n\
+                             ::std::result::Result::Ok({}) }}\n",
+                            named_fields_ctor(&format!("{name}::{vn}"), fields, "__m")
+                        ));
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "__other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(__other, \"{name}\")),\n}} }}"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

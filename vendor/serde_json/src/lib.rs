@@ -1,0 +1,284 @@
+//! Minimal, offline-friendly reimplementation of the `serde_json` surface
+//! used by the cestim workspace: [`Value`] (re-exported from the vendored
+//! `serde`), `to_string` / `to_string_pretty` / `to_writer`, `from_str` /
+//! `from_slice`, and the [`json!`] macro.
+
+mod parse;
+
+use std::fmt;
+use std::io::{self, Write};
+
+pub use serde::{to_value, Map, Number, Value};
+
+/// Error from JSON serialization or deserialization.
+#[derive(Debug)]
+pub enum Error {
+    /// Parse or shape mismatch.
+    Data(serde::Error),
+    /// I/O failure from `to_writer`.
+    Io(io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Data(e) => e.fmt(f),
+            Error::Io(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::Data(e)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+impl From<Error> for io::Error {
+    fn from(e: Error) -> io::Error {
+        match e {
+            Error::Io(e) => e,
+            Error::Data(e) => io::Error::new(io::ErrorKind::InvalidData, e),
+        }
+    }
+}
+
+/// `Result` with this crate's [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for this vendored implementation; the `Result` matches the
+/// real `serde_json` signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_value().write_compact(&mut out);
+    Ok(out)
+}
+
+/// Serializes to a pretty-printed (2-space indent) JSON string.
+///
+/// # Errors
+///
+/// Infallible for this vendored implementation.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Serializes compact JSON into a writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn to_writer<W: Write, T: serde::Serialize + ?Sized>(mut w: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Serializes to compact JSON bytes.
+///
+/// # Errors
+///
+/// Infallible for this vendored implementation.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes any `T: Deserialize` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let v = parse::parse(s)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Deserializes any `T: Deserialize` from JSON bytes.
+///
+/// # Errors
+///
+/// Returns an error on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error::Data(serde::Error::custom(format!("invalid UTF-8: {e}"))))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-like literal syntax (serde_json's `json!`).
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+    () => {
+        $crate::Value::Null
+    };
+}
+
+/// Implementation detail of [`json!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // Array munching: accumulate elements in [..].
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        ::std::vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // Object munching: (@object map (partial key) (unmunched) (copy)).
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+]
+            ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+]
+            ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+]
+            ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // Primary forms.
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(::std::vec::Vec::new())
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value() {
+        let v = json!({
+            "a": 1,
+            "b": [true, null, 2.5, "x\n\"y\""],
+            "c": {"nested": [-3, {"deep": false}]},
+        });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn index_and_eq() {
+        let v = json!({"a": 1, "s": "hi", "f": 0.5});
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["s"], "hi");
+        assert_eq!(v["f"], 0.5);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str(r#""A😀""#).unwrap();
+        assert_eq!(v, "A😀");
+    }
+
+    #[test]
+    fn malformed_is_an_error() {
+        assert!(from_str::<Value>("{not json}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn floats_keep_their_point() {
+        assert_eq!(to_string(&json!(1.0)).unwrap(), "1.0");
+        assert_eq!(to_string(&json!(1)).unwrap(), "1");
+        let back: Value = from_str("1.0").unwrap();
+        assert_eq!(back, json!(1.0));
+    }
+}
