@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures, with optional run telemetry.
 //!
 //! ```text
-//! repro [--scale N] [--out DIR] <experiment>...
+//! repro [--scale N] [--out DIR] [--jobs N] [--no-cache | --refresh]
+//!       [--cache-dir DIR] <experiment>...
 //! repro all
 //! repro --list
 //! repro [--scale N] [--workload NAME] [--trace-out FILE]
@@ -11,6 +12,17 @@
 //! Experiments: `fig1 table1 table2 fig3 fig4 fig5 table3 fig6 fig7 fig8
 //! fig9 table4 cluster boost`. Each prints its table/series to stdout and
 //! writes `<out>/<id>.txt` and `<out>/<id>.json` (default `results/`).
+//!
+//! Every experiment is decomposed into jobs and submitted to a shared
+//! `cestim-exec` executor:
+//!
+//! * `--jobs N` — run up to `N` simulation jobs in parallel (default: the
+//!   `CESTIM_JOBS` env var, else the machine's available parallelism).
+//!   Output is bit-for-bit identical to a serial run.
+//! * `--cache-dir DIR` — content-addressed result cache location
+//!   (default `<out>/cache`). Unchanged jobs are answered from disk.
+//! * `--refresh` — ignore cached results but still rewrite them.
+//! * `--no-cache` — disable the cache entirely (no reads, no writes).
 //!
 //! Any of `--trace-out`, `--metrics-out`, `--obs-summary` additionally run
 //! one fully instrumented pipeline pass (default workload `compress`,
@@ -24,9 +36,11 @@
 //!   key derived rates.
 //!
 //! Every invocation also writes `<out>/telemetry.json` with per-experiment
-//! wall-clock spans and the instrumented run's phase timings.
+//! wall-clock spans, the executor's job/cache counters and metrics, and the
+//! instrumented run's phase timings.
 
-use cestim_obs::{render_timing_table, Span, Tracer};
+use cestim_exec::{default_workers, CachePolicy, Executor};
+use cestim_obs::{render_timing_table, PhaseProfiler, Span, Tracer};
 use cestim_pipeline::NullObserver;
 use cestim_sim::{run_instrumented, suite, EstimatorSpec, PredictorKind, RunConfig};
 use cestim_workloads::WorkloadKind;
@@ -37,6 +51,10 @@ struct Args {
     scale: u32,
     out: PathBuf,
     ids: Vec<String>,
+    jobs: Option<usize>,
+    no_cache: bool,
+    refresh: bool,
+    cache_dir: Option<PathBuf>,
     workload: WorkloadKind,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
@@ -47,11 +65,22 @@ impl Args {
     fn instrumented(&self) -> bool {
         self.trace_out.is_some() || self.metrics_out.is_some() || self.obs_summary
     }
+
+    fn cache_policy(&self) -> CachePolicy {
+        if self.no_cache {
+            CachePolicy::Disabled
+        } else if self.refresh {
+            CachePolicy::Refresh
+        } else {
+            CachePolicy::ReadWrite
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale N] [--out DIR] [--workload NAME] [--trace-out FILE]\n\
+        "usage: repro [--scale N] [--out DIR] [--jobs N] [--no-cache | --refresh]\n\
+         \x20            [--cache-dir DIR] [--workload NAME] [--trace-out FILE]\n\
          \x20            [--metrics-out FILE] [--obs-summary] <experiment>... | all | --list\n\
          experiments: {}\n\
          workloads:   {}",
@@ -70,6 +99,10 @@ fn parse_args() -> Args {
         scale: 4,
         out: PathBuf::from("results"),
         ids: Vec::new(),
+        jobs: None,
+        no_cache: false,
+        refresh: false,
+        cache_dir: None,
         workload: WorkloadKind::Compress,
         trace_out: None,
         metrics_out: None,
@@ -85,6 +118,18 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--out" => args.out = PathBuf::from(argv.next().unwrap_or_else(|| usage())),
+            "--jobs" => {
+                args.jobs = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--no-cache" => args.no_cache = true,
+            "--refresh" => args.refresh = true,
+            "--cache-dir" => {
+                args.cache_dir = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
             "--workload" => {
                 args.workload = argv
                     .next()
@@ -115,7 +160,41 @@ fn parse_args() -> Args {
     if args.ids.is_empty() && !args.instrumented() {
         usage();
     }
+    if args.no_cache && args.refresh {
+        eprintln!("error: --no-cache and --refresh are mutually exclusive");
+        std::process::exit(2);
+    }
     args
+}
+
+/// Builds the shared experiment executor from the command-line flags and
+/// sweeps entries written under an older job schema out of the cache.
+fn build_executor(args: &Args) -> std::io::Result<Executor> {
+    let workers = args.jobs.unwrap_or_else(default_workers);
+    let cache_dir = args
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| args.out.join("cache"));
+    let exec = Executor::new(workers).with_cache(cache_dir, args.cache_policy())?;
+    let stale = exec.evict_stale(cestim_sim::sim_schema_salt());
+    if stale > 0 {
+        println!("[cache: evicted {stale} stale entr{}]", plural_y(stale));
+    }
+    Ok(exec)
+}
+
+fn plural_y(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}
+
+/// Maps a user-supplied experiment id back to its `'static` suite name
+/// (phase profiling requires `&'static str` labels).
+fn static_id(id: &str) -> Option<&'static str> {
+    suite::all_ids().iter().copied().find(|s| *s == id)
 }
 
 /// One instrumented pass: gshare + the paper estimator set on the chosen
@@ -172,11 +251,22 @@ fn run_instrumented_pass(args: &Args) -> std::io::Result<serde_json::Value> {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let mut failed = false;
+    let exec = match build_executor(&args) {
+        Ok(exec) => exec,
+        Err(e) => {
+            eprintln!("error: failed to open result cache: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed_ids = Vec::new();
     let mut experiment_spans = Vec::new();
+    let mut profiler = PhaseProfiler::new(true);
     for id in &args.ids {
+        let phase = static_id(id).map(|name| profiler.phase(name));
+        let started = profiler.start();
         let span = Span::begin(id.clone());
-        match suite::run_experiment(id, args.scale) {
+        match suite::run_experiment_with(&exec, id, args.scale) {
             Some(r) => {
                 println!("{}\n{}", r.title, r.text);
                 let timing = span.end();
@@ -185,14 +275,32 @@ fn main() -> ExitCode {
                 experiment_spans.push(serde_json::json!({ "id": id, "seconds": seconds }));
                 if let Err(e) = cestim_bench::write_artifacts(&args.out, id, &r.text, &r.json) {
                     eprintln!("error: failed to write artifacts for {id}: {e}");
-                    failed = true;
+                    failed_ids.push(id.clone());
                 }
             }
             None => {
                 eprintln!("error: unknown experiment '{id}' (try --list)");
-                failed = true;
+                failed_ids.push(id.clone());
             }
         }
+        if let Some(phase) = phase {
+            profiler.stop(phase, started);
+        }
+    }
+
+    let report = exec.report();
+    if !args.ids.is_empty() {
+        println!(
+            "[executor: {} worker{}, {} job{} ({} cache hit{}, {} executed), cache {}]",
+            report.workers,
+            if report.workers == 1 { "" } else { "s" },
+            report.submitted,
+            if report.submitted == 1 { "" } else { "s" },
+            report.cache_hits,
+            if report.cache_hits == 1 { "" } else { "s" },
+            report.executed,
+            report.cache_policy,
+        );
     }
 
     let mut instrumented = serde_json::Value::Null;
@@ -201,23 +309,32 @@ fn main() -> ExitCode {
             Ok(v) => instrumented = v,
             Err(e) => {
                 eprintln!("error: instrumented run failed: {e}");
-                failed = true;
+                failed_ids.push("<instrumented>".to_string());
             }
         }
     }
 
     let telemetry = serde_json::json!({
         "experiments": experiment_spans,
+        "experiment_phases": profiler.timings(),
+        "executor": report,
+        "executor_metrics": exec.registry().snapshot(),
         "instrumented": instrumented,
     });
     if let Err(e) = cestim_bench::write_telemetry(&args.out, &telemetry) {
         eprintln!("error: failed to write telemetry: {e}");
-        failed = true;
+        failed_ids.push("<telemetry>".to_string());
     }
 
-    if failed {
-        ExitCode::FAILURE
-    } else {
+    if failed_ids.is_empty() {
         ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: {} step{} failed: {}",
+            failed_ids.len(),
+            if failed_ids.len() == 1 { "" } else { "s" },
+            failed_ids.join(" ")
+        );
+        ExitCode::FAILURE
     }
 }

@@ -1,11 +1,14 @@
-//! Quick pipeline-throughput smoke check: one gshare+JRS pass per workload.
+//! Quick pipeline-throughput smoke check, plus the experiment perf baseline.
 //!
 //! ```text
 //! speed [scale] [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
+//! speed [scale] --bench [--jobs N] [--out DIR] [--experiments id,id,...]
 //! ```
 //!
-//! Tracing and profiling stay fully disabled unless requested, so the
-//! default invocation measures the uninstrumented pipeline:
+//! The default mode runs one gshare+JRS pass per workload and prints
+//! throughput lines. Tracing and profiling stay fully disabled unless
+//! requested, so the default invocation measures the uninstrumented
+//! pipeline:
 //!
 //! * `--trace-out FILE` — record every workload's events into one JSONL
 //!   trace (replayable by `cestim-trace`).
@@ -13,10 +16,23 @@
 //!   workload) as one JSON snapshot.
 //! * `--obs-summary` — profile pipeline phases and print the wall-clock
 //!   table per workload.
+//!
+//! `--bench` instead times experiment regeneration through the
+//! `cestim-exec` engine — serial versus `--jobs N` (cache-cold) versus
+//! cache-warm — and writes the machine-readable baseline to
+//! `<out>/bench.json`:
+//!
+//! * `--jobs N` — worker count for the parallel passes (default: the
+//!   `CESTIM_JOBS` env var, else available parallelism).
+//! * `--out DIR` — output directory (default `results/`); the bench cache
+//!   lives under `<out>/bench-cache` and is cleared afterwards.
+//! * `--experiments a,b,c` — subset of experiment ids (default: all).
 
 use cestim_bpred::Gshare;
+use cestim_exec::{default_workers, CachePolicy, Executor};
 use cestim_obs::{render_timing_table, Registry, TraceWriter, Tracer};
 use cestim_pipeline::{PipelineConfig, Simulator};
+use cestim_sim::suite;
 use cestim_workloads::WorkloadKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,19 +40,30 @@ use std::time::Instant;
 
 struct Args {
     scale: u32,
+    bench: bool,
+    jobs: Option<usize>,
+    out: PathBuf,
+    experiments: Option<Vec<String>>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     obs_summary: bool,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: speed [scale] [--trace-out FILE] [--metrics-out FILE] [--obs-summary]");
+    eprintln!(
+        "usage: speed [scale] [--trace-out FILE] [--metrics-out FILE] [--obs-summary]\n\
+         \x20      speed [scale] --bench [--jobs N] [--out DIR] [--experiments id,id,...]"
+    );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         scale: 4,
+        bench: false,
+        jobs: None,
+        out: PathBuf::from("results"),
+        experiments: None,
         trace_out: None,
         metrics_out: None,
         obs_summary: false,
@@ -44,6 +71,19 @@ fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
+            "--bench" => args.bench = true,
+            "--jobs" => {
+                args.jobs = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--out" => args.out = PathBuf::from(argv.next().unwrap_or_else(|| usage())),
+            "--experiments" => {
+                let list = argv.next().unwrap_or_else(|| usage());
+                args.experiments = Some(list.split(',').map(str::to_string).collect());
+            }
             "--trace-out" => {
                 args.trace_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
             }
@@ -61,8 +101,133 @@ fn parse_args() -> Args {
     args
 }
 
-fn run() -> std::io::Result<()> {
-    let args = parse_args();
+/// Times one experiment three ways — serial (no cache), parallel with a
+/// cold cache, parallel again with the warm cache — and checks that the
+/// parallel output is byte-identical to the serial one.
+fn bench_experiment(
+    id: &str,
+    scale: u32,
+    jobs: usize,
+    cache_dir: &std::path::Path,
+) -> std::io::Result<serde_json::Value> {
+    let serial_exec = Executor::sequential();
+    let t = Instant::now();
+    let serial = suite::run_experiment_with(&serial_exec, id, scale)
+        .ok_or_else(|| std::io::Error::other(format!("unknown experiment '{id}'")))?;
+    let serial_seconds = t.elapsed().as_secs_f64();
+
+    // Refresh skips cache reads, so this pass is cold even when an earlier
+    // experiment already stored overlapping jobs; it still writes, warming
+    // the cache for the third pass.
+    let cold_exec = Executor::new(jobs).with_cache(cache_dir, CachePolicy::Refresh)?;
+    let t = Instant::now();
+    let cold = suite::run_experiment_with(&cold_exec, id, scale).expect("id validated above");
+    let parallel_seconds = t.elapsed().as_secs_f64();
+    let identical = serial.text == cold.text && serial.json == cold.json;
+
+    let warm_exec = Executor::new(jobs).with_cache(cache_dir, CachePolicy::ReadWrite)?;
+    let t = Instant::now();
+    let warm = suite::run_experiment_with(&warm_exec, id, scale).expect("id validated above");
+    let warm_seconds = t.elapsed().as_secs_f64();
+    let warm_report = warm_exec.report();
+    let warm_identical = serial.text == warm.text;
+
+    let speedup = serial_seconds / parallel_seconds.max(1e-9);
+    println!(
+        "{id:14} serial={serial_seconds:7.3}s jobs={jobs} cold={parallel_seconds:7.3}s \
+         warm={warm_seconds:7.3}s speedup={speedup:5.2}x identical={}",
+        identical && warm_identical
+    );
+    Ok(serde_json::json!({
+        "id": id,
+        "serial_seconds": serial_seconds,
+        "parallel_cold_seconds": parallel_seconds,
+        "parallel_warm_seconds": warm_seconds,
+        "speedup": speedup,
+        "warm_cache_hits": warm_report.cache_hits,
+        "warm_executed": warm_report.executed,
+        "identical": identical && warm_identical,
+    }))
+}
+
+/// `--bench` mode: per-experiment serial / parallel-cold / parallel-warm
+/// wall-clock, written to `<out>/bench.json`.
+fn run_bench(args: &Args) -> std::io::Result<()> {
+    let jobs = args.jobs.unwrap_or_else(default_workers);
+    let ids: Vec<String> = match &args.experiments {
+        Some(list) => list.clone(),
+        None => suite::all_ids().iter().map(|s| s.to_string()).collect(),
+    };
+    let cache_dir = args.out.join("bench-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    println!(
+        "benchmarking {} experiment{} at scale {} with {jobs} worker{}",
+        ids.len(),
+        if ids.len() == 1 { "" } else { "s" },
+        args.scale,
+        if jobs == 1 { "" } else { "s" },
+    );
+    let mut rows = Vec::new();
+    let mut serial_total = 0.0;
+    let mut cold_total = 0.0;
+    let mut warm_total = 0.0;
+    let mut all_identical = true;
+    let mut warm_executed_total = 0u64;
+    for id in &ids {
+        let row = bench_experiment(id, args.scale, jobs, &cache_dir)?;
+        serial_total += row["serial_seconds"].as_f64().unwrap_or(0.0);
+        cold_total += row["parallel_cold_seconds"].as_f64().unwrap_or(0.0);
+        warm_total += row["parallel_warm_seconds"].as_f64().unwrap_or(0.0);
+        all_identical &= row["identical"].as_bool().unwrap_or(false);
+        warm_executed_total += row["warm_executed"].as_u64().unwrap_or(0);
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let speedup = serial_total / cold_total.max(1e-9);
+    let warm_speedup = serial_total / warm_total.max(1e-9);
+    println!(
+        "total          serial={serial_total:7.3}s cold={cold_total:7.3}s \
+         warm={warm_total:7.3}s speedup={speedup:5.2}x warm-speedup={warm_speedup:5.2}x"
+    );
+    if !all_identical {
+        eprintln!("error: parallel output diverged from serial output");
+    }
+    if warm_executed_total > 0 {
+        eprintln!("error: warm-cache passes still executed {warm_executed_total} job(s)");
+    }
+
+    // Parallel speedup is bounded by the host's core count; record it so
+    // the numbers stay interpretable (on a 1-core host cold ≈ serial and
+    // only the warm-cache pass shows a win).
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let bench = serde_json::json!({
+        "scale": args.scale,
+        "jobs": jobs,
+        "host_parallelism": host_parallelism,
+        "experiments": rows,
+        "totals": {
+            "serial_seconds": serial_total,
+            "parallel_cold_seconds": cold_total,
+            "parallel_warm_seconds": warm_total,
+            "speedup": speedup,
+            "warm_speedup": warm_speedup,
+            "warm_executed": warm_executed_total,
+            "identical": all_identical,
+        },
+    });
+    cestim_bench::write_bench(&args.out, &bench)?;
+    println!("[bench -> {}]", args.out.join("bench.json").display());
+    if !all_identical || warm_executed_total > 0 {
+        return Err(std::io::Error::other("bench invariants violated"));
+    }
+    Ok(())
+}
+
+fn run_speed(args: &Args) -> std::io::Result<()> {
     let registry = Registry::new();
     let mut trace_writer = match &args.trace_out {
         Some(path) => {
@@ -136,6 +301,15 @@ fn run() -> std::io::Result<()> {
         println!("[metrics -> {}]", path.display());
     }
     Ok(())
+}
+
+fn run() -> std::io::Result<()> {
+    let args = parse_args();
+    if args.bench {
+        run_bench(&args)
+    } else {
+        run_speed(&args)
+    }
 }
 
 fn main() -> ExitCode {

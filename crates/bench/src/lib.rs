@@ -80,6 +80,17 @@ pub fn write_telemetry(dir: &Path, telemetry: &serde_json::Value) -> std::io::Re
     )
 }
 
+/// Writes `bench.json` (the machine-readable perf baseline produced by
+/// `speed --bench`) under `dir`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_bench(dir: &Path, bench: &serde_json::Value) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("bench.json"), serde_json::to_string_pretty(bench)?)
+}
+
 /// Renders the key derived rates of one run as an aligned text block,
 /// using [`PipelineStats`]' rate helpers.
 pub fn stats_summary(stats: &PipelineStats) -> String {
@@ -149,6 +160,12 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(dir.join("telemetry.json")).unwrap())
                 .unwrap();
         assert!(t["experiments"].as_array().is_some());
+
+        write_bench(&dir, &serde_json::json!({ "speedup": 2.0 })).unwrap();
+        let b: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("bench.json")).unwrap())
+                .unwrap();
+        assert!(b.get("speedup").is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

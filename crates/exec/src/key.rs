@@ -1,0 +1,173 @@
+//! Content keys: canonical hashing of job descriptions.
+//!
+//! A job's cache key has two halves, both 64-bit FNV-1a digests:
+//!
+//! * the **schema** half fingerprints the *code* that produces and
+//!   interprets results (crate version plus an explicit schema counter a
+//!   job domain bumps whenever output semantics change);
+//! * the **content** half fingerprints the *configuration* — the job's
+//!   serialized description, hashed over a canonical rendering (object
+//!   keys sorted recursively) so the digest is independent of field
+//!   insertion order and survives a serialize → parse → re-serialize
+//!   round trip.
+
+use serde::Value;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Renders `value` as compact JSON with every object's keys sorted
+/// recursively — the canonical form hashed by [`content_hash`].
+pub fn canonical_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_canonical(value, &mut out);
+    out
+}
+
+fn write_canonical(value: &Value, out: &mut String) {
+    match value {
+        Value::Object(m) => {
+            let mut entries: Vec<(&String, &Value)> = m.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            out.push('{');
+            for (i, (k, v)) in entries.into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                Value::String(k.clone()).write_compact(out);
+                out.push(':');
+                write_canonical(v, out);
+            }
+            out.push('}');
+        }
+        Value::Array(a) => {
+            out.push('[');
+            for (i, v) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(v, out);
+            }
+            out.push(']');
+        }
+        other => other.write_compact(out),
+    }
+}
+
+/// Canonical 64-bit digest of a serialized job description.
+pub fn content_hash(value: &Value) -> u64 {
+    fnv1a(canonical_string(value).as_bytes())
+}
+
+/// The two-part key a cached result is addressed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Fingerprint of the producing code (version + schema counter).
+    pub schema: u64,
+    /// Fingerprint of the job configuration.
+    pub content: u64,
+}
+
+impl CacheKey {
+    /// Derives the key for a job description under a schema salt.
+    pub fn derive(schema: u64, content: &Value) -> CacheKey {
+        CacheKey {
+            schema,
+            content: content_hash(content),
+        }
+    }
+
+    /// The on-disk file name for this key (`<schema>-<content>.json`).
+    pub fn file_name(&self) -> String {
+        format!("{:016x}-{:016x}.json", self.schema, self.content)
+    }
+
+    /// Folds both halves into a single display id.
+    pub fn id(&self) -> String {
+        format!("{:016x}{:016x}", self.schema, self.content)
+    }
+}
+
+/// Builds a schema salt from a version string and a schema counter.
+///
+/// Bumping `counter` (or releasing a new crate version) changes every key
+/// derived under the salt, orphaning — and thereby invalidating — all
+/// previously cached entries.
+pub fn schema_salt(version: &str, counter: u32) -> u64 {
+    let mut bytes = Vec::with_capacity(version.len() + 5);
+    bytes.extend_from_slice(version.as_bytes());
+    bytes.push(b'#');
+    bytes.extend_from_slice(&counter.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Map;
+
+    fn obj(entries: &[(&str, Value)]) -> Value {
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k.to_string(), v.clone());
+        }
+        Value::Object(m)
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn canonical_form_sorts_keys_recursively() {
+        let a = obj(&[
+            ("b", Value::from(1u64.to_string())),
+            ("a", obj(&[("y", Value::Bool(true)), ("x", Value::Null)])),
+        ]);
+        let b = obj(&[
+            ("a", obj(&[("x", Value::Null), ("y", Value::Bool(true))])),
+            ("b", Value::from(1u64.to_string())),
+        ]);
+        assert_eq!(canonical_string(&a), canonical_string(&b));
+        assert_eq!(content_hash(&a), content_hash(&b));
+        assert_eq!(canonical_string(&a), r#"{"a":{"x":null,"y":true},"b":"1"}"#);
+    }
+
+    #[test]
+    fn content_changes_change_the_hash() {
+        let a = obj(&[("scale", Value::Number(2u64.into()))]);
+        let b = obj(&[("scale", Value::Number(3u64.into()))]);
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn schema_salt_distinguishes_counters_and_versions() {
+        let s = schema_salt("0.1.0", 1);
+        assert_ne!(s, schema_salt("0.1.0", 2));
+        assert_ne!(s, schema_salt("0.1.1", 1));
+        assert_eq!(s, schema_salt("0.1.0", 1));
+    }
+
+    #[test]
+    fn key_file_name_is_stable_hex() {
+        let k = CacheKey {
+            schema: 0xAB,
+            content: 0xCD,
+        };
+        assert_eq!(k.file_name(), "00000000000000ab-00000000000000cd.json");
+    }
+}

@@ -1,0 +1,38 @@
+//! # cestim-exec
+//!
+//! Parallel, cache-aware execution engine for simulation jobs — the
+//! workspace's first scalability layer.
+//!
+//! The paper suite is a large sweep: experiments fan out over workloads ×
+//! predictors × estimator configurations, and every cell is a pure
+//! function of its configuration. This crate exploits that purity three
+//! ways:
+//!
+//! * [`Job`] — a value describing one simulation unit. Its canonical
+//!   serialization ([`canonical_string`]) hashes to a deterministic
+//!   64-bit content key ([`CacheKey`]) that also folds in a
+//!   crate-version/schema salt ([`schema_salt`]), so equal configurations
+//!   share results and code changes invalidate them.
+//! * [`Executor`] — a fixed-size worker pool (`std::thread::scope` +
+//!   `mpsc`) that runs a batch out of order but merges outputs back into
+//!   submission order: callers see bit-for-bit the serial answer.
+//! * [`DiskCache`] — a content-addressed JSON store (atomic rename
+//!   writes) replaying previously computed outputs across process runs,
+//!   governed by a [`CachePolicy`].
+//!
+//! Telemetry flows through `cestim-obs`: `exec.jobs.submitted` /
+//! `exec.jobs.cache_hits` / `exec.jobs.executed` counters, an
+//! `exec.queue.depth` gauge, and an `exec.job.nanos` histogram, plus a
+//! serializable [`ExecReport`] summary.
+//!
+//! Everything is std-only; no external crates beyond the vendored serde.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod key;
+mod pool;
+
+pub use cache::{CachePolicy, DiskCache};
+pub use key::{canonical_string, content_hash, fnv1a, schema_salt, CacheKey};
+pub use pool::{default_workers, ExecReport, Executor, Job};

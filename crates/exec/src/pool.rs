@@ -1,0 +1,365 @@
+//! The executor: a fixed-size worker pool with deterministic result
+//! merging and an optional content-addressed result cache.
+//!
+//! Jobs in a batch execute out of submission order (workers pull from a
+//! shared queue), but [`Executor::run_all`] returns outputs **in
+//! submission order**, so callers observe output bit-for-bit identical to
+//! a serial loop regardless of worker count.
+
+use crate::cache::{CachePolicy, DiskCache};
+use crate::key::CacheKey;
+use cestim_obs::{Counter, Gauge, Histogram, Registry};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::VecDeque;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+/// A pure, hashable description of one unit of simulation work.
+///
+/// A job must be a *value*: everything `execute` does is determined by
+/// the description returned from [`Job::content`], so two jobs with equal
+/// content (under the same [`Job::schema_salt`]) are interchangeable and
+/// one's cached output can stand in for the other's execution.
+pub trait Job: Sync {
+    /// What executing the job produces. Must serialize losslessly — a
+    /// cached output replayed from disk stands in for a fresh execution.
+    type Output: Send + Serialize + Deserialize;
+
+    /// The job's full configuration as a JSON value. Hashed canonically
+    /// (object keys sorted), so field order never affects the key.
+    fn content(&self) -> Value;
+
+    /// Fingerprint of the code producing the output; bump it whenever
+    /// output semantics change (see [`crate::schema_salt`]).
+    fn schema_salt(&self) -> u64;
+
+    /// Human-readable label stored alongside cached entries.
+    fn label(&self) -> String;
+
+    /// Runs the simulation unit.
+    fn execute(&self) -> Self::Output;
+
+    /// The content-addressed key this job's result is cached under.
+    fn cache_key(&self) -> CacheKey {
+        CacheKey::derive(self.schema_salt(), &self.content())
+    }
+}
+
+/// Reads the worker count from `CESTIM_JOBS`, defaulting to the
+/// machine's available parallelism (minimum 1).
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("CESTIM_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Serializable end-of-run summary of an [`Executor`]'s counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Configured worker count.
+    pub workers: u64,
+    /// Jobs submitted across all batches.
+    pub submitted: u64,
+    /// Jobs answered from the cache.
+    pub cache_hits: u64,
+    /// Jobs actually executed.
+    pub executed: u64,
+    /// Cache policy in effect (`read-write` / `refresh` / `disabled` /
+    /// `none` when no cache directory is attached).
+    pub cache_policy: String,
+}
+
+/// Executes batches of [`Job`]s on a fixed-size worker pool, merging
+/// results back into submission order.
+pub struct Executor {
+    workers: usize,
+    cache: Option<DiskCache>,
+    policy: CachePolicy,
+    registry: Registry,
+    submitted: Counter,
+    hits: Counter,
+    executed: Counter,
+    queue_depth: Gauge,
+    job_nanos: Histogram,
+}
+
+impl Executor {
+    /// A single-worker executor with no cache: the in-process sequential
+    /// path libraries use when no parallelism was asked for.
+    pub fn sequential() -> Executor {
+        Executor::new(1)
+    }
+
+    /// An executor with `workers` threads (clamped to at least 1) and no
+    /// cache, reporting into a fresh metrics registry.
+    pub fn new(workers: usize) -> Executor {
+        Executor::build(
+            workers.max(1),
+            None,
+            CachePolicy::ReadWrite,
+            Registry::new(),
+        )
+    }
+
+    /// Attaches a disk cache rooted at `dir` with the given policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the cache directory.
+    pub fn with_cache(self, dir: impl Into<PathBuf>, policy: CachePolicy) -> io::Result<Executor> {
+        let cache = if policy == CachePolicy::Disabled {
+            None
+        } else {
+            Some(DiskCache::open(dir)?)
+        };
+        Ok(Executor::build(self.workers, cache, policy, self.registry))
+    }
+
+    /// Reports telemetry into `registry` instead of the executor's own.
+    pub fn with_registry(self, registry: &Registry) -> Executor {
+        Executor::build(self.workers, self.cache, self.policy, registry.clone())
+    }
+
+    fn build(
+        workers: usize,
+        cache: Option<DiskCache>,
+        policy: CachePolicy,
+        registry: Registry,
+    ) -> Executor {
+        Executor {
+            workers,
+            cache,
+            policy,
+            submitted: registry.counter("exec.jobs.submitted", &[]),
+            hits: registry.counter("exec.jobs.cache_hits", &[]),
+            executed: registry.counter("exec.jobs.executed", &[]),
+            queue_depth: registry.gauge("exec.queue.depth", &[]),
+            job_nanos: registry.histogram("exec.job.nanos", &[]),
+            registry,
+        }
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The registry this executor's telemetry lands in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshot of the executor's counters.
+    pub fn report(&self) -> ExecReport {
+        ExecReport {
+            workers: self.workers as u64,
+            submitted: self.submitted.get(),
+            cache_hits: self.hits.get(),
+            executed: self.executed.get(),
+            cache_policy: match (&self.cache, self.policy) {
+                (None, _) => "none".to_string(),
+                (Some(_), CachePolicy::ReadWrite) => "read-write".to_string(),
+                (Some(_), CachePolicy::Refresh) => "refresh".to_string(),
+                (Some(_), CachePolicy::Disabled) => "disabled".to_string(),
+            },
+        }
+    }
+
+    /// Sweeps cache entries written under a different schema salt.
+    /// Returns the number removed (0 without a cache).
+    pub fn evict_stale(&self, schema: u64) -> usize {
+        self.cache
+            .as_ref()
+            .and_then(|c| c.evict_stale(schema).ok())
+            .unwrap_or(0)
+    }
+
+    /// Runs a batch, returning outputs in submission order.
+    ///
+    /// Cache lookups happen up front on the calling thread; only misses
+    /// are queued to the pool. With one worker (or one pending job) the
+    /// batch runs inline without spawning threads.
+    pub fn run_all<J: Job>(&self, jobs: &[J]) -> Vec<J::Output> {
+        self.submitted.add(jobs.len() as u64);
+        let mut slots: Vec<Option<J::Output>> = jobs.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let hit = if self.policy.reads() {
+                self.cache
+                    .as_ref()
+                    .and_then(|c| c.load::<J::Output>(&job.cache_key()))
+            } else {
+                None
+            };
+            match hit {
+                Some(out) => {
+                    self.hits.inc();
+                    slots[i] = Some(out);
+                }
+                None => pending.push(i),
+            }
+        }
+
+        self.queue_depth.set(pending.len() as i64);
+        if self.workers <= 1 || pending.len() <= 1 {
+            for &i in &pending {
+                slots[i] = Some(self.execute_one(&jobs[i]));
+                self.queue_depth.add(-1);
+            }
+        } else {
+            let queue = Mutex::new(VecDeque::from(pending));
+            let workers = self.workers.min(queue.lock().expect("queue lock").len());
+            let (tx, rx) = mpsc::channel::<(usize, J::Output)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    scope.spawn(move || loop {
+                        let next = queue.lock().expect("queue lock").pop_front();
+                        let Some(i) = next else { break };
+                        self.queue_depth.add(-1);
+                        let out = self.execute_one(&jobs[i]);
+                        if tx.send((i, out)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (i, out) in rx {
+                    slots[i] = Some(out);
+                }
+            });
+        }
+        self.queue_depth.set(0);
+
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job yields exactly one output"))
+            .collect()
+    }
+
+    fn execute_one<J: Job>(&self, job: &J) -> J::Output {
+        let start = Instant::now();
+        let out = job.execute();
+        self.job_nanos.record(start.elapsed().as_nanos() as u64);
+        self.executed.inc();
+        if self.policy.writes() {
+            if let Some(cache) = &self.cache {
+                // A failed cache write costs a future re-execution, not
+                // correctness; don't fail the batch over it.
+                let _ = cache.store(&job.cache_key(), &job.label(), &out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Map;
+
+    struct Collatz {
+        seed: u64,
+    }
+
+    impl Job for Collatz {
+        type Output = Vec<u64>;
+
+        fn content(&self) -> Value {
+            let mut m = Map::new();
+            m.insert("seed".into(), Value::Number(self.seed.into()));
+            Value::Object(m)
+        }
+
+        fn schema_salt(&self) -> u64 {
+            crate::schema_salt("test", 1)
+        }
+
+        fn label(&self) -> String {
+            format!("collatz-{}", self.seed)
+        }
+
+        fn execute(&self) -> Vec<u64> {
+            let mut v = vec![self.seed];
+            let mut n = self.seed;
+            while n > 1 && v.len() < 256 {
+                n = if n.is_multiple_of(2) {
+                    n / 2
+                } else {
+                    3 * n + 1
+                };
+                v.push(n);
+            }
+            v
+        }
+    }
+
+    fn batch(n: u64) -> Vec<Collatz> {
+        (1..=n).map(|seed| Collatz { seed }).collect()
+    }
+
+    #[test]
+    fn parallel_results_match_serial_in_submission_order() {
+        let jobs = batch(64);
+        let serial = Executor::sequential().run_all(&jobs);
+        let parallel = Executor::new(4).run_all(&jobs);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[0], vec![1]);
+        assert_eq!(serial[2], vec![3, 10, 5, 16, 8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn warm_cache_answers_without_executing() {
+        let dir = std::env::temp_dir().join(format!("cestim-exec-pool-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = batch(8);
+
+        let cold = Executor::new(2)
+            .with_cache(&dir, CachePolicy::ReadWrite)
+            .unwrap();
+        let first = cold.run_all(&jobs);
+        assert_eq!(cold.report().executed, 8);
+        assert_eq!(cold.report().cache_hits, 0);
+
+        let warm = Executor::new(2)
+            .with_cache(&dir, CachePolicy::ReadWrite)
+            .unwrap();
+        let second = warm.run_all(&jobs);
+        assert_eq!(first, second);
+        assert_eq!(warm.report().executed, 0);
+        assert_eq!(warm.report().cache_hits, 8);
+
+        // Refresh ignores the entries but rewrites them.
+        let refresh = Executor::new(2)
+            .with_cache(&dir, CachePolicy::Refresh)
+            .unwrap();
+        assert_eq!(refresh.run_all(&jobs), first);
+        assert_eq!(refresh.report().executed, 8);
+        assert_eq!(refresh.report().cache_hits, 0);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_counts_and_policy_names() {
+        let exec = Executor::new(3);
+        exec.run_all(&batch(5));
+        let r = exec.report();
+        assert_eq!(r.workers, 3);
+        assert_eq!(r.submitted, 5);
+        assert_eq!(r.executed, 5);
+        assert_eq!(r.cache_policy, "none");
+        // Telemetry flowed into the registry too.
+        let snap = exec.registry().snapshot();
+        assert_eq!(snap.counter_value("exec.jobs.submitted"), Some(5));
+        assert_eq!(snap.counter_value("exec.jobs.executed"), Some(5));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for job-key hashing: keys must be independent of field
+//! insertion order, survive a serialize → parse → re-serialize round
+//! trip, and separate differing configurations.
+
+use cestim_exec::{canonical_string, content_hash, schema_salt, CacheKey};
+use proptest::prelude::*;
+use serde::{Map, Value};
+
+/// Builds a job-description-shaped object from generated fields, with
+/// insertion order chosen by `order`.
+fn description(workload: u64, scale: u64, salt: u64, label: &str, order: u64) -> Value {
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("workload", Value::Number(workload.into())),
+        ("scale", Value::Number(scale.into())),
+        ("input_salt", Value::Number(salt.into())),
+        ("label", Value::String(label.to_string())),
+        ("nested", {
+            let mut inner = Map::new();
+            inner.insert("enhanced".into(), Value::Bool(salt.is_multiple_of(2)));
+            inner.insert("threshold".into(), Value::Number(scale.into()));
+            Value::Object(inner)
+        }),
+    ];
+    // Rotate the insertion order: equal content, permuted fields.
+    let rot = (order as usize) % fields.len();
+    fields.rotate_left(rot);
+    let mut m = Map::new();
+    for (k, v) in fields {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+proptest! {
+    #[test]
+    fn keys_ignore_field_insertion_order(
+        workload in 0u64..8,
+        scale in 1u64..100,
+        salt in 0u64..1000,
+        order_a in 0u64..5,
+        order_b in 0u64..5,
+    ) {
+        let a = description(workload, scale, salt, "job", order_a);
+        let b = description(workload, scale, salt, "job", order_b);
+        prop_assert_eq!(content_hash(&a), content_hash(&b));
+        prop_assert_eq!(canonical_string(&a), canonical_string(&b));
+    }
+
+    #[test]
+    fn keys_survive_reserialization(
+        workload in 0u64..8,
+        scale in 1u64..100,
+        salt in 0u64..1000,
+    ) {
+        let original = description(workload, scale, salt, "job", 0);
+        // Render → parse → hash again: the digest must not move.
+        let text = original.to_string();
+        let reparsed: Value = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(content_hash(&original), content_hash(&reparsed));
+        // And the same through the pretty renderer.
+        let mut pretty = String::new();
+        original.write_pretty(&mut pretty, 0);
+        let reparsed: Value = serde_json::from_str(&pretty).unwrap();
+        prop_assert_eq!(content_hash(&original), content_hash(&reparsed));
+    }
+
+    #[test]
+    fn differing_configs_get_differing_keys(
+        workload in 0u64..8,
+        scale in 1u64..100,
+        salt in 0u64..1000,
+    ) {
+        let base = description(workload, scale, salt, "job", 0);
+        let bumped_scale = description(workload, scale + 1, salt, "job", 0);
+        let bumped_salt = description(workload, scale, salt + 1, "job", 0);
+        prop_assert_ne!(content_hash(&base), content_hash(&bumped_scale));
+        prop_assert_ne!(content_hash(&base), content_hash(&bumped_salt));
+    }
+
+    #[test]
+    fn schema_salts_partition_keys(
+        counter in 0u32..1000,
+        workload in 0u64..8,
+    ) {
+        let content = description(workload, 1, 0, "job", 0);
+        let old = CacheKey::derive(schema_salt("0.1.0", counter), &content);
+        let new = CacheKey::derive(schema_salt("0.1.0", counter + 1), &content);
+        prop_assert_eq!(old.content, new.content);
+        prop_assert_ne!(old.schema, new.schema);
+        prop_assert_ne!(old.file_name(), new.file_name());
+    }
+}

@@ -56,7 +56,7 @@ impl CacheConfig {
 /// additional 3-cycle misprediction recovery penalty, 2-cycle L1 caches,
 /// speculative global history, and enough outstanding branches to expose
 /// misprediction clustering.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Instructions fetched/decoded per cycle.
     pub fetch_width: u32,

@@ -48,7 +48,7 @@ impl FetchPolicy {
 }
 
 /// Aggregate results of an SMT run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SmtStats {
     /// Total cycles until every thread finished.
     pub cycles: u64,

@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+mod jobs;
 mod profile;
 mod report;
 mod runner;
 mod spec;
 pub mod suite;
 
+pub use jobs::{sim_schema_salt, DistanceBundle, ExecJob, JobOutput, SIM_JOB_SCHEMA};
 pub use profile::ProfileObserver;
 pub use report::{pct, Table};
 pub use runner::{

@@ -10,7 +10,7 @@ use cestim_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
 
 /// One (workload, scale, predictor, pipeline) configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
     /// Which workload to simulate.
     pub workload: WorkloadKind,
@@ -45,7 +45,7 @@ impl RunConfig {
 }
 
 /// Quadrants of one attached estimator after a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EstimatorResult {
     /// Estimator name (from its spec).
     pub name: String,
@@ -54,7 +54,7 @@ pub struct EstimatorResult {
 }
 
 /// Everything measured by one pipeline pass.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// Pipeline counters.
     pub stats: PipelineStats,

@@ -82,7 +82,7 @@ impl std::fmt::Display for PredictorKind {
 }
 
 /// A buildable confidence-estimator description.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EstimatorSpec {
     /// JRS miss-distance counters.
     Jrs {

@@ -13,14 +13,14 @@
 //! enhanced-JRS win — are the reproduction targets, recorded in
 //! `EXPERIMENTS.md`.
 
+use crate::jobs::{DistanceBundle, ExecJob};
 use crate::spec::{SatVariantSpec, TuneTargetSpec};
-use crate::{pct, run, run_with_observer, EstimatorSpec, PredictorKind, RunConfig, Table};
+use crate::{pct, EstimatorSpec, PredictorKind, RunConfig, Table};
 use cestim_core::diagnostic::ParametricCurve;
 use cestim_core::{mean_quadrant, MetricSummary, Quadrant};
+use cestim_exec::Executor;
 use cestim_pipeline::PipelineStats;
-use cestim_trace::{
-    BoostAnalysis, ClusterAnalysis, DistanceAnalysis, DistanceHistogram, DistanceSeries,
-};
+use cestim_trace::{BoostAnalysis, ClusterAnalysis, DistanceHistogram, DistanceSeries};
 use cestim_workloads::WorkloadKind;
 use serde_json::{json, Value};
 
@@ -66,32 +66,41 @@ pub fn all_ids() -> &'static [&'static str] {
     ]
 }
 
-/// Runs one experiment by id at the given workload scale. Returns `None`
-/// for unknown ids.
+/// Runs one experiment by id at the given workload scale, sequentially
+/// and uncached. Returns `None` for unknown ids.
 pub fn run_experiment(id: &str, scale: u32) -> Option<ExperimentResult> {
+    run_experiment_with(&Executor::sequential(), id, scale)
+}
+
+/// Like [`run_experiment`], submitting every simulation unit to `exec` —
+/// the entry point for parallel and cache-backed regeneration. Output is
+/// identical to [`run_experiment`] regardless of worker count or cache
+/// state (jobs merge in submission order and cache bit-exact payloads).
+pub fn run_experiment_with(exec: &Executor, id: &str, scale: u32) -> Option<ExperimentResult> {
     let all = WorkloadKind::all();
     Some(match id {
         "fig1" => fig1(),
-        "table1" => table1_with(scale, &all),
-        "table2" => table2_with(scale, &all),
-        "table2-detail" => table2_detail_with(scale, &all),
-        "fig3" => fig3_with(scale, &all),
-        "fig4" => fig45_with(scale, &all, PredictorKind::Gshare, "fig4"),
-        "fig5" => fig45_with(scale, &all, PredictorKind::McFarling, "fig5"),
-        "table3" => table3_with(scale, &all),
-        "fig6" => distance_fig_with(scale, &all, PredictorKind::Gshare, false, "fig6"),
-        "fig7" => distance_fig_with(scale, &all, PredictorKind::McFarling, false, "fig7"),
-        "fig8" => distance_fig_with(scale, &all, PredictorKind::Gshare, true, "fig8"),
-        "fig9" => distance_fig_with(scale, &all, PredictorKind::McFarling, true, "fig9"),
-        "table4" => table4_with(scale, &all),
-        "cluster" => cluster_with(scale, &all),
-        "boost" => boost_with(scale, &all),
-        "ext-jrsmcf" => ext_jrsmcf_with(scale, &all),
-        "ext-cir" => ext_cir_with(scale, &all),
-        "ext-tune" => ext_tune_with(scale, &all),
-        "ext-eager" => ext_eager_with(scale, &all),
-        "ext-xinput" => ext_xinput_with(scale, &all),
-        "ext-smt" => ext_smt_with(
+        "table1" => table1_on(exec, scale, &all),
+        "table2" => table2_on(exec, scale, &all),
+        "table2-detail" => table2_detail_on(exec, scale, &all),
+        "fig3" => fig3_on(exec, scale, &all),
+        "fig4" => fig45_on(exec, scale, &all, PredictorKind::Gshare, "fig4"),
+        "fig5" => fig45_on(exec, scale, &all, PredictorKind::McFarling, "fig5"),
+        "table3" => table3_on(exec, scale, &all),
+        "fig6" => distance_fig_on(exec, scale, &all, PredictorKind::Gshare, false, "fig6"),
+        "fig7" => distance_fig_on(exec, scale, &all, PredictorKind::McFarling, false, "fig7"),
+        "fig8" => distance_fig_on(exec, scale, &all, PredictorKind::Gshare, true, "fig8"),
+        "fig9" => distance_fig_on(exec, scale, &all, PredictorKind::McFarling, true, "fig9"),
+        "table4" => table4_on(exec, scale, &all),
+        "cluster" => cluster_on(exec, scale, &all),
+        "boost" => boost_on(exec, scale, &all),
+        "ext-jrsmcf" => ext_jrsmcf_on(exec, scale, &all),
+        "ext-cir" => ext_cir_on(exec, scale, &all),
+        "ext-tune" => ext_tune_on(exec, scale, &all),
+        "ext-eager" => ext_eager_on(exec, scale, &all),
+        "ext-xinput" => ext_xinput_on(exec, scale, &all),
+        "ext-smt" => ext_smt_on(
+            exec,
             scale,
             &[
                 (WorkloadKind::Go, WorkloadKind::Ijpeg),
@@ -118,15 +127,23 @@ struct Matrix {
 }
 
 fn run_matrix(
+    exec: &Executor,
     predictor: PredictorKind,
     specs: &[EstimatorSpec],
     workloads: &[WorkloadKind],
     scale: u32,
 ) -> Matrix {
+    let jobs: Vec<ExecJob> = workloads
+        .iter()
+        .map(|&w| ExecJob::Run {
+            cfg: RunConfig::paper(w, scale, predictor),
+            specs: specs.to_vec(),
+        })
+        .collect();
     let mut committed = vec![Vec::new(); specs.len()];
     let mut stats = Vec::new();
-    for &w in workloads {
-        let out = run(&RunConfig::paper(w, scale, predictor), specs);
+    for out in exec.run_all(&jobs) {
+        let out = out.into_run();
         for (i, e) in out.estimators.iter().enumerate() {
             committed[i].push(e.quadrants.committed);
         }
@@ -196,6 +213,11 @@ pub fn fig1() -> ExperimentResult {
 
 /// Table 1 over an explicit workload list (tests use subsets).
 pub fn table1_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    table1_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Table 1 with simulation units submitted to `exec`.
+pub fn table1_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let mut t = Table::new(
         "Table 1: program characteristics",
         vec![
@@ -212,10 +234,21 @@ pub fn table1_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let mut rows_json = Vec::new();
     let mut acc_sums = [0.0f64; 3];
     let mut ratio_sum = 0.0;
+    let preds = PredictorKind::paper_three();
+    let jobs: Vec<ExecJob> = workloads
+        .iter()
+        .flat_map(|&w| {
+            preds.iter().map(move |&p| ExecJob::Run {
+                cfg: RunConfig::paper(w, scale, p),
+                specs: Vec::new(),
+            })
+        })
+        .collect();
+    let mut outs = exec.run_all(&jobs).into_iter();
     for &w in workloads {
-        let by_pred: Vec<PipelineStats> = PredictorKind::paper_three()
+        let by_pred: Vec<PipelineStats> = preds
             .iter()
-            .map(|&p| run(&RunConfig::paper(w, scale, p), &[]).stats)
+            .map(|_| outs.next().expect("one output per job").into_run().stats)
             .collect();
         let g = &by_pred[0];
         let accs: Vec<f64> = by_pred.iter().map(|s| s.accuracy_committed()).collect();
@@ -267,11 +300,16 @@ pub fn table1_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
 
 /// Table 2 over an explicit workload list.
 pub fn table2_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    table2_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Table 2 with simulation units submitted to `exec`.
+pub fn table2_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let mut text = String::new();
     let mut jpred = Vec::new();
     for p in PredictorKind::paper_three() {
         let specs = EstimatorSpec::paper_set(p);
-        let m = run_matrix(p, &specs, workloads, scale);
+        let m = run_matrix(exec, p, &specs, workloads, scale);
         let mut t = Table::new(
             format!("Table 2 ({p} predictor)"),
             vec!["estimator", "sens", "spec", "pvp", "pvn"],
@@ -302,6 +340,11 @@ pub fn table2_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
 
 /// Figure 3 over an explicit workload list.
 pub fn fig3_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    fig3_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Figure 3 with simulation units submitted to `exec`.
+pub fn fig3_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let thresholds: Vec<u8> = (1..=16).collect();
     let mut specs = Vec::new();
     for &enhanced in &[false, true] {
@@ -313,7 +356,7 @@ pub fn fig3_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
             });
         }
     }
-    let m = run_matrix(PredictorKind::Gshare, &specs, workloads, scale);
+    let m = run_matrix(exec, PredictorKind::Gshare, &specs, workloads, scale);
     let mut text = String::new();
     let mut jvariants = Vec::new();
     for (vi, label) in ["base", "enhanced"].iter().enumerate() {
@@ -352,6 +395,17 @@ pub fn fig45_with(
     predictor: PredictorKind,
     id: &str,
 ) -> ExperimentResult {
+    fig45_on(&Executor::sequential(), scale, workloads, predictor, id)
+}
+
+/// Figures 4/5 with simulation units submitted to `exec`.
+pub fn fig45_on(
+    exec: &Executor,
+    scale: u32,
+    workloads: &[WorkloadKind],
+    predictor: PredictorKind,
+    id: &str,
+) -> ExperimentResult {
     let sizes: [u32; 4] = [6, 8, 10, 12]; // 64 .. 4096 entries
     let thresholds: Vec<u8> = (1..=16).collect();
     let mut specs = Vec::new();
@@ -364,7 +418,7 @@ pub fn fig45_with(
             });
         }
     }
-    let m = run_matrix(predictor, &specs, workloads, scale);
+    let m = run_matrix(exec, predictor, &specs, workloads, scale);
     let mut text = String::new();
     let mut jsizes = Vec::new();
     for (si, &bits) in sizes.iter().enumerate() {
@@ -396,6 +450,11 @@ pub fn fig45_with(
 
 /// Table 3 over an explicit workload list.
 pub fn table3_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    table3_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Table 3 with simulation units submitted to `exec`.
+pub fn table3_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let specs = [
         EstimatorSpec::SatCtr {
             variant: SatVariantSpec::BothStrong,
@@ -404,7 +463,7 @@ pub fn table3_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
             variant: SatVariantSpec::EitherStrong,
         },
     ];
-    let m = run_matrix(PredictorKind::McFarling, &specs, workloads, scale);
+    let m = run_matrix(exec, PredictorKind::McFarling, &specs, workloads, scale);
     let mut t = Table::new(
         "Table 3: saturating-counter variants on McFarling",
         vec![
@@ -457,27 +516,27 @@ pub fn table3_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
 const DIST_BUCKETS: u64 = 64;
 
 fn merged_distance(
+    exec: &Executor,
     scale: u32,
     workloads: &[WorkloadKind],
     predictor: PredictorKind,
-) -> DistanceAnalysis {
-    let mut merged: Option<DistanceAnalysis> = None;
-    for &w in workloads {
-        let mut a = DistanceAnalysis::new(DIST_BUCKETS);
-        run_with_observer(&RunConfig::paper(w, scale, predictor), &[], &mut a);
-        merged = Some(match merged.take() {
-            None => a,
-            Some(acc) => merge_analyses(acc, &a),
-        });
+) -> DistanceBundle {
+    let jobs: Vec<ExecJob> = workloads
+        .iter()
+        .map(|&w| ExecJob::Distance {
+            cfg: RunConfig::paper(w, scale, predictor),
+            buckets: DIST_BUCKETS,
+        })
+        .collect();
+    let mut merged: Option<DistanceBundle> = None;
+    for out in exec.run_all(&jobs) {
+        let b = out.into_distance();
+        match &mut merged {
+            None => merged = Some(b),
+            Some(acc) => acc.merge(&b),
+        }
     }
     merged.expect("at least one workload")
-}
-
-fn merge_analyses(mut acc: DistanceAnalysis, other: &DistanceAnalysis) -> DistanceAnalysis {
-    // DistanceAnalysis has no public mutable histograms; rebuild by merging
-    // each series into clones held in a fresh wrapper.
-    acc.merge_from(other);
-    acc
 }
 
 fn histogram_rows(h: &DistanceHistogram) -> (Vec<(u64, f64, u64)>, f64) {
@@ -494,16 +553,35 @@ pub fn distance_fig_with(
     perceived: bool,
     id: &str,
 ) -> ExperimentResult {
-    let analysis = merged_distance(scale, workloads, predictor);
+    distance_fig_on(
+        &Executor::sequential(),
+        scale,
+        workloads,
+        predictor,
+        perceived,
+        id,
+    )
+}
+
+/// Figures 6–9 with simulation units submitted to `exec`.
+pub fn distance_fig_on(
+    exec: &Executor,
+    scale: u32,
+    workloads: &[WorkloadKind],
+    predictor: PredictorKind,
+    perceived: bool,
+    id: &str,
+) -> ExperimentResult {
+    let analysis = merged_distance(exec, scale, workloads, predictor);
     let (all_series, committed_series) = if perceived {
         (
-            analysis.histogram(DistanceSeries::PerceivedAll),
-            analysis.histogram(DistanceSeries::PerceivedCommitted),
+            analysis.series(DistanceSeries::PerceivedAll),
+            analysis.series(DistanceSeries::PerceivedCommitted),
         )
     } else {
         (
-            analysis.histogram(DistanceSeries::PreciseAll),
-            analysis.histogram(DistanceSeries::PreciseCommitted),
+            analysis.series(DistanceSeries::PreciseAll),
+            analysis.series(DistanceSeries::PreciseCommitted),
         )
     };
     let kind = if perceived { "perceived" } else { "precise" };
@@ -558,6 +636,11 @@ pub fn distance_fig_with(
 
 /// Table 4 over an explicit workload list.
 pub fn table4_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    table4_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Table 4 with simulation units submitted to `exec`.
+pub fn table4_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let mut t = Table::new(
         "Table 4: misprediction distance as a confidence estimator",
         vec!["estimator", "predictor", "sens", "spec", "pvp", "pvn"],
@@ -578,7 +661,7 @@ pub fn table4_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
         for d in 1..=7 {
             specs.push(EstimatorSpec::Distance { threshold: d });
         }
-        let m = run_matrix(p, &specs, workloads, scale);
+        let m = run_matrix(exec, p, &specs, workloads, scale);
         for (name, quads) in m.names.iter().zip(&m.committed) {
             let s = mean_quadrant(quads);
             let mut cells = vec![name.clone(), p.name().to_string()];
@@ -591,6 +674,7 @@ pub fn table4_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     }
     // The paper's final row: pattern history on SAg for comparison.
     let m = run_matrix(
+        exec,
         PredictorKind::SAg,
         &[EstimatorSpec::Pattern { width: 13 }],
         workloads,
@@ -618,6 +702,11 @@ pub fn table4_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
 
 /// Mis-estimation clustering (§4.1) over an explicit workload list.
 pub fn cluster_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    cluster_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Clustering with simulation units submitted to `exec`.
+pub fn cluster_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let configs: Vec<(PredictorKind, EstimatorSpec, &str)> = vec![
         (
             PredictorKind::Gshare,
@@ -642,16 +731,21 @@ pub fn cluster_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult 
         vec!["config", "rate@1", "rate@4", "rate>8", "average"],
     );
     let mut jrows = Vec::new();
-    for (p, spec, label) in configs {
-        let mut merged = DistanceHistogram::new(32);
+    let mut jobs = Vec::new();
+    for (p, spec, _) in &configs {
         for &w in workloads {
-            let mut a = ClusterAnalysis::new(0, 32);
-            run_with_observer(
-                &RunConfig::paper(w, scale, p),
-                std::slice::from_ref(&spec),
-                &mut a,
-            );
-            merged.merge(a.histogram());
+            jobs.push(ExecJob::Cluster {
+                cfg: RunConfig::paper(w, scale, *p),
+                spec: spec.clone(),
+                buckets: 32,
+            });
+        }
+    }
+    let mut outs = exec.run_all(&jobs).into_iter();
+    for (_, _, label) in configs {
+        let mut merged = DistanceHistogram::new(32);
+        for _ in workloads {
+            merged.merge(&outs.next().expect("one output per job").into_cluster());
         }
         let summary = ClusterAnalysis::summary_of(&merged);
         t.row(vec![
@@ -686,6 +780,11 @@ pub fn cluster_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult 
 /// of the [`Boosted`](cestim_core::Boosted) estimator transform (whose
 /// coverage shrinks as k rises).
 pub fn boost_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    boost_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Boosting with simulation units submitted to `exec`.
+pub fn boost_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let base = EstimatorSpec::SatCtr {
         variant: SatVariantSpec::Selected,
     };
@@ -698,15 +797,23 @@ pub fn boost_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
             k,
         });
     }
+    // One job per workload, each with a fresh window observer; the counts
+    // merge afterwards. (LC runs therefore reset at workload boundaries —
+    // windows never span two different programs.)
+    let jobs: Vec<ExecJob> = workloads
+        .iter()
+        .map(|&w| ExecJob::Boost {
+            cfg: RunConfig::paper(w, scale, PredictorKind::Gshare),
+            specs: specs.clone(),
+            max_k: 4,
+        })
+        .collect();
     let mut windows = BoostAnalysis::new(0, 4);
     let mut committed: Vec<Vec<Quadrant>> = vec![Vec::new(); specs.len()];
-    for &w in workloads {
-        let out = run_with_observer(
-            &RunConfig::paper(w, scale, PredictorKind::Gshare),
-            &specs,
-            &mut windows,
-        );
-        for (i, e) in out.estimators.iter().enumerate() {
+    for out in exec.run_all(&jobs) {
+        let (outcome, counts) = out.into_boost();
+        windows.absorb_counts(&counts);
+        for (i, e) in outcome.estimators.iter().enumerate() {
             committed[i].push(e.quadrants.committed);
         }
     }
@@ -762,6 +869,11 @@ pub fn boost_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
 /// Extension: the McFarling-structured JRS (§5 future work) vs the plain
 /// enhanced JRS, on the McFarling predictor, across thresholds.
 pub fn ext_jrsmcf_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    ext_jrsmcf_on(&Executor::sequential(), scale, workloads)
+}
+
+/// JRS/McFarling extension with simulation units submitted to `exec`.
+pub fn ext_jrsmcf_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let thresholds: [u8; 4] = [4, 8, 12, 15];
     let mut specs = Vec::new();
     for &t in &thresholds {
@@ -775,7 +887,7 @@ pub fn ext_jrsmcf_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResu
             threshold: t,
         });
     }
-    let m = run_matrix(PredictorKind::McFarling, &specs, workloads, scale);
+    let m = run_matrix(exec, PredictorKind::McFarling, &specs, workloads, scale);
     let mut t = Table::new(
         "Extension: structure-aware JRS on McFarling (paper §5 future work)",
         vec!["estimator", "sens", "spec", "pvp", "pvn"],
@@ -799,6 +911,11 @@ pub fn ext_jrsmcf_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResu
 /// Extension: correct/incorrect registers (Jacobsen et al.'s other
 /// one-level design) vs the resetting-counter JRS, on gshare.
 pub fn ext_cir_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    ext_cir_on(&Executor::sequential(), scale, workloads)
+}
+
+/// CIR extension with simulation units submitted to `exec`.
+pub fn ext_cir_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let specs = vec![
         EstimatorSpec::jrs_paper(),
         EstimatorSpec::Cir {
@@ -820,7 +937,7 @@ pub fn ext_cir_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult 
             enhanced: true,
         },
     ];
-    let m = run_matrix(PredictorKind::Gshare, &specs, workloads, scale);
+    let m = run_matrix(exec, PredictorKind::Gshare, &specs, workloads, scale);
     let mut t = Table::new(
         "Extension: resetting counters (JRS) vs correct/incorrect registers (CIR), gshare",
         vec!["estimator", "sens", "spec", "pvp", "pvn"],
@@ -845,6 +962,11 @@ pub fn ext_cir_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult 
 /// meeting SPEC/PVN targets on the profile and verify the measured run
 /// lands on target.
 pub fn ext_tune_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    ext_tune_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Tuning extension with simulation units submitted to `exec`.
+pub fn ext_tune_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let targets = [
         ("spec>=85%", TuneTargetSpec::MinSpec(0.85)),
         ("spec>=95%", TuneTargetSpec::MinSpec(0.95)),
@@ -868,8 +990,16 @@ pub fn ext_tune_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult
         ],
     );
     let mut jrows = Vec::new();
+    let jobs: Vec<ExecJob> = workloads
+        .iter()
+        .map(|&w| ExecJob::Run {
+            cfg: RunConfig::paper(w, scale, PredictorKind::Gshare),
+            specs: specs.clone(),
+        })
+        .collect();
+    let mut outs = exec.run_all(&jobs).into_iter();
     for &w in workloads {
-        let out = run(&RunConfig::paper(w, scale, PredictorKind::Gshare), &specs);
+        let out = outs.next().expect("one output per job").into_run();
         for ((label, target), e) in targets.iter().zip(&out.estimators) {
             let q = e.quadrants.committed;
             let met = match target {
@@ -903,8 +1033,16 @@ pub fn ext_tune_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult
 /// two-thread [`SmtSimulator`](cestim_pipeline::SmtSimulator) — the paper's
 /// §1 motivating application, quantified.
 pub fn ext_smt_with(scale: u32, pairs: &[(WorkloadKind, WorkloadKind)]) -> ExperimentResult {
-    use cestim_core::SaturatingConfidence;
-    use cestim_pipeline::{FetchPolicy, PipelineConfig, Simulator, SmtSimulator};
+    ext_smt_on(&Executor::sequential(), scale, pairs)
+}
+
+/// SMT extension with simulation units submitted to `exec`.
+pub fn ext_smt_on(
+    exec: &Executor,
+    scale: u32,
+    pairs: &[(WorkloadKind, WorkloadKind)],
+) -> ExperimentResult {
+    use cestim_pipeline::FetchPolicy;
 
     let policies = [
         FetchPolicy::RoundRobin,
@@ -917,18 +1055,21 @@ pub fn ext_smt_with(scale: u32, pairs: &[(WorkloadKind, WorkloadKind)]) -> Exper
         vec!["threads", "policy", "cycles", "ipc", "squashed", "waste"],
     );
     let mut jrows = Vec::new();
+    let mut jobs = Vec::new();
     for &(wa, wb) in pairs {
-        let a = wa.build(scale);
-        let b = wb.build(scale);
         for policy in policies {
-            let mk = |p| {
-                let mut s =
-                    Simulator::new(p, PipelineConfig::paper(), PredictorKind::Gshare.build());
-                s.add_estimator(Box::new(SaturatingConfidence::selected()));
-                s
-            };
-            let mut smt = SmtSimulator::new(vec![mk(&a.program), mk(&b.program)], policy);
-            let stats = smt.run(u64::MAX);
+            jobs.push(ExecJob::Smt {
+                a: wa,
+                b: wb,
+                scale,
+                policy,
+            });
+        }
+    }
+    let mut outs = exec.run_all(&jobs).into_iter();
+    for &(wa, wb) in pairs {
+        for policy in policies {
+            let stats = outs.next().expect("one output per job").into_smt();
             let fetched: u64 = stats.per_thread.iter().map(|s| s.fetched_insts).sum();
             let waste = stats.total_squashed() as f64 / fetched as f64;
             t.row(vec![
@@ -961,6 +1102,11 @@ pub fn ext_smt_with(scale: u32, pairs: &[(WorkloadKind, WorkloadKind)]) -> Exper
 /// of a low-confidence branch; covered mispredictions skip the recovery
 /// penalty at the price of halved fetch bandwidth while forked.
 pub fn ext_eager_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    ext_eager_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Eager-execution extension with simulation units submitted to `exec`.
+pub fn ext_eager_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     use cestim_pipeline::PipelineConfig;
     let triggers = [
         (
@@ -986,21 +1132,27 @@ pub fn ext_eager_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResul
         ],
     );
     let mut jrows = Vec::new();
+    let mut jobs = Vec::new();
     for &w in workloads {
-        for (label, spec) in &triggers {
-            let base = run(
-                &RunConfig::paper(w, scale, PredictorKind::Gshare),
-                std::slice::from_ref(spec),
-            )
-            .stats;
-            let eager = run(
-                &RunConfig {
+        for (_, spec) in &triggers {
+            jobs.push(ExecJob::Run {
+                cfg: RunConfig::paper(w, scale, PredictorKind::Gshare),
+                specs: vec![spec.clone()],
+            });
+            jobs.push(ExecJob::Run {
+                cfg: RunConfig {
                     pipeline: PipelineConfig::paper().with_eager(1),
                     ..RunConfig::paper(w, scale, PredictorKind::Gshare)
                 },
-                std::slice::from_ref(spec),
-            )
-            .stats;
+                specs: vec![spec.clone()],
+            });
+        }
+    }
+    let mut outs = exec.run_all(&jobs).into_iter();
+    for &w in workloads {
+        for (label, _) in &triggers {
+            let base = outs.next().expect("one output per job").into_run().stats;
+            let eager = outs.next().expect("one output per job").into_run().stats;
             let speedup = base.cycles as f64 / eager.cycles as f64;
             t.row(vec![
                 w.name().to_string(),
@@ -1038,6 +1190,11 @@ pub fn ext_eager_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResul
 /// default input, quantifying the degradation — and compares against the
 /// self-profiled upper bound and the input-independent JRS.
 pub fn ext_xinput_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    ext_xinput_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Cross-input extension with simulation units submitted to `exec`.
+pub fn ext_xinput_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
     let static_spec = EstimatorSpec::Static { threshold: 0.9 };
     let mut t = Table::new(
         "Extension: static estimation off its training input (gshare)",
@@ -1047,20 +1204,31 @@ pub fn ext_xinput_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResu
     let mut self_q = Vec::new();
     let mut cross_q = Vec::new();
     let mut jrs_q = Vec::new();
+    let mut jobs = Vec::new();
     for &w in workloads {
         let eval_cfg = RunConfig::paper(w, scale, PredictorKind::Gshare);
-        let train_cfg = eval_cfg.clone().with_input_salt(1);
         // Self-profiled (the paper's best case).
-        let own = run(&eval_cfg, std::slice::from_ref(&static_spec));
+        jobs.push(ExecJob::Run {
+            cfg: eval_cfg.clone(),
+            specs: vec![static_spec.clone()],
+        });
         // Cross-input: profile from the salted input.
-        let foreign_profile = crate::collect_profile(&train_cfg);
-        let cross = crate::run_with_profile(
-            &eval_cfg,
-            std::slice::from_ref(&static_spec),
-            &foreign_profile,
-        );
+        jobs.push(ExecJob::CrossProfileRun {
+            cfg: eval_cfg.clone(),
+            train_salt: 1,
+            specs: vec![static_spec.clone()],
+        });
         // Dynamic reference.
-        let jrs = run(&eval_cfg, &[EstimatorSpec::jrs_paper()]);
+        jobs.push(ExecJob::Run {
+            cfg: eval_cfg,
+            specs: vec![EstimatorSpec::jrs_paper()],
+        });
+    }
+    let mut outs = exec.run_all(&jobs).into_iter();
+    for &w in workloads {
+        let own = outs.next().expect("one output per job").into_run();
+        let cross = outs.next().expect("one output per job").into_run();
+        let jrs = outs.next().expect("one output per job").into_run();
 
         for (variant, out) in [("self", &own), ("cross", &cross)] {
             let q = out.estimators[0].quadrants.committed;
@@ -1098,11 +1266,20 @@ pub fn ext_xinput_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResu
 /// Per-application detail behind Table 2 (the paper reports means and
 /// points at its tech report for the full data; this regenerates it).
 pub fn table2_detail_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    table2_detail_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Table 2 detail with simulation units submitted to `exec`.
+pub fn table2_detail_on(
+    exec: &Executor,
+    scale: u32,
+    workloads: &[WorkloadKind],
+) -> ExperimentResult {
     let mut text = String::new();
     let mut jpred = Vec::new();
     for p in PredictorKind::paper_three() {
         let specs = EstimatorSpec::paper_set(p);
-        let m = run_matrix(p, &specs, workloads, scale);
+        let m = run_matrix(exec, p, &specs, workloads, scale);
         let mut t = Table::new(
             format!("Table 2 detail ({p} predictor)"),
             vec!["application", "estimator", "sens", "spec", "pvp", "pvn"],

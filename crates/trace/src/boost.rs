@@ -55,6 +55,31 @@ impl BoostAnalysis {
     pub fn model(pvn: f64, k: u32) -> f64 {
         1.0 - (1.0 - pvn).powi(k as i32)
     }
+
+    /// Raw `(windows, windows with ≥1 misprediction)` counts per window
+    /// size, index 0 = `k=1` — the mergeable summary of one run.
+    pub fn counts(&self) -> &[(u64, u64)] {
+        &self.counts
+    }
+
+    /// Accumulates per-workload counts from another analysis, so runs
+    /// executed independently (e.g. on an executor pool) can be folded
+    /// into one measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` measured a different set of window sizes.
+    pub fn absorb_counts(&mut self, other: &[(u64, u64)]) {
+        assert_eq!(
+            self.counts.len(),
+            other.len(),
+            "window-size mismatch when merging boost counts"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(other) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
+        }
+    }
 }
 
 impl SimObserver for BoostAnalysis {

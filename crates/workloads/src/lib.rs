@@ -66,7 +66,9 @@ pub struct Workload {
 }
 
 /// The eight SPECint95 analogs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum WorkloadKind {
     /// Run-length + dictionary coder (analog of `compress`).
     Compress,
