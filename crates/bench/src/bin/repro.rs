@@ -40,11 +40,11 @@
 //! instrumented run's phase timings.
 
 use cestim_exec::{default_workers, CachePolicy, Executor};
-use cestim_obs::{render_timing_table, PhaseProfiler, Span, Tracer};
+use cestim_obs::{render_timing_table, PhaseProfiler, Registry, Span, Tracer};
 use cestim_pipeline::NullObserver;
 use cestim_sim::{run_instrumented, suite, EstimatorSpec, PredictorKind, RunConfig};
 use cestim_workloads::WorkloadKind;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
@@ -59,6 +59,7 @@ struct Args {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     obs_summary: bool,
+    qa_replay: Option<PathBuf>,
 }
 
 impl Args {
@@ -81,7 +82,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale N] [--out DIR] [--jobs N] [--no-cache | --refresh]\n\
          \x20            [--cache-dir DIR] [--workload NAME] [--trace-out FILE]\n\
-         \x20            [--metrics-out FILE] [--obs-summary] <experiment>... | all | --list\n\
+         \x20            [--metrics-out FILE] [--obs-summary] [--qa-replay DIR]\n\
+         \x20            <experiment>... | all | --list\n\
          experiments: {}\n\
          workloads:   {}",
         suite::all_ids().join(" "),
@@ -107,6 +109,7 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         obs_summary: false,
+        qa_replay: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -143,6 +146,9 @@ fn parse_args() -> Args {
                 args.metrics_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
             }
             "--obs-summary" => args.obs_summary = true,
+            "--qa-replay" => {
+                args.qa_replay = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
             "--list" => {
                 for id in suite::all_ids() {
                     println!("{id}");
@@ -157,7 +163,7 @@ fn parse_args() -> Args {
             other => args.ids.push(other.to_string()),
         }
     }
-    if args.ids.is_empty() && !args.instrumented() {
+    if args.ids.is_empty() && !args.instrumented() && args.qa_replay.is_none() {
         usage();
     }
     if args.no_cache && args.refresh {
@@ -249,6 +255,47 @@ fn run_instrumented_pass(args: &Args) -> std::io::Result<serde_json::Value> {
     }))
 }
 
+/// Replays every minimised reproducer under `dir` with no fault armed
+/// (the regression contract for corpus entries) and returns the `qa`
+/// telemetry block, including the `qa.*` metric snapshot.
+fn run_qa_replay(dir: &Path, failed_ids: &mut Vec<String>) -> serde_json::Value {
+    let registry = Registry::new();
+    match cestim_qa::replay_corpus(dir, &registry) {
+        Ok(results) => {
+            println!(
+                "[qa-replay: {} corpus entr{} from {}]",
+                results.len(),
+                plural_y(results.len()),
+                dir.display()
+            );
+            let mut entries = Vec::new();
+            for (name, outcome) in &results {
+                match outcome {
+                    Ok(()) => println!("  {name}: ok"),
+                    Err(f) => {
+                        eprintln!("error: qa corpus entry {name} failed: {f}");
+                        failed_ids.push(format!("qa:{name}"));
+                    }
+                }
+                entries.push(serde_json::json!({
+                    "entry": name,
+                    "ok": outcome.is_ok(),
+                }));
+            }
+            serde_json::json!({
+                "corpus_dir": dir.display().to_string(),
+                "entries": entries,
+                "metrics": registry.snapshot(),
+            })
+        }
+        Err(e) => {
+            eprintln!("error: qa replay failed: {e}");
+            failed_ids.push("<qa-replay>".to_string());
+            serde_json::Value::Null
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let exec = match build_executor(&args) {
@@ -314,12 +361,18 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut qa = serde_json::Value::Null;
+    if let Some(dir) = &args.qa_replay {
+        qa = run_qa_replay(dir, &mut failed_ids);
+    }
+
     let telemetry = serde_json::json!({
         "experiments": experiment_spans,
         "experiment_phases": profiler.timings(),
         "executor": report,
         "executor_metrics": exec.registry().snapshot(),
         "instrumented": instrumented,
+        "qa": qa,
     });
     if let Err(e) = cestim_bench::write_telemetry(&args.out, &telemetry) {
         eprintln!("error: failed to write telemetry: {e}");

@@ -1,0 +1,128 @@
+//! End-to-end checks of the QA tooling surface: the `fuzz` bin and
+//! `repro --qa-replay` must emit `qa.*` telemetry (`qa.iterations`,
+//! `qa.shrink_steps`, per-oracle pass counters) into `telemetry.json`,
+//! fuzzing must be deterministic per seed, and an injected pipeline fault
+//! must be caught and shrunk to a small persisted reproducer.
+
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cestim-qa-bins-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read_telemetry(out: &Path) -> Value {
+    let text = std::fs::read_to_string(out.join("telemetry.json")).expect("telemetry.json");
+    serde_json::from_str(&text).expect("telemetry parses")
+}
+
+/// Counter value of the first metric with this name in a snapshot block.
+fn counter(metrics: &Value, name: &str, label: Option<(&str, &str)>) -> Option<u64> {
+    metrics.get("metrics")?.as_array()?.iter().find_map(|m| {
+        if m.get("name")?.as_str()? != name {
+            return None;
+        }
+        if let Some((k, v)) = label {
+            let labels = m.get("labels")?.as_array()?;
+            let hit = labels.iter().any(|pair| {
+                pair.as_array().is_some_and(|p| {
+                    p.len() == 2 && p[0].as_str() == Some(k) && p[1].as_str() == Some(v)
+                })
+            });
+            if !hit {
+                return None;
+            }
+        }
+        m.get("value")?.get("Counter")?.as_u64()
+    })
+}
+
+#[test]
+fn fuzz_emits_qa_telemetry_and_is_deterministic() {
+    let (out1, out2) = (temp_dir("fuzz-a"), temp_dir("fuzz-b"));
+    for out in [&out1, &out2] {
+        let status = Command::new(env!("CARGO_BIN_EXE_fuzz"))
+            .args(["--seed", "3", "--iters", "40", "--oracle", "all"])
+            .arg("--out")
+            .arg(out)
+            .status()
+            .expect("spawn fuzz");
+        assert!(status.success(), "fuzz exited with {status}");
+    }
+    let a = std::fs::read_to_string(out1.join("telemetry.json")).unwrap();
+    let b = std::fs::read_to_string(out2.join("telemetry.json")).unwrap();
+    assert_eq!(a, b, "same seed must produce byte-identical telemetry");
+
+    let t = read_telemetry(&out1);
+    let qa = t.get("qa").expect("qa block");
+    let report = qa.get("report").expect("report");
+    assert_eq!(report.get("iterations").and_then(Value::as_u64), Some(40));
+    let metrics = qa.get("metrics").expect("metrics snapshot");
+    assert_eq!(counter(metrics, "qa.iterations", None), Some(40));
+    assert_eq!(counter(metrics, "qa.shrink_steps", None), Some(0));
+    assert_eq!(counter(metrics, "qa.corpus.writes", None), Some(0));
+    for oracle in ["arch", "replay", "exec", "quadrant"] {
+        assert_eq!(
+            counter(metrics, "qa.oracle.pass", Some(("oracle", oracle))),
+            Some(40),
+            "per-oracle pass counter for {oracle}"
+        );
+    }
+    for out in [&out1, &out2] {
+        std::fs::remove_dir_all(out).unwrap();
+    }
+}
+
+#[test]
+fn injected_fault_is_shrunk_persisted_and_replayable() {
+    let out = temp_dir("fault");
+    let status = Command::new(env!("CARGO_BIN_EXE_fuzz"))
+        .args(["--seed", "7", "--iters", "60", "--oracle", "arch"])
+        .args(["--fault", "1", "--expect-failure"])
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn fuzz");
+    assert!(status.success(), "faulted fuzz run should report failure");
+
+    // Exactly one minimised reproducer, small enough to read by hand.
+    let corpus = out.join("qa").join("corpus");
+    let entries: Vec<PathBuf> = std::fs::read_dir(&corpus)
+        .expect("corpus dir")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1, "one corpus write expected");
+    let entry: Value =
+        serde_json::from_str(&std::fs::read_to_string(&entries[0]).unwrap()).unwrap();
+    let insts = entry.get("insts").and_then(Value::as_u64).unwrap();
+    assert!(
+        insts <= 20,
+        "reproducer has {insts} instructions, want <= 20"
+    );
+
+    // Replaying the corpus (fault disarmed) passes and emits qa.* metrics.
+    let replay_out = temp_dir("replay");
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--qa-replay")
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&replay_out)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "repro --qa-replay exited with {status}");
+    let t = read_telemetry(&replay_out);
+    let metrics = t.get("qa").and_then(|q| q.get("metrics")).expect("metrics");
+    assert_eq!(counter(metrics, "qa.iterations", None), Some(1));
+    assert!(counter(metrics, "qa.shrink_steps", None).unwrap() > 0);
+    assert_eq!(counter(metrics, "qa.replay.pass", None), Some(1));
+    assert_eq!(counter(metrics, "qa.replay.fail", None), Some(0));
+    assert_eq!(
+        counter(metrics, "qa.oracle.pass", Some(("oracle", "arch"))),
+        Some(1)
+    );
+    std::fs::remove_dir_all(&out).unwrap();
+    std::fs::remove_dir_all(&replay_out).unwrap();
+}

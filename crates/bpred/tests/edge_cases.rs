@@ -1,0 +1,193 @@
+//! Edge-case regression tests for the predictor zoo: history wraparound
+//! in gshare, meta-chooser saturation in McFarling, and deterministic
+//! BHT aliasing in SAg.
+
+use cestim_bpred::{
+    BranchPredictor, Gshare, HistoryRegister, McFarling, Prediction, PredictorInfo, SAg,
+};
+
+// ---- gshare: history wraparound ------------------------------------------
+
+#[test]
+fn history_register_wraps_to_the_last_width_outcomes() {
+    let mut h = HistoryRegister::new(4);
+    // Push 9 outcomes; only the last 4 survive the 4-bit window.
+    for taken in [true, true, true, true, true, false, true, false, true] {
+        h.push(taken);
+    }
+    assert_eq!(h.value(), 0b0101);
+    assert_eq!(h.value() & !h.mask(), 0, "no bits beyond the window");
+}
+
+#[test]
+fn gshare_ignores_history_bits_beyond_its_index_width() {
+    let mut p = Gshare::new(8);
+    // Two histories identical in the low 8 bits but different above: the
+    // PHT index — and therefore training and prediction — must coincide.
+    let (lo, hi) = (0x5A, 0x5A | 0xFFFF_FF00);
+    assert_eq!(p.index(0x123, lo), p.index(0x123, hi));
+    let pred_lo = p.predict(0x123, lo);
+    let pred_hi = p.predict(0x123, hi);
+    match (&pred_lo.info, &pred_hi.info) {
+        (PredictorInfo::Gshare { index: a, .. }, PredictorInfo::Gshare { index: b, .. }) => {
+            assert_eq!(a, b)
+        }
+        _ => unreachable!(),
+    }
+    // Training through one alias is visible through the other.
+    p.update(0x123, true, &pred_lo);
+    p.update(0x123, true, &pred_hi);
+    assert!(p.predict(0x123, hi).taken);
+    assert!(p.predict(0x123, lo).taken);
+}
+
+#[test]
+fn gshare_wrapped_history_aliases_and_unaliases_deterministically() {
+    // A full-window shift of the GHR brings the same low bits back around:
+    // the same (pc, ghr & mask) pair must always hit the same counter.
+    let p = Gshare::new(6);
+    let pc = 0x40;
+    let mut ghr = HistoryRegister::new(6);
+    // Fill the window with a pattern, remember the index.
+    for taken in [true, false, true, true, false, true] {
+        ghr.push(taken);
+    }
+    let first = p.index(pc, ghr.value());
+    // Push a full window of the same pattern again: wraparound reproduces
+    // the identical history value, hence the identical index.
+    for taken in [true, false, true, true, false, true] {
+        ghr.push(taken);
+    }
+    assert_eq!(p.index(pc, ghr.value()), first);
+}
+
+// ---- McFarling: chooser saturation ---------------------------------------
+
+/// Hand-builds a McFarling prediction snapshot where the components
+/// disagree (gshare counter strongly taken, bimodal strongly not-taken),
+/// so `update` must train the meta chooser.
+fn disagreeing_pred(pc: u32, meta: u8, chose_gshare: bool) -> Prediction {
+    Prediction {
+        taken: chose_gshare,
+        info: PredictorInfo::McFarling {
+            gshare: 3,
+            bimodal: 0,
+            meta,
+            gshare_index: pc,
+            bimodal_index: pc,
+            history: 0,
+            chose_gshare,
+        },
+    }
+}
+
+fn meta_of(p: &mut McFarling, pc: u32) -> (u8, bool) {
+    match p.predict(pc, 0).info {
+        PredictorInfo::McFarling {
+            meta, chose_gshare, ..
+        } => (meta, chose_gshare),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn meta_chooser_saturates_instead_of_wrapping() {
+    let mut mc = McFarling::new(10);
+    let pc = 0x21;
+    let (initial, _) = meta_of(&mut mc, pc);
+    assert_eq!(initial, 2, "meta starts weakly-gshare");
+    // 20 disagreements where gshare is right: meta must pin at 3 and stay.
+    for _ in 0..20 {
+        let pred = disagreeing_pred(pc, 3, true);
+        mc.update(pc, true, &pred);
+        let (meta, chose) = meta_of(&mut mc, pc);
+        assert_eq!(meta, 3, "saturated high, never wrapped");
+        assert!(chose);
+    }
+    // One disagreement where bimodal is right: a single step down, not a
+    // reset.
+    mc.update(pc, false, &disagreeing_pred(pc, 3, true));
+    assert_eq!(meta_of(&mut mc, pc), (2, true));
+    // Bimodal-right disagreements walk the counter down one step at a
+    // time, then pin it at 0 — still no wraparound.
+    let mut expected = 2u8;
+    for _ in 0..20 {
+        mc.update(pc, false, &disagreeing_pred(pc, expected, false));
+        expected = expected.saturating_sub(1);
+        let (meta, chose) = meta_of(&mut mc, pc);
+        assert_eq!(meta, expected, "one step down per update, saturating");
+        assert_eq!(chose, meta >= 2);
+    }
+}
+
+#[test]
+fn meta_converges_under_organic_disagreement() {
+    // Per-context outcomes gshare can learn but bimodal cannot: context A
+    // always taken, context B always not-taken, alternating. Bimodal
+    // hovers in its weak states while gshare becomes perfect, so the meta
+    // counter must saturate toward gshare.
+    let mut mc = McFarling::new(10);
+    let pc = 0x84;
+    let (ctx_a, ctx_b) = (0x15, 0x2A);
+    for round in 0..100 {
+        let (ghr, taken) = if round % 2 == 0 {
+            (ctx_a, true)
+        } else {
+            (ctx_b, false)
+        };
+        let pred = mc.predict(pc, ghr);
+        mc.update(pc, taken, &pred);
+    }
+    let (meta, chose) = meta_of(&mut mc, pc);
+    assert_eq!(meta, 3, "chooser saturated on the gshare component");
+    assert!(chose);
+    assert!(mc.predict(pc, ctx_a).taken);
+    assert!(!mc.predict(pc, ctx_b).taken);
+}
+
+// ---- SAg: tagless BHT aliasing -------------------------------------------
+
+#[test]
+fn aliased_pcs_share_one_local_history_deterministically() {
+    // 16 BHT entries: pc and pc + 16 collide on the same history register.
+    let mut p = SAg::new(4, 6);
+    let (pc1, pc2) = (0x3, 0x13);
+    let outcomes = [true, false, false, true, true, false];
+    // Interleave updates through both PCs; the shared register must see
+    // the merged commit-order stream regardless of which alias wrote it.
+    for (i, &taken) in outcomes.iter().enumerate() {
+        let pc = if i % 2 == 0 { pc1 } else { pc2 };
+        let pred = p.predict(pc, 0);
+        p.update(pc, taken, &pred);
+    }
+    let merged = 0b100110; // oldest outcome in the high bit of the window
+    assert_eq!(p.local_history(pc1), merged);
+    assert_eq!(
+        p.local_history(pc1),
+        p.local_history(pc2),
+        "aliases read the same register"
+    );
+    // Both aliases produce identical predictions from the shared state.
+    assert_eq!(p.predict(pc1, 0), p.predict(pc2, 0));
+}
+
+#[test]
+fn aliasing_is_a_pure_function_of_the_bht_index() {
+    // Replaying the same merged stream through either alias alone leaves
+    // the register in the same state as the interleaved run.
+    let outcomes = [true, true, false, true, false, false, true];
+    let run = |assign: &dyn Fn(usize) -> u32| -> (u32, bool) {
+        let mut p = SAg::new(4, 5);
+        for (i, &taken) in outcomes.iter().enumerate() {
+            let pc = assign(i);
+            let pred = p.predict(pc, 0);
+            p.update(pc, taken, &pred);
+        }
+        (p.local_history(0x7), p.predict(0x7, 0).taken)
+    };
+    let interleaved = run(&|i| if i % 2 == 0 { 0x7 } else { 0x17 });
+    let only_first = run(&|_| 0x7);
+    let only_alias = run(&|_| 0x17);
+    assert_eq!(interleaved, only_first);
+    assert_eq!(interleaved, only_alias);
+}

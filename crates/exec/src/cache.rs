@@ -73,7 +73,17 @@ impl DiskCache {
     /// schema-mismatched entry counts as a miss and is deleted.
     pub fn load<T: Deserialize>(&self, key: &CacheKey) -> Option<T> {
         let path = self.entry_path(key);
-        let text = std::fs::read_to_string(&path).ok()?;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                // Readable-in-name-only entry (non-UTF-8 bytes, I/O error
+                // mid-read): evict it like any other corrupted entry so it
+                // cannot shadow the slot forever.
+                let _ = std::fs::remove_file(&path);
+                return None;
+            }
+        };
         match parse_entry(&text, key) {
             Some(payload) => Some(payload),
             None => {
@@ -214,6 +224,72 @@ mod tests {
         std::fs::write(dir.join(key.file_name()), "{ not json").unwrap();
         assert_eq!(cache.load::<u64>(&key), None);
         assert!(!dir.join(key.file_name()).exists(), "evicted on miss");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Writes `bytes` at `key`'s slot and asserts the load is a miss that
+    /// also evicts the file.
+    fn assert_miss_and_evict(tag: &str, bytes: &[u8]) {
+        let dir = tmp_dir(tag);
+        let cache = DiskCache::open(&dir).unwrap();
+        let key = CacheKey {
+            schema: 5,
+            content: 6,
+        };
+        let path = dir.join(key.file_name());
+        std::fs::write(&path, bytes).unwrap();
+        assert_eq!(cache.load::<u64>(&key), None, "{tag}: expected a miss");
+        assert!(!path.exists(), "{tag}: expected eviction");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_entry_is_a_miss_and_gets_evicted() {
+        assert_miss_and_evict("empty", b"");
+    }
+
+    #[test]
+    fn truncated_entry_is_a_miss_and_gets_evicted() {
+        // A valid prefix of a real entry, cut mid-payload.
+        assert_miss_and_evict(
+            "truncated",
+            b"{\"schema\":\"0000000000000005\",\"content\":\"0000000000000006\",\"payload\":[1,",
+        );
+    }
+
+    #[test]
+    fn non_utf8_entry_is_a_miss_and_gets_evicted() {
+        assert_miss_and_evict("nonutf8", &[0xff, 0xfe, 0x80, 0x00, 0xc3]);
+    }
+
+    #[test]
+    fn missing_payload_field_is_a_miss_and_gets_evicted() {
+        assert_miss_and_evict(
+            "nopayload",
+            b"{\"schema\":\"0000000000000005\",\"content\":\"0000000000000006\",\"label\":\"x\"}",
+        );
+    }
+
+    #[test]
+    fn payload_type_mismatch_is_a_miss_and_gets_evicted() {
+        // Entry is well-formed JSON but the payload is a string where the
+        // caller expects a u64.
+        assert_miss_and_evict(
+            "badtype",
+            b"{\"schema\":\"0000000000000005\",\"content\":\"0000000000000006\",\"payload\":\"zz\"}",
+        );
+    }
+
+    #[test]
+    fn missing_entry_is_a_plain_miss() {
+        let dir = tmp_dir("plainmiss");
+        let cache = DiskCache::open(&dir).unwrap();
+        let key = CacheKey {
+            schema: 5,
+            content: 6,
+        };
+        assert_eq!(cache.load::<u64>(&key), None);
+        assert!(cache.is_empty().unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

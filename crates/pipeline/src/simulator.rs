@@ -106,6 +106,8 @@ pub struct Simulator<'p> {
     stats: PipelineStats,
     tracer: Tracer,
     profiler: PhaseProfiler,
+    fault_commit_every: u64,
+    fault_commit_seen: u64,
 }
 
 impl<'p> Simulator<'p> {
@@ -153,7 +155,25 @@ impl<'p> Simulator<'p> {
             stats: PipelineStats::default(),
             tracer: Tracer::disabled(),
             profiler: PhaseProfiler::default(),
+            fault_commit_every: 0,
+            fault_commit_seen: 0,
         }
+    }
+
+    /// Test-support hook: corrupt the *reported* outcome of every
+    /// `every`-th committed branch (its `actual_taken` direction is flipped
+    /// in the observer/trace commit stream, while architectural state,
+    /// statistics and training stay untouched). `0` disables the fault.
+    ///
+    /// This simulates a commit-stream bug for the differential-testing
+    /// harness in `cestim-qa`: oracle 1 (interpreter vs. pipeline commit
+    /// stream) must catch it and shrink the triggering program. The hook is
+    /// only ever enabled explicitly — by QA tooling, typically behind the
+    /// `CESTIM_QA_FAULT` environment variable — and has zero cost when off.
+    #[doc(hidden)]
+    pub fn inject_commit_fault(&mut self, every: u64) {
+        self.fault_commit_every = every;
+        self.fault_commit_seen = 0;
     }
 
     /// Installs an event tracer; subsequent pipeline events are recorded
@@ -531,12 +551,27 @@ impl<'p> Simulator<'p> {
                 q.committed.record(correct, c);
             }
         }
+        // Injected commit-stream fault (test support; see
+        // `inject_commit_fault`): flip the reported direction of every Nth
+        // committed branch without touching architectural state.
+        let mut actual_taken = e.actual_taken;
+        let mut mispredicted = e.mispredicted;
+        if committed && self.fault_commit_every > 0 {
+            self.fault_commit_seen += 1;
+            if self
+                .fault_commit_seen
+                .is_multiple_of(self.fault_commit_every)
+            {
+                actual_taken = !actual_taken;
+                mispredicted = e.pred.taken != actual_taken;
+            }
+        }
         obs.on_branch_outcome(&OutcomeEvent {
             seq: e.seq,
             pc: e.pc,
             predicted_taken: e.pred.taken,
-            actual_taken: e.actual_taken,
-            mispredicted: e.mispredicted,
+            actual_taken,
+            mispredicted,
             committed,
             fetch_cycle: e.fetch_cycle,
             resolve_cycle: e.resolve_cycle,
@@ -549,8 +584,8 @@ impl<'p> Simulator<'p> {
                     seq: e.seq,
                     pc: e.pc,
                     predicted_taken: e.pred.taken,
-                    actual_taken: e.actual_taken,
-                    mispredicted: e.mispredicted,
+                    actual_taken,
+                    mispredicted,
                     fetch_cycle: e.fetch_cycle,
                     resolve_cycle: e.resolve_cycle,
                     ghr: e.ghr_at_predict,
@@ -561,8 +596,8 @@ impl<'p> Simulator<'p> {
                     seq: e.seq,
                     pc: e.pc,
                     predicted_taken: e.pred.taken,
-                    actual_taken: e.actual_taken,
-                    mispredicted: e.mispredicted,
+                    actual_taken,
+                    mispredicted,
                     fetch_cycle: e.fetch_cycle,
                     resolve_cycle: e.resolve_cycle,
                     ghr: e.ghr_at_predict,
@@ -1108,6 +1143,35 @@ mod tests {
             chk.resolved >= stats.committed_branches,
             "committed implies resolved"
         );
+    }
+
+    #[test]
+    fn injected_commit_fault_flips_only_the_reported_stream() {
+        #[derive(Default)]
+        struct Directions(Vec<bool>);
+        impl SimObserver for Directions {
+            fn on_branch_outcome(&mut self, ev: &OutcomeEvent<'_>) {
+                if ev.committed {
+                    self.0.push(ev.actual_taken);
+                }
+            }
+        }
+        let p = counted_loop(100);
+        let mut clean = sim(&p);
+        let mut c = Directions::default();
+        let clean_stats = clean.run(&mut c);
+
+        let mut faulty = sim(&p);
+        faulty.inject_commit_fault(10);
+        let mut f = Directions::default();
+        let faulty_stats = faulty.run(&mut f);
+
+        // Architectural statistics are untouched; only the observer-visible
+        // commit stream diverges, on exactly every 10th committed branch.
+        assert_eq!(clean_stats, faulty_stats);
+        assert_eq!(c.0.len(), f.0.len());
+        let flips = c.0.iter().zip(&f.0).filter(|(a, b)| a != b).count();
+        assert_eq!(flips, c.0.len() / 10);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Persistent reproducer corpus.
+//!
+//! Every shrunk failure is written to `results/qa/corpus/` as a small,
+//! self-contained JSON record: the minimised program, the seed and
+//! iteration that produced it, the oracle that rejected it, and the fault
+//! that was armed (if any). Entries are replayable — `repro --qa-replay`
+//! re-runs each entry's oracle *without* the injected fault and expects it
+//! to pass, which is the regression contract for previously minimised
+//! reproducers.
+
+use crate::gen::{inst_count, node_count, QaProgram};
+use crate::oracle::{self, FaultSpec, OracleFailure, OracleKind};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default corpus directory, relative to the repo root.
+pub const DEFAULT_CORPUS_DIR: &str = "results/qa/corpus";
+
+/// One minimised reproducer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// Master fuzz seed of the run that found the failure.
+    pub seed: u64,
+    /// Iteration index within that run.
+    pub iteration: u64,
+    /// The oracle that rejected the program.
+    pub oracle: OracleKind,
+    /// Mismatch description at discovery time (pre-shrink).
+    pub detail: String,
+    /// The fault that was armed when the failure was found
+    /// ([`FaultSpec::none`] for organic failures).
+    pub fault: FaultSpec,
+    /// The minimised program.
+    pub program: QaProgram,
+    /// AST nodes before shrinking.
+    pub nodes_before: u64,
+    /// AST nodes after shrinking.
+    pub nodes_after: u64,
+    /// Assembled instruction count of the minimised program.
+    pub insts: u64,
+    /// Accepted shrink steps.
+    pub shrink_steps: u64,
+}
+
+impl CorpusEntry {
+    /// Stable file name for this entry.
+    pub fn file_name(&self) -> String {
+        format!(
+            "seed-{:016x}-iter-{:06}-{}.json",
+            self.seed,
+            self.iteration,
+            self.oracle.name()
+        )
+    }
+
+    /// Recomputed instruction count of the stored program.
+    pub fn recount(&mut self) {
+        self.nodes_after = node_count(&self.program.ops) as u64;
+        self.insts = inst_count(&self.program) as u64;
+    }
+}
+
+/// Writes an entry under `dir` (created if missing). Returns the file path.
+pub fn save(dir: &Path, entry: &CorpusEntry) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(entry.file_name());
+    let text = serde_json::to_string_pretty(entry)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(&path, text + "\n")?;
+    Ok(path)
+}
+
+/// Loads one entry from a JSON file.
+pub fn load(path: &Path) -> io::Result<CorpusEntry> {
+    let text = fs::read_to_string(path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Loads every `.json` entry under `dir`, sorted by file name so replay
+/// order is deterministic. A missing directory is an empty corpus.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(PathBuf, CorpusEntry)>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| load(&p).map(|entry| (p, entry)))
+        .collect()
+}
+
+/// Replays one entry: runs its oracle on the stored program with **no**
+/// fault armed. A healthy tree passes; a regression reproduces the
+/// original mismatch organically.
+pub fn replay(entry: &CorpusEntry) -> Result<(), OracleFailure> {
+    oracle::check(entry.oracle, &entry.program, FaultSpec::none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::rng::XorShift64Star;
+
+    fn sample_entry() -> CorpusEntry {
+        let mut rng = XorShift64Star::new(17);
+        let program = generate(&mut rng, &GenConfig::default());
+        let mut entry = CorpusEntry {
+            seed: 17,
+            iteration: 4,
+            oracle: OracleKind::Arch,
+            detail: "retired branch 0 differs".into(),
+            fault: FaultSpec::flip_every(1),
+            program,
+            nodes_before: 12,
+            nodes_after: 0,
+            insts: 0,
+            shrink_steps: 3,
+        };
+        entry.recount();
+        entry
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cestim-qa-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn entries_round_trip_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let entry = sample_entry();
+        let path = save(&dir, &entry).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_str().unwrap(),
+            "seed-0000000000000011-iter-000004-arch.json"
+        );
+        let back = load(&path).unwrap();
+        assert_eq!(back, entry);
+        let all = load_dir(&dir).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1, entry);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = temp_dir("missing");
+        assert!(load_dir(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_entries_are_errors_not_panics() {
+        let dir = temp_dir("malformed");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("bad.json"), "{not json").unwrap();
+        assert!(load_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_runs_without_the_recorded_fault() {
+        // The sample entry was "found" under an injected fault; replaying
+        // on the healthy tree must pass.
+        let entry = sample_entry();
+        assert_eq!(replay(&entry), Ok(()));
+    }
+}

@@ -1,0 +1,498 @@
+//! Valid-by-construction random program generation.
+//!
+//! A [`QaProgram`] is a small structured AST — straight-line arithmetic,
+//! memory traffic in a seeded scratch region, counted loops (nested up to a
+//! configurable depth), parity-correlated and LCG-biased branches, and
+//! leaf calls — that always assembles and always halts. The AST, not the
+//! assembled instruction list, is what the shrinker edits: deleting a node,
+//! unrolling a loop or rebiasing a branch always yields another valid
+//! program.
+//!
+//! Register discipline (shared with `tests/property.rs`): `t0..t7,s0..s3`
+//! are generator-visible temporaries, `u0` is branch/address scratch,
+//! `u1`/`u2` are the loop counters for nesting depths 0/1, `u3` is the LCG
+//! state behind biased branches, and `s4` is the accumulator written by
+//! conditional arms.
+
+use crate::rng::XorShift64Star;
+use cestim_isa::{Program, ProgramBuilder, Reg};
+use serde::{Deserialize, Serialize};
+
+/// Scratch memory region base (the builder's data segment).
+const SCRATCH: u32 = ProgramBuilder::DATA_BASE;
+/// Scratch region is 64 words; addresses are masked into it.
+const SCRATCH_MASK: i32 = 63;
+
+/// Registers the generator allocates freely.
+fn temp(i: u8) -> Reg {
+    const REGS: [Reg; 12] = [
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+    ];
+    REGS[(i as usize) % REGS.len()]
+}
+
+/// One node of a generated program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QaOp {
+    /// `li` of a small constant into a temp register.
+    Init {
+        /// Destination temp index.
+        dst: u8,
+        /// Constant value.
+        val: i16,
+    },
+    /// Three-register ALU operation (`kind % 6` selects the opcode).
+    Alu {
+        /// Opcode selector.
+        kind: u8,
+        /// Destination temp index.
+        dst: u8,
+        /// First source temp index.
+        a: u8,
+        /// Second source temp index.
+        b: u8,
+    },
+    /// Register-immediate ALU operation (`kind % 4` selects the opcode).
+    AluImm {
+        /// Opcode selector.
+        kind: u8,
+        /// Destination temp index.
+        dst: u8,
+        /// Source temp index.
+        a: u8,
+        /// Immediate operand.
+        imm: i16,
+    },
+    /// Load from the scratch region (address taken from a temp, masked).
+    Load {
+        /// Destination temp index.
+        dst: u8,
+        /// Address temp index.
+        addr: u8,
+    },
+    /// Store to the scratch region.
+    Store {
+        /// Source temp index.
+        src: u8,
+        /// Address temp index.
+        addr: u8,
+    },
+    /// Counted loop over `body` (the backward branch is highly biased:
+    /// `trips` taken iterations, one fall-through).
+    Loop {
+        /// Trip count (clamped to `1..=16` at emission).
+        trips: u8,
+        /// Loop body.
+        body: Vec<QaOp>,
+    },
+    /// If/then/else on the parity of a temp register — a branch whose
+    /// outcome *correlates* with earlier arithmetic.
+    Cond {
+        /// Temp register whose parity is tested.
+        reg: u8,
+        /// Accumulator delta on the odd path.
+        then_imm: i16,
+        /// Accumulator delta on the even path.
+        else_imm: i16,
+    },
+    /// A data-dependent branch biased by an LCG draw: taken with
+    /// probability `(8 - bias) / 8` (`bias` in `0..=8`).
+    Biased {
+        /// Not-taken weight in eighths.
+        bias: u8,
+        /// Temp register bumped on the taken path.
+        reg: u8,
+        /// Delta applied on the taken path.
+        delta: i16,
+    },
+    /// Call to an out-of-line leaf subroutine holding `body` (never
+    /// generated inside another call body).
+    Call {
+        /// Subroutine body.
+        body: Vec<QaOp>,
+    },
+}
+
+/// A complete generated program: the AST plus the LCG seed that drives its
+/// biased branches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QaProgram {
+    /// Seed loaded into the LCG state register at program start.
+    pub lcg_seed: i32,
+    /// Top-level operation list.
+    pub ops: Vec<QaOp>,
+}
+
+/// Tuning knobs for the generator: program size, CFG depth, and the
+/// branch-bias mix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GenConfig {
+    /// Maximum top-level operation count (at least 2 are always emitted).
+    pub max_ops: usize,
+    /// Maximum loop-nesting depth (clamped to 2: one counter register per
+    /// level).
+    pub max_loop_depth: u32,
+    /// Maximum loop trip count.
+    pub max_trips: u8,
+    /// Weights of the three biased-branch classes: mostly-taken, balanced,
+    /// mostly-not-taken.
+    pub bias_mix: [u64; 3],
+    /// Relative weight of loop nodes against leaf nodes.
+    pub loop_weight: u64,
+    /// Relative weight of call nodes (top level only).
+    pub call_weight: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_ops: 20,
+            max_loop_depth: 2,
+            max_trips: 12,
+            bias_mix: [3, 2, 3],
+            loop_weight: 2,
+            call_weight: 1,
+        }
+    }
+}
+
+/// Draws a random program under `cfg` from `rng`.
+pub fn generate(rng: &mut XorShift64Star, cfg: &GenConfig) -> QaProgram {
+    let n = 2 + rng.below((cfg.max_ops.max(3) - 2) as u64) as usize;
+    let ops = (0..n).map(|_| gen_op(rng, cfg, 0, false)).collect();
+    QaProgram {
+        lcg_seed: rng.range(1, i32::MAX as i64 - 1) as i32,
+        ops,
+    }
+}
+
+fn gen_op(rng: &mut XorShift64Star, cfg: &GenConfig, depth: u32, in_call: bool) -> QaOp {
+    const LEAVES: u64 = 7;
+    let loop_w = if depth < cfg.max_loop_depth.min(2) {
+        cfg.loop_weight
+    } else {
+        0
+    };
+    let call_w = if depth == 0 && !in_call {
+        cfg.call_weight
+    } else {
+        0
+    };
+    match rng.weighted(&[1, LEAVES, loop_w, call_w]) {
+        0 => QaOp::Init {
+            dst: rng.below(12) as u8,
+            val: rng.range(-200, 200) as i16,
+        },
+        1 => gen_leaf(rng, cfg),
+        2 => {
+            let len = 1 + rng.below(4) as usize;
+            QaOp::Loop {
+                trips: 1 + rng.below(cfg.max_trips.max(1) as u64) as u8,
+                body: (0..len)
+                    .map(|_| gen_op(rng, cfg, depth + 1, in_call))
+                    .collect(),
+            }
+        }
+        _ => {
+            let len = 1 + rng.below(4) as usize;
+            QaOp::Call {
+                body: (0..len).map(|_| gen_op(rng, cfg, 1, true)).collect(),
+            }
+        }
+    }
+}
+
+fn gen_leaf(rng: &mut XorShift64Star, cfg: &GenConfig) -> QaOp {
+    match rng.below(6) {
+        0 => QaOp::Alu {
+            kind: rng.next_u32() as u8,
+            dst: rng.below(12) as u8,
+            a: rng.below(12) as u8,
+            b: rng.below(12) as u8,
+        },
+        1 => QaOp::AluImm {
+            kind: rng.next_u32() as u8,
+            dst: rng.below(12) as u8,
+            a: rng.below(12) as u8,
+            imm: rng.range(-300, 300) as i16,
+        },
+        2 => QaOp::Load {
+            dst: rng.below(12) as u8,
+            addr: rng.below(12) as u8,
+        },
+        3 => QaOp::Store {
+            src: rng.below(12) as u8,
+            addr: rng.below(12) as u8,
+        },
+        4 => QaOp::Cond {
+            reg: rng.below(12) as u8,
+            then_imm: rng.range(-100, 100) as i16,
+            else_imm: rng.range(-100, 100) as i16,
+        },
+        _ => {
+            // Branch bias class → not-taken weight in eighths.
+            let bias = match rng.weighted(&cfg.bias_mix) {
+                0 => rng.range(0, 2), // mostly taken
+                1 => rng.range(3, 5), // balanced
+                _ => rng.range(6, 8), // mostly not taken
+            } as u8;
+            QaOp::Biased {
+                bias,
+                reg: rng.below(12) as u8,
+                delta: rng.range(-50, 50) as i16,
+            }
+        }
+    }
+}
+
+/// Total AST node count (the primary shrink metric).
+pub fn node_count(ops: &[QaOp]) -> usize {
+    ops.iter()
+        .map(|op| match op {
+            QaOp::Loop { body, .. } | QaOp::Call { body } => 1 + node_count(body),
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Assembles a [`QaProgram`] into an executable [`Program`].
+///
+/// # Panics
+///
+/// Never panics on generator/shrinker output: every AST is assemblable by
+/// construction (loops beyond the supported nesting depth and calls inside
+/// call bodies are skipped at emission, keeping the transform set closed).
+pub fn assemble(p: &QaProgram) -> Program {
+    let mut b = ProgramBuilder::new();
+    // Scratch memory, seeded deterministically from the program's LCG seed.
+    let words: Vec<u32> = (0u32..=(SCRATCH_MASK as u32))
+        .map(|i| i.wrapping_mul(2654435761).wrapping_add(p.lcg_seed as u32) % 1999)
+        .collect();
+    let _ = b.alloc(&words);
+    b.li(Reg::U3, p.lcg_seed);
+    let mut calls = Vec::new();
+    for op in &p.ops {
+        emit(&mut b, op, 0, false, &mut calls);
+    }
+    b.halt();
+    // Leaf subroutines live after the halt; bodies may not call further.
+    for (label, body, depth) in calls {
+        b.bind(label);
+        for op in &body {
+            emit(&mut b, op, depth, true, &mut Vec::new());
+        }
+        b.ret();
+    }
+    b.build().expect("generated program assembles")
+}
+
+/// Number of machine instructions the program assembles to.
+pub fn inst_count(p: &QaProgram) -> usize {
+    assemble(p).len()
+}
+
+type DeferredCall = (cestim_isa::Label, Vec<QaOp>, u32);
+
+fn emit(
+    b: &mut ProgramBuilder,
+    op: &QaOp,
+    depth: u32,
+    in_call: bool,
+    calls: &mut Vec<DeferredCall>,
+) {
+    match op {
+        QaOp::Init { dst, val } => b.li(temp(*dst), *val as i32),
+        QaOp::Alu {
+            kind,
+            dst,
+            a,
+            b: rb,
+        } => {
+            let (d, ra, rb) = (temp(*dst), temp(*a), temp(*rb));
+            match kind % 6 {
+                0 => b.add(d, ra, rb),
+                1 => b.sub(d, ra, rb),
+                2 => b.xor(d, ra, rb),
+                3 => b.and(d, ra, rb),
+                4 => b.mul(d, ra, rb),
+                _ => b.slt(d, ra, rb),
+            }
+        }
+        QaOp::AluImm { kind, dst, a, imm } => {
+            let (d, ra) = (temp(*dst), temp(*a));
+            match kind % 4 {
+                0 => b.addi(d, ra, *imm as i32),
+                1 => b.xori(d, ra, *imm as i32),
+                2 => b.muli(d, ra, (*imm as i32).clamp(-7, 7)),
+                _ => b.slli(d, ra, (*imm as i32).rem_euclid(8)),
+            }
+        }
+        QaOp::Load { dst, addr } => {
+            b.andi(Reg::U0, temp(*addr), SCRATCH_MASK);
+            b.addi(Reg::U0, Reg::U0, SCRATCH as i32);
+            b.lw(temp(*dst), Reg::U0, 0);
+        }
+        QaOp::Store { src, addr } => {
+            b.andi(Reg::U0, temp(*addr), SCRATCH_MASK);
+            b.addi(Reg::U0, Reg::U0, SCRATCH as i32);
+            b.sw(temp(*src), Reg::U0, 0);
+        }
+        QaOp::Loop { trips, body } => {
+            if depth >= 2 {
+                return; // one counter register per level: bound nesting
+            }
+            let counter = if depth == 0 { Reg::U1 } else { Reg::U2 };
+            b.li(counter, (*trips).clamp(1, 16) as i32);
+            let top = b.label();
+            let done = b.label();
+            b.bind(top);
+            b.ble(counter, Reg::ZERO, done);
+            for op in body {
+                emit(b, op, depth + 1, in_call, calls);
+            }
+            b.addi(counter, counter, -1);
+            b.j(top);
+            b.bind(done);
+        }
+        QaOp::Cond {
+            reg,
+            then_imm,
+            else_imm,
+        } => {
+            let els = b.label();
+            let join = b.label();
+            b.andi(Reg::U0, temp(*reg), 1);
+            b.beqz(Reg::U0, els);
+            b.addi(Reg::S4, Reg::S4, *then_imm as i32);
+            b.j(join);
+            b.bind(els);
+            b.addi(Reg::S4, Reg::S4, *else_imm as i32);
+            b.bind(join);
+        }
+        QaOp::Biased { bias, reg, delta } => {
+            // Advance the LCG, draw the top three bits (0..8) and compare
+            // against the bias threshold: not-taken with probability bias/8.
+            let skip = b.label();
+            b.muli(Reg::U3, Reg::U3, 1664525);
+            b.addi(Reg::U3, Reg::U3, 1013904223);
+            b.srli(Reg::U0, Reg::U3, 29);
+            b.slti(Reg::U0, Reg::U0, (*bias).min(8) as i32);
+            b.bnez(Reg::U0, skip);
+            b.addi(temp(*reg), temp(*reg), *delta as i32);
+            b.bind(skip);
+        }
+        QaOp::Call { body } => {
+            if in_call {
+                return; // leaf calls only
+            }
+            let target = b.label();
+            b.call(target);
+            calls.push((target, body.clone(), depth));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_isa::Machine;
+
+    fn halts(p: &QaProgram) -> bool {
+        let prog = assemble(p);
+        let mut m = Machine::new(&prog);
+        m.run(&prog, 5_000_000);
+        m.halted()
+    }
+
+    #[test]
+    fn generated_programs_assemble_and_halt() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let mut rng = XorShift64Star::new(seed);
+            let p = generate(&mut rng, &cfg);
+            assert!(halts(&p), "seed {seed} must halt");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let mut a = XorShift64Star::new(99);
+        let mut b = XorShift64Star::new(99);
+        assert_eq!(generate(&mut a, &cfg), generate(&mut b, &cfg));
+    }
+
+    #[test]
+    fn config_bounds_are_respected() {
+        let cfg = GenConfig {
+            max_loop_depth: 0,
+            call_weight: 0,
+            ..GenConfig::default()
+        };
+        for seed in 0..50 {
+            let mut rng = XorShift64Star::new(seed);
+            let p = generate(&mut rng, &cfg);
+            assert!(
+                p.ops
+                    .iter()
+                    .all(|op| !matches!(op, QaOp::Loop { .. } | QaOp::Call { .. })),
+                "flat config must generate neither loops nor calls"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_mix_steers_branch_classes() {
+        let taken_heavy = GenConfig {
+            bias_mix: [1, 0, 0],
+            ..GenConfig::default()
+        };
+        let mut rng = XorShift64Star::new(3);
+        for _ in 0..40 {
+            let p = generate(&mut rng, &taken_heavy);
+            for op in &p.ops {
+                if let QaOp::Biased { bias, .. } = op {
+                    assert!(*bias <= 2, "mostly-taken class only");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ast_round_trips_through_json() {
+        let cfg = GenConfig::default();
+        let mut rng = XorShift64Star::new(17);
+        let p = generate(&mut rng, &cfg);
+        let text = serde_json::to_string(&p).unwrap();
+        let back: QaProgram = serde_json::from_str(&text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn node_count_descends_into_bodies() {
+        let ops = vec![
+            QaOp::Init { dst: 0, val: 1 },
+            QaOp::Loop {
+                trips: 2,
+                body: vec![QaOp::Alu {
+                    kind: 0,
+                    dst: 0,
+                    a: 0,
+                    b: 0,
+                }],
+            },
+        ];
+        assert_eq!(node_count(&ops), 3);
+    }
+}

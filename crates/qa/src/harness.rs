@@ -1,0 +1,359 @@
+//! The fuzz loop: generate → check oracles → shrink → persist.
+//!
+//! Determinism contract: with no time budget, the same [`FuzzConfig`]
+//! always produces the same [`FuzzReport`] and the same `qa.*` metric
+//! values — each iteration draws from an independent child stream of the
+//! master seed, and nothing wall-clock-dependent enters the report.
+
+use crate::corpus::{self, CorpusEntry};
+use crate::gen::{generate, inst_count, node_count, GenConfig, QaProgram};
+use crate::oracle::{self, FaultSpec, OracleKind};
+use crate::rng::XorShift64Star;
+use crate::shrink;
+use cestim_obs::{Counter, Registry};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Everything one fuzz run needs; fully determines the run when
+/// `time_budget` is `None`.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; iteration `k` fuzzes with child stream `k`.
+    pub seed: u64,
+    /// Iterations to run.
+    pub iters: u64,
+    /// Optional wall-clock cap; checked between iterations. Runs stopped
+    /// by the budget set [`FuzzReport::stopped_early`].
+    pub time_budget: Option<Duration>,
+    /// Which oracles to run on each program.
+    pub oracles: Vec<OracleKind>,
+    /// Injected fault (for exercising the failure path end to end).
+    pub fault: FaultSpec,
+    /// Where to persist minimised reproducers; `None` disables writes.
+    pub corpus_dir: Option<PathBuf>,
+    /// Program-shape knobs.
+    pub gen: GenConfig,
+    /// Stop after this many shrunk failures (0 = keep fuzzing).
+    pub max_failures: u64,
+    /// Predicate-evaluation budget per shrink.
+    pub shrink_budget: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 1,
+            iters: 100,
+            time_budget: None,
+            oracles: OracleKind::ALL.to_vec(),
+            fault: FaultSpec::none(),
+            corpus_dir: None,
+            gen: GenConfig::default(),
+            max_failures: 1,
+            shrink_budget: 4_000,
+        }
+    }
+}
+
+/// Per-oracle pass/fail tally.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleTally {
+    /// Oracle name.
+    pub oracle: String,
+    /// Programs it accepted.
+    pub passes: u64,
+    /// Programs it rejected.
+    pub failures: u64,
+}
+
+/// One shrunk failure, as reported (the full reproducer lives in the
+/// corpus entry).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureSummary {
+    /// Iteration that produced the failing program.
+    pub iteration: u64,
+    /// Oracle that rejected it.
+    pub oracle: String,
+    /// Mismatch description at discovery time.
+    pub detail: String,
+    /// AST nodes before/after shrinking.
+    pub nodes_before: u64,
+    /// AST nodes after shrinking.
+    pub nodes_after: u64,
+    /// Assembled instructions in the minimised reproducer.
+    pub insts: u64,
+    /// Accepted shrink steps.
+    pub shrink_steps: u64,
+    /// Corpus file name, when persistence was enabled.
+    pub corpus_file: Option<String>,
+}
+
+/// Deterministic summary of a fuzz run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuzzReport {
+    /// Master seed.
+    pub seed: u64,
+    /// Iterations actually executed.
+    pub iterations: u64,
+    /// Total accepted shrink steps across all failures.
+    pub shrink_steps: u64,
+    /// Per-oracle tallies, in configured order.
+    pub oracles: Vec<OracleTally>,
+    /// Shrunk failures, in discovery order.
+    pub failures: Vec<FailureSummary>,
+    /// `true` when the time budget or failure cap cut the run short.
+    pub stopped_early: bool,
+}
+
+impl FuzzReport {
+    /// `true` when every oracle accepted every program.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the fuzz loop, recording `qa.*` metrics into `registry`.
+///
+/// Counters are registered up front so they appear in snapshots even when
+/// zero: `qa.iterations`, `qa.shrink_steps`, `qa.corpus.writes`, and
+/// per-oracle `qa.oracle.pass` / `qa.oracle.fail` (labelled `oracle=name`),
+/// plus `qa.program.insts` / `qa.program.nodes` histograms.
+pub fn run_fuzz(cfg: &FuzzConfig, registry: &Registry) -> io::Result<FuzzReport> {
+    let iterations_c = registry.counter("qa.iterations", &[]);
+    let shrink_c = registry.counter("qa.shrink_steps", &[]);
+    let corpus_c = registry.counter("qa.corpus.writes", &[]);
+    let insts_h = registry.histogram("qa.program.insts", &[]);
+    let nodes_h = registry.histogram("qa.program.nodes", &[]);
+    let per_oracle: Vec<(Counter, Counter)> = cfg
+        .oracles
+        .iter()
+        .map(|k| {
+            (
+                registry.counter("qa.oracle.pass", &[("oracle", k.name())]),
+                registry.counter("qa.oracle.fail", &[("oracle", k.name())]),
+            )
+        })
+        .collect();
+
+    let master = XorShift64Star::new(cfg.seed);
+    let started = Instant::now();
+    let mut report = FuzzReport {
+        seed: cfg.seed,
+        iterations: 0,
+        shrink_steps: 0,
+        oracles: cfg
+            .oracles
+            .iter()
+            .map(|k| OracleTally {
+                oracle: k.name().to_string(),
+                passes: 0,
+                failures: 0,
+            })
+            .collect(),
+        failures: Vec::new(),
+        stopped_early: false,
+    };
+
+    'fuzz: for iteration in 0..cfg.iters {
+        if let Some(budget) = cfg.time_budget {
+            if started.elapsed() >= budget {
+                report.stopped_early = true;
+                break;
+            }
+        }
+        let mut rng = master.child(iteration);
+        let program = generate(&mut rng, &cfg.gen);
+        report.iterations += 1;
+        iterations_c.inc();
+        insts_h.record(inst_count(&program) as u64);
+        nodes_h.record(node_count(&program.ops) as u64);
+
+        for (idx, &kind) in cfg.oracles.iter().enumerate() {
+            match oracle::check(kind, &program, cfg.fault) {
+                Ok(()) => {
+                    per_oracle[idx].0.inc();
+                    report.oracles[idx].passes += 1;
+                }
+                Err(failure) => {
+                    per_oracle[idx].1.inc();
+                    report.oracles[idx].failures += 1;
+                    let summary =
+                        handle_failure(cfg, iteration, kind, failure.detail, &program, &corpus_c)?;
+                    shrink_c.add(summary.shrink_steps);
+                    report.shrink_steps += summary.shrink_steps;
+                    report.failures.push(summary);
+                    if cfg.max_failures > 0 && report.failures.len() as u64 >= cfg.max_failures {
+                        report.stopped_early = report.iterations < cfg.iters;
+                        break 'fuzz;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn handle_failure(
+    cfg: &FuzzConfig,
+    iteration: u64,
+    kind: OracleKind,
+    detail: String,
+    program: &QaProgram,
+    corpus_writes: &Counter,
+) -> io::Result<FailureSummary> {
+    let nodes_before = node_count(&program.ops) as u64;
+    let shrunk = shrink::shrink(program, cfg.shrink_budget, |cand| {
+        oracle::check(kind, cand, cfg.fault).is_err()
+    });
+    let mut entry = CorpusEntry {
+        seed: cfg.seed,
+        iteration,
+        oracle: kind,
+        detail,
+        fault: cfg.fault,
+        program: shrunk.program,
+        nodes_before,
+        nodes_after: 0,
+        insts: 0,
+        shrink_steps: shrunk.steps,
+    };
+    entry.recount();
+
+    let corpus_file = match &cfg.corpus_dir {
+        Some(dir) => {
+            let path = corpus::save(dir, &entry)?;
+            corpus_writes.inc();
+            Some(path.file_name().unwrap().to_string_lossy().into_owned())
+        }
+        None => None,
+    };
+    Ok(FailureSummary {
+        iteration,
+        oracle: kind.name().to_string(),
+        detail: entry.detail,
+        nodes_before,
+        nodes_after: entry.nodes_after,
+        insts: entry.insts,
+        shrink_steps: entry.shrink_steps,
+        corpus_file,
+    })
+}
+
+/// Replays every corpus entry under `dir` (no fault armed), recording
+/// `qa.*` metrics: each replayed entry counts as one `qa.iterations`,
+/// contributes its recorded `qa.shrink_steps`, and tallies per-oracle
+/// `qa.oracle.pass` / `qa.oracle.fail` plus overall `qa.replay.pass` /
+/// `qa.replay.fail`. Returns the per-entry results in file-name order.
+pub fn replay_corpus(
+    dir: &std::path::Path,
+    registry: &Registry,
+) -> io::Result<Vec<(String, Result<(), oracle::OracleFailure>)>> {
+    let iterations_c = registry.counter("qa.iterations", &[]);
+    let shrink_c = registry.counter("qa.shrink_steps", &[]);
+    let pass_c = registry.counter("qa.replay.pass", &[]);
+    let fail_c = registry.counter("qa.replay.fail", &[]);
+    let entries = corpus::load_dir(dir)?;
+    Ok(entries
+        .into_iter()
+        .map(|(path, entry)| {
+            iterations_c.inc();
+            shrink_c.add(entry.shrink_steps);
+            let outcome = corpus::replay(&entry);
+            let verdict = if outcome.is_ok() { &pass_c } else { &fail_c };
+            verdict.inc();
+            let per_oracle = if outcome.is_ok() {
+                "qa.oracle.pass"
+            } else {
+                "qa.oracle.fail"
+            };
+            registry
+                .counter(per_oracle, &[("oracle", entry.oracle.name())])
+                .inc();
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                outcome,
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_obs::MetricValue;
+
+    fn quick_cfg() -> FuzzConfig {
+        FuzzConfig {
+            seed: 1,
+            iters: 8,
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_passes_all_oracles_and_counts_match() {
+        let registry = Registry::new();
+        let report = run_fuzz(&quick_cfg(), &registry).unwrap();
+        assert!(report.clean(), "{:?}", report.failures);
+        assert_eq!(report.iterations, 8);
+        for tally in &report.oracles {
+            assert_eq!(tally.passes, 8, "{}", tally.oracle);
+            assert_eq!(tally.failures, 0);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("qa.iterations"), Some(8));
+        assert_eq!(snap.counter_value("qa.shrink_steps"), Some(0));
+        assert_eq!(snap.counter_value("qa.corpus.writes"), Some(0));
+        for kind in OracleKind::ALL {
+            assert_eq!(
+                snap.get_labeled("qa.oracle.pass", &[("oracle", kind.name())]),
+                Some(&MetricValue::Counter(8)),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_report_and_metrics() {
+        let (r1, r2) = (Registry::new(), Registry::new());
+        let a = run_fuzz(&quick_cfg(), &r1).unwrap();
+        let b = run_fuzz(&quick_cfg(), &r2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(r1.snapshot(), r2.snapshot());
+    }
+
+    #[test]
+    fn injected_fault_is_caught_and_shrunk_small() {
+        let dir =
+            std::env::temp_dir().join(format!("cestim-qa-harness-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FuzzConfig {
+            iters: 30,
+            oracles: vec![OracleKind::Arch],
+            fault: FaultSpec::flip_every(1),
+            corpus_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        };
+        let registry = Registry::new();
+        let report = run_fuzz(&cfg, &registry).unwrap();
+        assert_eq!(report.failures.len(), 1, "fault should be caught");
+        let f = &report.failures[0];
+        assert!(
+            f.insts <= 20,
+            "reproducer has {} instructions, want <= 20",
+            f.insts
+        );
+        assert!(f.corpus_file.is_some());
+        // The corpus entry replays clean on the healthy (unfaulted) tree.
+        let replays = replay_corpus(&dir, &registry).unwrap();
+        assert_eq!(replays.len(), 1);
+        assert!(replays[0].1.is_ok());
+        assert_eq!(
+            registry.snapshot().counter_value("qa.corpus.writes"),
+            Some(1)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

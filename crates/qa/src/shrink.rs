@@ -1,0 +1,251 @@
+//! Automatic failing-program minimisation.
+//!
+//! When an oracle rejects a generated program, the shrinker greedily
+//! applies structure-preserving reductions — delete an op, flatten a loop
+//! body into straight-line code, cut loop trip counts, inline a call,
+//! rebias a branch to an extreme — keeping any variant on which the
+//! failure predicate still holds. Every accepted edit strictly decreases
+//! an integer weight, so shrinking always terminates, and because the
+//! generator's emission is total over the AST, every variant still
+//! assembles to a valid halting program.
+
+use crate::gen::{QaOp, QaProgram};
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimised program (still failing, or the original if nothing
+    /// smaller failed).
+    pub program: QaProgram,
+    /// Number of accepted reduction steps.
+    pub steps: u64,
+    /// Number of predicate evaluations spent.
+    pub attempts: u64,
+}
+
+/// Termination metric: lexicographic (node count, loop trips, bias slack)
+/// folded into one integer. Every shrink transform strictly decreases it.
+pub fn weight(p: &QaProgram) -> u64 {
+    fn walk(ops: &[QaOp]) -> (u64, u64, u64) {
+        let mut nodes = 0u64;
+        let mut trips = 0u64;
+        let mut slack = 0u64;
+        for op in ops {
+            nodes += 1;
+            match op {
+                QaOp::Loop { trips: t, body } => {
+                    trips += *t as u64;
+                    let (n, tr, s) = walk(body);
+                    nodes += n;
+                    trips += tr;
+                    slack += s;
+                }
+                QaOp::Call { body } => {
+                    let (n, tr, s) = walk(body);
+                    nodes += n;
+                    trips += tr;
+                    slack += s;
+                }
+                QaOp::Biased { bias, .. } => {
+                    // Distance from the nearest deterministic extreme
+                    // (always-taken bias 0 / never-taken bias 8).
+                    slack += (*bias).min(8 - (*bias).min(8)) as u64;
+                }
+                _ => {}
+            }
+        }
+        (nodes, trips, slack)
+    }
+    let (nodes, trips, slack) = walk(&p.ops);
+    nodes * 1_000_000 + trips * 1_000 + slack
+}
+
+/// All single-edit reductions of an op list. Each candidate has strictly
+/// smaller [`weight`] than the input (guaranteed again by the caller).
+fn variants(ops: &[QaOp]) -> Vec<Vec<QaOp>> {
+    let mut out = Vec::new();
+    for i in 0..ops.len() {
+        // Delete the op (with its whole subtree).
+        let mut v = ops.to_vec();
+        v.remove(i);
+        out.push(v);
+
+        match &ops[i] {
+            QaOp::Loop { trips, body } => {
+                // Flatten: one unrolled copy of the body, no loop.
+                let mut v = ops.to_vec();
+                v.splice(i..=i, body.clone());
+                out.push(v);
+                // Cut the trip count to 1.
+                if *trips > 1 {
+                    let mut v = ops.to_vec();
+                    v[i] = QaOp::Loop {
+                        trips: 1,
+                        body: body.clone(),
+                    };
+                    out.push(v);
+                }
+                // Recurse into the body.
+                for nb in variants(body) {
+                    let mut v = ops.to_vec();
+                    v[i] = QaOp::Loop {
+                        trips: *trips,
+                        body: nb,
+                    };
+                    out.push(v);
+                }
+            }
+            QaOp::Call { body } => {
+                // Inline the callee at the call site.
+                let mut v = ops.to_vec();
+                v.splice(i..=i, body.clone());
+                out.push(v);
+                for nb in variants(body) {
+                    let mut v = ops.to_vec();
+                    v[i] = QaOp::Call { body: nb };
+                    out.push(v);
+                }
+            }
+            QaOp::Biased { bias, reg, delta } => {
+                // Rebias toward the nearest deterministic extreme.
+                let target = if *bias <= 4 { 0 } else { 8 };
+                if *bias != target {
+                    let mut v = ops.to_vec();
+                    v[i] = QaOp::Biased {
+                        bias: target,
+                        reg: *reg,
+                        delta: *delta,
+                    };
+                    out.push(v);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Minimises `p` under `still_fails`, spending at most `budget` predicate
+/// evaluations. The predicate must hold on `p` itself for the result to be
+/// meaningful (the shrinker never re-tests the input).
+pub fn shrink(
+    p: &QaProgram,
+    budget: u64,
+    mut still_fails: impl FnMut(&QaProgram) -> bool,
+) -> ShrinkOutcome {
+    let mut current = p.clone();
+    let mut steps = 0u64;
+    let mut attempts = 0u64;
+    'outer: loop {
+        let current_weight = weight(&current);
+        for ops in variants(&current.ops) {
+            let candidate = QaProgram {
+                lcg_seed: current.lcg_seed,
+                ops,
+            };
+            if weight(&candidate) >= current_weight {
+                continue;
+            }
+            if attempts >= budget {
+                break 'outer;
+            }
+            attempts += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                // Greedy restart: re-enumerate from the smaller program.
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkOutcome {
+        program: current,
+        steps,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{assemble, generate, node_count, GenConfig};
+    use crate::rng::XorShift64Star;
+    use cestim_isa::Machine;
+
+    fn sample(seed: u64) -> QaProgram {
+        let mut rng = XorShift64Star::new(seed);
+        generate(&mut rng, &GenConfig::default())
+    }
+
+    fn contains_biased(ops: &[QaOp]) -> bool {
+        ops.iter().any(|op| match op {
+            QaOp::Biased { .. } => true,
+            QaOp::Loop { body, .. } | QaOp::Call { body } => contains_biased(body),
+            _ => false,
+        })
+    }
+
+    #[test]
+    fn shrinks_to_minimal_witness_of_predicate() {
+        // Find a seed whose program contains a biased branch, then shrink
+        // with "still contains a biased branch" as the failure predicate:
+        // the fixpoint must be exactly one node.
+        let p = (0..50)
+            .map(sample)
+            .find(|p| contains_biased(&p.ops))
+            .expect("some seed generates a biased branch");
+        let out = shrink(&p, 10_000, |cand| contains_biased(&cand.ops));
+        assert_eq!(node_count(&out.program.ops), 1, "{:?}", out.program.ops);
+        assert!(contains_biased(&out.program.ops));
+        assert!(out.steps > 0 || node_count(&p.ops) == 1);
+    }
+
+    #[test]
+    fn every_variant_still_assembles_and_halts() {
+        for seed in 0..20 {
+            let p = sample(seed);
+            for ops in variants(&p.ops) {
+                let cand = QaProgram {
+                    lcg_seed: p.lcg_seed,
+                    ops,
+                };
+                let prog = assemble(&cand);
+                let mut m = Machine::new(&prog);
+                m.run(&prog, 5_000_000);
+                assert!(m.halted(), "variant of seed {seed} did not halt");
+            }
+        }
+    }
+
+    #[test]
+    fn accepted_steps_strictly_decrease_weight() {
+        let p = sample(3);
+        let mut weights = vec![weight(&p)];
+        let out = shrink(&p, 10_000, |cand| {
+            weights.push(weight(cand));
+            true // everything "fails": maximal shrinking pressure
+        });
+        assert_eq!(node_count(&out.program.ops), 0);
+        assert_eq!(weight(&out.program), 0);
+    }
+
+    #[test]
+    fn budget_caps_predicate_evaluations() {
+        let p = sample(4);
+        let out = shrink(&p, 3, |_| false);
+        assert!(out.attempts <= 3);
+        assert_eq!(out.program, p);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let p = sample(8);
+        let a = shrink(&p, 10_000, |cand| node_count(&cand.ops) > 0);
+        let b = shrink(&p, 10_000, |cand| node_count(&cand.ops) > 0);
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.attempts, b.attempts);
+    }
+}
