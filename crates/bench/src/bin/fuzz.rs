@@ -9,6 +9,9 @@
 //! Each iteration draws a valid-by-construction random program from the
 //! seed's child stream and runs it through the selected `cestim-qa`
 //! differential oracles (`arch`, `replay`, `exec`, `quadrant`, or `all`).
+//! The opt-in `resilience` oracle (not part of `all` — it sleeps and
+//! touches disk) additionally chaos-tests the executor's fault handling:
+//! `fuzz --oracle resilience --iters 5`.
 //! Failures are shrunk to minimal reproducers and persisted under the
 //! corpus directory (default `<out>/qa/corpus`), replayable with
 //! `repro --qa-replay <dir>`.
@@ -39,7 +42,7 @@ fn usage() -> ! {
         "usage: fuzz [--seed N] [--iters N] [--time-budget SECS] [--oracle NAME|all]\n\
          \x20           [--out DIR] [--corpus DIR|none] [--fault N] [--expect-failure]\n\
          \x20           [--max-failures N] [--shrink-budget N]\n\
-         oracles: {} all",
+         oracles: {} all | resilience (opt-in, not part of `all`)",
         OracleKind::ALL.map(|k| k.name()).join(" ")
     );
     std::process::exit(2);

@@ -7,6 +7,7 @@
 //! repro --list
 //! repro [--scale N] [--workload NAME] [--trace-out FILE]
 //!       [--metrics-out FILE] [--obs-summary] [<experiment>...]
+//! repro [--retries N] [--deadline-ms N] [--fault SPEC] [--resume] ...
 //! ```
 //!
 //! Experiments: `fig1 table1 table2 fig3 fig4 fig5 table3 fig6 fig7 fig8
@@ -24,6 +25,24 @@
 //! * `--refresh` — ignore cached results but still rewrite them.
 //! * `--no-cache` — disable the cache entirely (no reads, no writes).
 //!
+//! Resilience (see `docs/RESILIENCE.md`): a panicking or overdue job is
+//! isolated into a structured error instead of aborting the run — the
+//! experiment it belongs to is reported in a failure manifest while the
+//! rest of the suite completes. Every job outcome is journaled
+//! append-only under `<out>/journal/run.jsonl`:
+//!
+//! * `--retries N` — total attempts per job (default 1, i.e. no retry);
+//!   transient faults converge to the fault-free output.
+//! * `--deadline-ms N` — per-job wall-clock deadline; overdue jobs are
+//!   recorded as timed out while survivors drain the queue.
+//! * `--fault SPEC` — arm a deterministic chaos plan
+//!   (`panic:N`/`slow:N:MS`/`io:N`, comma-separated; also readable from
+//!   `CESTIM_EXEC_FAULT`).
+//! * `--resume` — replay the journal of a killed run: experiments already
+//!   journaled complete (with artifacts on disk) are skipped, and
+//!   journaled jobs inside unfinished experiments are answered from the
+//!   warm cache (counted in `exec.jobs_resumed`).
+//!
 //! Any of `--trace-out`, `--metrics-out`, `--obs-summary` additionally run
 //! one fully instrumented pipeline pass (default workload `compress`,
 //! gshare predictor, the paper estimator set):
@@ -39,13 +58,18 @@
 //! wall-clock spans, the executor's job/cache counters and metrics, and the
 //! instrumented run's phase timings.
 
-use cestim_exec::{default_workers, CachePolicy, Executor};
+use cestim_exec::{
+    default_workers, install_quiet_panic_hook, CachePolicy, Executor, FaultPlan, RetryPolicy,
+    RunJournal,
+};
 use cestim_obs::{render_timing_table, PhaseProfiler, Registry, Span, Tracer};
 use cestim_pipeline::NullObserver;
 use cestim_sim::{run_instrumented, suite, EstimatorSpec, PredictorKind, RunConfig};
 use cestim_workloads::WorkloadKind;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     scale: u32,
@@ -60,6 +84,10 @@ struct Args {
     metrics_out: Option<PathBuf>,
     obs_summary: bool,
     qa_replay: Option<PathBuf>,
+    fault: FaultPlan,
+    retries: Option<u32>,
+    deadline_ms: Option<u64>,
+    resume: bool,
 }
 
 impl Args {
@@ -83,7 +111,9 @@ fn usage() -> ! {
         "usage: repro [--scale N] [--out DIR] [--jobs N] [--no-cache | --refresh]\n\
          \x20            [--cache-dir DIR] [--workload NAME] [--trace-out FILE]\n\
          \x20            [--metrics-out FILE] [--obs-summary] [--qa-replay DIR]\n\
+         \x20            [--retries N] [--deadline-ms N] [--fault SPEC] [--resume]\n\
          \x20            <experiment>... | all | --list\n\
+         fault spec:  panic:N | slow:N:MS | io:N (comma-separated)\n\
          experiments: {}\n\
          workloads:   {}",
         suite::all_ids().join(" "),
@@ -110,6 +140,10 @@ fn parse_args() -> Args {
         metrics_out: None,
         obs_summary: false,
         qa_replay: None,
+        fault: FaultPlan::from_env(),
+        retries: None,
+        deadline_ms: None,
+        resume: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -149,6 +183,28 @@ fn parse_args() -> Args {
             "--qa-replay" => {
                 args.qa_replay = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
             }
+            "--fault" => {
+                let spec = argv.next().unwrap_or_else(|| usage());
+                args.fault = FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--retries" => {
+                args.retries = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--resume" => args.resume = true,
             "--list" => {
                 for id in suite::all_ids() {
                     println!("{id}");
@@ -181,12 +237,54 @@ fn build_executor(args: &Args) -> std::io::Result<Executor> {
         .cache_dir
         .clone()
         .unwrap_or_else(|| args.out.join("cache"));
-    let exec = Executor::new(workers).with_cache(cache_dir, args.cache_policy())?;
+    let mut exec = Executor::new(workers).with_cache(cache_dir, args.cache_policy())?;
     let stale = exec.evict_stale(cestim_sim::sim_schema_salt());
     if stale > 0 {
         println!("[cache: evicted {stale} stale entr{}]", plural_y(stale));
     }
+    if !args.fault.is_none() {
+        println!("[chaos: fault plan {} armed]", args.fault);
+        exec = exec.with_fault_plan(args.fault);
+    }
+    if let Some(n) = args.retries {
+        exec = exec.with_retry(RetryPolicy::with_attempts(n));
+    }
+    if let Some(ms) = args.deadline_ms {
+        exec = exec.with_deadline(Some(Duration::from_millis(ms)));
+    }
     Ok(exec)
+}
+
+/// Opens the run journal under `<out>/journal/`: resumed (replaying prior
+/// completions) or fresh (rotating the previous journal aside).
+fn open_journal(args: &Args) -> std::io::Result<RunJournal> {
+    let dir = args.out.join("journal");
+    if args.resume {
+        let journal = RunJournal::resume(&dir)?;
+        println!(
+            "[resume: journal replayed {} job{} and {} experiment{}]",
+            journal.prior_job_count(),
+            if journal.prior_job_count() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            journal.prior_experiment_count(),
+            if journal.prior_experiment_count() == 1 {
+                ""
+            } else {
+                "s"
+            },
+        );
+        Ok(journal)
+    } else {
+        RunJournal::start(&dir)
+    }
+}
+
+/// True when both artifacts a completed experiment writes are on disk.
+fn artifacts_exist(out: &Path, id: &str) -> bool {
+    out.join(format!("{id}.txt")).exists() && out.join(format!("{id}.json")).exists()
 }
 
 fn plural_y(n: usize) -> &'static str {
@@ -297,33 +395,76 @@ fn run_qa_replay(dir: &Path, failed_ids: &mut Vec<String>) -> serde_json::Value 
 }
 
 fn main() -> ExitCode {
+    install_quiet_panic_hook();
     let args = parse_args();
-    let exec = match build_executor(&args) {
+    let mut exec = match build_executor(&args) {
         Ok(exec) => exec,
         Err(e) => {
             eprintln!("error: failed to open result cache: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let journal = if args.ids.is_empty() {
+        None
+    } else {
+        match open_journal(&args) {
+            Ok(j) => Some(Arc::new(j)),
+            Err(e) => {
+                eprintln!(
+                    "warning: run journal unavailable ({e}); continuing without resume support"
+                );
+                None
+            }
+        }
+    };
+    if let Some(j) = &journal {
+        exec = exec.with_journal(Arc::clone(j));
+    }
 
     let mut failed_ids = Vec::new();
+    let mut failures: Vec<suite::ExperimentFailure> = Vec::new();
     let mut experiment_spans = Vec::new();
     let mut profiler = PhaseProfiler::new(true);
     for id in &args.ids {
+        if args.resume {
+            if let Some(j) = &journal {
+                if j.was_experiment_done(id) && artifacts_exist(&args.out, id) {
+                    println!("[{id}: complete in journal, skipped]\n");
+                    experiment_spans
+                        .push(serde_json::json!({ "id": id, "seconds": 0.0, "resumed": true }));
+                    continue;
+                }
+            }
+        }
         let phase = static_id(id).map(|name| profiler.phase(name));
         let started = profiler.start();
         let span = Span::begin(id.clone());
-        match suite::run_experiment_with(&exec, id, args.scale) {
-            Some(r) => {
+        match suite::run_experiment_checked(&exec, id, args.scale) {
+            Some(Ok(r)) => {
                 println!("{}\n{}", r.title, r.text);
                 let timing = span.end();
                 let seconds = timing.nanos as f64 / 1e9;
                 println!("[{id} done in {seconds:.1}s]\n");
                 experiment_spans.push(serde_json::json!({ "id": id, "seconds": seconds }));
-                if let Err(e) = cestim_bench::write_artifacts(&args.out, id, &r.text, &r.json) {
-                    eprintln!("error: failed to write artifacts for {id}: {e}");
-                    failed_ids.push(id.clone());
+                match cestim_bench::write_artifacts(&args.out, id, &r.text, &r.json) {
+                    Ok(()) => {
+                        if let Some(j) = &journal {
+                            j.record_experiment(id, "done");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: failed to write artifacts for {id}: {e}");
+                        failed_ids.push(id.clone());
+                    }
                 }
+            }
+            Some(Err(failure)) => {
+                eprintln!("error: {failure}");
+                failed_ids.push(id.clone());
+                if let Some(j) = &journal {
+                    j.record_experiment(id, "failed");
+                }
+                failures.push(failure);
             }
             None => {
                 eprintln!("error: unknown experiment '{id}' (try --list)");
@@ -348,6 +489,22 @@ fn main() -> ExitCode {
             report.executed,
             report.cache_policy,
         );
+        let resilience_events = report.retries
+            + report.panics_caught
+            + report.timeouts
+            + report.jobs_resumed
+            + report.cache_store_errors;
+        if resilience_events > 0 {
+            println!(
+                "[resilience: {} retries, {} panics caught, {} timeouts, {} jobs resumed, \
+                 {} cache store errors]",
+                report.retries,
+                report.panics_caught,
+                report.timeouts,
+                report.jobs_resumed,
+                report.cache_store_errors,
+            );
+        }
     }
 
     let mut instrumented = serde_json::Value::Null;
@@ -373,6 +530,9 @@ fn main() -> ExitCode {
         "executor_metrics": exec.registry().snapshot(),
         "instrumented": instrumented,
         "qa": qa,
+        "fault_plan": args.fault.to_string(),
+        "resumed": args.resume,
+        "failures": failures,
     });
     if let Err(e) = cestim_bench::write_telemetry(&args.out, &telemetry) {
         eprintln!("error: failed to write telemetry: {e}");
@@ -382,6 +542,12 @@ fn main() -> ExitCode {
     if failed_ids.is_empty() {
         ExitCode::SUCCESS
     } else {
+        if !failures.is_empty() {
+            eprintln!("failure manifest:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+        }
         eprintln!(
             "error: {} step{} failed: {}",
             failed_ids.len(),

@@ -1,0 +1,211 @@
+//! Chaos-injection matrix: deterministic fault plans for the executor.
+//!
+//! A [`FaultPlan`] injects three failure modes — worker panics, slow jobs,
+//! and cache I/O errors — keyed off each job's *submission sequence
+//! number*, which the calling thread assigns in submission order. Whether
+//! a fault fires is therefore a pure function of the plan and the batch
+//! shape, independent of worker count or scheduling, so chaos runs are
+//! replayable bit-for-bit.
+//!
+//! Faults are **transient**: they fire only on a job's first attempt, so
+//! a retry policy with `max_attempts >= 2` converges every faulted job to
+//! its fault-free output.
+//!
+//! The grammar (env var `CESTIM_EXEC_FAULT` or `repro --fault`) is a
+//! comma-separated list of clauses:
+//!
+//! ```text
+//! panic:N       every Nth submitted job panics mid-execution
+//! slow:N:MS     every Nth submitted job sleeps MS milliseconds first
+//! io:N          every Nth submitted job's cache read+write "fails"
+//! ```
+
+use std::fmt;
+
+/// Marker prefix on injected-panic messages, recognised by the quiet
+/// panic hook and useful when grepping journals.
+pub const INJECTED_PANIC_PREFIX: &str = "cestim-exec injected fault";
+
+/// A deterministic schedule of injected faults. `0` disables a mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Panic every Nth submitted job (1-based; 0 = never).
+    pub panic_every: u64,
+    /// Delay every Nth submitted job (1-based; 0 = never).
+    pub slow_every: u64,
+    /// Sleep applied to slow-faulted jobs, in milliseconds.
+    pub slow_ms: u64,
+    /// Fail cache I/O for every Nth submitted job (1-based; 0 = never).
+    pub io_every: u64,
+}
+
+/// A malformed fault-plan string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError(String);
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when no fault mode is armed.
+    pub fn is_none(&self) -> bool {
+        self.panic_every == 0 && self.slow_every == 0 && self.io_every == 0
+    }
+
+    /// Parses the `panic:N|slow:N:MS|io:N` clause grammar (clauses
+    /// comma-separated; empty string = no faults).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError`] for unknown clauses or non-numeric
+    /// parameters.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultPlanError> {
+        let mut plan = FaultPlan::none();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let mut parts = clause.split(':');
+            let kind = parts.next().unwrap_or("");
+            let num = |s: Option<&str>| -> Result<u64, FaultPlanError> {
+                s.and_then(|v| v.trim().parse::<u64>().ok())
+                    .ok_or_else(|| FaultPlanError(format!("bad parameter in `{clause}`")))
+            };
+            match kind {
+                "panic" => plan.panic_every = num(parts.next())?,
+                "io" => plan.io_every = num(parts.next())?,
+                "slow" => {
+                    plan.slow_every = num(parts.next())?;
+                    plan.slow_ms = num(parts.next())?;
+                }
+                other => {
+                    return Err(FaultPlanError(format!(
+                        "unknown clause `{other}` (expected panic/slow/io)"
+                    )))
+                }
+            }
+            if parts.next().is_some() {
+                return Err(FaultPlanError(format!("trailing parameter in `{clause}`")));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads the plan from `CESTIM_EXEC_FAULT`; unset/empty means no
+    /// faults, a malformed value is reported and ignored.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("CESTIM_EXEC_FAULT") {
+            Ok(spec) => match FaultPlan::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("warning: CESTIM_EXEC_FAULT ignored: {e}");
+                    FaultPlan::none()
+                }
+            },
+            Err(_) => FaultPlan::none(),
+        }
+    }
+
+    fn hits(every: u64, seq: u64) -> bool {
+        every > 0 && (seq + 1).is_multiple_of(every)
+    }
+
+    /// Should the job with submission sequence `seq` panic on `attempt`?
+    pub fn panic_fires(&self, seq: u64, attempt: u32) -> bool {
+        attempt == 1 && Self::hits(self.panic_every, seq)
+    }
+
+    /// Delay (ms) injected into `seq` on `attempt`, if any.
+    pub fn slow_fires(&self, seq: u64, attempt: u32) -> Option<u64> {
+        (attempt == 1 && Self::hits(self.slow_every, seq)).then_some(self.slow_ms)
+    }
+
+    /// Should cache reads/writes for `seq` be failed? (Cache I/O happens
+    /// once per job, before the attempt loop, so this is attempt-blind.)
+    pub fn io_fires(&self, seq: u64) -> bool {
+        Self::hits(self.io_every, seq)
+    }
+
+    /// The message an injected panic carries.
+    pub fn panic_message(seq: u64) -> String {
+        format!("{INJECTED_PANIC_PREFIX}: panic (seq {seq})")
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut clauses = Vec::new();
+        if self.panic_every > 0 {
+            clauses.push(format!("panic:{}", self.panic_every));
+        }
+        if self.slow_every > 0 {
+            clauses.push(format!("slow:{}:{}", self.slow_every, self.slow_ms));
+        }
+        if self.io_every > 0 {
+            clauses.push(format!("io:{}", self.io_every));
+        }
+        if clauses.is_empty() {
+            write!(f, "none")
+        } else {
+            write!(f, "{}", clauses.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let p = FaultPlan::parse("panic:7,slow:5:150,io:3").unwrap();
+        assert_eq!(
+            p,
+            FaultPlan {
+                panic_every: 7,
+                slow_every: 5,
+                slow_ms: 150,
+                io_every: 3,
+            }
+        );
+        assert_eq!(p.to_string(), "panic:7,slow:5:150,io:3");
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse("  panic:2  ").unwrap().panic_every, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("panic:x").is_err());
+        assert!(FaultPlan::parse("slow:3").is_err());
+        assert!(FaultPlan::parse("explode:1").is_err());
+        assert!(FaultPlan::parse("io:1:2").is_err());
+    }
+
+    #[test]
+    fn firing_is_every_nth_and_first_attempt_only() {
+        let p = FaultPlan::parse("panic:3").unwrap();
+        let fired: Vec<u64> = (0..9).filter(|&s| p.panic_fires(s, 1)).collect();
+        assert_eq!(fired, vec![2, 5, 8]);
+        assert!(!p.panic_fires(2, 2), "faults are transient");
+        assert!(p.slow_fires(0, 1).is_none());
+        let s = FaultPlan::parse("slow:2:40").unwrap();
+        assert_eq!(s.slow_fires(1, 1), Some(40));
+        assert_eq!(s.slow_fires(1, 2), None);
+    }
+
+    #[test]
+    fn none_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!((0..100).all(|s| !p.panic_fires(s, 1) && !p.io_fires(s)));
+        assert_eq!(p.to_string(), "none");
+    }
+}

@@ -1,0 +1,250 @@
+//! Append-only run journal: crash-safe progress records for suite runs.
+//!
+//! One JSONL line per event under `<dir>/run.jsonl`. Job lines record the
+//! cache-key id, label, attempt and outcome (`ok` / `cached` / `panicked`
+//! / `timed-out`); experiment lines record suite-level completion. Every
+//! line is flushed as written, so a killed process loses at most the line
+//! being written — and a torn final line is skipped on replay.
+//!
+//! Starting a fresh journal rotates any existing `run.jsonl` to
+//! `run.prev.jsonl` with an atomic rename; resuming replays the existing
+//! file into *prior* sets that [`crate::Executor`] and the `repro` binary
+//! consult to skip already-completed work.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// File name of the active journal inside its directory.
+pub const JOURNAL_FILE: &str = "run.jsonl";
+/// Rotation target for the previous run's journal.
+pub const JOURNAL_PREV_FILE: &str = "run.prev.jsonl";
+
+/// One journal line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// `"job"` or `"experiment"`.
+    pub kind: String,
+    /// Job cache-key id (32 hex chars) or experiment id.
+    pub key: String,
+    /// Human-readable job label (empty for experiment lines).
+    pub label: String,
+    /// Final attempt number (1-based; 0 for experiment lines).
+    pub attempt: u32,
+    /// `ok` / `cached` / `panicked` / `timed-out` for jobs; `done` /
+    /// `failed` for experiments.
+    pub outcome: String,
+}
+
+/// Thread-safe append-only journal with replayed prior-run state.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+    prior_jobs: HashSet<String>,
+    prior_experiments: HashSet<String>,
+}
+
+impl RunJournal {
+    /// Starts a fresh journal in `dir`, rotating any existing
+    /// `run.jsonl` to `run.prev.jsonl` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory, rotating, or
+    /// opening the new file.
+    pub fn start(dir: impl Into<PathBuf>) -> io::Result<RunJournal> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        if path.exists() {
+            std::fs::rename(&path, dir.join(JOURNAL_PREV_FILE))?;
+        }
+        Ok(RunJournal {
+            file: Mutex::new(Self::open_append(&path)?),
+            path,
+            prior_jobs: HashSet::new(),
+            prior_experiments: HashSet::new(),
+        })
+    }
+
+    /// Resumes the journal in `dir`: replays any existing `run.jsonl`
+    /// into the prior-completion sets, then reopens it for appending.
+    /// A missing journal resumes with empty prior state.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or opening the
+    /// file (a malformed trailing line — the signature of a kill mid-write
+    /// — is skipped, not an error).
+    pub fn resume(dir: impl Into<PathBuf>) -> io::Result<RunJournal> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut prior_jobs = HashSet::new();
+        let mut prior_experiments = HashSet::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for line in text.lines() {
+                let Ok(entry) = serde_json::from_str::<JournalEntry>(line) else {
+                    continue; // torn write from a kill; ignore
+                };
+                match (entry.kind.as_str(), entry.outcome.as_str()) {
+                    ("job", "ok") | ("job", "cached") => {
+                        prior_jobs.insert(entry.key);
+                    }
+                    ("experiment", "done") => {
+                        prior_experiments.insert(entry.key);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(RunJournal {
+            file: Mutex::new(Self::open_append(&path)?),
+            path,
+            prior_jobs,
+            prior_experiments,
+        })
+    }
+
+    fn open_append(path: &Path) -> io::Result<std::fs::File> {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+    }
+
+    /// Path of the active journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one line and flushes. Write failures are swallowed — a
+    /// journal that cannot persist degrades resumability, not the run.
+    pub fn record(&self, entry: &JournalEntry) {
+        let Ok(line) = serde_json::to_string(entry) else {
+            return;
+        };
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(file, "{line}");
+        let _ = file.flush();
+    }
+
+    /// Records a job outcome line.
+    pub fn record_job(&self, key: &str, label: &str, attempt: u32, outcome: &str) {
+        self.record(&JournalEntry {
+            kind: "job".into(),
+            key: key.into(),
+            label: label.into(),
+            attempt,
+            outcome: outcome.into(),
+        });
+    }
+
+    /// Records an experiment completion/failure line.
+    pub fn record_experiment(&self, id: &str, outcome: &str) {
+        self.record(&JournalEntry {
+            kind: "experiment".into(),
+            key: id.into(),
+            label: String::new(),
+            attempt: 0,
+            outcome: outcome.into(),
+        });
+    }
+
+    /// True when a prior run journaled this job key as completed.
+    pub fn was_job_completed(&self, key: &str) -> bool {
+        self.prior_jobs.contains(key)
+    }
+
+    /// True when a prior run journaled this experiment as done.
+    pub fn was_experiment_done(&self, id: &str) -> bool {
+        self.prior_experiments.contains(id)
+    }
+
+    /// Number of job keys replayed from the prior run.
+    pub fn prior_job_count(&self) -> usize {
+        self.prior_jobs.len()
+    }
+
+    /// Number of experiments replayed as done from the prior run.
+    pub fn prior_experiment_count(&self) -> usize {
+        self.prior_experiments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cestim-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_replay_on_resume() {
+        let dir = tmp_dir("resume");
+        {
+            let j = RunJournal::start(&dir).unwrap();
+            j.record_job("aaaa", "job-a", 1, "ok");
+            j.record_job("bbbb", "job-b", 2, "cached");
+            j.record_job("cccc", "job-c", 1, "panicked");
+            j.record_experiment("table2", "done");
+        }
+        let j = RunJournal::resume(&dir).unwrap();
+        assert!(j.was_job_completed("aaaa"));
+        assert!(j.was_job_completed("bbbb"));
+        assert!(!j.was_job_completed("cccc"), "failures are not completed");
+        assert!(j.was_experiment_done("table2"));
+        assert!(!j.was_experiment_done("fig3"));
+        assert_eq!(j.prior_job_count(), 2);
+        assert_eq!(j.prior_experiment_count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped() {
+        let dir = tmp_dir("torn");
+        {
+            let j = RunJournal::start(&dir).unwrap();
+            j.record_job("aaaa", "job-a", 1, "ok");
+        }
+        // Simulate a kill mid-write: a truncated final line.
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"kind\":\"job\",\"key\":\"bb");
+        std::fs::write(&path, text).unwrap();
+        let j = RunJournal::resume(&dir).unwrap();
+        assert!(j.was_job_completed("aaaa"));
+        assert_eq!(j.prior_job_count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn start_rotates_the_previous_journal() {
+        let dir = tmp_dir("rotate");
+        {
+            let j = RunJournal::start(&dir).unwrap();
+            j.record_job("aaaa", "a", 1, "ok");
+        }
+        let j = RunJournal::start(&dir).unwrap();
+        assert_eq!(j.prior_job_count(), 0, "fresh start ignores history");
+        assert!(dir.join(JOURNAL_PREV_FILE).exists(), "rotated aside");
+        assert_eq!(std::fs::read_to_string(j.path()).unwrap(), "");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_without_journal_is_empty() {
+        let dir = tmp_dir("empty");
+        let j = RunJournal::resume(&dir).unwrap();
+        assert_eq!(j.prior_job_count(), 0);
+        j.record_job("aaaa", "a", 1, "ok");
+        assert!(j.path().exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -20,19 +20,43 @@
 //!   writes) replaying previously computed outputs across process runs,
 //!   governed by a [`CachePolicy`].
 //!
+//! Failure handling (the resilience layer, see `docs/RESILIENCE.md`):
+//!
+//! * every job attempt runs under `catch_unwind`, so a panicking job
+//!   becomes a structured [`JobError`] instead of a pool crash;
+//! * a deterministic [`RetryPolicy`] re-runs failed attempts with
+//!   key-derived exponential backoff;
+//! * a watchdog enforces an optional per-job deadline
+//!   ([`JobErrorKind::TimedOut`]);
+//! * a [`FaultPlan`] chaos matrix (`CESTIM_EXEC_FAULT`) deterministically
+//!   injects panics, slow jobs, and cache I/O errors for testing;
+//! * a [`RunJournal`] records per-job outcomes append-only (JSONL) so a
+//!   killed run can resume, skipping completed work.
+//!
 //! Telemetry flows through `cestim-obs`: `exec.jobs.submitted` /
-//! `exec.jobs.cache_hits` / `exec.jobs.executed` counters, an
-//! `exec.queue.depth` gauge, and an `exec.job.nanos` histogram, plus a
-//! serializable [`ExecReport`] summary.
+//! `exec.jobs.cache_hits` / `exec.jobs.executed` / `exec.retries` /
+//! `exec.panics_caught` / `exec.timeouts` / `exec.jobs_resumed` /
+//! `exec.cache.store_errors` counters, an `exec.queue.depth` gauge, and
+//! `exec.job.nanos` / `exec.job.attempts` histograms, plus a serializable
+//! [`ExecReport`] summary.
 //!
 //! Everything is std-only; no external crates beyond the vendored serde.
 
 #![warn(missing_docs)]
 
 mod cache;
+mod fault;
+mod journal;
 mod key;
 mod pool;
+mod retry;
 
 pub use cache::{CachePolicy, DiskCache};
+pub use fault::{FaultPlan, FaultPlanError, INJECTED_PANIC_PREFIX};
+pub use journal::{JournalEntry, RunJournal, JOURNAL_FILE, JOURNAL_PREV_FILE};
 pub use key::{canonical_string, content_hash, fnv1a, schema_salt, CacheKey};
-pub use pool::{default_workers, ExecReport, Executor, Job};
+pub use pool::{
+    default_workers, install_quiet_panic_hook, BatchFailure, ExecReport, Executor, Job, JobError,
+    JobErrorKind,
+};
+pub use retry::RetryPolicy;

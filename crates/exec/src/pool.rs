@@ -1,20 +1,40 @@
 //! The executor: a fixed-size worker pool with deterministic result
-//! merging and an optional content-addressed result cache.
+//! merging, fault isolation, and an optional content-addressed result
+//! cache.
 //!
 //! Jobs in a batch execute out of submission order (workers pull from a
 //! shared queue), but [`Executor::run_all`] returns outputs **in
 //! submission order**, so callers observe output bit-for-bit identical to
 //! a serial loop regardless of worker count.
+//!
+//! Failure handling: every job attempt runs under `catch_unwind`, so a
+//! panicking job becomes a structured [`JobError`] carrying the panic
+//! message and the job's cache-key provenance instead of crashing the
+//! pool. [`Executor::run_all_checked`] surfaces per-job
+//! `Result<Output, JobError>` slots; the legacy [`Executor::run_all`]
+//! keeps its infallible signature by panicking with a [`BatchFailure`]
+//! payload that error-aware callers (`cestim-sim`'s checked suite driver)
+//! catch and downcast. A [`RetryPolicy`] re-runs failed attempts with
+//! deterministic backoff, a per-job deadline is enforced by a watchdog
+//! thread, and queue locks recover from poisoning — one bad job can no
+//! longer take the batch down with it.
 
 use crate::cache::{CachePolicy, DiskCache};
+use crate::fault::FaultPlan;
+use crate::journal::RunJournal;
 use crate::key::CacheKey;
+use crate::retry::RetryPolicy;
 use cestim_obs::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize, Value};
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::fmt;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{mpsc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A pure, hashable description of one unit of simulation work.
 ///
@@ -60,6 +80,112 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// Why a job failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobErrorKind {
+    /// The job (or an injected fault) panicked on its final attempt.
+    Panicked,
+    /// The job exceeded the executor's per-job deadline.
+    TimedOut,
+}
+
+impl JobErrorKind {
+    /// The journal outcome string for this kind.
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            JobErrorKind::Panicked => "panicked",
+            JobErrorKind::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// A structured per-job failure: what failed, under which cache key, and
+/// after how many attempts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobError {
+    /// The job's cache-key id (32 hex chars) — its provenance.
+    pub key: String,
+    /// The job's human-readable label.
+    pub label: String,
+    /// Attempts consumed (1-based final attempt number).
+    pub attempts: u32,
+    /// Failure class.
+    pub kind: JobErrorKind,
+    /// Panic payload message (or a timeout description).
+    pub message: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job `{}` ({}) {} after {} attempt(s): {}",
+            self.label,
+            self.key,
+            self.kind.outcome(),
+            self.attempts,
+            self.message
+        )
+    }
+}
+
+/// The panic payload [`Executor::run_all`] raises when a batch has failed
+/// jobs: error-aware callers `catch_unwind` and downcast to recover the
+/// structured per-job errors.
+#[derive(Debug, Clone)]
+pub struct BatchFailure {
+    /// Every failed job, in submission order.
+    pub errors: Vec<JobError>,
+    /// Batch size (failed + succeeded).
+    pub total: usize,
+}
+
+impl fmt::Display for BatchFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}/{} jobs failed:", self.errors.len(), self.total)?;
+        for e in &self.errors {
+            writeln!(f, "  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    /// True while a job body runs under `catch_unwind`: its panics are
+    /// captured and structured, so the quiet hook suppresses the default
+    /// stderr report for them.
+    static IN_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs a process-wide panic hook that silences panics the executor
+/// catches and structures (job-body panics and [`BatchFailure`]
+/// payloads), delegating everything else to the previous hook.
+/// Idempotent; binaries running chaos plans call this once at startup so
+/// injected faults do not flood stderr with backtraces.
+pub fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_JOB.with(Cell::get) || info.payload().downcast_ref::<BatchFailure>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Serializable end-of-run summary of an [`Executor`]'s counters.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecReport {
@@ -71,9 +197,38 @@ pub struct ExecReport {
     pub cache_hits: u64,
     /// Jobs actually executed.
     pub executed: u64,
+    /// Retry attempts beyond each job's first.
+    pub retries: u64,
+    /// Panicking attempts converted into structured errors.
+    pub panics_caught: u64,
+    /// Jobs that exceeded the per-job deadline.
+    pub timeouts: u64,
+    /// Cache hits for jobs a resumed journal had already completed.
+    pub jobs_resumed: u64,
+    /// Cache store failures swallowed (result recomputed next run).
+    pub cache_store_errors: u64,
     /// Cache policy in effect (`read-write` / `refresh` / `disabled` /
     /// `none` when no cache directory is attached).
     pub cache_policy: String,
+}
+
+/// Per-job watchdog state for the parallel path.
+struct WatchSlot {
+    /// Nanoseconds from the batch epoch at which the job started, +1
+    /// (0 = not started).
+    started: AtomicU64,
+    timed_out: AtomicBool,
+    done: AtomicBool,
+}
+
+impl WatchSlot {
+    fn new() -> WatchSlot {
+        WatchSlot {
+            started: AtomicU64::new(0),
+            timed_out: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+        }
+    }
 }
 
 /// Executes batches of [`Job`]s on a fixed-size worker pool, merging
@@ -82,12 +237,26 @@ pub struct Executor {
     workers: usize,
     cache: Option<DiskCache>,
     policy: CachePolicy,
+    retry: RetryPolicy,
+    deadline: Option<Duration>,
+    fault: FaultPlan,
+    journal: Option<Arc<RunJournal>>,
+    /// Executor-lifetime submission sequence: assigned on the calling
+    /// thread in submission order, so fault targeting is deterministic
+    /// regardless of worker interleaving.
+    fault_seq: AtomicU64,
     registry: Registry,
     submitted: Counter,
     hits: Counter,
     executed: Counter,
+    retries: Counter,
+    panics_caught: Counter,
+    timeouts: Counter,
+    jobs_resumed: Counter,
+    store_errors: Counter,
     queue_depth: Gauge,
     job_nanos: Histogram,
+    attempts_hist: Histogram,
 }
 
 impl Executor {
@@ -119,12 +288,48 @@ impl Executor {
         } else {
             Some(DiskCache::open(dir)?)
         };
-        Ok(Executor::build(self.workers, cache, policy, self.registry))
+        let mut e = Executor::build(self.workers, cache, policy, self.registry);
+        e.retry = self.retry;
+        e.deadline = self.deadline;
+        e.fault = self.fault;
+        e.journal = self.journal;
+        Ok(e)
     }
 
     /// Reports telemetry into `registry` instead of the executor's own.
     pub fn with_registry(self, registry: &Registry) -> Executor {
-        Executor::build(self.workers, self.cache, self.policy, registry.clone())
+        let mut e = Executor::build(self.workers, self.cache, self.policy, registry.clone());
+        e.retry = self.retry;
+        e.deadline = self.deadline;
+        e.fault = self.fault;
+        e.journal = self.journal;
+        e
+    }
+
+    /// Sets the retry policy for failed job attempts.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Executor {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets (or clears) the per-job wall-clock deadline. The budget spans
+    /// all of a job's attempts, including backoff sleeps.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Executor {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Arms a chaos-injection plan (see [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Executor {
+        self.fault = fault;
+        self
+    }
+
+    /// Attaches a run journal: every job outcome is recorded, and cache
+    /// hits for keys the journal already completed count as resumed.
+    pub fn with_journal(mut self, journal: Arc<RunJournal>) -> Executor {
+        self.journal = Some(journal);
+        self
     }
 
     fn build(
@@ -137,11 +342,22 @@ impl Executor {
             workers,
             cache,
             policy,
+            retry: RetryPolicy::default(),
+            deadline: None,
+            fault: FaultPlan::none(),
+            journal: None,
+            fault_seq: AtomicU64::new(0),
             submitted: registry.counter("exec.jobs.submitted", &[]),
             hits: registry.counter("exec.jobs.cache_hits", &[]),
             executed: registry.counter("exec.jobs.executed", &[]),
+            retries: registry.counter("exec.retries", &[]),
+            panics_caught: registry.counter("exec.panics_caught", &[]),
+            timeouts: registry.counter("exec.timeouts", &[]),
+            jobs_resumed: registry.counter("exec.jobs_resumed", &[]),
+            store_errors: registry.counter("exec.cache.store_errors", &[]),
             queue_depth: registry.gauge("exec.queue.depth", &[]),
             job_nanos: registry.histogram("exec.job.nanos", &[]),
+            attempts_hist: registry.histogram("exec.job.attempts", &[]),
             registry,
         }
     }
@@ -163,6 +379,11 @@ impl Executor {
             submitted: self.submitted.get(),
             cache_hits: self.hits.get(),
             executed: self.executed.get(),
+            retries: self.retries.get(),
+            panics_caught: self.panics_caught.get(),
+            timeouts: self.timeouts.get(),
+            jobs_resumed: self.jobs_resumed.get(),
+            cache_store_errors: self.store_errors.get(),
             cache_policy: match (&self.cache, self.policy) {
                 (None, _) => "none".to_string(),
                 (Some(_), CachePolicy::ReadWrite) => "read-write".to_string(),
@@ -183,15 +404,53 @@ impl Executor {
 
     /// Runs a batch, returning outputs in submission order.
     ///
+    /// Infallible signature for the common all-success case. When any job
+    /// fails, panics with a [`BatchFailure`] payload carrying every
+    /// [`JobError`] — error-aware callers use [`Executor::run_all_checked`]
+    /// directly or `catch_unwind` + downcast the payload.
+    pub fn run_all<J: Job>(&self, jobs: &[J]) -> Vec<J::Output> {
+        let results = self.run_all_checked(jobs);
+        let total = results.len();
+        let mut outs = Vec::with_capacity(total);
+        let mut errors = Vec::new();
+        for r in results {
+            match r {
+                Ok(v) => outs.push(v),
+                Err(e) => errors.push(e),
+            }
+        }
+        if errors.is_empty() {
+            outs
+        } else {
+            std::panic::panic_any(BatchFailure { errors, total })
+        }
+    }
+
+    /// Runs a batch, returning one `Result` per job in submission order:
+    /// callers see every successful output even when siblings failed.
+    ///
     /// Cache lookups happen up front on the calling thread; only misses
     /// are queued to the pool. With one worker (or one pending job) the
-    /// batch runs inline without spawning threads.
-    pub fn run_all<J: Job>(&self, jobs: &[J]) -> Vec<J::Output> {
+    /// batch runs inline without spawning threads. A panicking job is
+    /// isolated into [`JobErrorKind::Panicked`] (after exhausting the
+    /// retry policy); a job overrunning the deadline is recorded as
+    /// [`JobErrorKind::TimedOut`] while the remaining queue is drained by
+    /// the surviving workers.
+    pub fn run_all_checked<J: Job>(&self, jobs: &[J]) -> Vec<Result<J::Output, JobError>> {
         self.submitted.add(jobs.len() as u64);
-        let mut slots: Vec<Option<J::Output>> = jobs.iter().map(|_| None).collect();
+        // Submission sequence numbers: the deterministic axis fault plans
+        // key off, assigned before any worker runs.
+        let seqs: Vec<u64> = jobs
+            .iter()
+            .map(|_| self.fault_seq.fetch_add(1, Ordering::Relaxed))
+            .collect();
+
+        let mut slots: Vec<Option<Result<J::Output, JobError>>> =
+            jobs.iter().map(|_| None).collect();
         let mut pending: Vec<usize> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
-            let hit = if self.policy.reads() {
+            let io_fault = self.fault.io_fires(seqs[i]);
+            let hit = if self.policy.reads() && !io_fault {
                 self.cache
                     .as_ref()
                     .and_then(|c| c.load::<J::Output>(&job.cache_key()))
@@ -201,7 +460,14 @@ impl Executor {
             match hit {
                 Some(out) => {
                     self.hits.inc();
-                    slots[i] = Some(out);
+                    if let Some(journal) = &self.journal {
+                        let key = job.cache_key().id();
+                        if journal.was_job_completed(&key) {
+                            self.jobs_resumed.inc();
+                        }
+                        journal.record_job(&key, &job.label(), 0, "cached");
+                    }
+                    slots[i] = Some(Ok(out));
                 }
                 None => pending.push(i),
             }
@@ -210,54 +476,196 @@ impl Executor {
         self.queue_depth.set(pending.len() as i64);
         if self.workers <= 1 || pending.len() <= 1 {
             for &i in &pending {
-                slots[i] = Some(self.execute_one(&jobs[i]));
+                slots[i] = Some(self.run_job(&jobs[i], seqs[i], None));
                 self.queue_depth.add(-1);
             }
         } else {
+            let workers = self.workers.min(pending.len());
             let queue = Mutex::new(VecDeque::from(pending));
-            let workers = self.workers.min(queue.lock().expect("queue lock").len());
-            let (tx, rx) = mpsc::channel::<(usize, J::Output)>();
+            let watch: Vec<WatchSlot> = jobs.iter().map(|_| WatchSlot::new()).collect();
+            let epoch = Instant::now();
+            let merging_done = AtomicBool::new(false);
+            let (tx, rx) = mpsc::channel::<(usize, Result<J::Output, JobError>)>();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let queue = &queue;
+                    let watch = &watch;
+                    let seqs = &seqs;
                     scope.spawn(move || loop {
-                        let next = queue.lock().expect("queue lock").pop_front();
+                        let next = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
                         let Some(i) = next else { break };
                         self.queue_depth.add(-1);
-                        let out = self.execute_one(&jobs[i]);
-                        if tx.send((i, out)).is_err() {
+                        let slot = &watch[i];
+                        slot.started
+                            .store(epoch.elapsed().as_nanos() as u64 + 1, Ordering::Relaxed);
+                        let res = self.run_job(&jobs[i], seqs[i], Some(slot));
+                        slot.done.store(true, Ordering::Relaxed);
+                        if tx.send((i, res)).is_err() {
                             break;
                         }
                     });
                 }
-                drop(tx);
-                for (i, out) in rx {
-                    slots[i] = Some(out);
+                if let Some(deadline) = self.deadline {
+                    // Watchdog: flags overdue jobs so their eventual result
+                    // is discarded as TimedOut. It cannot preempt a
+                    // non-cooperative job — the straggler's thread runs its
+                    // current job to completion while survivors drain the
+                    // queue — but the merged result is deterministic.
+                    let watch = &watch;
+                    let merging_done = &merging_done;
+                    scope.spawn(move || {
+                        let budget = deadline.as_nanos() as u64;
+                        while !merging_done.load(Ordering::Relaxed) {
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            for slot in watch {
+                                let started = slot.started.load(Ordering::Relaxed);
+                                if started > 0
+                                    && !slot.done.load(Ordering::Relaxed)
+                                    && now.saturating_sub(started - 1) > budget
+                                    && !slot.timed_out.swap(true, Ordering::Relaxed)
+                                {
+                                    self.timeouts.inc();
+                                }
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    });
                 }
+                drop(tx);
+                for (i, res) in rx {
+                    slots[i] = Some(res);
+                }
+                merging_done.store(true, Ordering::Relaxed);
             });
         }
         self.queue_depth.set(0);
 
         slots
             .into_iter()
-            .map(|s| s.expect("every job yields exactly one output"))
+            .enumerate()
+            .map(|(i, s)| {
+                // Per-slot accounting: a lost output is a structured error,
+                // never a pool-crashing expect.
+                s.unwrap_or_else(|| {
+                    Err(JobError {
+                        key: jobs[i].cache_key().id(),
+                        label: jobs[i].label(),
+                        attempts: 0,
+                        kind: JobErrorKind::Panicked,
+                        message: "job produced no output (worker lost)".to_string(),
+                    })
+                })
+            })
             .collect()
     }
 
-    fn execute_one<J: Job>(&self, job: &J) -> J::Output {
+    /// Runs one job to completion: the attempt/retry loop, deadline
+    /// accounting, journaling, and (on success) the cache store.
+    fn run_job<J: Job>(
+        &self,
+        job: &J,
+        seq: u64,
+        watch: Option<&WatchSlot>,
+    ) -> Result<J::Output, JobError> {
+        let key = job.cache_key();
+        let label = job.label();
         let start = Instant::now();
-        let out = job.execute();
-        self.job_nanos.record(start.elapsed().as_nanos() as u64);
-        self.executed.inc();
-        if self.policy.writes() {
-            if let Some(cache) = &self.cache {
-                // A failed cache write costs a future re-execution, not
-                // correctness; don't fail the batch over it.
-                let _ = cache.store(&job.cache_key(), &job.label(), &out);
+        let mut attempt = 1u32;
+        let mut result = loop {
+            match self.attempt_once(job, seq, attempt) {
+                Ok(out) => break Ok(out),
+                Err(message) => {
+                    self.panics_caught.inc();
+                    let overdue = self.is_overdue(watch, start);
+                    if !overdue && self.retry.allows_retry(attempt) {
+                        self.retries.inc();
+                        std::thread::sleep(self.retry.backoff(attempt, &key));
+                        attempt += 1;
+                    } else {
+                        break Err(JobError {
+                            key: key.id(),
+                            label: label.clone(),
+                            attempts: attempt,
+                            kind: JobErrorKind::Panicked,
+                            message,
+                        });
+                    }
+                }
+            }
+        };
+
+        if self.is_overdue(watch, start) {
+            // Inline path counts here; the watchdog already counted for
+            // the parallel path when it flagged the slot.
+            if watch.is_none() {
+                self.timeouts.inc();
+            }
+            let deadline_ms = self.deadline.map(|d| d.as_millis()).unwrap_or(0);
+            result = Err(JobError {
+                key: key.id(),
+                label: label.clone(),
+                attempts: attempt,
+                kind: JobErrorKind::TimedOut,
+                message: format!("exceeded {deadline_ms}ms deadline"),
+            });
+        }
+
+        self.attempts_hist.record(attempt as u64);
+        if let Some(journal) = &self.journal {
+            let outcome = match &result {
+                Ok(_) => "ok",
+                Err(e) => e.kind.outcome(),
+            };
+            journal.record_job(&key.id(), &label, attempt, outcome);
+        }
+        if let Ok(out) = &result {
+            if self.policy.writes() {
+                if let Some(cache) = &self.cache {
+                    // A failed (or fault-injected) cache write costs a
+                    // future re-execution, not correctness; count it and
+                    // move on.
+                    if self.fault.io_fires(seq) || cache.store(&key, &label, out).is_err() {
+                        self.store_errors.inc();
+                    }
+                }
             }
         }
-        out
+        result
+    }
+
+    /// One `catch_unwind`-guarded attempt, with slow/panic fault
+    /// injection. Returns the panic message on failure.
+    fn attempt_once<J: Job>(&self, job: &J, seq: u64, attempt: u32) -> Result<J::Output, String> {
+        if let Some(ms) = self.fault.slow_fires(seq, attempt) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let start = Instant::now();
+        IN_JOB.with(|f| f.set(true));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if self.fault.panic_fires(seq, attempt) {
+                panic!("{}", FaultPlan::panic_message(seq));
+            }
+            job.execute()
+        }));
+        IN_JOB.with(|f| f.set(false));
+        self.job_nanos.record(start.elapsed().as_nanos() as u64);
+        match outcome {
+            Ok(out) => {
+                self.executed.inc();
+                Ok(out)
+            }
+            Err(payload) => Err(payload_message(payload.as_ref())),
+        }
+    }
+
+    /// Whether this job has exceeded the deadline (watchdog flag in the
+    /// parallel path, a post-hoc elapsed check inline).
+    fn is_overdue(&self, watch: Option<&WatchSlot>, start: Instant) -> bool {
+        match watch {
+            Some(slot) => slot.timed_out.load(Ordering::Relaxed),
+            None => self.deadline.is_some_and(|d| start.elapsed() > d),
+        }
     }
 }
 
@@ -356,10 +764,25 @@ mod tests {
         assert_eq!(r.workers, 3);
         assert_eq!(r.submitted, 5);
         assert_eq!(r.executed, 5);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.panics_caught, 0);
         assert_eq!(r.cache_policy, "none");
         // Telemetry flowed into the registry too.
         let snap = exec.registry().snapshot();
         assert_eq!(snap.counter_value("exec.jobs.submitted"), Some(5));
         assert_eq!(snap.counter_value("exec.jobs.executed"), Some(5));
+        assert_eq!(snap.counter_value("exec.panics_caught"), Some(0));
+    }
+
+    #[test]
+    fn builders_preserve_resilience_settings() {
+        let exec = Executor::new(2)
+            .with_retry(RetryPolicy::with_attempts(3))
+            .with_deadline(Some(Duration::from_secs(5)))
+            .with_fault_plan(FaultPlan::parse("panic:100").unwrap())
+            .with_registry(&Registry::new());
+        assert_eq!(exec.retry.max_attempts, 3);
+        assert_eq!(exec.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(exec.fault.panic_every, 100);
     }
 }

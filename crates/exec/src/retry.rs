@@ -1,0 +1,109 @@
+//! Deterministic retry policy: max attempts and an exponential backoff
+//! whose jitter is derived from the job key, never from the wall clock.
+//!
+//! The backoff duration only controls *when* a retry runs; which attempt
+//! finally answers a job is a pure function of (fault plan, attempt
+//! count), so serial and parallel runs retire the same attempt sequence
+//! and successful jobs stay bit-identical to a fault-free run.
+
+use crate::key::{fnv1a, CacheKey};
+use std::time::Duration;
+
+/// How many times a job may run and how long to wait between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff, in milliseconds.
+    pub max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// One attempt, no retries — the executor's historical behaviour.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_ms: 5,
+            max_ms: 1_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts with the default
+    /// backoff curve.
+    pub fn with_attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// True when a job that failed on `attempt` (1-based) may run again.
+    pub fn allows_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts.max(1)
+    }
+
+    /// Backoff before retrying a job that failed on `attempt` (1-based).
+    ///
+    /// Exponential in the attempt count (`base_ms << (attempt-1)`) plus a
+    /// per-key jitter hashed from `(key, attempt)` — deterministic, so a
+    /// replayed run sleeps the same schedule — clamped to `max_ms`.
+    pub fn backoff(&self, attempt: u32, key: &CacheKey) -> Duration {
+        let shift = (attempt.saturating_sub(1)).min(16);
+        let exp = self.base_ms.saturating_mul(1u64 << shift);
+        let mut seed = key.id().into_bytes();
+        seed.extend_from_slice(&attempt.to_le_bytes());
+        let jitter = fnv1a(&seed) % (exp / 2 + 1);
+        Duration::from_millis(exp.saturating_add(jitter).min(self.max_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(content: u64) -> CacheKey {
+        CacheKey { schema: 1, content }
+    }
+
+    #[test]
+    fn default_policy_never_retries() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 1);
+        assert!(!p.allows_retry(1));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let p = RetryPolicy::with_attempts(4);
+        let k = key(42);
+        assert_eq!(p.backoff(1, &k), p.backoff(1, &k));
+        assert!(p.backoff(2, &k) >= p.backoff(1, &k) || p.backoff(1, &k).as_millis() > 0);
+        // Exponential floor: attempt 3 waits at least 4x the base.
+        assert!(p.backoff(3, &k).as_millis() as u64 >= p.base_ms * 4);
+    }
+
+    #[test]
+    fn backoff_jitter_varies_by_key_and_is_capped() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_ms: 10,
+            max_ms: 50,
+        };
+        let a = p.backoff(2, &key(1));
+        let b = p.backoff(2, &key(2));
+        // Different keys usually jitter differently; both stay under the cap.
+        assert!(a.as_millis() as u64 <= 50 && b.as_millis() as u64 <= 50);
+        assert_eq!(p.backoff(7, &key(9)).as_millis() as u64, 50, "clamped");
+    }
+
+    #[test]
+    fn attempts_clamp_to_one() {
+        assert_eq!(RetryPolicy::with_attempts(0).max_attempts, 1);
+        assert!(RetryPolicy::with_attempts(3).allows_retry(2));
+        assert!(!RetryPolicy::with_attempts(3).allows_retry(3));
+    }
+}

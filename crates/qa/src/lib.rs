@@ -18,6 +18,11 @@
 //! 4. [`OracleKind::Quadrant`] — estimator quadrant counts must satisfy the
 //!    paper's closed-form SENS/SPEC/PVP/PVN identities (§2, Fig. 1).
 //!
+//! A fifth, opt-in [resilience oracle](resilience::check_resilience)
+//! (`--oracle resilience`) chaos-tests the executor's fault handling —
+//! isolation, retry convergence, timeouts, and journal resume — against
+//! the same predictor-sweep batches.
+//!
 //! Failures are minimised by an automatic [shrinker](shrink::shrink)
 //! (delete blocks, unroll loops, rebias branches) into small reproducers
 //! persisted with their seed under `results/qa/corpus/` and replayable via
@@ -31,6 +36,7 @@ pub mod corpus;
 pub mod gen;
 pub mod harness;
 pub mod oracle;
+pub mod resilience;
 pub mod rng;
 pub mod shrink;
 

@@ -39,10 +39,16 @@ pub enum OracleKind {
     Exec,
     /// Quadrant-count identities.
     Quadrant,
+    /// Executor fault handling: isolation, retry convergence, timeouts,
+    /// and journal resume (see [`crate::resilience`]).
+    Resilience,
 }
 
 impl OracleKind {
-    /// All four oracles, in canonical order.
+    /// The four differential oracles, in canonical order. The resilience
+    /// oracle is deliberately excluded — it sleeps (timeout sub-check) and
+    /// touches disk, so it is opt-in via `--oracle resilience` rather than
+    /// part of every fuzz iteration.
     pub const ALL: [OracleKind; 4] = [
         OracleKind::Arch,
         OracleKind::Replay,
@@ -57,11 +63,15 @@ impl OracleKind {
             OracleKind::Replay => "replay",
             OracleKind::Exec => "exec",
             OracleKind::Quadrant => "quadrant",
+            OracleKind::Resilience => "resilience",
         }
     }
 
     /// Parses a CLI/metrics name.
     pub fn from_name(name: &str) -> Option<OracleKind> {
+        if name == OracleKind::Resilience.name() {
+            return Some(OracleKind::Resilience);
+        }
         OracleKind::ALL.into_iter().find(|k| k.name() == name)
     }
 }
@@ -142,6 +152,7 @@ pub fn check(kind: OracleKind, p: &QaProgram, fault: FaultSpec) -> Result<(), Or
         OracleKind::Replay => check_replay(p),
         OracleKind::Exec => check_exec(p),
         OracleKind::Quadrant => check_quadrant(p),
+        OracleKind::Resilience => crate::resilience::check_resilience(p),
     }
 }
 
@@ -293,7 +304,7 @@ fn check_replay(p: &QaProgram) -> Result<(), OracleFailure> {
 // ---- oracle 3: serial vs. parallel executor ------------------------------
 
 /// Predictor sweep each exec-oracle batch runs the program under.
-const EXEC_PREDICTORS: [&str; 4] = ["gshare", "mcfarling", "sag", "bimodal"];
+pub(crate) const EXEC_PREDICTORS: [&str; 4] = ["gshare", "mcfarling", "sag", "bimodal"];
 
 fn build_predictor(name: &str) -> Box<dyn BranchPredictor> {
     match name {
@@ -304,16 +315,17 @@ fn build_predictor(name: &str) -> Box<dyn BranchPredictor> {
     }
 }
 
-/// One program × predictor simulation unit for the executor oracle.
-struct QaJob {
-    program: QaProgram,
-    predictor: &'static str,
+/// One program × predictor simulation unit for the executor oracle (and
+/// the resilience oracle, which chaos-tests the same batch shape).
+pub(crate) struct QaJob {
+    pub(crate) program: QaProgram,
+    pub(crate) predictor: &'static str,
 }
 
 /// Output of a [`QaJob`]: the full pipeline statistics plus the committed
 /// quadrant of a JRS estimator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct QaJobOutput {
+pub(crate) struct QaJobOutput {
     stats: PipelineStats,
     quadrant: Quadrant,
 }

@@ -18,7 +18,7 @@ use crate::spec::{SatVariantSpec, TuneTargetSpec};
 use crate::{pct, EstimatorSpec, PredictorKind, RunConfig, Table};
 use cestim_core::diagnostic::ParametricCurve;
 use cestim_core::{mean_quadrant, MetricSummary, Quadrant};
-use cestim_exec::Executor;
+use cestim_exec::{BatchFailure, Executor, JobError};
 use cestim_pipeline::PipelineStats;
 use cestim_trace::{BoostAnalysis, ClusterAnalysis, DistanceHistogram, DistanceSeries};
 use cestim_workloads::WorkloadKind;
@@ -110,6 +110,69 @@ pub fn run_experiment_with(exec: &Executor, id: &str, scale: u32) -> Option<Expe
         ),
         _ => return None,
     })
+}
+
+/// Structured failure manifest for one experiment: which jobs failed (with
+/// cache-key provenance and final errors) when a batch could not complete.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentFailure {
+    /// The experiment id that failed ("table2", "fig6", ...).
+    pub id: String,
+    /// One-line summary ("3/24 jobs failed", or a panic message for
+    /// non-batch failures).
+    pub message: String,
+    /// Per-job structured errors, in submission order (empty when the
+    /// experiment failed outside the executor).
+    pub errors: Vec<JobError>,
+}
+
+impl std::fmt::Display for ExperimentFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "experiment `{}` failed: {}", self.id, self.message)?;
+        for e in &self.errors {
+            write!(f, "\n    {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error-aware variant of [`run_experiment_with`]: a failed batch becomes
+/// a structured [`ExperimentFailure`] manifest instead of a propagating
+/// panic, so a suite run completes its remaining experiments.
+///
+/// Returns `None` for unknown ids. The executor still completes and
+/// caches every non-faulted job inside a failed experiment, so a retried
+/// or resumed run only re-executes the failures.
+pub fn run_experiment_checked(
+    exec: &Executor,
+    id: &str,
+    scale: u32,
+) -> Option<Result<ExperimentResult, ExperimentFailure>> {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_experiment_with(exec, id, scale)
+    }));
+    match outcome {
+        Ok(None) => None,
+        Ok(Some(result)) => Some(Ok(result)),
+        Err(payload) => Some(Err(match payload.downcast::<BatchFailure>() {
+            Ok(batch) => ExperimentFailure {
+                id: id.to_string(),
+                message: format!("{}/{} jobs failed", batch.errors.len(), batch.total),
+                errors: batch.errors,
+            },
+            Err(other) => ExperimentFailure {
+                id: id.to_string(),
+                message: if let Some(s) = other.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = other.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                },
+                errors: Vec::new(),
+            },
+        })),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1332,6 +1395,35 @@ mod tests {
             }
         }
         assert!(run_experiment("nope", 1).is_none());
+    }
+
+    #[test]
+    fn checked_driver_catches_batch_failures_as_manifests() {
+        cestim_exec::install_quiet_panic_hook();
+        assert!(run_experiment_checked(&Executor::sequential(), "nope", 1).is_none());
+        // fig1 is analytic (no jobs): always Ok, even under a chaos plan.
+        let chaotic = Executor::sequential()
+            .with_fault_plan(cestim_exec::FaultPlan::parse("panic:1").unwrap());
+        let r = run_experiment_checked(&chaotic, "fig1", 1).unwrap();
+        assert_eq!(r.unwrap().id, "fig1");
+        // table1 submits jobs; with every job panicking the driver returns
+        // a structured manifest (and fails fast — injected panics fire
+        // before the simulation body runs).
+        let failure = run_experiment_checked(&chaotic, "table1", 1)
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(failure.id, "table1");
+        assert!(!failure.errors.is_empty());
+        assert!(
+            failure.message.contains("jobs failed"),
+            "{}",
+            failure.message
+        );
+        assert!(failure.to_string().contains("injected fault"));
+        // The manifest serializes for telemetry.
+        let text = serde_json::to_string(&failure).unwrap();
+        let back: ExperimentFailure = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, failure);
     }
 
     #[test]
