@@ -1,21 +1,37 @@
-//! Quick pipeline-throughput smoke check, plus the experiment perf baseline.
+//! Pipeline-throughput measurement harness, plus the experiment perf
+//! baseline.
 //!
 //! ```text
-//! speed [scale] [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
+//! speed [scale] [--reps N] [--warmup N] [--predictors a,b] [--json FILE]
+//!       [--note TEXT] [--check BASELINE.json] [--tolerance PCT]
+//!       [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
 //! speed [scale] --bench [--jobs N] [--out DIR] [--experiments id,id,...]
 //! ```
 //!
-//! The default mode runs one gshare+JRS pass per workload and prints
-//! throughput lines. Tracing and profiling stay fully disabled unless
-//! requested, so the default invocation measures the uninstrumented
-//! pipeline:
+//! The default mode is a statistically robust speed harness: for every
+//! workload × predictor cell it runs `--warmup` untimed passes followed by
+//! `--reps` timed passes of the full pipeline (gshare + the paper's JRS
+//! estimator by default), reports the **median** and **MAD** (median
+//! absolute deviation) of branches-per-second, and appends one trajectory
+//! entry to a machine-readable JSON file (default `BENCH_speed.json` in
+//! the current directory). Median/MAD are used instead of mean/stddev so a
+//! single noisy rep — a scheduler hiccup, a page-cache miss — cannot move
+//! the recorded figure.
 //!
-//! * `--trace-out FILE` — record every workload's events into one JSONL
-//!   trace (replayable by `cestim-trace`).
-//! * `--metrics-out FILE` — export per-workload metrics (labelled by
-//!   workload) as one JSON snapshot.
-//! * `--obs-summary` — profile pipeline phases and print the wall-clock
-//!   table per workload.
+//! * `--reps N` / `--warmup N` — timed and untimed repetitions (default
+//!   5 / 1).
+//! * `--predictors a,b,c` — predictor cells to measure (default `gshare`;
+//!   accepts `gshare,mcfarling,sag,bimodal`).
+//! * `--json FILE` — trajectory file to append to (`-` disables writing).
+//! * `--note TEXT` — free-form note stored with the trajectory entry.
+//! * `--check BASELINE.json` — compare this run against the **last** run
+//!   recorded in BASELINE at the same scale and exit non-zero when any
+//!   cell's median branches/sec regressed by more than `--tolerance` PCT
+//!   (default 10). Cells whose baseline is too noisy (MAD > 20 % of the
+//!   median) are skipped rather than allowed to flake the gate.
+//! * `--trace-out` / `--metrics-out` / `--obs-summary` — run one extra
+//!   *instrumented* pass per workload and export its trace/metrics/phase
+//!   table; the timed reps always run uninstrumented.
 //!
 //! `--bench` instead times experiment regeneration through the
 //! `cestim-exec` engine — serial versus `--jobs N` (cache-cold) versus
@@ -28,18 +44,31 @@
 //!   lives under `<out>/bench-cache` and is cleared afterwards.
 //! * `--experiments a,b,c` — subset of experiment ids (default: all).
 
-use cestim_bpred::Gshare;
 use cestim_exec::{default_workers, CachePolicy, Executor};
 use cestim_obs::{render_timing_table, Registry, TraceWriter, Tracer};
-use cestim_pipeline::{PipelineConfig, Simulator};
-use cestim_sim::suite;
+use cestim_pipeline::{PipelineConfig, PipelineStats, Simulator};
+use cestim_sim::{suite, PredictorKind};
 use cestim_workloads::WorkloadKind;
-use std::path::PathBuf;
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// Schema tag written into the trajectory file.
+const SPEED_SCHEMA: &str = "cestim-bench-speed/1";
+/// Baseline cells noisier than this (MAD / median) are excluded from the
+/// `--check` regression gate.
+const NOISE_GUARD: f64 = 0.20;
+
 struct Args {
     scale: u32,
+    reps: u32,
+    warmup: u32,
+    predictors: Vec<PredictorKind>,
+    json: Option<PathBuf>,
+    note: Option<String>,
+    check: Option<PathBuf>,
+    tolerance: f64,
     bench: bool,
     jobs: Option<usize>,
     out: PathBuf,
@@ -51,7 +80,9 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: speed [scale] [--trace-out FILE] [--metrics-out FILE] [--obs-summary]\n\
+        "usage: speed [scale] [--reps N] [--warmup N] [--predictors a,b] [--json FILE]\n\
+         \x20             [--note TEXT] [--check BASELINE.json] [--tolerance PCT]\n\
+         \x20             [--trace-out FILE] [--metrics-out FILE] [--obs-summary]\n\
          \x20      speed [scale] --bench [--jobs N] [--out DIR] [--experiments id,id,...]"
     );
     std::process::exit(2);
@@ -60,6 +91,13 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         scale: 4,
+        reps: 5,
+        warmup: 1,
+        predictors: vec![PredictorKind::Gshare],
+        json: Some(PathBuf::from("BENCH_speed.json")),
+        note: None,
+        check: None,
+        tolerance: 10.0,
         bench: false,
         jobs: None,
         out: PathBuf::from("results"),
@@ -72,6 +110,42 @@ fn parse_args() -> Args {
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--bench" => args.bench = true,
+            "--reps" => {
+                args.reps = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--warmup" => {
+                args.warmup = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--predictors" => {
+                let list = argv.next().unwrap_or_else(|| usage());
+                args.predictors = list
+                    .split(',')
+                    .map(|p| PredictorKind::from_name(p.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+                if args.predictors.is_empty() {
+                    usage();
+                }
+            }
+            "--json" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                args.json = (v != "-").then(|| PathBuf::from(v));
+            }
+            "--note" => args.note = Some(argv.next().unwrap_or_else(|| usage())),
+            "--check" => args.check = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage()))),
+            "--tolerance" => {
+                args.tolerance = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t.is_finite() && t >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
             "--jobs" => {
                 args.jobs = Some(
                     argv.next()
@@ -227,7 +301,86 @@ fn run_bench(args: &Args) -> std::io::Result<()> {
     Ok(())
 }
 
-fn run_speed(args: &Args) -> std::io::Result<()> {
+/// Median of a sample (the sample is sorted in place).
+fn median(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation about `center`.
+fn mad(xs: &[f64], center: f64) -> f64 {
+    let mut dev: Vec<f64> = xs.iter().map(|x| (x - center).abs()).collect();
+    median(&mut dev)
+}
+
+/// One timed pass of a workload through the full pipeline. Returns the
+/// run's stats and its wall-clock seconds.
+fn one_pass(program: &cestim_isa::Program, predictor: PredictorKind) -> (PipelineStats, f64) {
+    let t = Instant::now();
+    let mut sim = Simulator::new(program, PipelineConfig::paper(), predictor.build_any());
+    sim.add_estimator(cestim_core::Jrs::paper_enhanced());
+    let stats = sim.run_to_completion();
+    (stats, t.elapsed().as_secs_f64())
+}
+
+/// Measures one workload × predictor cell: `warmup` untimed passes, then
+/// `reps` timed passes; reports median/MAD branches-per-second.
+fn measure_cell(
+    kind: WorkloadKind,
+    predictor: PredictorKind,
+    scale: u32,
+    warmup: u32,
+    reps: u32,
+) -> Value {
+    let w = kind.build(scale);
+    for _ in 0..warmup {
+        let _ = one_pass(&w.program, predictor);
+    }
+    let mut bps = Vec::with_capacity(reps as usize);
+    let mut ips = Vec::with_capacity(reps as usize);
+    let mut stats = PipelineStats::default();
+    for _ in 0..reps {
+        let (s, dt) = one_pass(&w.program, predictor);
+        bps.push(s.committed_branches as f64 / dt.max(1e-12));
+        ips.push(s.committed_insts as f64 / dt.max(1e-12));
+        stats = s;
+    }
+    let med_bps = median(&mut bps.clone());
+    let mad_bps = mad(&bps, med_bps);
+    let med_ips = median(&mut ips.clone());
+    println!(
+        "{:10} {:10} br={:9} insts={:10} {:8.3} ± {:6.3} Mbr/s  {:6.1} M inst/s",
+        kind.name(),
+        predictor.name(),
+        stats.committed_branches,
+        stats.committed_insts,
+        med_bps / 1e6,
+        mad_bps / 1e6,
+        med_ips / 1e6,
+    );
+    json!({
+        "workload": kind.name(),
+        "predictor": predictor.name(),
+        "committed_branches": stats.committed_branches,
+        "committed_insts": stats.committed_insts,
+        "cycles": stats.cycles,
+        "bps_reps": bps,
+        "median_bps": med_bps,
+        "mad_bps": mad_bps,
+        "median_ips": med_ips,
+    })
+}
+
+/// One optional *instrumented* pass per workload, for `--trace-out`,
+/// `--metrics-out`, and `--obs-summary`. Kept out of the timed reps so
+/// instrumentation cost never pollutes the recorded figures.
+fn run_instrumented(args: &Args) -> std::io::Result<()> {
     let registry = Registry::new();
     let mut trace_writer = match &args.trace_out {
         Some(path) => {
@@ -241,35 +394,21 @@ fn run_speed(args: &Args) -> std::io::Result<()> {
         None => None,
     };
     let scale_label = args.scale.to_string();
-
     for k in WorkloadKind::all() {
         let w = k.build(args.scale);
-        let t = Instant::now();
         let mut sim = Simulator::new(
             &w.program,
             PipelineConfig::paper(),
-            Box::new(Gshare::new(12)),
+            PredictorKind::Gshare.build_any(),
         );
-        sim.add_estimator(Box::new(cestim_core::Jrs::paper_enhanced()));
+        sim.add_estimator(cestim_core::Jrs::paper_enhanced());
         if trace_writer.is_some() {
             sim.set_tracer(Tracer::unbounded());
         }
         if args.obs_summary {
             sim.set_profiling(true);
         }
-        let stats = sim.run_to_completion();
-        let dt = t.elapsed().as_secs_f64();
-        println!(
-            "{:10} committed={:9} fetched={:9} br={:8} acc={:.3} ratio={:.2} ipc={:.2} {:5.1}M inst/s",
-            k.name(),
-            stats.committed_insts,
-            stats.fetched_insts,
-            stats.committed_branches,
-            stats.accuracy_committed(),
-            stats.speculation_ratio(),
-            stats.ipc(),
-            stats.fetched_insts as f64 / dt / 1e6
-        );
+        let _ = sim.run_to_completion();
         if let Some(writer) = &mut trace_writer {
             for ev in sim.tracer().events() {
                 writer.write(ev)?;
@@ -286,10 +425,10 @@ fn run_speed(args: &Args) -> std::io::Result<()> {
             );
         }
         if args.obs_summary {
+            println!("-- {} --", k.name());
             print!("{}", render_timing_table(&sim.phase_timings()));
         }
     }
-
     if let Some(writer) = trace_writer {
         let n = writer.written();
         writer.finish()?;
@@ -299,6 +438,188 @@ fn run_speed(args: &Args) -> std::io::Result<()> {
     if let Some(path) = &args.metrics_out {
         cestim_bench::write_metrics(path, &registry.snapshot())?;
         println!("[metrics -> {}]", path.display());
+    }
+    Ok(())
+}
+
+/// Loads a trajectory file, returning its `runs` array (empty when the
+/// file does not exist yet).
+fn load_trajectory(path: &Path) -> std::io::Result<Vec<Value>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let doc: Value = serde_json::from_str(&text)
+                .map_err(|e| std::io::Error::other(format!("{}: {e}", path.display())))?;
+            if doc["schema"] != SPEED_SCHEMA {
+                return Err(std::io::Error::other(format!(
+                    "{}: unexpected schema {:?} (want {SPEED_SCHEMA:?})",
+                    path.display(),
+                    doc["schema"]
+                )));
+            }
+            match doc["runs"] {
+                Value::Array(ref runs) => Ok(runs.clone()),
+                _ => Err(std::io::Error::other(format!(
+                    "{}: missing runs array",
+                    path.display()
+                ))),
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Appends `run` to the trajectory file at `path` (created on first use).
+fn append_trajectory(path: &Path, run: Value) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut runs = load_trajectory(path)?;
+    runs.push(run);
+    let doc = json!({ "schema": SPEED_SCHEMA, "runs": runs });
+    let mut text =
+        serde_json::to_string_pretty(&doc).map_err(|e| std::io::Error::other(e.to_string()))?;
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+/// Compares `current` against the last same-scale run in `baseline_path`.
+/// Returns the number of regressed cells.
+fn check_regression(
+    current: &Value,
+    baseline_path: &Path,
+    tolerance_pct: f64,
+) -> std::io::Result<usize> {
+    let runs = load_trajectory(baseline_path)?;
+    let scale = current["scale"].as_u64();
+    let baseline = runs
+        .iter()
+        .rev()
+        .find(|r| r["scale"].as_u64() == scale)
+        .ok_or_else(|| {
+            std::io::Error::other(format!(
+                "{}: no baseline run at scale {}",
+                baseline_path.display(),
+                scale.unwrap_or(0)
+            ))
+        })?;
+
+    let cell_key = |c: &Value| {
+        (
+            c["workload"].as_str().unwrap_or("").to_string(),
+            c["predictor"].as_str().unwrap_or("").to_string(),
+        )
+    };
+    let base_cells: std::collections::BTreeMap<_, &Value> = baseline["cells"]
+        .as_array()
+        .map(|cs| cs.iter().map(|c| (cell_key(c), c)).collect())
+        .unwrap_or_default();
+
+    let mut regressed = 0usize;
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
+    for cell in current["cells"].as_array().into_iter().flatten() {
+        let Some(base) = base_cells.get(&cell_key(cell)) else {
+            continue;
+        };
+        let base_med = base["median_bps"].as_f64().unwrap_or(0.0);
+        let base_mad = base["mad_bps"].as_f64().unwrap_or(0.0);
+        let cur_med = cell["median_bps"].as_f64().unwrap_or(0.0);
+        let (wl, pred) = cell_key(cell);
+        if base_med <= 0.0 || base_mad / base_med > NOISE_GUARD {
+            println!(
+                "check {wl:10} {pred:10} SKIP (baseline too noisy: MAD {:.0}% of median)",
+                100.0 * base_mad / base_med.max(1e-12)
+            );
+            skipped += 1;
+            continue;
+        }
+        compared += 1;
+        let floor = base_med * (1.0 - tolerance_pct / 100.0);
+        let ratio = cur_med / base_med;
+        if cur_med < floor {
+            regressed += 1;
+            println!(
+                "check {wl:10} {pred:10} REGRESSED {:.3} -> {:.3} Mbr/s ({:.1}% of baseline, floor {:.1}%)",
+                base_med / 1e6,
+                cur_med / 1e6,
+                100.0 * ratio,
+                100.0 - tolerance_pct,
+            );
+        } else {
+            println!(
+                "check {wl:10} {pred:10} ok        {:.3} -> {:.3} Mbr/s ({:.1}% of baseline)",
+                base_med / 1e6,
+                cur_med / 1e6,
+                100.0 * ratio,
+            );
+        }
+    }
+    println!(
+        "check: {compared} compared, {skipped} skipped (noise), {regressed} regressed \
+         (tolerance {tolerance_pct}%)"
+    );
+    Ok(regressed)
+}
+
+/// Default mode: the workload × predictor speed harness.
+fn run_speed(args: &Args) -> std::io::Result<()> {
+    println!(
+        "speed harness: scale={} reps={} warmup={} predictors={}",
+        args.scale,
+        args.reps,
+        args.warmup,
+        args.predictors
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let mut cells = Vec::new();
+    for &p in &args.predictors {
+        for k in WorkloadKind::all() {
+            cells.push(measure_cell(k, p, args.scale, args.warmup, args.reps));
+        }
+    }
+    let total_bps: f64 = cells.iter().filter_map(|c| c["median_bps"].as_f64()).sum();
+    let total_ips: f64 = cells.iter().filter_map(|c| c["median_ips"].as_f64()).sum();
+    println!(
+        "total: {:.3} Mbr/s, {:.1} M inst/s (sum of per-cell medians)",
+        total_bps / 1e6,
+        total_ips / 1e6
+    );
+
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let run = json!({
+        "timestamp_unix": timestamp,
+        "scale": args.scale,
+        "reps": args.reps,
+        "warmup": args.warmup,
+        "note": args.note,
+        "cells": cells,
+        "totals": { "median_bps_sum": total_bps, "median_ips_sum": total_ips },
+    });
+
+    if args.trace_out.is_some() || args.metrics_out.is_some() || args.obs_summary {
+        run_instrumented(args)?;
+    }
+
+    if let Some(path) = &args.json {
+        append_trajectory(path, run.clone())?;
+        println!("[trajectory -> {}]", path.display());
+    }
+
+    if let Some(baseline) = &args.check {
+        let regressed = check_regression(&run, baseline, args.tolerance)?;
+        if regressed > 0 {
+            return Err(std::io::Error::other(format!(
+                "{regressed} cell(s) regressed beyond {}% tolerance",
+                args.tolerance
+            )));
+        }
     }
     Ok(())
 }

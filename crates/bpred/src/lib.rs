@@ -50,6 +50,7 @@
 
 mod bimodal;
 mod counter;
+mod dispatch;
 mod gshare;
 mod history;
 mod mcfarling;
@@ -58,6 +59,7 @@ mod traits;
 
 pub use bimodal::Bimodal;
 pub use counter::SaturatingCounter;
+pub use dispatch::AnyPredictor;
 pub use gshare::Gshare;
 pub use history::HistoryRegister;
 pub use mcfarling::McFarling;

@@ -1,0 +1,243 @@
+//! Enum-based static dispatch over the confidence estimators of the study.
+//!
+//! The simulator queries every attached estimator once per *fetched*
+//! branch ([`ConfidenceEstimator::estimate`]), notifies each on every
+//! resolution, and trains each at commit. With `Box<dyn>` estimators,
+//! every one of those calls is an indirect call. [`AnyEstimator`]
+//! enumerates the study's concrete estimators so the dispatch compiles to
+//! a jump table with inlinable arms, while [`AnyEstimator::Dyn`] keeps
+//! arbitrary trait objects working as a compatibility shim.
+//!
+//! `From` conversions mirror `cestim_bpred::AnyPredictor`: concrete values
+//! convert directly, `Box<Concrete>` **unboxes** into the static variant
+//! (so historical `Box::new(...)` call sites transparently gain static
+//! dispatch), and `Box<dyn ConfidenceEstimator>` falls back to
+//! [`AnyEstimator::Dyn`].
+//!
+//! A boosted estimator wraps `Boosted<AnyEstimator>` (boxed to keep the
+//! enum small): the boost logic itself is static, and the inner estimator
+//! goes through one more enum dispatch rather than a virtual call.
+
+use crate::boost::Boosted;
+use crate::estimator::{AlwaysHigh, AlwaysLow, Confidence, ConfidenceEstimator};
+use crate::{
+    Cir, DistanceEstimator, Jrs, JrsCombining, PatternHistory, SaturatingConfidence, StaticProfile,
+};
+use cestim_bpred::Prediction;
+
+/// A statically dispatched confidence estimator: one variant per concrete
+/// estimator in the study, plus a boxed escape hatch for everything else.
+pub enum AnyEstimator {
+    /// JRS miss-distance counters.
+    Jrs(Jrs),
+    /// Saturating-counters estimator.
+    Saturating(SaturatingConfidence),
+    /// Pattern-history estimator.
+    Pattern(PatternHistory),
+    /// Static profile-based estimator.
+    Static(StaticProfile),
+    /// Misprediction-distance estimator.
+    Distance(DistanceEstimator),
+    /// Correct/incorrect registers.
+    Cir(Cir),
+    /// JRS specialized for the McFarling combining predictor.
+    JrsCombining(JrsCombining),
+    /// Boosting wrapper (k consecutive LC) around another estimator.
+    Boosted(Box<Boosted<AnyEstimator>>),
+    /// Everything high confidence (baseline).
+    AlwaysHigh(AlwaysHigh),
+    /// Everything low confidence (baseline).
+    AlwaysLow(AlwaysLow),
+    /// Any other implementation, virtually dispatched.
+    Dyn(Box<dyn ConfidenceEstimator>),
+}
+
+impl AnyEstimator {
+    /// `true` when calls are virtually dispatched (the [`AnyEstimator::Dyn`]
+    /// escape hatch).
+    pub fn is_dyn(&self) -> bool {
+        matches!(self, AnyEstimator::Dyn(_))
+    }
+}
+
+impl std::fmt::Debug for AnyEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AnyEstimator").field(&self.name()).finish()
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $e:ident => $body:expr) => {
+        match $self {
+            AnyEstimator::Jrs($e) => $body,
+            AnyEstimator::Saturating($e) => $body,
+            AnyEstimator::Pattern($e) => $body,
+            AnyEstimator::Static($e) => $body,
+            AnyEstimator::Distance($e) => $body,
+            AnyEstimator::Cir($e) => $body,
+            AnyEstimator::JrsCombining($e) => $body,
+            AnyEstimator::Boosted($e) => $body,
+            AnyEstimator::AlwaysHigh($e) => $body,
+            AnyEstimator::AlwaysLow($e) => $body,
+            AnyEstimator::Dyn($e) => $body,
+        }
+    };
+}
+
+impl ConfidenceEstimator for AnyEstimator {
+    #[inline]
+    fn estimate(&mut self, pc: u32, ghr: u32, pred: &Prediction) -> Confidence {
+        dispatch!(self, e => e.estimate(pc, ghr, pred))
+    }
+
+    #[inline]
+    fn update(&mut self, pc: u32, ghr: u32, pred: &Prediction, correct: bool) {
+        dispatch!(self, e => e.update(pc, ghr, pred, correct))
+    }
+
+    #[inline]
+    fn on_branch_resolved(&mut self, mispredicted: bool) {
+        dispatch!(self, e => e.on_branch_resolved(mispredicted))
+    }
+
+    fn name(&self) -> String {
+        dispatch!(self, e => e.name())
+    }
+}
+
+macro_rules! impl_from_estimator {
+    ($($variant:ident($ty:ty)),*) => {
+        $(
+            impl From<$ty> for AnyEstimator {
+                fn from(e: $ty) -> AnyEstimator {
+                    AnyEstimator::$variant(e)
+                }
+            }
+            // Unboxing conversion: pre-existing `Box::new(...)` call sites
+            // keep compiling and transparently gain static dispatch.
+            impl From<Box<$ty>> for AnyEstimator {
+                fn from(e: Box<$ty>) -> AnyEstimator {
+                    AnyEstimator::$variant(*e)
+                }
+            }
+        )*
+    };
+}
+
+impl_from_estimator!(
+    Jrs(Jrs),
+    Saturating(SaturatingConfidence),
+    Pattern(PatternHistory),
+    Static(StaticProfile),
+    Distance(DistanceEstimator),
+    Cir(Cir),
+    JrsCombining(JrsCombining),
+    AlwaysHigh(AlwaysHigh),
+    AlwaysLow(AlwaysLow)
+);
+
+impl From<Boosted<AnyEstimator>> for AnyEstimator {
+    fn from(e: Boosted<AnyEstimator>) -> AnyEstimator {
+        AnyEstimator::Boosted(Box::new(e))
+    }
+}
+
+impl From<Box<dyn ConfidenceEstimator>> for AnyEstimator {
+    fn from(e: Box<dyn ConfidenceEstimator>) -> AnyEstimator {
+        AnyEstimator::Dyn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_bpred::PredictorInfo;
+
+    fn pred(taken: bool, counter: u8) -> Prediction {
+        Prediction {
+            taken,
+            info: PredictorInfo::Gshare {
+                counter,
+                index: 7,
+                history: 0b1010,
+            },
+        }
+    }
+
+    fn agree(mut a: AnyEstimator, mut b: Box<dyn ConfidenceEstimator>) {
+        assert_eq!(a.name(), b.name());
+        for i in 0..2_000u32 {
+            let pc = (i * 13) % 97;
+            let p = pred(i % 3 == 0, (i % 4) as u8);
+            assert_eq!(
+                a.estimate(pc, i, &p),
+                b.estimate(pc, i, &p),
+                "diverged at step {i} ({})",
+                a.name()
+            );
+            let correct = (i * 5 + pc) % 7 != 0;
+            a.update(pc, i, &p, correct);
+            b.update(pc, i, &p, correct);
+            a.on_branch_resolved(!correct);
+            b.on_branch_resolved(!correct);
+        }
+    }
+
+    #[test]
+    fn enum_matches_trait_object_for_every_variant() {
+        agree(
+            Jrs::paper_enhanced().into(),
+            Box::new(Jrs::paper_enhanced()),
+        );
+        agree(
+            SaturatingConfidence::new(crate::SaturatingVariant::Selected).into(),
+            Box::new(SaturatingConfidence::new(
+                crate::SaturatingVariant::Selected,
+            )),
+        );
+        agree(
+            PatternHistory::new(12).into(),
+            Box::new(PatternHistory::new(12)),
+        );
+        agree(
+            DistanceEstimator::new(3).into(),
+            Box::new(DistanceEstimator::new(3)),
+        );
+        agree(
+            Cir::new(10, 16, 14, true).into(),
+            Box::new(Cir::new(10, 16, 14, true)),
+        );
+        agree(
+            JrsCombining::new(10, 12).into(),
+            Box::new(JrsCombining::new(10, 12)),
+        );
+        agree(AlwaysHigh.into(), Box::new(AlwaysHigh));
+        agree(AlwaysLow.into(), Box::new(AlwaysLow));
+        agree(
+            Boosted::new(AnyEstimator::from(DistanceEstimator::new(2)), 2).into(),
+            Box::new(Boosted::new(DistanceEstimator::new(2), 2)),
+        );
+    }
+
+    #[test]
+    fn boxed_concrete_unboxes_to_static_variant() {
+        let e: AnyEstimator = Box::new(Jrs::paper_enhanced()).into();
+        assert!(matches!(e, AnyEstimator::Jrs(_)));
+        assert!(!e.is_dyn());
+    }
+
+    #[test]
+    fn boxed_trait_object_uses_dyn_variant() {
+        let b: Box<dyn ConfidenceEstimator> = Box::new(AlwaysHigh);
+        let e: AnyEstimator = b.into();
+        assert!(e.is_dyn());
+        assert_eq!(e.name(), "always-high");
+    }
+
+    #[test]
+    fn boosted_name_matches_dyn_equivalent() {
+        let e: AnyEstimator = Boosted::new(AnyEstimator::from(AlwaysLow), 3).into();
+        assert_eq!(e.name(), "boost3(always-low)");
+        assert!(matches!(e, AnyEstimator::Boosted(_)));
+    }
+}

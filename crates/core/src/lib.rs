@@ -90,6 +90,7 @@
 mod boost;
 mod cir;
 pub mod diagnostic;
+mod dispatch;
 mod distance;
 mod estimator;
 mod jrs;
@@ -103,6 +104,7 @@ pub mod tune;
 
 pub use boost::Boosted;
 pub use cir::Cir;
+pub use dispatch::AnyEstimator;
 pub use distance::DistanceEstimator;
 pub use estimator::{AlwaysHigh, AlwaysLow, Confidence, ConfidenceEstimator};
 pub use jrs::Jrs;

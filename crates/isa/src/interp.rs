@@ -1,6 +1,7 @@
 //! Architectural interpreter with checkpoint/rollback.
 
 use crate::{Inst, MemMark, Program, Reg, SparseMemory};
+use std::collections::VecDeque;
 
 /// What a single [`Machine::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,14 +54,21 @@ pub enum Step {
     OutOfRange,
 }
 
-/// Complete architectural snapshot, used for wrong-path recovery.
+/// Architectural snapshot position, used for wrong-path recovery.
 ///
 /// Captured by [`Machine::checkpoint`] before following a predicted branch
-/// direction; [`Machine::restore`] rewinds registers, PC and (via the memory
-/// undo log) all speculative stores.
+/// direction; [`Machine::restore`] rewinds registers, PC and (via the
+/// register and memory undo logs) all speculative writes.
+///
+/// A checkpoint is a pair of undo-log positions plus the PC, not a copy of
+/// machine state: taking one is O(1) and a few dozen bytes, which is what
+/// lets the pipeline checkpoint *every* predicted branch without the
+/// per-branch register-file copy dominating simulation time. The cost moves
+/// to an O(1) log append per register write, and restore replays the log
+/// backwards — exactly like the memory undo log.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
-    regs: [u32; Reg::COUNT],
+    reg_mark: u64,
     pc: u32,
     halted: bool,
     mem: MemMark,
@@ -94,6 +102,12 @@ pub struct Machine {
     pc: u32,
     halted: bool,
     mem: SparseMemory,
+    /// Register undo log: `(register index, overwritten value)` per write,
+    /// mirroring the memory undo log in [`SparseMemory`]. Checkpoints
+    /// record a position; restore pops back to it, commit releases from
+    /// the front.
+    reg_undo: VecDeque<(u32, u32)>,
+    reg_undo_base: u64,
 }
 
 impl Machine {
@@ -111,6 +125,8 @@ impl Machine {
             pc: program.entry(),
             halted: false,
             mem,
+            reg_undo: VecDeque::new(),
+            reg_undo_base: 0,
         }
     }
 
@@ -132,11 +148,15 @@ impl Machine {
         self.regs[r.index()]
     }
 
-    /// Writes a register (writes to `zero` are discarded).
+    /// Writes a register (writes to `zero` are discarded), logging the
+    /// overwritten value for checkpoint rollback.
     #[inline]
     pub fn set_reg(&mut self, r: Reg, val: u32) {
         if !r.is_zero() {
-            self.regs[r.index()] = val;
+            let slot = &mut self.regs[r.index()];
+            let old = *slot;
+            *slot = val;
+            self.reg_undo.push_back((r.index() as u32, old));
         }
     }
 
@@ -195,6 +215,24 @@ impl Machine {
             Some(i) => *i,
             None => return Step::OutOfRange,
         };
+        self.exec_decoded(inst, force)
+    }
+
+    /// Executes an already-decoded instruction as if fetched from the
+    /// current PC, skipping the halt check and program lookup.
+    ///
+    /// The caller must guarantee the machine is not halted and that `inst`
+    /// is the instruction at the current PC — the pipeline simulator has
+    /// both facts in hand from its own fetch, so re-deriving them here
+    /// would be pure per-instruction overhead.
+    #[inline]
+    pub fn step_decoded(&mut self, inst: Inst, force: Option<bool>) -> Step {
+        debug_assert!(!self.halted, "step_decoded on a halted machine");
+        self.exec_decoded(inst, force)
+    }
+
+    #[inline]
+    fn exec_decoded(&mut self, inst: Inst, force: Option<bool>) -> Step {
         let next = self.pc.wrapping_add(1);
         match inst {
             Inst::Alu { op, rd, rs1, rs2 } => {
@@ -280,31 +318,57 @@ impl Machine {
         n
     }
 
-    /// Snapshots the full architectural state.
+    /// Snapshots the architectural state as a pair of undo-log positions
+    /// (registers and memory) plus the PC. O(1).
+    #[inline]
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
-            regs: self.regs,
+            reg_mark: self.reg_undo_base + self.reg_undo.len() as u64,
             pc: self.pc,
             halted: self.halted,
             mem: self.mem.mark(),
         }
     }
 
-    /// Restores a snapshot, rolling back all memory writes made since.
+    /// Restores a snapshot, rolling back all register and memory writes
+    /// made since.
     ///
     /// Checkpoints must be restored in LIFO order relative to other restores,
     /// and must not have been passed by [`release`](Machine::release).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's register-log prefix has already been
+    /// released (a checkpoint-discipline bug in the caller).
     pub fn restore(&mut self, cp: &Checkpoint) {
-        self.regs = cp.regs;
+        assert!(
+            cp.reg_mark >= self.reg_undo_base,
+            "restore of a released checkpoint"
+        );
+        while self.reg_undo_base + self.reg_undo.len() as u64 > cp.reg_mark {
+            let (r, old) = self.reg_undo.pop_back().expect("reg undo underflow");
+            self.regs[r as usize] = old;
+        }
         self.pc = cp.pc;
         self.halted = cp.halted;
         self.mem.rollback_to(cp.mem);
     }
 
     /// Releases undo-log history older than `cp`, once `cp` can no longer be
-    /// restored (its branch committed). Keeps the undo log bounded.
+    /// restored (its branch committed). Keeps the undo logs bounded.
     pub fn release(&mut self, cp: &Checkpoint) {
+        let n = (cp.reg_mark.saturating_sub(self.reg_undo_base) as usize).min(self.reg_undo.len());
+        if n > 0 {
+            self.reg_undo.drain(..n);
+            self.reg_undo_base += n as u64;
+        }
         self.mem.release_to(cp.mem);
+    }
+
+    /// Number of live register-undo entries (bounded by the speculation
+    /// window when the caller follows the checkpoint discipline).
+    pub fn reg_undo_len(&self) -> usize {
+        self.reg_undo.len()
     }
 }
 

@@ -1,6 +1,7 @@
 //! Sparse word-addressed memory with an undo log for speculative rollback.
 
-use std::collections::{HashMap, VecDeque};
+use std::cell::Cell;
+use std::collections::VecDeque;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_WORDS: usize = 1 << PAGE_BITS;
@@ -29,7 +30,13 @@ pub struct MemMark(u64);
 /// the log bounded by the pipeline's speculation window.
 #[derive(Debug, Clone, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u32, Box<[u32; PAGE_WORDS]>>,
+    /// Resident pages sorted by page number. Programs touch a handful of
+    /// pages, so a sorted vector + binary search beats hashing every access;
+    /// the one-entry MRU hint below turns the strong page locality of real
+    /// address streams into an O(1) fast path.
+    pages: Vec<(u32, Box<[u32; PAGE_WORDS]>)>,
+    /// Index of the most recently accessed page (a hint, validated on use).
+    mru: Cell<usize>,
     undo: VecDeque<(u32, u32)>,
     undo_base: u64,
     writes: u64,
@@ -41,11 +48,47 @@ impl SparseMemory {
         SparseMemory::default()
     }
 
+    /// Index of the page `page_no` in `pages`, if resident.
+    #[inline]
+    fn find_page(&self, page_no: u32) -> Option<usize> {
+        let hint = self.mru.get();
+        if let Some((p, _)) = self.pages.get(hint) {
+            if *p == page_no {
+                return Some(hint);
+            }
+        }
+        match self.pages.binary_search_by_key(&page_no, |(p, _)| *p) {
+            Ok(i) => {
+                self.mru.set(i);
+                Some(i)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The page containing `page_no`, allocated (zeroed) on first touch.
+    fn page_mut(&mut self, page_no: u32) -> &mut [u32; PAGE_WORDS] {
+        let idx = match self.find_page(page_no) {
+            Some(i) => i,
+            None => {
+                let i = self
+                    .pages
+                    .binary_search_by_key(&page_no, |(p, _)| *p)
+                    .unwrap_err();
+                self.pages
+                    .insert(i, (page_no, Box::new([0u32; PAGE_WORDS])));
+                self.mru.set(i);
+                i
+            }
+        };
+        &mut self.pages[idx].1
+    }
+
     /// Reads the word at `addr`.
     #[inline]
     pub fn read(&self, addr: u32) -> u32 {
-        match self.pages.get(&(addr >> PAGE_BITS)) {
-            Some(page) => page[(addr & OFFSET_MASK) as usize],
+        match self.find_page(addr >> PAGE_BITS) {
+            Some(i) => self.pages[i].1[(addr & OFFSET_MASK) as usize],
             None => 0,
         }
     }
@@ -53,23 +96,18 @@ impl SparseMemory {
     /// Writes `val` to `addr`, logging the overwritten value for rollback.
     #[inline]
     pub fn write(&mut self, addr: u32, val: u32) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0u32; PAGE_WORDS]));
+        let page = self.page_mut(addr >> PAGE_BITS);
         let slot = &mut page[(addr & OFFSET_MASK) as usize];
-        self.undo.push_back((addr, *slot));
+        let old = *slot;
         *slot = val;
+        self.undo.push_back((addr, old));
         self.writes += 1;
     }
 
     /// Writes without logging. Only for loading the initial program image;
     /// calling this while checkpoints are outstanding would corrupt rollback.
     pub fn write_init(&mut self, addr: u32, val: u32) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0u32; PAGE_WORDS]));
+        let page = self.page_mut(addr >> PAGE_BITS);
         page[(addr & OFFSET_MASK) as usize] = val;
     }
 
@@ -94,20 +132,18 @@ impl SparseMemory {
         while self.undo_base + self.undo.len() as u64 > mark.0 {
             let (addr, old) = self.undo.pop_back().expect("undo log underflow");
             // Restore directly; the page must exist because it was written.
-            let page = self
-                .pages
-                .get_mut(&(addr >> PAGE_BITS))
-                .expect("page vanished");
-            page[(addr & OFFSET_MASK) as usize] = old;
+            let i = self.find_page(addr >> PAGE_BITS).expect("page vanished");
+            self.pages[i].1[(addr & OFFSET_MASK) as usize] = old;
         }
     }
 
     /// Discards undo entries older than `mark`, making states before it
     /// unreachable. Call when the checkpoint owning `mark` commits.
     pub fn release_to(&mut self, mark: MemMark) {
-        while self.undo_base < mark.0 && !self.undo.is_empty() {
-            self.undo.pop_front();
-            self.undo_base += 1;
+        let n = (mark.0.saturating_sub(self.undo_base) as usize).min(self.undo.len());
+        if n > 0 {
+            self.undo.drain(..n);
+            self.undo_base += n as u64;
         }
     }
 

@@ -177,11 +177,17 @@ impl Tracer {
     }
 
     /// A tracer retaining the last `capacity` events.
+    ///
+    /// The ring storage is preallocated up front (capped at 64 Ki events
+    /// for unbounded/huge capacities, beyond which the buffer grows
+    /// amortized), so steady-state recording into a bounded ring performs
+    /// no allocation per event.
     pub fn bounded(capacity: usize) -> Tracer {
+        let cap = capacity.max(1);
         Tracer {
             inner: Some(Ring {
-                buf: Vec::new(),
-                cap: capacity.max(1),
+                buf: Vec::with_capacity(cap.min(1 << 16)),
+                cap,
                 start: 0,
                 dropped: 0,
             }),

@@ -19,11 +19,27 @@ pub struct CacheAccess {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
+    /// `log2(line_words)` — both geometry parameters are asserted powers of
+    /// two, so the per-access line/set/tag math is shift/mask only.
+    line_shift: u32,
+    /// `sets - 1`.
+    set_mask: u32,
+    /// `log2(sets)`.
+    set_shift: u32,
     /// `sets × assoc` entries; `None` = invalid. Tag stored with the set
     /// index removed.
     tags: Vec<Option<u32>>,
     /// LRU age per way (smaller = more recently used).
     ages: Vec<u32>,
+    /// Line number of the most recent access (`u32::MAX` = none): a one-line
+    /// MRU filter. Sequential fetch streams touch the same line `line_words`
+    /// times in a row, and only an intervening access — which would update
+    /// this filter — could evict it, so a repeat access can skip the way
+    /// scan entirely.
+    last_line: u32,
+    /// Entry index (`set * assoc + way`) of `last_line`, valid only when
+    /// the previous access hit or filled it.
+    last_entry: usize,
     tick: u32,
     accesses: u64,
     misses: u64,
@@ -45,9 +61,14 @@ impl Cache {
         assert!(cfg.assoc > 0, "associativity must be positive");
         let entries = (cfg.sets * cfg.assoc) as usize;
         Cache {
+            line_shift: cfg.line_words.trailing_zeros(),
+            set_mask: cfg.sets - 1,
+            set_shift: cfg.sets.trailing_zeros(),
             cfg,
             tags: vec![None; entries],
             ages: vec![0; entries],
+            last_line: u32::MAX,
+            last_entry: 0,
             tick: 0,
             accesses: 0,
             misses: 0,
@@ -58,14 +79,26 @@ impl Cache {
     pub fn access(&mut self, addr: u32) -> CacheAccess {
         self.accesses += 1;
         self.tick = self.tick.wrapping_add(1);
-        let line = addr / self.cfg.line_words;
-        let set = line & (self.cfg.sets - 1);
-        let tag = line / self.cfg.sets;
+        let line = addr >> self.line_shift;
+        if line == self.last_line {
+            // Repeat access to the most recent line: it cannot have been
+            // evicted (only another access could do that, and it would have
+            // replaced the filter), so refresh its age and hit.
+            self.ages[self.last_entry] = self.tick;
+            return CacheAccess {
+                hit: true,
+                latency: self.cfg.hit_latency,
+            };
+        }
+        self.last_line = line;
+        let set = line & self.set_mask;
+        let tag = line >> self.set_shift;
         let base = (set * self.cfg.assoc) as usize;
         let ways = &mut self.tags[base..base + self.cfg.assoc as usize];
 
         if let Some(w) = ways.iter().position(|t| *t == Some(tag)) {
             self.ages[base + w] = self.tick;
+            self.last_entry = base + w;
             return CacheAccess {
                 hit: true,
                 latency: self.cfg.hit_latency,
@@ -87,10 +120,34 @@ impl Cache {
         };
         self.tags[base + victim] = Some(tag);
         self.ages[base + victim] = self.tick;
+        self.last_entry = base + victim;
         CacheAccess {
             hit: false,
             latency: self.cfg.miss_latency,
         }
+    }
+
+    /// Line number holding `addr` (for callers that batch repeat accesses).
+    #[inline]
+    pub fn line_of(&self, addr: u32) -> u32 {
+        addr >> self.line_shift
+    }
+
+    /// Accounts `n` repeat accesses to the line of the most recent
+    /// [`access`](Cache::access) in one step. Exactly equivalent to calling
+    /// `access` `n` times with addresses on that line — each such call would
+    /// take the one-line MRU fast path, and only the final age store
+    /// survives — but without paying the per-call counter updates.
+    ///
+    /// The caller must guarantee no intervening access to a different line
+    /// (in the pipeline, fetch is the I-cache's only client, so a
+    /// sequential-run batcher in the fetch loop satisfies this).
+    #[inline]
+    pub fn repeat_hits(&mut self, n: u64) {
+        debug_assert!(self.last_line != u32::MAX, "repeat before any access");
+        self.accesses += n;
+        self.tick = self.tick.wrapping_add(n as u32);
+        self.ages[self.last_entry] = self.tick;
     }
 
     /// Total accesses so far.

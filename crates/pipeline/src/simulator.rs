@@ -3,8 +3,8 @@
 use crate::{Cache, EstimatorQuadrants, PipelineConfig, PipelineStats};
 use crate::{GateEvent, NullObserver, OutcomeEvent, PredictEvent, RecoveryEvent};
 use crate::{ResolveEvent, SimObserver};
-use cestim_bpred::{BranchPredictor, HistoryRegister, Prediction};
-use cestim_core::{Confidence, ConfidenceEstimator};
+use cestim_bpred::{AnyPredictor, BranchPredictor, HistoryRegister, Prediction};
+use cestim_core::{AnyEstimator, Confidence, ConfidenceEstimator};
 use cestim_isa::{AluOp, Checkpoint, Inst, Machine, Program, Reg, Step};
 use cestim_obs::{PhaseProfiler, PhaseTiming, Registry, TraceEvent, Tracer};
 use std::collections::VecDeque;
@@ -18,18 +18,132 @@ struct Inflight {
     actual_taken: bool,
     mispredicted: bool,
     ghr_at_predict: u32,
-    estimates: Vec<Confidence>,
+    /// Slot in the simulator's [`EstimateSlab`] holding this branch's
+    /// per-estimator confidence estimates.
+    est_slot: u32,
+    /// Estimator 0's estimate was low confidence (cached here so gating
+    /// never touches the slab).
+    est0_low: bool,
     cp_machine: Checkpoint,
-    cp_scoreboard: [u64; Reg::COUNT],
-    cp_ghr: u32,
+    /// Scoreboard undo-log position at fetch (see `Simulator::sb_undo`).
+    cp_sb_mark: u64,
     cp_arch_insts: u64,
     cp_arch_branches: u64,
     fetch_cycle: u64,
-    resolve_at: u64,
     resolved: bool,
     resolve_cycle: Option<u64>,
     /// Eager execution forked both paths of this branch.
     forked: bool,
+}
+
+/// Scoreboard index meaning "no register": one past the real registers, a
+/// sentinel slot that stays 0 forever so operand-readiness can be computed
+/// branchlessly.
+const NO_REG: u8 = Reg::COUNT as u8;
+
+/// Instruction class for the fetch loop's dispatch, predecoded from the
+/// `Inst` enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstClass {
+    Branch,
+    Load,
+    Store,
+    /// Fixed-latency, non-redirecting (ALU, LI, NOP).
+    Fixed,
+    /// Unconditional control transfer (jump, call, ret).
+    Redirect,
+    Halt,
+}
+
+/// Per-instruction metadata predecoded once at construction. The program is
+/// immutable, so the fetch loop reads this flat table — a copy of the
+/// instruction plus its sources, destination, class, and latency — instead
+/// of re-matching the `Inst` enum on every fetched instruction.
+#[derive(Debug, Clone, Copy)]
+struct InstMeta {
+    inst: Inst,
+    s1: u8,
+    s2: u8,
+    dst: u8,
+    class: InstClass,
+    /// Execute latency for `InstClass::Fixed`.
+    latency: u8,
+}
+
+impl InstMeta {
+    fn decode(inst: &Inst) -> InstMeta {
+        let reg_idx = |r: Option<Reg>| r.map_or(NO_REG, |r| r.index() as u8);
+        let class = match inst {
+            Inst::Branch { .. } => InstClass::Branch,
+            Inst::Load { .. } => InstClass::Load,
+            Inst::Store { .. } => InstClass::Store,
+            Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret => InstClass::Redirect,
+            Inst::Halt => InstClass::Halt,
+            Inst::Alu { .. } | Inst::AluImm { .. } | Inst::Li { .. } | Inst::Nop => {
+                InstClass::Fixed
+            }
+        };
+        let (s1, s2) = inst.srcs();
+        InstMeta {
+            inst: *inst,
+            s1: reg_idx(s1),
+            s2: reg_idx(s2),
+            dst: reg_idx(inst.dst()),
+            class,
+            latency: alu_latency(inst) as u8,
+        }
+    }
+}
+
+/// Preallocated pool of per-branch estimate rows.
+///
+/// The speculation window bounds the number of in-flight branches, so the
+/// per-estimator confidence estimates of every in-flight branch live in one
+/// flat buffer of `window × n_estimators` entries, handed out as fixed-width
+/// rows through a free list. This removes the per-fetched-branch
+/// `Vec<Confidence>` allocation the hot path used to pay (sweep experiments
+/// attach 30–60 estimators to one pipeline, so an inline array is not an
+/// option).
+#[derive(Debug)]
+struct EstimateSlab {
+    width: usize,
+    buf: Vec<Confidence>,
+    free: Vec<u32>,
+}
+
+impl EstimateSlab {
+    fn new(width: usize, slots: usize) -> EstimateSlab {
+        EstimateSlab {
+            width,
+            buf: vec![Confidence::High; width * slots],
+            free: (0..slots as u32).rev().collect(),
+        }
+    }
+
+    #[inline]
+    fn alloc(&mut self) -> u32 {
+        self.free
+            .pop()
+            .expect("slab has one slot per speculation-window entry")
+    }
+
+    #[inline]
+    fn release(&mut self, slot: u32) {
+        debug_assert!(!self.free.contains(&slot), "double release");
+        self.free.push(slot);
+    }
+
+    #[inline]
+    fn row(&self, slot: u32) -> &[Confidence] {
+        let start = slot as usize * self.width;
+        &self.buf[start..start + self.width]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, slot: u32) -> &mut [Confidence] {
+        let start = slot as usize * self.width;
+        &mut self.buf[start..start + self.width]
+    }
 }
 
 /// Pipeline-level simulator with wrong-path execution.
@@ -88,18 +202,43 @@ struct Inflight {
 /// ```
 pub struct Simulator<'p> {
     program: &'p Program,
+    /// Predecoded per-instruction metadata, indexed by PC (see [`InstMeta`]).
+    meta: Vec<InstMeta>,
     cfg: PipelineConfig,
     machine: Machine,
-    predictor: Box<dyn BranchPredictor>,
-    estimators: Vec<Box<dyn ConfidenceEstimator>>,
+    predictor: AnyPredictor,
+    estimators: Vec<AnyEstimator>,
+    estimator_labels: Vec<String>,
     quadrants: Vec<EstimatorQuadrants>,
+    est_slab: EstimateSlab,
     ghr: HistoryRegister,
-    scoreboard: [u64; Reg::COUNT],
+    /// Ready-cycle per register, plus the always-zero [`NO_REG`] sentinel
+    /// slot at the end.
+    scoreboard: [u64; Reg::COUNT + 1],
+    /// Scoreboard undo log, mirroring the machine's register undo log:
+    /// `(register index, overwritten ready-cycle)` per scoreboard write.
+    /// Branch checkpoints record a position instead of copying the whole
+    /// scoreboard; recovery replays the log backwards, commit releases
+    /// from the front.
+    sb_undo: VecDeque<(u8, u64)>,
+    sb_undo_base: u64,
     icache: Cache,
     dcache: Cache,
     inflight: VecDeque<Inflight>,
+    /// Resolve deadline of each in-flight branch, in lockstep with
+    /// `inflight` (`u64::MAX` once resolved). The per-cycle resolution scan
+    /// walks this one-cache-line ring instead of the full `Inflight`
+    /// payloads.
+    resolve_track: VecDeque<u64>,
+    /// Scratch `(deadline, index)` list of due resolutions, reused across
+    /// scans.
+    due_buf: Vec<(u64, u32)>,
     now: u64,
     fetch_stall_until: u64,
+    /// Earliest `resolve_at` among unresolved in-flight branches (stale-low
+    /// is allowed; `u64::MAX` when none). Lets the per-cycle resolution scan
+    /// exit without touching the in-flight queue on most cycles.
+    resolve_soonest: u64,
     branch_seq: u64,
     arch_insts: u64,
     arch_branches: u64,
@@ -113,6 +252,12 @@ pub struct Simulator<'p> {
 impl<'p> Simulator<'p> {
     /// Creates a simulator over `program` with the given predictor.
     ///
+    /// Accepts anything convertible into [`AnyPredictor`]: a concrete
+    /// predictor (`Gshare::new(12)`), a boxed concrete predictor
+    /// (`Box::new(Gshare::new(12))` — unboxed into the statically
+    /// dispatched variant), or a `Box<dyn BranchPredictor>` (kept virtually
+    /// dispatched as a compatibility escape hatch).
+    ///
     /// # Panics
     ///
     /// Panics if `cfg.fetch_width == 0`, `cfg.max_unresolved_branches == 0`,
@@ -120,7 +265,7 @@ impl<'p> Simulator<'p> {
     pub fn new(
         program: &'p Program,
         cfg: PipelineConfig,
-        predictor: Box<dyn BranchPredictor>,
+        predictor: impl Into<AnyPredictor>,
     ) -> Simulator<'p> {
         assert!(cfg.fetch_width > 0, "fetch width must be positive");
         assert!(
@@ -135,20 +280,32 @@ impl<'p> Simulator<'p> {
         let ghr = HistoryRegister::new(cfg.ghr_width);
         let icache = Cache::new(cfg.icache);
         let dcache = Cache::new(cfg.dcache);
+        let window = cfg.max_unresolved_branches;
+        let est_slab = EstimateSlab::new(0, window);
         Simulator {
+            meta: (0..program.len() as u32)
+                .map(|pc| InstMeta::decode(program.inst(pc).expect("pc in range")))
+                .collect(),
             program,
             cfg,
             machine,
-            predictor,
+            predictor: predictor.into(),
             estimators: Vec::new(),
+            estimator_labels: Vec::new(),
             quadrants: Vec::new(),
+            est_slab,
             ghr,
-            scoreboard: [0; Reg::COUNT],
+            scoreboard: [0; Reg::COUNT + 1],
+            sb_undo: VecDeque::new(),
+            sb_undo_base: 0,
             icache,
             dcache,
-            inflight: VecDeque::new(),
+            inflight: VecDeque::with_capacity(window),
+            resolve_track: VecDeque::with_capacity(window),
+            due_buf: Vec::with_capacity(window),
             now: 0,
             fetch_stall_until: 0,
+            resolve_soonest: u64::MAX,
             branch_seq: 0,
             arch_insts: 0,
             arch_branches: 0,
@@ -272,15 +429,32 @@ impl<'p> Simulator<'p> {
     /// [`estimator_quadrants`](Simulator::estimator_quadrants) and of the
     /// `estimates` slices in events). Estimator 0 drives pipeline gating
     /// when enabled.
-    pub fn add_estimator(&mut self, estimator: Box<dyn ConfidenceEstimator>) -> usize {
+    ///
+    /// Accepts anything convertible into [`AnyEstimator`] — a concrete
+    /// estimator, a boxed concrete estimator (unboxed into the statically
+    /// dispatched variant), or a `Box<dyn ConfidenceEstimator>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if branches are already in flight (attach all estimators
+    /// before running).
+    pub fn add_estimator(&mut self, estimator: impl Into<AnyEstimator>) -> usize {
+        assert!(
+            self.inflight.is_empty(),
+            "estimators must be attached before branches are in flight"
+        );
+        let estimator = estimator.into();
+        self.estimator_labels.push(estimator.name());
         self.estimators.push(estimator);
         self.quadrants.push(EstimatorQuadrants::default());
+        self.est_slab = EstimateSlab::new(self.estimators.len(), self.cfg.max_unresolved_branches);
         self.quadrants.len() - 1
     }
 
-    /// Names of the attached estimators, in index order.
-    pub fn estimator_names(&self) -> Vec<String> {
-        self.estimators.iter().map(|e| e.name()).collect()
+    /// Names of the attached estimators, in index order (computed once at
+    /// [`add_estimator`](Simulator::add_estimator) time).
+    pub fn estimator_names(&self) -> &[String] {
+        &self.estimator_labels
     }
 
     /// Per-estimator quadrants accumulated so far.
@@ -301,9 +475,23 @@ impl<'p> Simulator<'p> {
 
     /// Runs to completion (program halt with an empty pipeline, or
     /// `max_cycles`), streaming events to `obs`. Returns the final stats.
-    pub fn run(&mut self, obs: &mut dyn SimObserver) -> PipelineStats {
+    pub fn run<O: SimObserver + ?Sized>(&mut self, obs: &mut O) -> PipelineStats {
         while !self.done() && self.now < self.cfg.max_cycles {
             self.cycle(obs);
+            // While fetch is stalled (I-cache miss, mispredict penalty)
+            // nothing can happen until the stall ends or a branch resolves:
+            // resolutions before `resolve_soonest` are impossible, commit
+            // drained every resolved head this cycle, and a stalled fetch
+            // returns before it counts gated cycles. Jump straight to the
+            // first cycle with work; every skipped cycle would have been a
+            // no-op, so the cycle count is unchanged.
+            if self.now < self.fetch_stall_until {
+                let target = self
+                    .fetch_stall_until
+                    .min(self.resolve_soonest)
+                    .min(self.cfg.max_cycles);
+                self.now = self.now.max(target);
+            }
         }
         self.finalize();
         self.stats
@@ -319,13 +507,18 @@ impl<'p> Simulator<'p> {
     fn finalize(&mut self) {
         self.stats.cycles = self.now;
         self.stats.committed_insts = self.arch_insts;
+        // `arch + squashed` is invariant under recovery (it moves counts
+        // from one to the other), so the fetched totals need no per-fetch
+        // increments.
+        self.stats.fetched_insts = self.arch_insts + self.stats.squashed_insts;
+        self.stats.fetched_branches = self.arch_branches + self.stats.squashed_branches;
         self.stats.icache_accesses = self.icache.accesses();
         self.stats.icache_misses = self.icache.misses();
         self.stats.dcache_accesses = self.dcache.accesses();
         self.stats.dcache_misses = self.dcache.misses();
     }
 
-    fn cycle(&mut self, obs: &mut dyn SimObserver) {
+    fn cycle<O: SimObserver + ?Sized>(&mut self, obs: &mut O) {
         self.step_cycle(true, obs);
     }
 
@@ -336,7 +529,7 @@ impl<'p> Simulator<'p> {
     /// arbiter (e.g. [`SmtSimulator`](crate::SmtSimulator)) grants the
     /// shared fetch bandwidth to one thread per cycle, while every
     /// thread's back end keeps draining.
-    pub fn step_cycle(&mut self, allow_fetch: bool, obs: &mut dyn SimObserver) {
+    pub fn step_cycle<O: SimObserver + ?Sized>(&mut self, allow_fetch: bool, obs: &mut O) {
         if self.profiler.enabled() {
             let p = self.profiler.phase("resolve");
             let t = self.profiler.start();
@@ -355,8 +548,13 @@ impl<'p> Simulator<'p> {
                 self.profiler.stop(p, t);
             }
         } else {
-            self.process_resolutions(obs);
-            self.process_commits(obs);
+            // A head can only be newly resolved — and therefore newly
+            // committable — in a cycle where a resolution fires, so both
+            // phases sit behind the resolution wake-up check.
+            if self.now >= self.resolve_soonest {
+                self.process_resolutions(obs);
+                self.process_commits(obs);
+            }
             if allow_fetch {
                 self.fetch(obs);
             }
@@ -381,7 +579,14 @@ impl<'p> Simulator<'p> {
     pub fn outstanding_low_confidence(&self, index: usize) -> usize {
         self.inflight
             .iter()
-            .filter(|e| !e.resolved && e.estimates.get(index).is_some_and(|c| c.is_low()))
+            .filter(|e| {
+                !e.resolved
+                    && self
+                        .est_slab
+                        .row(e.est_slot)
+                        .get(index)
+                        .is_some_and(|c| c.is_low())
+            })
             .count()
     }
 
@@ -390,7 +595,7 @@ impl<'p> Simulator<'p> {
     pub fn last_estimate(&self, index: usize) -> Option<Confidence> {
         self.inflight
             .back()
-            .and_then(|e| e.estimates.get(index))
+            .and_then(|e| self.est_slab.row(e.est_slot).get(index))
             .copied()
     }
 
@@ -401,29 +606,56 @@ impl<'p> Simulator<'p> {
 
     // ---- resolution & recovery ------------------------------------------
 
-    fn process_resolutions(&mut self, obs: &mut dyn SimObserver) {
-        loop {
-            // Oldest due resolution first; recovery may cancel younger ones,
-            // so re-scan after every resolution.
-            let due = self
-                .inflight
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| !e.resolved && e.resolve_at <= self.now)
-                .min_by_key(|(_, e)| (e.resolve_at, e.seq))
-                .map(|(i, _)| i);
-            let Some(idx) = due else { break };
-            self.resolve_one(idx, obs);
+    fn process_resolutions<O: SimObserver + ?Sized>(&mut self, obs: &mut O) {
+        // Fast path: nothing can resolve yet. `resolve_soonest` may be
+        // stale-low (pointing at a branch that was squashed), which only
+        // costs one wasted scan — it is never stale-high.
+        if self.now < self.resolve_soonest {
+            return;
         }
+        // One scan collects every due entry and the earliest not-yet-due
+        // deadline (the window's next wake-up; resolved entries carry a
+        // `u64::MAX` sentinel). Resolutions fire in (deadline, seq) order —
+        // the queue is in fetch (= seq) order, so sorting (deadline, index)
+        // pairs gives exactly that. No rescan is needed even across
+        // recoveries: a recovery only pops entries *younger* than the
+        // mispredicted branch, deadlines never change, and no entry is
+        // pushed while resolving — so each queued firing stays valid unless
+        // its entry was squashed, which the deadline recheck detects.
+        let mut soonest = u64::MAX;
+        self.due_buf.clear();
+        for (i, &at) in self.resolve_track.iter().enumerate() {
+            if at <= self.now {
+                self.due_buf.push((at, i as u32));
+            } else if at != u64::MAX {
+                soonest = soonest.min(at);
+            }
+        }
+        if self.due_buf.len() > 1 {
+            self.due_buf.sort_unstable();
+        }
+        let mut due_buf = std::mem::take(&mut self.due_buf);
+        for &(at, idx) in &due_buf {
+            let idx = idx as usize;
+            if idx < self.resolve_track.len() && self.resolve_track[idx] == at {
+                self.resolve_one(idx, obs);
+            }
+        }
+        due_buf.clear();
+        self.due_buf = due_buf;
+        // Stale-low is fine (squashed entries may make the true next
+        // deadline later); it costs one wasted scan, never a missed one.
+        self.resolve_soonest = soonest;
     }
 
-    fn resolve_one(&mut self, idx: usize, obs: &mut dyn SimObserver) {
+    fn resolve_one<O: SimObserver + ?Sized>(&mut self, idx: usize, obs: &mut O) {
         let (seq, pc, mispredicted) = {
             let e = &mut self.inflight[idx];
             e.resolved = true;
             e.resolve_cycle = Some(self.now);
             (e.seq, e.pc, e.mispredicted)
         };
+        self.resolve_track[idx] = u64::MAX;
         for est in &mut self.estimators {
             est.on_branch_resolved(mispredicted);
         }
@@ -448,14 +680,16 @@ impl<'p> Simulator<'p> {
 
     /// Rewinds to the checkpoint of the mispredicted branch at `idx`,
     /// squashing everything younger.
-    fn recover(&mut self, idx: usize, obs: &mut dyn SimObserver) {
+    fn recover<O: SimObserver + ?Sized>(&mut self, idx: usize, obs: &mut O) {
         self.stats.recoveries += 1;
         let squashed = (self.inflight.len() - idx - 1) as u32;
 
         // Squash younger branches (they were fetched down the wrong path).
         while self.inflight.len() > idx + 1 {
             let victim = self.inflight.pop_back().expect("victim exists");
+            self.resolve_track.pop_back();
             self.record_outcome(&victim, false, obs);
+            self.est_slab.release(victim.est_slot);
         }
 
         let e = &self.inflight[idx];
@@ -471,8 +705,12 @@ impl<'p> Simulator<'p> {
         // direction.
         self.machine.restore(&e.cp_machine);
         let actual = e.actual_taken;
-        let cp_ghr = e.cp_ghr;
-        self.scoreboard = e.cp_scoreboard;
+        let cp_ghr = e.ghr_at_predict;
+        let sb_mark = e.cp_sb_mark;
+        while self.sb_undo_base + self.sb_undo.len() as u64 > sb_mark {
+            let (r, old) = self.sb_undo.pop_back().expect("sb undo underflow");
+            self.scoreboard[r as usize] = old;
+        }
         let step = self.machine.step_forced(self.program, actual);
         debug_assert!(matches!(
             step,
@@ -519,14 +757,14 @@ impl<'p> Simulator<'p> {
 
     // ---- commit ----------------------------------------------------------
 
-    fn process_commits(&mut self, obs: &mut dyn SimObserver) {
+    fn process_commits<O: SimObserver + ?Sized>(&mut self, obs: &mut O) {
         while self.inflight.front().is_some_and(|e| e.resolved) {
             let head = self.inflight.pop_front().expect("head exists");
+            self.resolve_track.pop_front();
             let correct = !head.mispredicted;
             self.predictor
                 .update(head.pc, head.actual_taken, &head.pred);
-            for (est, &c) in self.estimators.iter_mut().zip(&head.estimates) {
-                let _ = c;
+            for est in self.estimators.iter_mut() {
                 est.update(head.pc, head.ghr_at_predict, &head.pred, correct);
             }
             self.stats.committed_branches += 1;
@@ -534,18 +772,32 @@ impl<'p> Simulator<'p> {
                 self.stats.mispredicted_committed += 1;
             }
             self.record_outcome(&head, true, obs);
-            // The oldest checkpoint is gone; memory undo entries older than
-            // it can never be needed again.
+            self.est_slab.release(head.est_slot);
+            // The oldest checkpoint is gone; undo entries older than it can
+            // never be needed again. Dropped in one bulk drain — commit is
+            // on the per-branch hot path and the entry type is trivial.
+            let n = (head.cp_sb_mark.saturating_sub(self.sb_undo_base) as usize)
+                .min(self.sb_undo.len());
+            if n > 0 {
+                self.sb_undo.drain(..n);
+                self.sb_undo_base += n as u64;
+            }
             self.machine.release(&head.cp_machine);
         }
     }
 
-    fn record_outcome(&mut self, e: &Inflight, committed: bool, obs: &mut dyn SimObserver) {
+    fn record_outcome<O: SimObserver + ?Sized>(
+        &mut self,
+        e: &Inflight,
+        committed: bool,
+        obs: &mut O,
+    ) {
         let correct = !e.mispredicted;
         if e.mispredicted {
             self.stats.mispredicted_all += 1;
         }
-        for (q, &c) in self.quadrants.iter_mut().zip(&e.estimates) {
+        let estimates = self.est_slab.row(e.est_slot);
+        for (q, &c) in self.quadrants.iter_mut().zip(estimates) {
             q.all.record(correct, c);
             if committed {
                 q.committed.record(correct, c);
@@ -576,9 +828,11 @@ impl<'p> Simulator<'p> {
             fetch_cycle: e.fetch_cycle,
             resolve_cycle: e.resolve_cycle,
             ghr: e.ghr_at_predict,
-            estimates: &e.estimates,
+            estimates,
         });
         if self.tracer.enabled() {
+            // Tracing clones the estimate row into the owned event; the
+            // uninstrumented hot path never takes this branch.
             let event = if committed {
                 TraceEvent::Commit {
                     seq: e.seq,
@@ -589,7 +843,7 @@ impl<'p> Simulator<'p> {
                     fetch_cycle: e.fetch_cycle,
                     resolve_cycle: e.resolve_cycle,
                     ghr: e.ghr_at_predict,
-                    estimates: e.estimates.clone(),
+                    estimates: estimates.to_vec(),
                 }
             } else {
                 TraceEvent::Squash {
@@ -601,7 +855,7 @@ impl<'p> Simulator<'p> {
                     fetch_cycle: e.fetch_cycle,
                     resolve_cycle: e.resolve_cycle,
                     ghr: e.ghr_at_predict,
-                    estimates: e.estimates.clone(),
+                    estimates: estimates.to_vec(),
                 }
             };
             self.tracer.record(event);
@@ -624,12 +878,12 @@ impl<'p> Simulator<'p> {
         let lc = self
             .inflight
             .iter()
-            .filter(|e| !e.resolved && e.estimates.first().is_some_and(|c| c.is_low()))
+            .filter(|e| !e.resolved && e.est0_low)
             .count() as u32;
         (lc >= threshold).then_some(lc)
     }
 
-    fn fetch(&mut self, obs: &mut dyn SimObserver) {
+    fn fetch<O: SimObserver + ?Sized>(&mut self, obs: &mut O) {
         if self.now < self.fetch_stall_until {
             return;
         }
@@ -648,7 +902,7 @@ impl<'p> Simulator<'p> {
             return;
         }
         let burst_pc = self.machine.pc();
-        let fetched_before = self.stats.fetched_insts;
+        let arch_before = self.arch_insts;
         // Active eager forks consume half the fetch slots for the
         // alternate paths.
         let mut width = self.cfg.fetch_width;
@@ -657,35 +911,60 @@ impl<'p> Simulator<'p> {
             self.stats.eager_alt_slots += alt as u64;
             width -= alt;
         }
+        // I-cache accesses for a sequential run on one line are batched
+        // into a single counter update at the end of the run (fetch is the
+        // I-cache's only client, so no access can interleave).
+        let mut run_line = u32::MAX;
+        let mut run_hits = 0u64;
+        // `halted` can only flip inside the burst via a `Halt` step, which
+        // already ends it, so one check up front suffices.
+        if self.machine.halted() {
+            return;
+        }
         for _ in 0..width {
-            if self.machine.halted() {
-                break;
-            }
             let pc = self.machine.pc();
-            let Some(&inst) = self.program.inst(pc) else {
+            let Some(&meta) = self.meta.get(pc as usize) else {
                 // Wrong-path PC ran off the program; wait for recovery.
                 break;
             };
-            let access = self.icache.access(pc);
-            if !access.hit {
-                self.fetch_stall_until = self.now + access.latency;
-                break;
+            let line = self.icache.line_of(pc);
+            if line == run_line {
+                // Repeat access to the most recent line: guaranteed hit
+                // (only another access could evict it); account it at the
+                // end of the run.
+                run_hits += 1;
+            } else {
+                if run_hits > 0 {
+                    self.icache.repeat_hits(run_hits);
+                    run_hits = 0;
+                }
+                let access = self.icache.access(pc);
+                run_line = line;
+                if !access.hit {
+                    self.fetch_stall_until = self.now + access.latency;
+                    break;
+                }
             }
 
-            if inst.is_cond_branch() {
+            if meta.class == InstClass::Branch {
                 if self.inflight.len() >= self.cfg.max_unresolved_branches {
                     break;
                 }
-                let redirect = self.fetch_branch(pc, &inst, obs);
+                let redirect = self.fetch_branch(pc, meta, obs);
                 if redirect {
                     break;
                 }
-            } else if !self.fetch_straightline(&inst) {
+            } else if !self.fetch_straightline(meta) {
                 break;
             }
         }
+        if run_hits > 0 {
+            self.icache.repeat_hits(run_hits);
+        }
         if self.tracer.enabled() {
-            let count = (self.stats.fetched_insts - fetched_before) as u32;
+            // Every fetched instruction bumps `arch_insts` exactly once, and
+            // no recovery can run mid-burst.
+            let count = (self.arch_insts - arch_before) as u32;
             if count > 0 {
                 self.tracer.record(TraceEvent::Fetch {
                     cycle: self.now,
@@ -698,19 +977,25 @@ impl<'p> Simulator<'p> {
 
     /// Fetches a conditional branch; returns `true` when fetch must redirect
     /// (predicted taken).
-    fn fetch_branch(&mut self, pc: u32, inst: &Inst, obs: &mut dyn SimObserver) -> bool {
+    fn fetch_branch<O: SimObserver + ?Sized>(
+        &mut self,
+        pc: u32,
+        meta: InstMeta,
+        obs: &mut O,
+    ) -> bool {
         let ghr_val = self.ghr.value();
         let pred = self.predictor.predict(pc, ghr_val);
-        let estimates: Vec<Confidence> = self
-            .estimators
-            .iter_mut()
-            .map(|e| e.estimate(pc, ghr_val, &pred))
-            .collect();
+        let est_slot = self.est_slab.alloc();
+        let row = self.est_slab.row_mut(est_slot);
+        for (e, out) in self.estimators.iter_mut().zip(row.iter_mut()) {
+            *out = e.estimate(pc, ghr_val, &pred);
+        }
+        let est0_low = row.first().is_some_and(|c| c.is_low());
 
         // Eager execution: fork both paths of a low-confidence branch
         // (decided by estimator 0) while fork capacity remains.
         let forked = match self.cfg.eager_max_forks {
-            Some(max) => estimates.first().is_some_and(|c| c.is_low()) && self.active_forks() < max,
+            Some(max) => est0_low && self.active_forks() < max,
             None => false,
         };
         if forked {
@@ -720,29 +1005,29 @@ impl<'p> Simulator<'p> {
         // Checkpoint *before* executing the branch: restoring must land on
         // the branch so the correct direction can be re-executed.
         let cp_machine = self.machine.checkpoint();
-        let cp_scoreboard = self.scoreboard;
+        let cp_sb_mark = self.sb_undo_base + self.sb_undo.len() as u64;
         let cp_arch_insts = self.arch_insts;
         let cp_arch_branches = self.arch_branches;
 
-        let step = self.machine.step_forced(self.program, pred.taken);
+        let step = self.machine.step_decoded(meta.inst, Some(pred.taken));
         let actual_taken = match step {
             Step::Branch { taken, .. } => taken,
             other => unreachable!("branch instruction stepped to {other:?}"),
         };
         let mispredicted = actual_taken != pred.taken;
 
-        let (s1, s2) = inst.srcs();
-        let operands_ready = self.operands_ready(s1, s2);
+        let operands_ready = self.operands_ready(meta.s1, meta.s2);
         let resolve_at = operands_ready + self.cfg.branch_resolve_latency;
 
         let seq = self.branch_seq;
         self.branch_seq += 1;
-        self.stats.fetched_insts += 1;
-        self.stats.fetched_branches += 1;
         self.arch_insts += 1;
         self.arch_branches += 1;
         self.ghr.push(pred.taken);
 
+        self.resolve_soonest = self.resolve_soonest.min(resolve_at);
+
+        let estimates = self.est_slab.row(est_slot);
         obs.on_branch_predicted(&PredictEvent {
             seq,
             pc,
@@ -751,7 +1036,7 @@ impl<'p> Simulator<'p> {
             mispredicted,
             cycle: self.now,
             ghr: ghr_val,
-            estimates: &estimates,
+            estimates,
         });
         if self.tracer.enabled() {
             self.tracer.record(TraceEvent::Predict {
@@ -762,10 +1047,11 @@ impl<'p> Simulator<'p> {
                 actual_taken,
                 mispredicted,
                 ghr: ghr_val,
-                estimates: estimates.clone(),
+                estimates: estimates.to_vec(),
             });
         }
 
+        self.resolve_track.push_back(resolve_at);
         self.inflight.push_back(Inflight {
             seq,
             pc,
@@ -773,14 +1059,14 @@ impl<'p> Simulator<'p> {
             actual_taken,
             mispredicted,
             ghr_at_predict: ghr_val,
-            estimates,
+            est_slot,
+            est0_low,
             cp_machine,
-            cp_scoreboard,
-            cp_ghr: ghr_val,
+            cp_sb_mark,
             cp_arch_insts,
             cp_arch_branches,
             fetch_cycle: self.now,
-            resolve_at,
+
             resolved: false,
             resolve_cycle: None,
             forked,
@@ -790,45 +1076,51 @@ impl<'p> Simulator<'p> {
 
     /// Fetches a non-branch instruction; returns `false` when fetch must
     /// stop for this cycle (control redirect or halt).
-    fn fetch_straightline(&mut self, inst: &Inst) -> bool {
-        let (s1, s2) = inst.srcs();
-        let operands_ready = self.operands_ready(s1, s2);
-        let step = self.machine.step(self.program);
-        self.stats.fetched_insts += 1;
+    fn fetch_straightline(&mut self, meta: InstMeta) -> bool {
+        let operands_ready = self.operands_ready(meta.s1, meta.s2);
+        let step = self.machine.step_decoded(meta.inst, None);
         self.arch_insts += 1;
 
-        let (latency, redirect) = match step {
-            Step::Load { addr } => (self.dcache.access(addr).latency, false),
-            Step::Store { addr } => {
+        let (latency, redirect) = match meta.class {
+            InstClass::Load => {
+                let Step::Load { addr } = step else {
+                    unreachable!("load stepped to {step:?}")
+                };
+                (self.dcache.access(addr).latency, false)
+            }
+            InstClass::Store => {
                 // Stores retire through a store buffer; they cost a D-cache
                 // access but do not stall dependents.
+                let Step::Store { addr } = step else {
+                    unreachable!("store stepped to {step:?}")
+                };
                 let _ = self.dcache.access(addr);
                 (1, false)
             }
-            Step::Alu => (alu_latency(inst), false),
-            Step::Nop => (1, false),
-            Step::Jump { .. } | Step::Ret { .. } => (1, true),
-            Step::Call { .. } => (1, true),
-            Step::Halt => {
+            InstClass::Fixed => (meta.latency as u64, false),
+            InstClass::Redirect => (1, true),
+            InstClass::Halt => {
                 // Counted as fetched; stop the fetch group.
                 return false;
             }
-            Step::Branch { .. } | Step::OutOfRange => {
-                unreachable!("handled before straightline fetch")
-            }
+            InstClass::Branch => unreachable!("handled before straightline fetch"),
         };
-        if let Some(dst) = inst.dst() {
-            self.scoreboard[dst.index()] = operands_ready + latency;
+        if meta.dst != NO_REG {
+            let slot = &mut self.scoreboard[meta.dst as usize];
+            self.sb_undo.push_back((meta.dst, *slot));
+            *slot = operands_ready + latency;
         }
         !redirect
     }
 
-    fn operands_ready(&self, s1: Option<Reg>, s2: Option<Reg>) -> u64 {
-        let mut t = self.now;
-        for s in [s1, s2].into_iter().flatten() {
-            t = t.max(self.scoreboard[s.index()]);
-        }
-        t
+    /// Earliest cycle at which the operands in scoreboard slots `s1`/`s2`
+    /// are ready. [`NO_REG`] indexes the sentinel slot (always 0), so no
+    /// branching on operand presence is needed.
+    #[inline]
+    fn operands_ready(&self, s1: u8, s2: u8) -> u64 {
+        self.now
+            .max(self.scoreboard[s1 as usize])
+            .max(self.scoreboard[s2 as usize])
     }
 }
 

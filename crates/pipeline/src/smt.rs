@@ -349,4 +349,55 @@ mod tests {
         let s = Simulator::new(&a, PipelineConfig::paper(), Box::new(Gshare::new(10)));
         let _ = SmtSimulator::new(vec![s], FetchPolicy::SwitchOnLowConfidence);
     }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = SmtSimulator::new(Vec::new(), FetchPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn max_cycles_cuts_the_run_short() {
+        let a = steady(100_000);
+        let mut smt = SmtSimulator::new(vec![thread(&a), thread(&a)], FetchPolicy::RoundRobin);
+        let stats = smt.run(50);
+        assert_eq!(stats.cycles, 50, "must stop at the cycle budget");
+        assert!(
+            stats.total_committed() < 2 * 100_000,
+            "neither thread can have finished in 50 cycles"
+        );
+    }
+
+    #[test]
+    fn mixed_confidence_gating_favors_the_confident_thread() {
+        // Thread 0 reports every branch low confidence, thread 1 every
+        // branch high confidence. Under SwitchOnLowConfidence the port
+        // yields away from thread 0 after each of its branches but sticks
+        // with thread 1, so the confident thread must finish first even
+        // though both programs are identical.
+        use cestim_core::{AlwaysHigh, AlwaysLow};
+        let p = steady(3000);
+        let mk = |hi: bool| {
+            let mut s = Simulator::new(&p, PipelineConfig::paper(), Box::new(Gshare::new(12)));
+            if hi {
+                s.add_estimator(AlwaysHigh);
+            } else {
+                s.add_estimator(AlwaysLow);
+            }
+            s
+        };
+        let mut smt = SmtSimulator::new(
+            vec![mk(false), mk(true)],
+            FetchPolicy::SwitchOnLowConfidence,
+        );
+        let stats = smt.run(10_000_000);
+        assert_eq!(stats.per_thread[0].committed_branches, 3000);
+        assert_eq!(stats.per_thread[1].committed_branches, 3000);
+        assert!(
+            stats.per_thread[1].cycles < stats.per_thread[0].cycles,
+            "high-confidence thread should finish first: hc {} vs lc {} cycles",
+            stats.per_thread[1].cycles,
+            stats.per_thread[0].cycles
+        );
+    }
 }

@@ -1,0 +1,114 @@
+//! Proves the per-branch hot path performs zero heap allocations.
+//!
+//! Strategy: a counting global allocator wraps `System`; two identically
+//! shaped programs differing only in trip count are simulated (construction
+//! included — warm-up growth of the bounded deques, the estimate slab, and
+//! memory pages is the same for both because the speculation window and the
+//! touched address set are scale-independent). If any allocation happened
+//! per fetched/committed branch, the longer run — ~9× the branches — would
+//! allocate more. Equal counts pin the steady-state loop at zero.
+//!
+//! This binary holds exactly one `#[test]` so no concurrent test thread can
+//! perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+use cestim_bpred::Gshare;
+use cestim_core::Jrs;
+use cestim_isa::{Program, ProgramBuilder, Reg};
+use cestim_pipeline::{PipelineConfig, PipelineStats, Simulator};
+
+/// A loop with an unpredictable branch (LCG bit), loads/stores to a fixed
+/// buffer (exercises the memory undo log), and filler ALU work. Same
+/// instruction count and address footprint at every `n`.
+fn workload(n: i32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_zeroed(16);
+    b.li(Reg::S0, 12345);
+    b.li(Reg::S1, buf as i32);
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, n);
+    let top = b.label();
+    let skip = b.label();
+    b.bind(top);
+    b.muli(Reg::S0, Reg::S0, 1664525);
+    b.addi(Reg::S0, Reg::S0, 1013904223);
+    b.srli(Reg::T2, Reg::S0, 17);
+    b.andi(Reg::T3, Reg::T2, 15);
+    b.add(Reg::T3, Reg::S1, Reg::T3);
+    b.lw(Reg::T4, Reg::T3, 0);
+    b.addi(Reg::T4, Reg::T4, 1);
+    b.sw(Reg::T4, Reg::T3, 0);
+    b.andi(Reg::T2, Reg::T2, 1);
+    b.beqz(Reg::T2, skip);
+    b.addi(Reg::T5, Reg::T5, 1);
+    b.bind(skip);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.blt(Reg::T0, Reg::T1, top);
+    b.halt();
+    b.build().expect("program builds")
+}
+
+/// Allocation calls spent constructing and running one simulation.
+fn measure(program: &Program) -> (u64, PipelineStats) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut sim = Simulator::new(program, PipelineConfig::paper(), Gshare::new(12));
+    sim.add_estimator(Jrs::paper_enhanced());
+    let stats = sim.run_to_completion();
+    (ALLOCS.load(Ordering::Relaxed) - before, stats)
+}
+
+#[test]
+fn committed_branches_allocate_nothing() {
+    let short = workload(1_000);
+    let long = workload(9_000);
+    // Warm-up pass absorbs one-time lazy process state (thread-locals,
+    // stdio) so it cannot masquerade as per-branch traffic.
+    let _ = measure(&short);
+
+    let (alloc_short, stats_short) = measure(&short);
+    let (alloc_long, stats_long) = measure(&long);
+
+    assert!(
+        stats_long.committed_branches >= stats_short.committed_branches + 8_000,
+        "long run must commit far more branches: {} vs {}",
+        stats_long.committed_branches,
+        stats_short.committed_branches
+    );
+    assert!(
+        stats_long.recoveries > stats_short.recoveries,
+        "both runs must exercise misprediction recovery"
+    );
+    assert_eq!(
+        alloc_long,
+        alloc_short,
+        "allocation count must not scale with branch count \
+         ({} extra branches cost {} extra allocations)",
+        stats_long.committed_branches - stats_short.committed_branches,
+        alloc_long as i64 - alloc_short as i64
+    );
+}

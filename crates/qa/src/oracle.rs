@@ -398,7 +398,7 @@ fn check_quadrant(p: &QaProgram) -> Result<(), OracleFailure> {
     sim.add_estimator(Box::new(Jrs::paper_enhanced()));
     sim.add_estimator(Box::new(SaturatingConfidence::selected()));
     sim.add_estimator(Box::new(DistanceEstimator::new(4)));
-    let names = sim.estimator_names();
+    let names = sim.estimator_names().to_vec();
     let stats = sim.run_to_completion();
 
     for (name, q) in names.iter().zip(sim.estimator_quadrants()) {

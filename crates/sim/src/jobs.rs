@@ -318,7 +318,7 @@ impl Job for ExecJob {
                     let mut s = Simulator::new(
                         p,
                         PipelineConfig::paper(),
-                        crate::PredictorKind::Gshare.build(),
+                        crate::PredictorKind::Gshare.build_any(),
                     );
                     s.add_estimator(Box::new(SaturatingConfidence::selected()));
                     s

@@ -66,7 +66,7 @@ pub struct RunOutcome {
 /// per-branch prediction accuracy over the committed stream.
 pub fn collect_profile(cfg: &RunConfig) -> ProfileCollector {
     let w = cfg.workload.build_salted(cfg.scale, cfg.input_salt);
-    let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build());
+    let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build_any());
     let mut obs = ProfileObserver::new();
     sim.run(&mut obs);
     obs.into_collector()
@@ -128,9 +128,9 @@ pub fn run_instrumented(
         .any(EstimatorSpec::needs_profile)
         .then(|| collect_profile(cfg));
     let w = cfg.workload.build_salted(cfg.scale, cfg.input_salt);
-    let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build());
+    let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build_any());
     for spec in specs {
-        sim.add_estimator(spec.build(own_profile.as_ref()));
+        sim.add_estimator(spec.build_any(own_profile.as_ref()));
     }
     sim.set_tracer(tracer);
     sim.set_profiling(true);
@@ -188,9 +188,9 @@ fn run_inner(
     };
     let profile = profile_override.or(own_profile.as_ref());
     let w = cfg.workload.build_salted(cfg.scale, cfg.input_salt);
-    let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build());
+    let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build_any());
     for spec in specs {
-        sim.add_estimator(spec.build(profile));
+        sim.add_estimator(spec.build_any(profile));
     }
     let stats = sim.run(obs);
     let estimators = specs

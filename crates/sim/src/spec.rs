@@ -1,10 +1,10 @@
 //! Declarative predictor and estimator specifications.
 
-use cestim_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, SAg};
+use cestim_bpred::{AnyPredictor, Bimodal, BranchPredictor, Gshare, McFarling, SAg};
 use cestim_core::tune::{tune, tuning_frontier, TuneTarget};
 use cestim_core::{
-    AlwaysHigh, AlwaysLow, Boosted, Cir, ConfidenceEstimator, DistanceEstimator, Jrs, JrsCombining,
-    PatternHistory, ProfileCollector, SaturatingConfidence, SaturatingVariant,
+    AlwaysHigh, AlwaysLow, AnyEstimator, Boosted, Cir, ConfidenceEstimator, DistanceEstimator, Jrs,
+    JrsCombining, PatternHistory, ProfileCollector, SaturatingConfidence, SaturatingVariant,
 };
 use serde::{Deserialize, Serialize};
 
@@ -53,13 +53,26 @@ impl PredictorKind {
         .find(|p| p.name() == name)
     }
 
-    /// Builds the predictor in the paper's configuration.
+    /// Builds the predictor in the paper's configuration as a trait object
+    /// (compatibility shim; prefer [`build_any`](PredictorKind::build_any)
+    /// on simulation hot paths).
     pub fn build(self) -> Box<dyn BranchPredictor> {
         match self {
             PredictorKind::Gshare => Box::new(Gshare::new(12)),
             PredictorKind::McFarling => Box::new(McFarling::new(12)),
             PredictorKind::SAg => Box::new(SAg::paper_config()),
             PredictorKind::Bimodal => Box::new(Bimodal::new(10)),
+        }
+    }
+
+    /// Builds the predictor in the paper's configuration with enum-based
+    /// static dispatch (no virtual calls on the simulator hot path).
+    pub fn build_any(self) -> AnyPredictor {
+        match self {
+            PredictorKind::Gshare => Gshare::new(12).into(),
+            PredictorKind::McFarling => McFarling::new(12).into(),
+            PredictorKind::SAg => SAg::paper_config().into(),
+            PredictorKind::Bimodal => Bimodal::new(10).into(),
         }
     }
 
@@ -232,7 +245,71 @@ impl EstimatorSpec {
         }
     }
 
-    /// Builds the estimator. `profile` must be `Some` for specs where
+    /// Builds the estimator with enum-based static dispatch (no virtual
+    /// calls on the simulator hot path). `profile` must be `Some` for specs
+    /// where [`needs_profile`](EstimatorSpec::needs_profile) is true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a profile-needing spec is built without a profile.
+    pub fn build_any(&self, profile: Option<&ProfileCollector>) -> AnyEstimator {
+        match self {
+            EstimatorSpec::Jrs {
+                index_bits,
+                threshold,
+                enhanced,
+            } => Jrs::new(*index_bits, 4, *threshold, *enhanced).into(),
+            EstimatorSpec::SatCtr { variant } => {
+                SaturatingConfidence::new((*variant).into()).into()
+            }
+            EstimatorSpec::Pattern { width } => PatternHistory::new(*width).into(),
+            EstimatorSpec::Static { threshold } => {
+                let p = profile.expect("static estimator requires a profiling pass");
+                p.make_estimator(*threshold).into()
+            }
+            EstimatorSpec::Distance { threshold } => DistanceEstimator::new(*threshold).into(),
+            EstimatorSpec::Cir {
+                index_bits,
+                width,
+                threshold,
+                enhanced,
+            } => Cir::new(*index_bits, *width, *threshold, *enhanced).into(),
+            EstimatorSpec::JrsMcFarling {
+                index_bits,
+                threshold,
+            } => JrsCombining::new(*index_bits, *threshold).into(),
+            EstimatorSpec::StaticTuned { target } => {
+                let p = profile.expect("tuned static estimator requires a profiling pass");
+                match tune(p, (*target).into()) {
+                    Some((est, _)) => est.into(),
+                    None => {
+                        // Unreachable PVN target: fall back to the highest-
+                        // PVN point on the frontier (smallest useful LC set).
+                        let best = tuning_frontier(p)
+                            .into_iter()
+                            .filter(|pt| pt.predicted.c_lc + pt.predicted.i_lc > 0)
+                            .max_by(|a, b| {
+                                a.predicted
+                                    .pvn()
+                                    .partial_cmp(&b.predicted.pvn())
+                                    .expect("pvn is finite")
+                            })
+                            .expect("profile has at least one site");
+                        p.make_estimator(best.threshold).into()
+                    }
+                }
+            }
+            EstimatorSpec::Boosted { inner, k } => {
+                Boosted::new(inner.build_any(profile), *k).into()
+            }
+            EstimatorSpec::AlwaysHigh => AlwaysHigh.into(),
+            EstimatorSpec::AlwaysLow => AlwaysLow.into(),
+        }
+    }
+
+    /// Builds the estimator as a trait object (compatibility shim; prefer
+    /// [`build_any`](EstimatorSpec::build_any) on simulation hot paths).
+    /// `profile` must be `Some` for specs where
     /// [`needs_profile`](EstimatorSpec::needs_profile) is true.
     ///
     /// # Panics

@@ -123,9 +123,9 @@ fn cmd_run(argv: impl Iterator<Item = String>) -> ExitCode {
         };
         cestim::run(&cfg, &args.estimators)
     } else {
-        let mut sim = Simulator::new(&program, pipeline, args.predictor.build());
+        let mut sim = Simulator::new(&program, pipeline, args.predictor.build_any());
         for spec in &args.estimators {
-            sim.add_estimator(spec.build(None));
+            sim.add_estimator(spec.build_any(None));
         }
         let stats = sim.run_to_completion();
         cestim::RunOutcome {

@@ -1,0 +1,87 @@
+//! Golden snapshots of the eight workload analogs: final `CHECKSUM_REG`
+//! value, dynamic branch count, and dynamic instruction count at two
+//! scales, committed under `tests/golden/workloads.txt`. The branch stream
+//! feeds every predictor and estimator in the study — a dispatch or
+//! interpreter rewrite that silently changes it would invalidate all
+//! downstream numbers, so any drift must fail loudly here.
+//!
+//! To refresh after an *intentional* workload change:
+//!
+//! ```text
+//! cargo test --test golden -- --ignored regenerate_golden_snapshots
+//! ```
+//!
+//! then review the diff of `tests/golden/workloads.txt` like any other
+//! code change.
+
+use cestim_isa::{Machine, Step};
+use cestim_workloads::{WorkloadKind, CHECKSUM_REG};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const SCALES: [u32; 2] = [1, 2];
+const STEP_LIMIT: u64 = 200_000_000;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/workloads.txt")
+}
+
+/// Functionally executes one workload, returning
+/// `(checksum, dynamic_branches, dynamic_insts)`.
+fn execute(kind: WorkloadKind, scale: u32) -> (u32, u64, u64) {
+    let w = kind.build(scale);
+    let mut m = Machine::new(&w.program);
+    let mut branches = 0u64;
+    let mut insts = 0u64;
+    while !m.halted() {
+        assert!(insts < STEP_LIMIT, "{kind} scale {scale} did not halt");
+        if matches!(m.step(&w.program), Step::Branch { .. }) {
+            branches += 1;
+        }
+        insts += 1;
+    }
+    (m.reg(CHECKSUM_REG), branches, insts)
+}
+
+fn render() -> String {
+    let mut out = String::from(
+        "# workload scale checksum dynamic_branches dynamic_insts\n\
+         # regenerate: cargo test --test golden -- --ignored regenerate_golden_snapshots\n",
+    );
+    for kind in WorkloadKind::all() {
+        for scale in SCALES {
+            let (checksum, branches, insts) = execute(kind, scale);
+            writeln!(
+                out,
+                "{} {} {:#010x} {} {}",
+                kind.name(),
+                scale,
+                checksum,
+                branches,
+                insts
+            )
+            .expect("write to string");
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_snapshots_match() {
+    let expected = std::fs::read_to_string(golden_path())
+        .expect("tests/golden/workloads.txt missing — run the regenerate test");
+    let actual = render();
+    assert_eq!(
+        actual, expected,
+        "workload branch streams drifted from the committed golden snapshot; \
+         if the change is intentional, regenerate (see file header) and review"
+    );
+}
+
+#[test]
+#[ignore = "rewrites the golden file; run explicitly after intentional workload changes"]
+fn regenerate_golden_snapshots() {
+    let path = golden_path();
+    std::fs::create_dir_all(path.parent().expect("parent dir")).expect("mkdir");
+    std::fs::write(&path, render()).expect("write golden file");
+}
