@@ -4,6 +4,7 @@
 //! fuzz [--seed N] [--iters N] [--time-budget SECS] [--oracle NAME|all]
 //!      [--out DIR] [--corpus DIR|none] [--fault N] [--expect-failure]
 //!      [--max-failures N] [--shrink-budget N]
+//!      [--trace-perfetto FILE] [--prom-out FILE]
 //! ```
 //!
 //! Each iteration draws a valid-by-construction random program from the
@@ -24,7 +25,13 @@
 //! Every run writes `<out>/telemetry.json` containing the deterministic
 //! fuzz report plus the `qa.*` metric snapshot — same seed, same bytes
 //! (when no `--time-budget` is set).
+//!
+//! `--trace-perfetto FILE` records causal spans for every simulator pass
+//! the oracles make (under a `fuzz` root span) as Perfetto-loadable JSON;
+//! `--prom-out FILE` writes the `qa.*` metrics as Prometheus text
+//! exposition. See `docs/OBSERVABILITY.md`.
 
+use cestim_obs::span2::{self, SpanCollector, SpanId};
 use cestim_obs::Registry;
 use cestim_qa::{FaultSpec, FuzzConfig, OracleKind};
 use std::path::PathBuf;
@@ -35,6 +42,8 @@ struct Args {
     cfg: FuzzConfig,
     out: PathBuf,
     expect_failure: bool,
+    trace_perfetto: Option<PathBuf>,
+    prom_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -42,6 +51,7 @@ fn usage() -> ! {
         "usage: fuzz [--seed N] [--iters N] [--time-budget SECS] [--oracle NAME|all]\n\
          \x20           [--out DIR] [--corpus DIR|none] [--fault N] [--expect-failure]\n\
          \x20           [--max-failures N] [--shrink-budget N]\n\
+         \x20           [--trace-perfetto FILE] [--prom-out FILE]\n\
          oracles: {} all | resilience (opt-in, not part of `all`)",
         OracleKind::ALL.map(|k| k.name()).join(" ")
     );
@@ -58,6 +68,8 @@ fn parse_args() -> Args {
     let mut corpus: Option<Option<PathBuf>> = None;
     let mut oracles = Vec::new();
     let mut expect_failure = false;
+    let mut trace_perfetto = None;
+    let mut prom_out = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -88,6 +100,12 @@ fn parse_args() -> Args {
                 None => usage(),
             },
             "--expect-failure" => expect_failure = true,
+            "--trace-perfetto" => {
+                trace_perfetto = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--prom-out" => {
+                prom_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
             _ => usage(),
         }
     }
@@ -104,12 +122,26 @@ fn parse_args() -> Args {
         cfg,
         out,
         expect_failure,
+        trace_perfetto,
+        prom_out,
     }
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
     let registry = Registry::new();
+    // With a Perfetto sink requested, every simulator pass an oracle makes
+    // records causal spans under one `fuzz` root.
+    let spans = if args.trace_perfetto.is_some() {
+        SpanCollector::new()
+    } else {
+        SpanCollector::disabled()
+    };
+    let mut span_buf = spans.buffer("main");
+    let root_span = span_buf.open("fuzz", SpanId::NONE, &[]);
+    let ambient = spans
+        .enabled()
+        .then(|| span2::set_ambient(&spans, root_span.id(), "main"));
     let report = match cestim_qa::run_fuzz(&args.cfg, &registry) {
         Ok(report) => report,
         Err(e) => {
@@ -117,6 +149,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    drop(ambient);
+    span_buf.close(root_span);
+    span_buf.flush();
+    if let Some(path) = &args.trace_perfetto {
+        match cestim_bench::write_perfetto(path, &spans.drain()) {
+            Ok(n) => println!("[perfetto: {n} spans -> {}]", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write perfetto trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.prom_out {
+        match cestim_bench::write_prometheus(path, &registry.snapshot()) {
+            Ok(()) => println!("[prometheus -> {}]", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write prometheus exposition: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     println!(
         "fuzz: seed={} iterations={}{}",

@@ -43,6 +43,19 @@
 //!   journaled jobs inside unfinished experiments are answered from the
 //!   warm cache (counted in `exec.jobs_resumed`).
 //!
+//! Causal span telemetry (see `docs/OBSERVABILITY.md`):
+//!
+//! * `--trace-perfetto FILE` — record causal spans across the whole
+//!   invocation (executor batches, per-job spans with cache keys, retry
+//!   attempts with fault provenance, cache probes/stores, journal
+//!   appends, simulator phases) and write a Perfetto-loadable Chrome
+//!   `trace_event` JSON file at exit.
+//! * `--prom-out FILE` — write the executor's metrics as Prometheus text
+//!   exposition at exit.
+//! * `--monitor` — redraw a live ANSI status block on stderr (jobs,
+//!   queue depth, cache hit-rate, retries, latency quantiles) while the
+//!   suite runs.
+//!
 //! Any of `--trace-out`, `--metrics-out`, `--obs-summary` additionally run
 //! one fully instrumented pipeline pass (default workload `compress`,
 //! gshare predictor, the paper estimator set):
@@ -62,7 +75,9 @@ use cestim_exec::{
     default_workers, install_quiet_panic_hook, CachePolicy, Executor, FaultPlan, RetryPolicy,
     RunJournal,
 };
-use cestim_obs::{render_timing_table, PhaseProfiler, Registry, Span, Tracer};
+use cestim_obs::monitor::RunMonitor;
+use cestim_obs::span2::{self, SpanCollector, SpanId};
+use cestim_obs::{render_timing_table, MetricValue, PhaseProfiler, Registry, Span, Tracer};
 use cestim_pipeline::NullObserver;
 use cestim_sim::{run_instrumented, suite, EstimatorSpec, PredictorKind, RunConfig};
 use cestim_workloads::WorkloadKind;
@@ -88,6 +103,9 @@ struct Args {
     retries: Option<u32>,
     deadline_ms: Option<u64>,
     resume: bool,
+    trace_perfetto: Option<PathBuf>,
+    prom_out: Option<PathBuf>,
+    monitor: bool,
 }
 
 impl Args {
@@ -112,6 +130,7 @@ fn usage() -> ! {
          \x20            [--cache-dir DIR] [--workload NAME] [--trace-out FILE]\n\
          \x20            [--metrics-out FILE] [--obs-summary] [--qa-replay DIR]\n\
          \x20            [--retries N] [--deadline-ms N] [--fault SPEC] [--resume]\n\
+         \x20            [--trace-perfetto FILE] [--prom-out FILE] [--monitor]\n\
          \x20            <experiment>... | all | --list\n\
          fault spec:  panic:N | slow:N:MS | io:N (comma-separated)\n\
          experiments: {}\n\
@@ -144,6 +163,9 @@ fn parse_args() -> Args {
         retries: None,
         deadline_ms: None,
         resume: false,
+        trace_perfetto: None,
+        prom_out: None,
+        monitor: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -205,6 +227,13 @@ fn parse_args() -> Args {
                 );
             }
             "--resume" => args.resume = true,
+            "--trace-perfetto" => {
+                args.trace_perfetto = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--prom-out" => {
+                args.prom_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--monitor" => args.monitor = true,
             "--list" => {
                 for id in suite::all_ids() {
                     println!("{id}");
@@ -397,8 +426,21 @@ fn run_qa_replay(dir: &Path, failed_ids: &mut Vec<String>) -> serde_json::Value 
 fn main() -> ExitCode {
     install_quiet_panic_hook();
     let args = parse_args();
+    // Span tracing is off (and near-free) unless a Perfetto sink was
+    // requested; when on, the whole invocation becomes one causal tree
+    // under a `repro` root span.
+    let spans = if args.trace_perfetto.is_some() {
+        SpanCollector::new()
+    } else {
+        SpanCollector::disabled()
+    };
+    let mut root_buf = spans.buffer("main");
+    let root_span = root_buf.open("repro", SpanId::NONE, &[]);
+    let ambient = spans
+        .enabled()
+        .then(|| span2::set_ambient(&spans, root_span.id(), "main"));
     let mut exec = match build_executor(&args) {
-        Ok(exec) => exec,
+        Ok(exec) => exec.with_spans(&spans),
         Err(e) => {
             eprintln!("error: failed to open result cache: {e}");
             return ExitCode::FAILURE;
@@ -420,6 +462,9 @@ fn main() -> ExitCode {
     if let Some(j) = &journal {
         exec = exec.with_journal(Arc::clone(j));
     }
+    let monitor = args
+        .monitor
+        .then(|| RunMonitor::start(exec.registry(), Duration::from_millis(200)));
 
     let mut failed_ids = Vec::new();
     let mut failures: Vec<suite::ExperimentFailure> = Vec::new();
@@ -476,6 +521,9 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(m) = monitor {
+        m.stop();
+    }
     let report = exec.report();
     if !args.ids.is_empty() {
         println!(
@@ -504,6 +552,17 @@ fn main() -> ExitCode {
                 report.jobs_resumed,
                 report.cache_store_errors,
             );
+        }
+        if let Some(MetricValue::Histogram(h)) = exec.registry().snapshot().get("exec.job.nanos") {
+            if h.count > 0 {
+                use cestim_obs::monitor::fmt_nanos;
+                println!(
+                    "[job time: p50 {}, p95 {}, p99 {}]",
+                    fmt_nanos(h.quantile(0.50)),
+                    fmt_nanos(h.quantile(0.95)),
+                    fmt_nanos(h.quantile(0.99)),
+                );
+            }
         }
     }
 
@@ -537,6 +596,28 @@ fn main() -> ExitCode {
     if let Err(e) = cestim_bench::write_telemetry(&args.out, &telemetry) {
         eprintln!("error: failed to write telemetry: {e}");
         failed_ids.push("<telemetry>".to_string());
+    }
+
+    drop(ambient);
+    root_buf.close(root_span);
+    root_buf.flush();
+    if let Some(path) = &args.trace_perfetto {
+        match cestim_bench::write_perfetto(path, &spans.drain()) {
+            Ok(n) => println!("[perfetto: {n} spans -> {}]", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write perfetto trace: {e}");
+                failed_ids.push("<perfetto>".to_string());
+            }
+        }
+    }
+    if let Some(path) = &args.prom_out {
+        match cestim_bench::write_prometheus(path, &exec.registry().snapshot()) {
+            Ok(()) => println!("[prometheus -> {}]", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write prometheus exposition: {e}");
+                failed_ids.push("<prometheus>".to_string());
+            }
+        }
     }
 
     if failed_ids.is_empty() {

@@ -32,6 +32,14 @@
 //! * `--trace-out` / `--metrics-out` / `--obs-summary` — run one extra
 //!   *instrumented* pass per workload and export its trace/metrics/phase
 //!   table; the timed reps always run uninstrumented.
+//! * `--trace-perfetto FILE` / `--prom-out FILE` — causal span trace
+//!   (Perfetto/Chrome `trace_event` JSON) and Prometheus text exposition
+//!   from the instrumented pass (see `docs/OBSERVABILITY.md`).
+//! * `--overhead` — measure the tracing A/B overhead cell (interleaved
+//!   tracing-off/tracing-on passes of compress × gshare) and record it
+//!   in the trajectory entry under `overhead`.
+//! * `--overhead-max PCT` — implies `--overhead`; exit non-zero when the
+//!   traced arm's median slowdown exceeds `PCT` percent.
 //!
 //! `--bench` instead times experiment regeneration through the
 //! `cestim-exec` engine — serial versus `--jobs N` (cache-cold) versus
@@ -45,6 +53,7 @@
 //! * `--experiments a,b,c` — subset of experiment ids (default: all).
 
 use cestim_exec::{default_workers, CachePolicy, Executor};
+use cestim_obs::span2::{self, SpanCollector, SpanId};
 use cestim_obs::{render_timing_table, Registry, TraceWriter, Tracer};
 use cestim_pipeline::{PipelineConfig, PipelineStats, Simulator};
 use cestim_sim::{suite, PredictorKind};
@@ -76,6 +85,10 @@ struct Args {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     obs_summary: bool,
+    trace_perfetto: Option<PathBuf>,
+    prom_out: Option<PathBuf>,
+    overhead: bool,
+    overhead_max: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -83,6 +96,8 @@ fn usage() -> ! {
         "usage: speed [scale] [--reps N] [--warmup N] [--predictors a,b] [--json FILE]\n\
          \x20             [--note TEXT] [--check BASELINE.json] [--tolerance PCT]\n\
          \x20             [--trace-out FILE] [--metrics-out FILE] [--obs-summary]\n\
+         \x20             [--trace-perfetto FILE] [--prom-out FILE]\n\
+         \x20             [--overhead] [--overhead-max PCT]\n\
          \x20      speed [scale] --bench [--jobs N] [--out DIR] [--experiments id,id,...]"
     );
     std::process::exit(2);
@@ -105,6 +120,10 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         obs_summary: false,
+        trace_perfetto: None,
+        prom_out: None,
+        overhead: false,
+        overhead_max: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -165,6 +184,22 @@ fn parse_args() -> Args {
                 args.metrics_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
             }
             "--obs-summary" => args.obs_summary = true,
+            "--trace-perfetto" => {
+                args.trace_perfetto = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--prom-out" => {
+                args.prom_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--overhead" => args.overhead = true,
+            "--overhead-max" => {
+                args.overhead = true;
+                args.overhead_max = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&t: &f64| t.is_finite() && t >= 0.0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "-h" | "--help" => usage(),
             other => match other.parse() {
                 Ok(scale) => args.scale = scale,
@@ -377,6 +412,70 @@ fn measure_cell(
     })
 }
 
+/// One pass of the overhead cell: the compress workload on gshare, with
+/// span tracing either absent (`spans: None` — the production default,
+/// every instrumentation point short-circuits on a disabled check) or
+/// fully on (ambient context + phase profiling + span collection).
+fn overhead_pass(program: &cestim_isa::Program, spans: Option<&SpanCollector>) -> f64 {
+    let t = Instant::now();
+    let mut sim = Simulator::new(
+        program,
+        PipelineConfig::paper(),
+        PredictorKind::Gshare.build_any(),
+    );
+    sim.add_estimator(cestim_core::Jrs::paper_enhanced());
+    let _ambient = spans.map(|c| span2::set_ambient(c, SpanId::NONE, "main"));
+    if spans.is_some() {
+        sim.set_profiling(true);
+    }
+    let stats = sim.run_to_completion();
+    let dt = t.elapsed().as_secs_f64();
+    stats.committed_branches as f64 / dt.max(1e-12)
+}
+
+/// The tracing A/B overhead cell: interleaved off/on passes of the same
+/// workload, reporting median branches/sec for both arms and the relative
+/// slowdown of the traced arm. Interleaving (off, on, off, on, ...)
+/// instead of batching keeps slow thermal/cache drift out of the A−B
+/// difference.
+fn measure_overhead(scale: u32, warmup: u32, reps: u32) -> Value {
+    let w = WorkloadKind::Compress.build(scale);
+    let spans = SpanCollector::new();
+    for _ in 0..warmup {
+        let _ = overhead_pass(&w.program, None);
+        let _ = overhead_pass(&w.program, Some(&spans));
+        let _ = spans.drain();
+    }
+    let mut off = Vec::with_capacity(reps as usize);
+    let mut on = Vec::with_capacity(reps as usize);
+    let mut span_count = 0usize;
+    for _ in 0..reps {
+        off.push(overhead_pass(&w.program, None));
+        on.push(overhead_pass(&w.program, Some(&spans)));
+        span_count = spans.drain().len();
+    }
+    let med_off = median(&mut off.clone());
+    let med_on = median(&mut on.clone());
+    let on_overhead_pct = 100.0 * (med_off / med_on.max(1e-12) - 1.0);
+    println!(
+        "overhead   compress   gshare     off={:8.3} Mbr/s  on={:8.3} Mbr/s  \
+         traced-run overhead {:+.2}% ({span_count} spans/run)",
+        med_off / 1e6,
+        med_on / 1e6,
+        on_overhead_pct,
+    );
+    json!({
+        "workload": "compress",
+        "predictor": "gshare",
+        "off_median_bps": med_off,
+        "off_mad_bps": mad(&off, med_off),
+        "on_median_bps": med_on,
+        "on_mad_bps": mad(&on, med_on),
+        "on_overhead_pct": on_overhead_pct,
+        "spans_per_run": span_count,
+    })
+}
+
 /// One optional *instrumented* pass per workload, for `--trace-out`,
 /// `--metrics-out`, and `--obs-summary`. Kept out of the timed reps so
 /// instrumentation cost never pollutes the recorded figures.
@@ -393,6 +492,11 @@ fn run_instrumented(args: &Args) -> std::io::Result<()> {
         }
         None => None,
     };
+    let spans = if args.trace_perfetto.is_some() {
+        SpanCollector::new()
+    } else {
+        SpanCollector::disabled()
+    };
     let scale_label = args.scale.to_string();
     for k in WorkloadKind::all() {
         let w = k.build(args.scale);
@@ -405,16 +509,28 @@ fn run_instrumented(args: &Args) -> std::io::Result<()> {
         if trace_writer.is_some() {
             sim.set_tracer(Tracer::unbounded());
         }
-        if args.obs_summary {
+        if args.obs_summary || spans.enabled() {
             sim.set_profiling(true);
         }
-        let _ = sim.run_to_completion();
+        {
+            let mut buf = spans.buffer("main");
+            let mut root = buf.open("speed.workload", SpanId::NONE, &[]);
+            if root.id().is_some() {
+                root.label("workload", k.name());
+            }
+            let _ambient = spans
+                .enabled()
+                .then(|| span2::set_ambient(&spans, root.id(), "main"));
+            let _ = sim.run_to_completion();
+            drop(_ambient);
+            buf.close(root);
+        }
         if let Some(writer) = &mut trace_writer {
             for ev in sim.tracer().events() {
                 writer.write(ev)?;
             }
         }
-        if args.metrics_out.is_some() {
+        if args.metrics_out.is_some() || args.prom_out.is_some() {
             sim.export_metrics(
                 &registry,
                 &[
@@ -428,6 +544,14 @@ fn run_instrumented(args: &Args) -> std::io::Result<()> {
             println!("-- {} --", k.name());
             print!("{}", render_timing_table(&sim.phase_timings()));
         }
+    }
+    if let Some(path) = &args.trace_perfetto {
+        let n = cestim_bench::write_perfetto(path, &spans.drain())?;
+        println!("[perfetto: {n} spans -> {}]", path.display());
+    }
+    if let Some(path) = &args.prom_out {
+        cestim_bench::write_prometheus(path, &registry.snapshot())?;
+        println!("[prometheus -> {}]", path.display());
     }
     if let Some(writer) = trace_writer {
         let n = writer.written();
@@ -589,6 +713,10 @@ fn run_speed(args: &Args) -> std::io::Result<()> {
         total_ips / 1e6
     );
 
+    let overhead = args
+        .overhead
+        .then(|| measure_overhead(args.scale, args.warmup, args.reps));
+
     let timestamp = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -600,10 +728,16 @@ fn run_speed(args: &Args) -> std::io::Result<()> {
         "warmup": args.warmup,
         "note": args.note,
         "cells": cells,
+        "overhead": overhead,
         "totals": { "median_bps_sum": total_bps, "median_ips_sum": total_ips },
     });
 
-    if args.trace_out.is_some() || args.metrics_out.is_some() || args.obs_summary {
+    if args.trace_out.is_some()
+        || args.metrics_out.is_some()
+        || args.obs_summary
+        || args.trace_perfetto.is_some()
+        || args.prom_out.is_some()
+    {
         run_instrumented(args)?;
     }
 
@@ -618,6 +752,18 @@ fn run_speed(args: &Args) -> std::io::Result<()> {
             return Err(std::io::Error::other(format!(
                 "{regressed} cell(s) regressed beyond {}% tolerance",
                 args.tolerance
+            )));
+        }
+    }
+
+    if let (Some(max), Some(cell)) = (args.overhead_max, run["overhead"].as_object()) {
+        let pct = cell
+            .get("on_overhead_pct")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::INFINITY);
+        if pct > max {
+            return Err(std::io::Error::other(format!(
+                "traced-run overhead {pct:.2}% exceeds --overhead-max {max}%"
             )));
         }
     }

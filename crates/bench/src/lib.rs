@@ -91,6 +91,39 @@ pub fn write_bench(dir: &Path, bench: &serde_json::Value) -> std::io::Result<()>
     std::fs::write(dir.join("bench.json"), serde_json::to_string_pretty(bench)?)
 }
 
+/// Writes drained span records as a Perfetto-loadable Chrome
+/// `trace_event` JSON file; returns the span count.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_perfetto(
+    path: &Path,
+    spans: &[cestim_obs::span2::SpanRecord],
+) -> std::io::Result<usize> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    cestim_obs::export::write_perfetto(spans, &mut w)?;
+    w.flush()?;
+    Ok(spans.len())
+}
+
+/// Writes a metrics snapshot in Prometheus text exposition format.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_prometheus(path: &Path, snapshot: &MetricsSnapshot) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    cestim_obs::export::write_prometheus(snapshot, &mut w)?;
+    w.flush()
+}
+
 /// Renders the key derived rates of one run as an aligned text block,
 /// using [`PipelineStats`]' rate helpers.
 pub fn stats_summary(stats: &PipelineStats) -> String {
@@ -166,6 +199,31 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(dir.join("bench.json")).unwrap())
                 .unwrap();
         assert!(b.get("speedup").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_writers_land_on_disk() {
+        let dir = std::env::temp_dir().join("cestim-bench-telemetry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let collector = cestim_obs::span2::SpanCollector::new();
+        let mut buf = collector.buffer("main");
+        let span = buf.open("root", cestim_obs::span2::SpanId::NONE, &[]);
+        buf.close(span);
+        buf.flush();
+        let spans = collector.drain();
+        assert_eq!(write_perfetto(&dir.join("trace.json"), &spans).unwrap(), 1);
+        let j: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("trace.json")).unwrap())
+                .unwrap();
+        assert!(j["traceEvents"].as_array().is_some());
+
+        let reg = cestim_obs::Registry::new();
+        reg.counter("exec.jobs.submitted", &[]).add(2);
+        write_prometheus(&dir.join("metrics.prom"), &reg.snapshot()).unwrap();
+        let text = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(text.contains("# TYPE exec_jobs_submitted counter"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

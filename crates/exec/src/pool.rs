@@ -24,6 +24,7 @@ use crate::fault::FaultPlan;
 use crate::journal::RunJournal;
 use crate::key::CacheKey;
 use crate::retry::RetryPolicy;
+use cestim_obs::span2::{self, OpenSpan, SpanBuffer, SpanCollector, SpanId};
 use cestim_obs::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize, Value};
 use std::cell::Cell;
@@ -176,6 +177,28 @@ pub fn install_quiet_panic_hook() {
     });
 }
 
+/// The `outcome` label for a finished job span.
+fn job_outcome<T>(res: &Result<T, JobError>) -> &'static str {
+    match res {
+        Ok(_) => "ok",
+        Err(e) => e.kind.outcome(),
+    }
+}
+
+/// Caps a panic message for use as a span label (labels travel into
+/// exported traces; a page-long backtrace would bloat them).
+fn truncate_message(msg: &str) -> String {
+    const MAX: usize = 160;
+    if msg.len() <= MAX {
+        return msg.to_string();
+    }
+    let cut = (0..=MAX)
+        .rev()
+        .find(|&i| msg.is_char_boundary(i))
+        .unwrap_or(0);
+    format!("{}…", &msg[..cut])
+}
+
 fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -246,6 +269,12 @@ pub struct Executor {
     /// regardless of worker interleaving.
     fault_seq: AtomicU64,
     registry: Registry,
+    /// Causal span sink (disabled by default): when enabled via
+    /// [`Executor::with_spans`], every batch emits a root span with
+    /// per-job / queue-wait / attempt / cache / journal / watchdog
+    /// children, and job bodies run under an ambient span context so
+    /// simulator-level spans nest underneath their attempt.
+    spans: SpanCollector,
     submitted: Counter,
     hits: Counter,
     executed: Counter,
@@ -255,6 +284,7 @@ pub struct Executor {
     jobs_resumed: Counter,
     store_errors: Counter,
     queue_depth: Gauge,
+    inflight: Gauge,
     job_nanos: Histogram,
     attempts_hist: Histogram,
 }
@@ -293,6 +323,7 @@ impl Executor {
         e.deadline = self.deadline;
         e.fault = self.fault;
         e.journal = self.journal;
+        e.spans = self.spans;
         Ok(e)
     }
 
@@ -303,7 +334,22 @@ impl Executor {
         e.deadline = self.deadline;
         e.fault = self.fault;
         e.journal = self.journal;
+        e.spans = self.spans;
         e
+    }
+
+    /// Records causal spans into `spans` (pass an enabled
+    /// [`SpanCollector`]; the default is disabled, which costs one branch
+    /// per instrumentation point).
+    pub fn with_spans(mut self, spans: &SpanCollector) -> Executor {
+        self.spans = spans.clone();
+        self
+    }
+
+    /// The span collector this executor records into (disabled unless
+    /// configured with [`Executor::with_spans`]).
+    pub fn spans(&self) -> &SpanCollector {
+        &self.spans
     }
 
     /// Sets the retry policy for failed job attempts.
@@ -347,6 +393,7 @@ impl Executor {
             fault: FaultPlan::none(),
             journal: None,
             fault_seq: AtomicU64::new(0),
+            spans: SpanCollector::disabled(),
             submitted: registry.counter("exec.jobs.submitted", &[]),
             hits: registry.counter("exec.jobs.cache_hits", &[]),
             executed: registry.counter("exec.jobs.executed", &[]),
@@ -356,6 +403,7 @@ impl Executor {
             jobs_resumed: registry.counter("exec.jobs_resumed", &[]),
             store_errors: registry.counter("exec.cache.store_errors", &[]),
             queue_depth: registry.gauge("exec.queue.depth", &[]),
+            inflight: registry.gauge("exec.jobs.inflight", &[]),
             job_nanos: registry.histogram("exec.job.nanos", &[]),
             attempts_hist: registry.histogram("exec.job.attempts", &[]),
             registry,
@@ -445,11 +493,41 @@ impl Executor {
             .map(|_| self.fault_seq.fetch_add(1, Ordering::Relaxed))
             .collect();
 
+        // Batch root span; per-job spans open at submission on the
+        // calling thread and are closed by whichever thread finishes the
+        // job (handed over through `job_spans`). All of this is inert
+        // when the collector is disabled.
+        let mut mbuf = self.spans.buffer("main");
+        // If the caller installed an ambient context over this collector,
+        // nest the batch under its current span; else it is a root.
+        let batch_parent = if span2::ambient_is(&self.spans) {
+            span2::ambient_handle().1
+        } else {
+            SpanId::NONE
+        };
+        let mut batch_span = mbuf.open("exec.batch", batch_parent, &[]);
+        if batch_span.id().is_some() {
+            batch_span.label("jobs", &jobs.len().to_string());
+        }
+        let batch_id = batch_span.id();
+        let job_spans: Vec<Mutex<Option<OpenSpan>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
         let mut slots: Vec<Option<Result<J::Output, JobError>>> =
             jobs.iter().map(|_| None).collect();
         let mut pending: Vec<usize> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
+            let mut jspan = mbuf.open("exec.job", batch_id, &[]);
+            if jspan.id().is_some() {
+                jspan.label("key", &job.cache_key().id());
+                jspan.label("label", &job.label());
+                jspan.label("seq", &seqs[i].to_string());
+            }
             let io_fault = self.fault.io_fires(seqs[i]);
+            let mut probe = self
+                .cache
+                .as_ref()
+                .map(|_| mbuf.open("exec.cache.probe", jspan.id(), &[]));
             let hit = if self.policy.reads() && !io_fault {
                 self.cache
                     .as_ref()
@@ -457,26 +535,47 @@ impl Executor {
             } else {
                 None
             };
+            if let Some(mut p) = probe.take() {
+                p.label("hit", if hit.is_some() { "true" } else { "false" });
+                mbuf.close(p);
+            }
             match hit {
                 Some(out) => {
                     self.hits.inc();
                     if let Some(journal) = &self.journal {
+                        let jrn = mbuf.open("exec.journal.append", jspan.id(), &[]);
                         let key = job.cache_key().id();
                         if journal.was_job_completed(&key) {
                             self.jobs_resumed.inc();
                         }
                         journal.record_job(&key, &job.label(), 0, "cached");
+                        mbuf.close(jrn);
                     }
+                    jspan.label("outcome", "cached");
+                    mbuf.close(jspan);
                     slots[i] = Some(Ok(out));
                 }
-                None => pending.push(i),
+                None => {
+                    pending.push(i);
+                    *job_spans[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(jspan);
+                }
             }
         }
 
         self.queue_depth.set(pending.len() as i64);
         if self.workers <= 1 || pending.len() <= 1 {
             for &i in &pending {
-                slots[i] = Some(self.run_job(&jobs[i], seqs[i], None));
+                let jspan = job_spans[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                let jid = jspan.as_ref().map_or(SpanId::NONE, OpenSpan::id);
+                let res = self.run_job(&jobs[i], seqs[i], None, &mut mbuf, jid);
+                if let Some(mut js) = jspan {
+                    js.label("outcome", job_outcome(&res));
+                    mbuf.close(js);
+                }
+                slots[i] = Some(res);
                 self.queue_depth.add(-1);
             }
         } else {
@@ -487,22 +586,47 @@ impl Executor {
             let merging_done = AtomicBool::new(false);
             let (tx, rx) = mpsc::channel::<(usize, Result<J::Output, JobError>)>();
             std::thread::scope(|scope| {
-                for _ in 0..workers {
+                for w in 0..workers {
                     let tx = tx.clone();
                     let queue = &queue;
                     let watch = &watch;
                     let seqs = &seqs;
-                    scope.spawn(move || loop {
-                        let next = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
-                        let Some(i) = next else { break };
-                        self.queue_depth.add(-1);
-                        let slot = &watch[i];
-                        slot.started
-                            .store(epoch.elapsed().as_nanos() as u64 + 1, Ordering::Relaxed);
-                        let res = self.run_job(&jobs[i], seqs[i], Some(slot));
-                        slot.done.store(true, Ordering::Relaxed);
-                        if tx.send((i, res)).is_err() {
-                            break;
+                    let job_spans = &job_spans;
+                    scope.spawn(move || {
+                        let mut sbuf = self.spans.buffer(&format!("worker-{w}"));
+                        loop {
+                            let next = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+                            let Some(i) = next else { break };
+                            self.queue_depth.add(-1);
+                            // Take over the job span opened at submission;
+                            // the gap between its start and now is the
+                            // queue wait.
+                            let jspan = job_spans[i]
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .take();
+                            if let Some(js) = &jspan {
+                                sbuf.record_closed(
+                                    "exec.queue_wait",
+                                    js.id(),
+                                    &[],
+                                    js.start_nanos(),
+                                    sbuf.now_nanos(),
+                                );
+                            }
+                            let slot = &watch[i];
+                            slot.started
+                                .store(epoch.elapsed().as_nanos() as u64 + 1, Ordering::Relaxed);
+                            let jid = jspan.as_ref().map_or(SpanId::NONE, OpenSpan::id);
+                            let res = self.run_job(&jobs[i], seqs[i], Some(slot), &mut sbuf, jid);
+                            slot.done.store(true, Ordering::Relaxed);
+                            if let Some(mut js) = jspan {
+                                js.label("outcome", job_outcome(&res));
+                                sbuf.close(js);
+                            }
+                            if tx.send((i, res)).is_err() {
+                                break;
+                            }
                         }
                     });
                 }
@@ -515,6 +639,8 @@ impl Executor {
                     let watch = &watch;
                     let merging_done = &merging_done;
                     scope.spawn(move || {
+                        let mut wbuf = self.spans.buffer("watchdog");
+                        let wspan = wbuf.open("exec.watchdog", batch_id, &[]);
                         let budget = deadline.as_nanos() as u64;
                         while !merging_done.load(Ordering::Relaxed) {
                             let now = epoch.elapsed().as_nanos() as u64;
@@ -530,6 +656,7 @@ impl Executor {
                             }
                             std::thread::sleep(Duration::from_millis(1));
                         }
+                        wbuf.close(wspan);
                     });
                 }
                 drop(tx);
@@ -540,6 +667,8 @@ impl Executor {
             });
         }
         self.queue_depth.set(0);
+        mbuf.close(batch_span);
+        mbuf.flush();
 
         slots
             .into_iter()
@@ -561,28 +690,57 @@ impl Executor {
     }
 
     /// Runs one job to completion: the attempt/retry loop, deadline
-    /// accounting, journaling, and (on success) the cache store.
+    /// accounting, journaling, and (on success) the cache store. Emits
+    /// attempt / journal / cache-store child spans under `parent` (the
+    /// job span) into `sbuf`.
     fn run_job<J: Job>(
         &self,
         job: &J,
         seq: u64,
         watch: Option<&WatchSlot>,
+        sbuf: &mut SpanBuffer,
+        parent: SpanId,
     ) -> Result<J::Output, JobError> {
         let key = job.cache_key();
         let label = job.label();
         let start = Instant::now();
+        let tag = sbuf.tag().to_string();
+        self.inflight.add(1);
         let mut attempt = 1u32;
         let mut result = loop {
-            match self.attempt_once(job, seq, attempt) {
-                Ok(out) => break Ok(out),
+            let mut aspan = sbuf.open("exec.attempt", parent, &[]);
+            if aspan.id().is_some() {
+                aspan.label("attempt", &attempt.to_string());
+            }
+            match self.attempt_once(job, seq, attempt, aspan.id(), &tag) {
+                Ok(out) => {
+                    aspan.label("outcome", "ok");
+                    sbuf.close(aspan);
+                    break Ok(out);
+                }
                 Err(message) => {
                     self.panics_caught.inc();
+                    // Fault provenance rides on the attempt span: the
+                    // panic message, and whether it was chaos-injected.
+                    if aspan.id().is_some() {
+                        aspan.label("outcome", "panicked");
+                        aspan.label("error", &truncate_message(&message));
+                        if message.starts_with(crate::fault::INJECTED_PANIC_PREFIX) {
+                            aspan.label("injected", "true");
+                        }
+                    }
                     let overdue = self.is_overdue(watch, start);
                     if !overdue && self.retry.allows_retry(attempt) {
                         self.retries.inc();
-                        std::thread::sleep(self.retry.backoff(attempt, &key));
+                        let backoff = self.retry.backoff(attempt, &key);
+                        if aspan.id().is_some() {
+                            aspan.label("backoff_ms", &backoff.as_millis().to_string());
+                        }
+                        sbuf.close(aspan);
+                        std::thread::sleep(backoff);
                         attempt += 1;
                     } else {
+                        sbuf.close(aspan);
                         break Err(JobError {
                             key: key.id(),
                             label: label.clone(),
@@ -613,11 +771,13 @@ impl Executor {
 
         self.attempts_hist.record(attempt as u64);
         if let Some(journal) = &self.journal {
+            let jrn = sbuf.open("exec.journal.append", parent, &[]);
             let outcome = match &result {
                 Ok(_) => "ok",
                 Err(e) => e.kind.outcome(),
             };
             journal.record_job(&key.id(), &label, attempt, outcome);
+            sbuf.close(jrn);
         }
         if let Ok(out) = &result {
             if self.policy.writes() {
@@ -625,24 +785,44 @@ impl Executor {
                     // A failed (or fault-injected) cache write costs a
                     // future re-execution, not correctness; count it and
                     // move on.
-                    if self.fault.io_fires(seq) || cache.store(&key, &label, out).is_err() {
+                    let mut ssp = sbuf.open("exec.cache.store", parent, &[]);
+                    let failed =
+                        self.fault.io_fires(seq) || cache.store(&key, &label, out).is_err();
+                    if failed {
                         self.store_errors.inc();
+                        ssp.label("error", "true");
                     }
+                    sbuf.close(ssp);
                 }
             }
         }
+        self.inflight.add(-1);
         result
     }
 
     /// One `catch_unwind`-guarded attempt, with slow/panic fault
-    /// injection. Returns the panic message on failure.
-    fn attempt_once<J: Job>(&self, job: &J, seq: u64, attempt: u32) -> Result<J::Output, String> {
+    /// injection. Returns the panic message on failure. While the job
+    /// body runs, this thread's ambient span context points at the
+    /// attempt span, so spans recorded inside `execute` (simulator
+    /// phases, wrapper spans) nest under the attempt.
+    fn attempt_once<J: Job>(
+        &self,
+        job: &J,
+        seq: u64,
+        attempt: u32,
+        span_parent: SpanId,
+        thread_tag: &str,
+    ) -> Result<J::Output, String> {
         if let Some(ms) = self.fault.slow_fires(seq, attempt) {
             std::thread::sleep(Duration::from_millis(ms));
         }
         let start = Instant::now();
         IN_JOB.with(|f| f.set(true));
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ambient = self
+                .spans
+                .enabled()
+                .then(|| span2::set_ambient(&self.spans, span_parent, thread_tag));
             if self.fault.panic_fires(seq, attempt) {
                 panic!("{}", FaultPlan::panic_message(seq));
             }
@@ -776,13 +956,187 @@ mod tests {
 
     #[test]
     fn builders_preserve_resilience_settings() {
+        let spans = SpanCollector::new();
         let exec = Executor::new(2)
             .with_retry(RetryPolicy::with_attempts(3))
             .with_deadline(Some(Duration::from_secs(5)))
             .with_fault_plan(FaultPlan::parse("panic:100").unwrap())
+            .with_spans(&spans)
             .with_registry(&Registry::new());
         assert_eq!(exec.retry.max_attempts, 3);
         assert_eq!(exec.deadline, Some(Duration::from_secs(5)));
         assert_eq!(exec.fault.panic_every, 100);
+        assert!(exec.spans().enabled());
+    }
+
+    /// Index span records: id → record, plus name lookup.
+    fn span_children(
+        recs: &[cestim_obs::span2::SpanRecord],
+        parent: cestim_obs::span2::SpanId,
+    ) -> Vec<&cestim_obs::span2::SpanRecord> {
+        recs.iter().filter(|r| r.parent == parent).collect()
+    }
+
+    #[test]
+    fn batch_emits_causal_span_tree() {
+        let spans = SpanCollector::new();
+        let exec = Executor::new(4).with_spans(&spans);
+        exec.run_all(&batch(8));
+        let recs = spans.drain();
+
+        let root = recs.iter().find(|r| r.name == "exec.batch").unwrap();
+        assert_eq!(root.parent, SpanId::NONE);
+        assert!(root.labels.contains(&("jobs".into(), "8".into())));
+
+        let job_spans = span_children(&recs, root.id);
+        assert_eq!(job_spans.len(), 8);
+        for js in &job_spans {
+            assert_eq!(js.name, "exec.job");
+            // Cache-key label: 32 hex chars.
+            let key = &js.labels.iter().find(|(k, _)| k == "key").unwrap().1;
+            assert_eq!(key.len(), 32);
+            assert!(key.chars().all(|c| c.is_ascii_hexdigit()));
+            assert!(js.labels.contains(&("outcome".into(), "ok".into())));
+            // Child interval ⊆ parent interval.
+            assert!(js.start_nanos >= root.start_nanos);
+            assert!(js.end_nanos <= root.end_nanos);
+            // Exactly one successful attempt, inside the job span, plus
+            // a queue-wait record on the parallel path.
+            let kids = span_children(&recs, js.id);
+            let attempts: Vec<_> = kids.iter().filter(|r| r.name == "exec.attempt").collect();
+            assert_eq!(attempts.len(), 1);
+            assert!(attempts[0]
+                .labels
+                .contains(&("outcome".into(), "ok".into())));
+            assert!(attempts[0].start_nanos >= js.start_nanos);
+            assert!(attempts[0].end_nanos <= js.end_nanos);
+            assert!(kids.iter().any(|r| r.name == "exec.queue_wait"));
+            // Worker threads closed the job spans.
+            assert!(js.thread.starts_with("worker-"));
+        }
+        // Acyclic: parents precede children.
+        for r in &recs {
+            if r.parent.is_some() {
+                assert!(r.parent < r.id);
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_run_spans_show_failed_attempt_then_retry() {
+        let spans = SpanCollector::new();
+        let exec = Executor::sequential()
+            .with_fault_plan(FaultPlan::parse("panic:2").unwrap())
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                base_ms: 1,
+                max_ms: 2,
+            })
+            .with_spans(&spans);
+        let jobs = batch(4);
+        let out = exec.run_all(&jobs);
+        assert_eq!(out.len(), 4);
+        let recs = spans.drain();
+
+        // Fault plan panic:2 hits seqs 1 and 3 (first attempt only).
+        let faulted: Vec<_> = recs
+            .iter()
+            .filter(|r| {
+                r.name == "exec.job"
+                    && r.labels
+                        .iter()
+                        .any(|(k, v)| k == "seq" && (v == "1" || v == "3"))
+            })
+            .collect();
+        assert_eq!(faulted.len(), 2);
+        for js in faulted {
+            let attempts: Vec<_> = recs
+                .iter()
+                .filter(|r| r.parent == js.id)
+                .filter(|r| r.name == "exec.attempt")
+                .collect();
+            assert_eq!(attempts.len(), 2);
+            let a1 = attempts
+                .iter()
+                .find(|a| a.labels.contains(&("attempt".into(), "1".into())))
+                .unwrap();
+            let a2 = attempts
+                .iter()
+                .find(|a| a.labels.contains(&("attempt".into(), "2".into())))
+                .unwrap();
+            // Failed first attempt carries provenance: injected fault +
+            // backoff; the retry succeeds.
+            assert!(a1.labels.contains(&("outcome".into(), "panicked".into())));
+            assert!(a1.labels.contains(&("injected".into(), "true".into())));
+            assert!(a1.labels.iter().any(|(k, _)| k == "backoff_ms"));
+            assert!(a1
+                .labels
+                .iter()
+                .any(|(k, v)| k == "error" && v.contains("injected fault")));
+            assert!(a2.labels.contains(&("outcome".into(), "ok".into())));
+            assert!(a1.end_nanos <= a2.start_nanos);
+            assert!(js.labels.contains(&("outcome".into(), "ok".into())));
+        }
+        // No cache attached: no probe/store spans.
+        assert!(!recs.iter().any(|r| r.name.starts_with("exec.cache")));
+    }
+
+    #[test]
+    fn cache_and_journal_spans_appear_when_attached() {
+        let dir = std::env::temp_dir().join(format!("cestim-exec-spans-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = batch(3);
+
+        let spans = SpanCollector::new();
+        let exec = Executor::sequential()
+            .with_cache(&dir, CachePolicy::ReadWrite)
+            .unwrap()
+            .with_spans(&spans);
+        exec.run_all(&jobs);
+        let cold = spans.drain();
+        let probes: Vec<_> = cold
+            .iter()
+            .filter(|r| r.name == "exec.cache.probe")
+            .collect();
+        assert_eq!(probes.len(), 3);
+        assert!(probes
+            .iter()
+            .all(|p| p.labels.contains(&("hit".into(), "false".into()))));
+        assert_eq!(
+            cold.iter().filter(|r| r.name == "exec.cache.store").count(),
+            3
+        );
+
+        // Warm run: probes hit, jobs resolve as cached without attempts.
+        let spans = SpanCollector::new();
+        let warm = Executor::sequential()
+            .with_cache(&dir, CachePolicy::ReadWrite)
+            .unwrap()
+            .with_spans(&spans);
+        warm.run_all(&jobs);
+        let recs = spans.drain();
+        let probes: Vec<_> = recs
+            .iter()
+            .filter(|r| r.name == "exec.cache.probe")
+            .collect();
+        assert_eq!(probes.len(), 3);
+        assert!(probes
+            .iter()
+            .all(|p| p.labels.contains(&("hit".into(), "true".into()))));
+        assert!(!recs.iter().any(|r| r.name == "exec.attempt"));
+        assert!(recs
+            .iter()
+            .filter(|r| r.name == "exec.job")
+            .all(|r| r.labels.contains(&("outcome".into(), "cached".into()))));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let exec = Executor::new(2);
+        exec.run_all(&batch(8));
+        assert!(!exec.spans().enabled());
+        assert!(exec.spans().drain().is_empty());
     }
 }

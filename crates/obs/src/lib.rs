@@ -1,7 +1,8 @@
 //! # cestim-obs
 //!
 //! Observability substrate for the cestim workspace: a metrics registry,
-//! a structured event tracer, and wall-clock profiling spans.
+//! a structured event tracer, causal span tracing with standard-format
+//! exporters, and wall-clock profiling spans.
 //!
 //! The paper's entire contribution is *measurement* — quadrant counts,
 //! SENS/SPEC/PVP/PVN, misprediction-distance histograms over the
@@ -17,15 +18,31 @@
 //!   near-zero-cost [`Tracer::enabled`] guard, with JSONL export
 //!   ([`TraceWriter`]) and a reader ([`read_trace_jsonl`]) so analyses can
 //!   replay a recorded run post-hoc.
-//! * [`Span`] / [`ScopedTimer`] / [`PhaseProfiler`] — wall-clock profiling
-//!   around pipeline phases and suite experiments, rendered with
-//!   [`render_timing_table`].
+//! * [`span2`] — causal, hierarchical span tracing: a
+//!   [`SpanCollector`](span2::SpanCollector) gathers parent-linked
+//!   [`SpanRecord`](span2::SpanRecord)s from per-thread buffers, merged
+//!   deterministically; this is the primary timing source, exported via
+//!   [`export`] as Perfetto `trace_event` JSON
+//!   ([`render_perfetto`](export::render_perfetto)) or served as
+//!   Prometheus text exposition
+//!   ([`render_prometheus`](export::render_prometheus)).
+//! * [`monitor`] — a std-only ANSI terminal monitor
+//!   ([`RunMonitor`](monitor::RunMonitor)) rendering live executor
+//!   progress from the metric stream.
+//! * [`Span`] / [`ScopedTimer`] / [`PhaseProfiler`] — wall-clock
+//!   profiling around pipeline phases and suite experiments, rendered
+//!   with [`render_timing_table`]; thin wrappers that also feed the
+//!   [`span2`] collector when an ambient context is installed.
 
 #![warn(missing_docs)]
 
 mod metrics;
 mod span;
 mod trace;
+
+pub mod export;
+pub mod monitor;
+pub mod span2;
 
 pub use metrics::{
     Counter, FloatGauge, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricSample,

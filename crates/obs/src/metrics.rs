@@ -174,6 +174,30 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimated value at quantile `q` (clamped to `[0, 1]`).
+    ///
+    /// Walks the cumulative bucket counts and returns the **upper bound**
+    /// of the first bucket containing the `ceil(q * count)`-th sample.
+    /// With log2 buckets this is biased upward by at most one bucket
+    /// width — the estimate is never more than 2× the true value (exact
+    /// for the zero bucket) — which is the right direction to err for
+    /// latency reporting. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for b in &self.buckets {
+            cum += b.count;
+            if cum >= rank {
+                return b.high;
+            }
+        }
+        self.buckets.last().map_or(0, |b| b.high)
+    }
+
     /// Merges another snapshot into this one (bucket-wise addition).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for b in &other.buckets {
@@ -486,6 +510,42 @@ mod tests {
         assert_eq!(find(4), Some(2)); // 4, 7
         assert_eq!(find(8), Some(1)); // 8
         assert_eq!(find(1024), Some(1));
+    }
+
+    #[test]
+    fn quantile_at_bucket_edges() {
+        let r = Registry::new();
+        let h = r.histogram("q", &[]);
+        // 10 samples: 4 zeros, 4 in [4,7], 2 in [8,15].
+        for v in [0, 0, 0, 0, 4, 5, 6, 7, 8, 15] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Ranks 1..=4 land in the zero bucket (exact upper bound 0).
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(0.4), 0);
+        // Rank 5 (q just past the zero bucket) → [4,7] upper bound.
+        assert_eq!(s.quantile(0.41), 7);
+        assert_eq!(s.quantile(0.8), 7);
+        // Rank 9..=10 → [8,15] upper bound; p100 == max bucket bound.
+        assert_eq!(s.quantile(0.81), 15);
+        assert_eq!(s.quantile(1.0), 15);
+        // Out-of-range q clamps.
+        assert_eq!(s.quantile(-1.0), 0);
+        assert_eq!(s.quantile(2.0), 15);
+    }
+
+    #[test]
+    fn quantile_empty_and_single() {
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+        let r = Registry::new();
+        let h = r.histogram("one", &[]);
+        h.record(1000);
+        // Single sample: every quantile reports its bucket's upper bound,
+        // documenting the <2x upper-bound bias of log2 buckets.
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1023);
+        assert_eq!(s.quantile(0.99), 1023);
     }
 
     #[test]

@@ -1,27 +1,47 @@
 //! Wall-clock profiling: RAII spans, scoped timers, and a start/stop
 //! phase profiler for tight simulator loops.
+//!
+//! These are thin wrappers over the causal span collector in
+//! [`span2`](crate::span2): when the current thread has an ambient span
+//! context installed (see [`span2::set_ambient`](crate::span2::set_ambient)),
+//! every [`Span`], named [`ScopedTimer`], and finished [`PhaseProfiler`]
+//! also records a parent-linked [`SpanRecord`](crate::span2::SpanRecord),
+//! so legacy call sites show up in exported traces for free. Without an
+//! ambient context they behave exactly as before — plain local sums.
 
+use crate::span2;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// A named wall-clock interval, closed explicitly with [`Span::end`].
+///
+/// Under an ambient span context the interval is also recorded as a
+/// causal span (nested under whatever span is currently open on this
+/// thread).
 #[derive(Debug)]
 pub struct Span {
     name: String,
     start: Instant,
+    span2: Option<span2::OpenSpan>,
 }
 
 impl Span {
     /// Starts a span now.
     pub fn begin(name: impl Into<String>) -> Span {
+        let name = name.into();
+        let span2 = span2::ambient_active().then(|| span2::ambient_begin(&name, &[]));
         Span {
-            name: name.into(),
+            name,
             start: Instant::now(),
+            span2,
         }
     }
 
     /// Ends the span, returning its timing.
     pub fn end(self) -> SpanTiming {
+        if let Some(open) = self.span2 {
+            span2::ambient_end(open);
+        }
         SpanTiming {
             name: self.name,
             nanos: self.start.elapsed().as_nanos() as u64,
@@ -53,6 +73,7 @@ pub struct SpanTiming {
 pub struct ScopedTimer<'a> {
     acc: &'a mut u64,
     start: Instant,
+    span2: Option<span2::OpenSpan>,
 }
 
 impl<'a> ScopedTimer<'a> {
@@ -61,6 +82,18 @@ impl<'a> ScopedTimer<'a> {
         ScopedTimer {
             acc,
             start: Instant::now(),
+            span2: None,
+        }
+    }
+
+    /// Starts timing into `acc` and, under an ambient span context, also
+    /// records the scope as a named causal span.
+    pub fn named(name: &str, acc: &'a mut u64) -> ScopedTimer<'a> {
+        let span2 = span2::ambient_active().then(|| span2::ambient_begin(name, &[]));
+        ScopedTimer {
+            acc,
+            start: Instant::now(),
+            span2,
         }
     }
 }
@@ -68,6 +101,9 @@ impl<'a> ScopedTimer<'a> {
 impl Drop for ScopedTimer<'_> {
     fn drop(&mut self) {
         *self.acc += self.start.elapsed().as_nanos() as u64;
+        if let Some(open) = self.span2.take() {
+            span2::ambient_end(open);
+        }
     }
 }
 
@@ -163,6 +199,34 @@ impl PhaseProfiler {
             })
             .collect()
     }
+
+    /// Emits the accumulated phase sums as causal summary spans under the
+    /// current ambient span context (no-op when disabled, off-ambient, or
+    /// empty).
+    ///
+    /// Per-call spans would mean millions of records for a tight
+    /// simulator loop, so the profiler stays a sum accumulator and this
+    /// routes the *totals* into the span stream: one `phase.<name>` span
+    /// per phase, laid out as synthetic back-to-back intervals ending at
+    /// "now" (their durations are real, their placement is not), each
+    /// labelled with its call count.
+    pub fn emit_ambient_spans(&self) {
+        if !self.enabled || self.phases.is_empty() || !span2::ambient_active() {
+            return;
+        }
+        let end = span2::ambient_now_nanos();
+        let total: u64 = self.phases.iter().map(|p| p.nanos).sum();
+        let mut cursor = end.saturating_sub(total);
+        for p in &self.phases {
+            span2::ambient_record_closed(
+                &format!("phase.{}", p.name),
+                &[("calls", &p.calls.to_string()), ("synthetic", "true")],
+                cursor,
+                cursor + p.nanos,
+            );
+            cursor += p.nanos;
+        }
+    }
 }
 
 /// Renders phase timings as an aligned text table.
@@ -238,6 +302,66 @@ mod tests {
         let b = prof.phase("b");
         assert_ne!(a, b);
         assert_eq!(prof.phase("a"), a);
+    }
+
+    #[test]
+    fn nested_wrapper_spans_nest_causally() {
+        use crate::span2::{set_ambient, SpanCollector, SpanId};
+        let c = SpanCollector::new();
+        let _g = set_ambient(&c, SpanId::NONE, "main");
+
+        let outer = Span::begin("outer");
+        let mut acc = 0u64;
+        {
+            let _t = ScopedTimer::named("inner", &mut acc);
+            let mut prof = PhaseProfiler::new(true);
+            let p = prof.phase("fetch");
+            let t0 = prof.start();
+            std::hint::black_box((0..100).sum::<u64>());
+            prof.stop(p, t0);
+            prof.emit_ambient_spans();
+        }
+        outer.end();
+
+        let recs = c.drain();
+        let find = |name: &str| recs.iter().find(|r| r.name == name).unwrap();
+        let outer_r = find("outer");
+        let inner_r = find("inner");
+        let phase_r = find("phase.fetch");
+        // Causal chain: phase.fetch → inner → outer → root.
+        assert_eq!(phase_r.parent, inner_r.id);
+        assert_eq!(inner_r.parent, outer_r.id);
+        assert_eq!(outer_r.parent, SpanId::NONE);
+        // Child interval ⊆ parent interval.
+        assert!(inner_r.start_nanos >= outer_r.start_nanos);
+        assert!(inner_r.end_nanos <= outer_r.end_nanos);
+        // Ids are acyclic: every parent id precedes its child's id.
+        for r in &recs {
+            if r.parent.is_some() {
+                assert!(
+                    r.parent < r.id,
+                    "{}: parent {:?} !< {:?}",
+                    r.name,
+                    r.parent,
+                    r.id
+                );
+            }
+        }
+        assert_eq!(
+            phase_r.labels.iter().find(|(k, _)| k == "calls").unwrap().1,
+            "1"
+        );
+    }
+
+    #[test]
+    fn wrappers_without_ambient_context_record_nothing() {
+        let c = crate::span2::SpanCollector::new();
+        // No ambient context installed: plain timing still works.
+        let t = Span::begin("plain").end();
+        assert_eq!(t.name, "plain");
+        let mut acc = 0;
+        drop(ScopedTimer::named("x", &mut acc));
+        assert!(c.drain().is_empty());
     }
 
     #[test]

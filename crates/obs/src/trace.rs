@@ -300,17 +300,29 @@ impl<W: Write> TraceWriter<W> {
 /// Reads a JSONL event stream written by [`TraceWriter`] (blank lines are
 /// skipped).
 ///
+/// A malformed **final** line is tolerated and dropped: a crash (or a
+/// full disk) mid-append leaves a torn last record, and — like the exec
+/// journal's resume path — everything up to it is still valid history.
+/// Malformed lines anywhere *before* the end still indicate a corrupt
+/// file and are an error.
+///
 /// # Errors
 ///
-/// Returns an error on I/O failure or malformed JSON.
+/// Returns an error on I/O failure or malformed JSON before the final
+/// line.
 pub fn read_trace_jsonl<R: BufRead>(r: R) -> io::Result<Vec<TraceEvent>> {
+    let lines: Vec<String> = r.lines().collect::<io::Result<_>>()?;
+    let last = lines.iter().rposition(|l| !l.trim().is_empty());
     let mut out = Vec::new();
-    for line in r.lines() {
-        let line = line?;
+    for (i, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        out.push(serde_json::from_str(&line)?);
+        match serde_json::from_str(line) {
+            Ok(ev) => out.push(ev),
+            Err(_) if Some(i) == last => break,
+            Err(e) => return Err(e.into()),
+        }
     }
     Ok(out)
 }
@@ -426,6 +438,37 @@ mod tests {
 
     #[test]
     fn malformed_trace_is_an_error() {
-        assert!(read_trace_jsonl(&b"{broken\n"[..]).is_err());
+        // A torn line anywhere before the end means real corruption, not
+        // a truncated append — still an error.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"{broken\n");
+        let mut t = Tracer::bounded(4);
+        t.record(predict(1));
+        t.export_jsonl(&mut buf).unwrap();
+        assert!(read_trace_jsonl(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated() {
+        // Simulate a crash mid-append: valid events followed by a torn
+        // tail. The reader recovers everything before the tear, exactly
+        // like the exec journal's resume path.
+        let mut t = Tracer::bounded(4);
+        t.record(predict(1));
+        t.record(predict(2));
+        let mut buf = Vec::new();
+        t.export_jsonl(&mut buf).unwrap();
+        let full = read_trace_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(full.len(), 2);
+
+        // Cut the file mid-way through the last record.
+        let cut = buf.len() - 10;
+        let torn = &buf[..cut];
+        let recovered = read_trace_jsonl(torn).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0], full[0]);
+
+        // A torn-only file recovers to empty rather than erroring.
+        assert_eq!(read_trace_jsonl(&b"{broken"[..]).unwrap().len(), 0);
     }
 }

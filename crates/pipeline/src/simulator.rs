@@ -494,6 +494,10 @@ impl<'p> Simulator<'p> {
             }
         }
         self.finalize();
+        // With phase profiling on and an ambient span context installed,
+        // publish the accumulated per-phase totals as summary child spans
+        // (no-op otherwise).
+        self.profiler.emit_ambient_spans();
         self.stats
     }
 
@@ -566,6 +570,7 @@ impl<'p> Simulator<'p> {
     /// [`run`](Simulator::run) (for externally driven cycling).
     pub fn finish(&mut self) -> PipelineStats {
         self.finalize();
+        self.profiler.emit_ambient_spans();
         self.stats
     }
 

@@ -146,7 +146,16 @@ fn fail(oracle: OracleKind, detail: impl Into<String>) -> OracleFailure {
 }
 
 /// Runs one oracle on a program. `Ok(())` means every layer agreed.
+///
+/// Under an ambient span context (e.g. `fuzz --trace-perfetto`), each
+/// check records a `qa.oracle` span labelled with the oracle name and
+/// program size, with the oracle's simulator phases as children.
 pub fn check(kind: OracleKind, p: &QaProgram, fault: FaultSpec) -> Result<(), OracleFailure> {
+    let ops = p.ops.len().to_string();
+    let _span = cestim_obs::span2::AmbientSpan::enter(
+        "qa.oracle",
+        &[("oracle", kind.name()), ("ops", &ops)],
+    );
     match kind {
         OracleKind::Arch => check_arch(p, fault),
         OracleKind::Replay => check_replay(p),
@@ -211,6 +220,9 @@ fn check_arch(p: &QaProgram, fault: FaultSpec) -> Result<(), OracleFailure> {
     let arch = arch_reference(&prog);
 
     let mut sim = Simulator::new(&prog, pipeline_config(), Box::new(Gshare::new(12)));
+    if cestim_obs::span2::ambient_active() {
+        sim.set_profiling(true);
+    }
     if fault.is_active() {
         sim.inject_commit_fault(fault.commit_flip_every);
     }
@@ -268,6 +280,9 @@ fn check_replay(p: &QaProgram) -> Result<(), OracleFailure> {
     let kind = OracleKind::Replay;
     let prog = assemble(p);
     let mut sim = Simulator::new(&prog, pipeline_config(), Box::new(Gshare::new(12)));
+    if cestim_obs::span2::ambient_active() {
+        sim.set_profiling(true);
+    }
     sim.add_estimator(Box::new(Jrs::paper_enhanced()));
     sim.set_tracer(Tracer::unbounded());
     let mut live = DistanceAnalysis::new(64);
@@ -395,6 +410,9 @@ fn check_quadrant(p: &QaProgram) -> Result<(), OracleFailure> {
     let kind = OracleKind::Quadrant;
     let prog = assemble(p);
     let mut sim = Simulator::new(&prog, pipeline_config(), Box::new(Gshare::new(12)));
+    if cestim_obs::span2::ambient_active() {
+        sim.set_profiling(true);
+    }
     sim.add_estimator(Box::new(Jrs::paper_enhanced()));
     sim.add_estimator(Box::new(SaturatingConfidence::selected()));
     sim.add_estimator(Box::new(DistanceEstimator::new(4)));

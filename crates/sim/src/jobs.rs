@@ -278,6 +278,18 @@ impl Job for ExecJob {
     }
 
     fn execute(&self) -> JobOutput {
+        // Under the executor's ambient span context (tracing on), the
+        // job body gets a kind-labelled span nested in its attempt; the
+        // simulator passes below add their own `sim.run`/phase children.
+        let kind = match self {
+            ExecJob::Run { .. } => "run",
+            ExecJob::CrossProfileRun { .. } => "xprofile",
+            ExecJob::Distance { .. } => "distance",
+            ExecJob::Cluster { .. } => "cluster",
+            ExecJob::Boost { .. } => "boost",
+            ExecJob::Smt { .. } => "smt",
+        };
+        let _span = cestim_obs::span2::AmbientSpan::enter("sim.job", &[("kind", kind)]);
         match self {
             ExecJob::Run { cfg, specs } => JobOutput::Run(crate::run(cfg, specs)),
             ExecJob::CrossProfileRun {

@@ -2,7 +2,7 @@
 
 use crate::{EstimatorSpec, PredictorKind, ProfileObserver};
 use cestim_core::ProfileCollector;
-use cestim_obs::{MetricsSnapshot, PhaseTiming, Registry, Tracer};
+use cestim_obs::{span2, MetricsSnapshot, PhaseTiming, Registry, Tracer};
 use cestim_pipeline::{
     EstimatorQuadrants, NullObserver, PipelineConfig, PipelineStats, SimObserver, Simulator,
 };
@@ -65,11 +65,25 @@ pub struct RunOutcome {
 /// Runs the profiling pass: the same pipeline and predictor, recording
 /// per-branch prediction accuracy over the committed stream.
 pub fn collect_profile(cfg: &RunConfig) -> ProfileCollector {
+    let scale = cfg.scale.to_string();
+    let _span = span2::AmbientSpan::enter("sim.profile", &span_labels(cfg, &scale));
     let w = cfg.workload.build_salted(cfg.scale, cfg.input_salt);
     let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build_any());
+    if span2::ambient_active() {
+        sim.set_profiling(true);
+    }
     let mut obs = ProfileObserver::new();
     sim.run(&mut obs);
     obs.into_collector()
+}
+
+/// Span labels identifying one run configuration.
+fn span_labels<'a>(cfg: &'a RunConfig, scale: &'a str) -> [(&'a str, &'a str); 3] {
+    [
+        ("workload", cfg.workload.name()),
+        ("predictor", cfg.predictor.name()),
+        ("scale", scale),
+    ]
 }
 
 /// Runs one configuration with the given estimators attached.
@@ -127,6 +141,8 @@ pub fn run_instrumented(
         .iter()
         .any(EstimatorSpec::needs_profile)
         .then(|| collect_profile(cfg));
+    let scale = cfg.scale.to_string();
+    let _span = span2::AmbientSpan::enter("sim.run", &span_labels(cfg, &scale));
     let w = cfg.workload.build_salted(cfg.scale, cfg.input_salt);
     let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build_any());
     for spec in specs {
@@ -186,11 +202,18 @@ fn run_inner(
             .any(EstimatorSpec::needs_profile)
             .then(|| collect_profile(cfg)),
     };
+    let scale = cfg.scale.to_string();
+    let _span = span2::AmbientSpan::enter("sim.run", &span_labels(cfg, &scale));
     let profile = profile_override.or(own_profile.as_ref());
     let w = cfg.workload.build_salted(cfg.scale, cfg.input_salt);
     let mut sim = Simulator::new(&w.program, cfg.pipeline.clone(), cfg.predictor.build_any());
     for spec in specs {
         sim.add_estimator(spec.build_any(profile));
+    }
+    // Under an ambient span context, turn phase profiling on so the
+    // simulator's resolve/commit/fetch phases show up as child spans.
+    if span2::ambient_active() {
+        sim.set_profiling(true);
     }
     let stats = sim.run(obs);
     let estimators = specs
@@ -279,6 +302,53 @@ mod tests {
                 ]
             )
             .is_some());
+    }
+
+    #[test]
+    fn ambient_span_context_captures_sim_phases() {
+        use cestim_obs::span2::{SpanCollector, SpanId};
+        let c = cfg(PredictorKind::Gshare);
+        let specs = [EstimatorSpec::Static { threshold: 0.9 }];
+        let plain = run(&c, &specs);
+
+        let collector = SpanCollector::new();
+        let guard = span2::set_ambient(&collector, SpanId::NONE, "main");
+        let traced = run(&c, &specs);
+        drop(guard);
+        let recs = collector.drain();
+
+        // Tracing must not perturb the simulation.
+        assert_eq!(traced, plain);
+
+        // The static estimator forces a profile pass, so both sim.profile
+        // and sim.run appear, each with phase summary children.
+        let profile = recs.iter().find(|r| r.name == "sim.profile").unwrap();
+        let run_span = recs.iter().find(|r| r.name == "sim.run").unwrap();
+        assert!(run_span
+            .labels
+            .iter()
+            .any(|(k, v)| k == "workload" && v == "compress"));
+        assert!(run_span
+            .labels
+            .iter()
+            .any(|(k, v)| k == "predictor" && v == "gshare"));
+        for parent in [profile, run_span] {
+            let phases: Vec<&str> = recs
+                .iter()
+                .filter(|r| r.parent == parent.id && r.name.starts_with("phase."))
+                .map(|r| r.name.as_str())
+                .collect();
+            assert_eq!(phases, ["phase.resolve", "phase.commit", "phase.fetch"]);
+            for r in recs.iter().filter(|r| r.parent == parent.id) {
+                assert!(r.start_nanos >= parent.start_nanos);
+                assert!(r.end_nanos <= parent.end_nanos);
+            }
+        }
+
+        // Without an ambient context nothing is recorded.
+        let quiet = SpanCollector::new();
+        run(&c, &specs);
+        assert!(quiet.drain().is_empty());
     }
 
     #[test]
