@@ -24,6 +24,9 @@
 //!   (default `<out>/cache`). Unchanged jobs are answered from disk.
 //! * `--refresh` — ignore cached results but still rewrite them.
 //! * `--no-cache` — disable the cache entirely (no reads, no writes).
+//! * `--cache-gc` — sweep stale-schema entries out of the cache and
+//!   report what was removed; with no experiments listed, exits after
+//!   the sweep.
 //!
 //! Resilience (see `docs/RESILIENCE.md`): a panicking or overdue job is
 //! isolated into a structured error instead of aborting the run — the
@@ -72,8 +75,8 @@
 //! instrumented run's phase timings.
 
 use cestim_exec::{
-    default_workers, install_quiet_panic_hook, CachePolicy, Executor, FaultPlan, RetryPolicy,
-    RunJournal,
+    default_workers, install_quiet_panic_hook, CachePolicy, DiskCache, Executor, FaultPlan,
+    RetryPolicy, RunJournal,
 };
 use cestim_obs::monitor::RunMonitor;
 use cestim_obs::span2::{self, SpanCollector, SpanId};
@@ -106,6 +109,7 @@ struct Args {
     trace_perfetto: Option<PathBuf>,
     prom_out: Option<PathBuf>,
     monitor: bool,
+    cache_gc: bool,
 }
 
 impl Args {
@@ -131,7 +135,7 @@ fn usage() -> ! {
          \x20            [--metrics-out FILE] [--obs-summary] [--qa-replay DIR]\n\
          \x20            [--retries N] [--deadline-ms N] [--fault SPEC] [--resume]\n\
          \x20            [--trace-perfetto FILE] [--prom-out FILE] [--monitor]\n\
-         \x20            <experiment>... | all | --list\n\
+         \x20            [--cache-gc] <experiment>... | all | --list\n\
          fault spec:  panic:N | slow:N:MS | io:N (comma-separated)\n\
          experiments: {}\n\
          workloads:   {}",
@@ -166,6 +170,7 @@ fn parse_args() -> Args {
         trace_perfetto: None,
         prom_out: None,
         monitor: false,
+        cache_gc: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -234,6 +239,7 @@ fn parse_args() -> Args {
                 args.prom_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
             }
             "--monitor" => args.monitor = true,
+            "--cache-gc" => args.cache_gc = true,
             "--list" => {
                 for id in suite::all_ids() {
                     println!("{id}");
@@ -248,7 +254,7 @@ fn parse_args() -> Args {
             other => args.ids.push(other.to_string()),
         }
     }
-    if args.ids.is_empty() && !args.instrumented() && args.qa_replay.is_none() {
+    if args.ids.is_empty() && !args.instrumented() && args.qa_replay.is_none() && !args.cache_gc {
         usage();
     }
     if args.no_cache && args.refresh {
@@ -282,6 +288,14 @@ fn build_executor(args: &Args) -> std::io::Result<Executor> {
         exec = exec.with_deadline(Some(Duration::from_millis(ms)));
     }
     Ok(exec)
+}
+
+/// Sweeps cache entries written under an older job schema out of the
+/// on-disk cache at `dir`, returning `(removed, remaining)`.
+fn run_cache_gc(dir: &Path) -> std::io::Result<(usize, usize)> {
+    let cache = DiskCache::open(dir)?;
+    let removed = cache.evict_stale(cestim_sim::sim_schema_salt())?;
+    Ok((removed, cache.len()?))
 }
 
 /// Opens the run journal under `<out>/journal/`: resumed (replaying prior
@@ -426,6 +440,27 @@ fn run_qa_replay(dir: &Path, failed_ids: &mut Vec<String>) -> serde_json::Value 
 fn main() -> ExitCode {
     install_quiet_panic_hook();
     let args = parse_args();
+    if args.cache_gc {
+        let cache_dir = args
+            .cache_dir
+            .clone()
+            .unwrap_or_else(|| args.out.join("cache"));
+        match run_cache_gc(&cache_dir) {
+            Ok((removed, remaining)) => println!(
+                "[cache-gc: removed {removed} stale entr{}, {remaining} fresh remain{}]",
+                plural_y(removed),
+                if remaining == 1 { "s" } else { "" },
+            ),
+            Err(e) => {
+                eprintln!("error: cache gc failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Standalone GC mode: nothing else to run.
+        if args.ids.is_empty() && !args.instrumented() && args.qa_replay.is_none() {
+            return ExitCode::SUCCESS;
+        }
+    }
     // Span tracing is off (and near-free) unless a Perfetto sink was
     // requested; when on, the whole invocation becomes one causal tree
     // under a `repro` root span.

@@ -1,0 +1,70 @@
+//! End-to-end check of `repro --cache-gc`: a standalone sweep must
+//! remove cache entries written under an older job schema and leave
+//! current-schema entries untouched.
+
+use cestim_exec::{CacheKey, DiskCache};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cestim-cache-gc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cache_gc_removes_stale_and_keeps_fresh() {
+    let out = temp_dir("sweep");
+    let cache_dir = out.join("cache");
+    let cache = DiskCache::open(&cache_dir).expect("open cache");
+
+    // One entry under the live schema, two under a long-dead one.
+    let fresh = CacheKey {
+        schema: cestim_sim::sim_schema_salt(),
+        content: 1,
+    };
+    cache.store(&fresh, "fresh", &42u64).expect("store fresh");
+    for content in [2u64, 3] {
+        let stale = CacheKey {
+            schema: 0xdead_beef,
+            content,
+        };
+        cache.store(&stale, "stale", &7u64).expect("store stale");
+    }
+    assert_eq!(cache.len().expect("len"), 3);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--cache-gc")
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("spawn repro");
+    assert!(output.status.success(), "cache-gc run must exit zero");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("removed 2 stale entries"),
+        "sweep must report the stale entries: {stdout}"
+    );
+
+    // The stale entries are gone; the fresh one still loads.
+    assert_eq!(cache.len().expect("len"), 1);
+    let kept: Option<u64> = cache.load(&fresh);
+    assert_eq!(kept, Some(42), "fresh entry must survive the sweep");
+
+    // A second sweep is a no-op.
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--cache-gc")
+        .arg("--cache-dir")
+        .arg(&cache_dir)
+        .output()
+        .expect("spawn repro");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("removed 0 stale entries"),
+        "second sweep must be a no-op: {stdout}"
+    );
+    assert_eq!(cache.len().expect("len"), 1);
+
+    let _ = std::fs::remove_dir_all(&out);
+}

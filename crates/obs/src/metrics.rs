@@ -174,19 +174,26 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Estimated value at quantile `q` (clamped to `[0, 1]`).
+    /// Estimated value at quantile `q` (clamped to `[0, 1]`; NaN is
+    /// treated as 0).
     ///
     /// Walks the cumulative bucket counts and returns the **upper bound**
     /// of the first bucket containing the `ceil(q * count)`-th sample.
     /// With log2 buckets this is biased upward by at most one bucket
     /// width — the estimate is never more than 2× the true value (exact
     /// for the zero bucket) — which is the right direction to err for
-    /// latency reporting. Returns 0 for an empty histogram.
+    /// latency reporting. The two edges are exceptions to the upward
+    /// bias: an empty histogram returns 0 for every `q`, and `q <= 0`
+    /// (the minimum) returns the first bucket's **lower** bound, so
+    /// `quantile(0.0)` never exceeds any observed sample.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        if q == 0.0 {
+            return self.buckets.first().map_or(0, |b| b.low);
+        }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for b in &self.buckets {
@@ -546,6 +553,37 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.quantile(0.5), 1023);
         assert_eq!(s.quantile(0.99), 1023);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histograms answer 0 for every q, including the edges.
+        let empty = HistogramSnapshot::default();
+        for q in [f64::NAN, -1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+        // Single non-zero bucket: the minimum (q <= 0) reports the
+        // bucket's lower bound — never above any observed sample —
+        // while every other quantile keeps the upper-bound bias.
+        let r = Registry::new();
+        let h = r.histogram("edge", &[]);
+        h.record(1000); // bucket [512, 1023]
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 512);
+        assert_eq!(s.quantile(-3.0), 512);
+        assert_eq!(s.quantile(f64::NAN), 512);
+        assert_eq!(s.quantile(f64::MIN_POSITIVE), 1023);
+        assert_eq!(s.quantile(1.0), 1023);
+        assert_eq!(s.quantile(f64::INFINITY), 1023);
+        assert_eq!(s.quantile(f64::NEG_INFINITY), 512);
+        // Two buckets: q=1.0 lands on the last bucket even when the
+        // rank computation saturates.
+        let h2 = r.histogram("edge2", &[]);
+        h2.record(1);
+        h2.record(u64::MAX);
+        let s2 = h2.snapshot();
+        assert_eq!(s2.quantile(0.0), 1);
+        assert_eq!(s2.quantile(1.0), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! `serve` — the long-lived simulation server binary.
+//!
+//! Listens for line-delimited JSON requests on a TCP address, schedules
+//! them through the sharded DRR admission queue, and serves results from
+//! the shared content-addressed cache. Runs until a client sends
+//! `{"op":"shutdown"}`, then drains queued work, writes any requested
+//! telemetry exports, and exits.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--groups N] [--queue-depth N] [--quantum N]
+//!       [--cache-dir DIR] [--journal-dir DIR] [--gc-every N]
+//!       [--max-scale N] [--prom-out FILE] [--trace-perfetto FILE]
+//! ```
+
+use cestim_obs::span2::SpanCollector;
+use cestim_obs::Registry;
+use cestim_serve::{ServeConfig, Server};
+use std::net::TcpListener;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--groups N] [--queue-depth N] [--quantum N]\n\
+         \x20            [--cache-dir DIR] [--journal-dir DIR] [--gc-every N]\n\
+         \x20            [--max-scale N] [--prom-out FILE] [--trace-perfetto FILE]\n\
+         \n\
+         Long-lived simulation server speaking line-delimited JSON\n\
+         (protocol reference: docs/SERVING.md). Send {{\"op\":\"shutdown\"}}\n\
+         to drain and stop."
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: String,
+    cfg: ServeConfig,
+    prom_out: Option<String>,
+    trace_perfetto: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7191".to_string(),
+        cfg: ServeConfig::default(),
+        prom_out: None,
+        trace_perfetto: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| usage_for(name));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--groups" => args.cfg.groups = parse_num(&value("--groups")),
+            "--queue-depth" => args.cfg.queue_depth = parse_num(&value("--queue-depth")),
+            "--quantum" => args.cfg.quantum = parse_num(&value("--quantum")),
+            "--cache-dir" => args.cfg.cache_dir = Some(value("--cache-dir").into()),
+            "--journal-dir" => args.cfg.journal_dir = Some(value("--journal-dir").into()),
+            "--gc-every" => args.cfg.gc_every = parse_num(&value("--gc-every")),
+            "--max-scale" => args.cfg.limits.max_scale = parse_num(&value("--max-scale")),
+            "--prom-out" => args.prom_out = Some(value("--prom-out")),
+            "--trace-perfetto" => args.trace_perfetto = Some(value("--trace-perfetto")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn usage_for(name: &str) -> ! {
+    eprintln!("missing value for {name}");
+    usage();
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric argument: {s}");
+        usage();
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let registry = Registry::new();
+    let spans = if args.trace_perfetto.is_some() {
+        SpanCollector::new()
+    } else {
+        SpanCollector::disabled()
+    };
+    let server = match Server::start_with(args.cfg.clone(), registry.clone(), spans.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    let local = listener
+        .local_addr()
+        .map_or(args.addr.clone(), |a| a.to_string());
+    println!(
+        "[serve] listening on {local} ({} groups, queue depth {}, quantum {})",
+        args.cfg.groups, args.cfg.queue_depth, args.cfg.quantum
+    );
+    if let Err(e) = server.serve_tcp(listener) {
+        eprintln!("serve: accept loop failed: {e}");
+    }
+    let requests = registry.counter("serve.requests", &[]).get();
+    let hits = registry.counter("serve.cache_hits", &[]).get();
+    let executed = registry.counter("serve.executed", &[]).get();
+    server.shutdown();
+    if let Some(path) = &args.prom_out {
+        match write_prom(path, &registry) {
+            Ok(()) => println!("[serve] wrote {path}"),
+            Err(e) => eprintln!("serve: writing {path} failed: {e}"),
+        }
+    }
+    if let Some(path) = &args.trace_perfetto {
+        match write_trace(path, &spans) {
+            Ok(n) => println!("[serve] wrote {path} ({n} spans)"),
+            Err(e) => eprintln!("serve: writing {path} failed: {e}"),
+        }
+    }
+    println!("[serve] done: {requests} requests ({hits} cache hits, {executed} executed)");
+}
+
+fn write_prom(path: &str, registry: &Registry) -> std::io::Result<()> {
+    use std::io::Write;
+    let path = std::path::Path::new(path);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    cestim_obs::export::write_prometheus(&registry.snapshot(), &mut w)?;
+    w.flush()
+}
+
+fn write_trace(path: &str, spans: &SpanCollector) -> std::io::Result<usize> {
+    use std::io::Write;
+    let path = std::path::Path::new(path);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let records = spans.drain();
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    cestim_obs::export::write_perfetto(&records, &mut w)?;
+    w.flush()?;
+    Ok(records.len())
+}

@@ -1,0 +1,280 @@
+//! `serve-load` — deterministic synthetic load generator for `serve`.
+//!
+//! Replays a seeded mix of duplicate/unique/priority-skewed requests
+//! against a server — either a running one over TCP (`--addr`) or a
+//! private in-process one (`--spawn`) — and reports throughput,
+//! cache hit-rate, latency quantiles, and per-client fairness. With
+//! `--bench-out` the run is appended to a `BENCH_serve.json` trajectory;
+//! with `--verify` every unique job is re-executed directly and its
+//! payload compared byte-for-byte (canonical JSON) against the server's.
+//!
+//! ```text
+//! serve-load [--addr HOST:PORT | --spawn] [--seed N] [--requests N]
+//!            [--clients N] [--dup PCT] [--scale N] [--window N]
+//!            [--vip-priority N] [--passes N] [--verify] [--shutdown]
+//!            [--bench-out FILE] [--note TEXT]
+//!            [--cache-dir DIR] [--groups N] [--queue-depth N]
+//!            [--gc-every N] [--prom-out FILE]
+//! ```
+//!
+//! Exits non-zero on transport errors, execution errors, or any
+//! verification mismatch.
+
+use cestim_serve::load::{
+    append_trajectory, bench_entry, build_mix, run_pass, verify_against_direct, LoadConfig,
+    PassReport, ServeConn, TcpConn,
+};
+use cestim_serve::{Request, Response, ServeConfig, Server};
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve-load [--addr HOST:PORT | --spawn] [--seed N] [--requests N]\n\
+         \x20                 [--clients N] [--dup PCT] [--scale N] [--window N]\n\
+         \x20                 [--vip-priority N] [--passes N] [--verify] [--shutdown]\n\
+         \x20                 [--bench-out FILE] [--note TEXT]\n\
+         \x20                 [--cache-dir DIR] [--groups N] [--queue-depth N]\n\
+         \x20                 [--gc-every N] [--prom-out FILE]\n\
+         \n\
+         Deterministic load harness for the serve subsystem\n\
+         (see docs/SERVING.md)."
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    load: LoadConfig,
+    passes: usize,
+    verify: bool,
+    shutdown: bool,
+    bench_out: Option<String>,
+    note: String,
+    serve_cfg: ServeConfig,
+    prom_out: Option<String>,
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric argument: {s}");
+        usage();
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        spawn: false,
+        load: LoadConfig::default(),
+        passes: 2,
+        verify: false,
+        shutdown: false,
+        bench_out: None,
+        note: String::new(),
+        serve_cfg: ServeConfig::default(),
+        prom_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value("--addr")),
+            "--spawn" => args.spawn = true,
+            "--seed" => args.load.seed = parse_num(&value("--seed")),
+            "--requests" => args.load.requests = parse_num(&value("--requests")),
+            "--clients" => args.load.clients = parse_num(&value("--clients")),
+            "--dup" => args.load.dup_percent = parse_num(&value("--dup")),
+            "--scale" => args.load.scale = parse_num(&value("--scale")),
+            "--window" => args.load.window = parse_num(&value("--window")),
+            "--vip-priority" => args.load.vip_priority = parse_num(&value("--vip-priority")),
+            "--passes" => args.passes = parse_num(&value("--passes")),
+            "--verify" => args.verify = true,
+            "--shutdown" => args.shutdown = true,
+            "--bench-out" => args.bench_out = Some(value("--bench-out")),
+            "--note" => args.note = value("--note"),
+            "--cache-dir" => args.serve_cfg.cache_dir = Some(value("--cache-dir").into()),
+            "--groups" => args.serve_cfg.groups = parse_num(&value("--groups")),
+            "--queue-depth" => args.serve_cfg.queue_depth = parse_num(&value("--queue-depth")),
+            "--gc-every" => args.serve_cfg.gc_every = parse_num(&value("--gc-every")),
+            "--prom-out" => args.prom_out = Some(value("--prom-out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if args.addr.is_some() == args.spawn {
+        eprintln!("exactly one of --addr or --spawn is required");
+        usage();
+    }
+    args
+}
+
+fn pass_name(index: usize) -> String {
+    match index {
+        0 => "cold".to_string(),
+        1 => "warm".to_string(),
+        n => format!("warm{n}"),
+    }
+}
+
+fn print_pass(report: &PassReport) {
+    println!(
+        "[serve-load] pass={} completed={}/{} hit_rate={:.3} rps={:.1} \
+         p50={}us p95={}us p99={}us rejected={} errors={} spread={:.2}",
+        report.pass,
+        report.completed,
+        report.requests,
+        report.hit_rate,
+        report.throughput_rps,
+        report.p50_nanos / 1_000,
+        report.p95_nanos / 1_000,
+        report.p99_nanos / 1_000,
+        report.rejected,
+        report.errors,
+        report.completion_spread,
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let mix = build_mix(&args.load);
+    let unique: std::collections::HashSet<String> = mix
+        .iter()
+        .map(|item| {
+            use cestim_exec::Job;
+            item.job.cache_key().id()
+        })
+        .collect();
+    println!(
+        "[serve-load] seed={} requests={} unique_jobs={} clients={} dup={}% passes={}",
+        args.load.seed,
+        mix.len(),
+        unique.len(),
+        args.load.clients,
+        args.load.dup_percent,
+        args.passes
+    );
+
+    // Spawn-mode keeps the server alive for the whole run.
+    let spawned = if args.spawn {
+        let registry = cestim_obs::Registry::new();
+        match Server::start_with(
+            args.serve_cfg.clone(),
+            registry.clone(),
+            cestim_obs::span2::SpanCollector::disabled(),
+        ) {
+            Ok(server) => Some((server, registry)),
+            Err(e) => {
+                eprintln!("serve-load: cannot start in-process server: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut conn: Box<dyn ServeConn> = match (&spawned, &args.addr) {
+        (Some((server, _)), _) => Box::new(server.client()),
+        (None, Some(addr)) => match TcpConn::connect(addr) {
+            Ok(conn) => Box::new(conn),
+            Err(e) => {
+                eprintln!("serve-load: cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        (None, None) => unreachable!("parse_args enforces addr xor spawn"),
+    };
+
+    let mut payloads = HashMap::new();
+    let mut passes = Vec::with_capacity(args.passes);
+    let mut failed = false;
+    for p in 0..args.passes.max(1) {
+        match run_pass(
+            conn.as_mut(),
+            &mix,
+            &args.load,
+            &pass_name(p),
+            &mut payloads,
+        ) {
+            Ok(report) => {
+                print_pass(&report);
+                if report.errors > 0 || report.completed < report.requests {
+                    failed = true;
+                }
+                passes.push(report);
+            }
+            Err(e) => {
+                eprintln!("serve-load: pass {} failed: {e}", pass_name(p));
+                failed = true;
+                break;
+            }
+        }
+    }
+
+    let verify = if args.verify {
+        let report = verify_against_direct(&payloads);
+        println!(
+            "[serve-load] verify checked={} mismatches={}",
+            report.checked, report.mismatches
+        );
+        if report.mismatches > 0 {
+            failed = true;
+        }
+        Some(report)
+    } else {
+        None
+    };
+
+    if let Some(path) = &args.bench_out {
+        let entry = bench_entry(&args.load, &passes, verify, &args.note);
+        match append_trajectory(std::path::Path::new(path), entry) {
+            Ok(()) => println!("[serve-load] appended run to {path}"),
+            Err(e) => {
+                eprintln!("serve-load: writing {path} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if args.shutdown && args.addr.is_some() && conn.send_request(&Request::Shutdown).is_ok() {
+        // Wait for the acknowledgement so the server has begun
+        // draining before we exit.
+        while let Ok(resp) = conn.recv_response(Duration::from_secs(10)) {
+            if matches!(resp, Response::ShuttingDown) {
+                break;
+            }
+        }
+    }
+    if let Some((server, registry)) = spawned {
+        server.shutdown();
+        if let Some(path) = &args.prom_out {
+            if let Err(e) = write_prom(path, &registry) {
+                eprintln!("serve-load: writing {path} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn write_prom(path: &str, registry: &cestim_obs::Registry) -> std::io::Result<()> {
+    use std::io::Write;
+    let path = std::path::Path::new(path);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    cestim_obs::export::write_prometheus(&registry.snapshot(), &mut w)?;
+    w.flush()
+}

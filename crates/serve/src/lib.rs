@@ -1,0 +1,36 @@
+//! # cestim-serve
+//!
+//! A long-lived simulation service over the cestim exec engine: the
+//! ROADMAP's "batch reproduction → serving system" step. The paper's
+//! SENS/SPEC/PVP/PVN sweeps are overlapping, cacheable units of work;
+//! this crate serves them to many concurrent clients instead of one
+//! batch driver.
+//!
+//! Layers (see docs/SERVING.md for the full protocol and semantics):
+//!
+//! * [`protocol`] — line-delimited JSON requests/responses with total,
+//!   panic-free parsing and structured error codes.
+//! * [`sched`] — admission control: cache-key-range sharding across
+//!   worker groups, and per-client weighted fair queuing (deficit
+//!   round-robin) with bounded depth and explicit backpressure.
+//! * [`server`] — the engine front end: shard workers, warm-result
+//!   serving from the content-addressed [`cestim_exec::DiskCache`],
+//!   `catch_unwind` job isolation, journaling, `serve.*` metrics and
+//!   spans, scheduled stale-cache sweeps, and the TCP / in-process
+//!   client surfaces.
+//! * [`load`] — the deterministic seeded load harness behind the
+//!   `serve-load` binary and `BENCH_serve.json`.
+
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod protocol;
+pub mod sched;
+pub mod server;
+
+pub use protocol::{
+    parse_line, parse_response, render_request, render_response, ErrorCode, ProtoError, Request,
+    RequestLimits, Response, MAX_LINE_BYTES,
+};
+pub use sched::{shard_of, DrrQueue, Ticket};
+pub use server::{InProcClient, ServeConfig, Server};

@@ -1,0 +1,605 @@
+//! Deterministic synthetic load harness for the serve subsystem.
+//!
+//! [`build_mix`] expands a seeded [`LoadConfig`] into a fixed request
+//! sequence — a mix of duplicate and unique jobs across several clients,
+//! with client 0 carrying a priority skew — and [`run_pass`] replays it
+//! against any [`ServeConn`] (in-process or TCP). Because the mix is a
+//! pure function of the seed, replaying the same pass twice measures the
+//! cold→warm cache transition exactly, and replaying it against two
+//! different servers produces byte-identical payload streams.
+//!
+//! [`PassReport`] captures throughput, hit-rate, latency quantiles
+//! (via [`cestim_obs::HistogramSnapshot::quantile`]), and per-client
+//! completion statistics; [`bench_entry`] + [`append_trajectory`] write
+//! the `BENCH_serve.json` trajectory consumed by docs/PERFORMANCE.md.
+
+use crate::protocol::{parse_response, render_request, Request, Response};
+use cestim_exec::{canonical_string, Job};
+use cestim_obs::Registry;
+use cestim_qa::XorShift64Star;
+use cestim_sim::{EstimatorSpec, ExecJob, PredictorKind, RunConfig};
+use cestim_workloads::WorkloadKind;
+use serde::Value;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Schema tag of `BENCH_serve.json` trajectory files.
+pub const SERVE_BENCH_SCHEMA: &str = "cestim-serve-load/1";
+
+/// Parameters of one synthetic load mix.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// PRNG seed; the whole mix is a pure function of it.
+    pub seed: u64,
+    /// Requests per pass.
+    pub requests: usize,
+    /// Distinct client identities (round-robin over requests).
+    pub clients: usize,
+    /// Percent of requests that re-issue an already-generated job.
+    pub dup_percent: u32,
+    /// Workload scale of generated jobs.
+    pub scale: u32,
+    /// Max in-flight requests (must stay at or below the server's
+    /// per-shard queue depth to avoid rejects in the happy path).
+    pub window: usize,
+    /// Priority of client 0; all other clients run at priority 1, so
+    /// the default of 10 exercises a 10:1 skew.
+    pub vip_priority: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            seed: 7,
+            requests: 64,
+            clients: 4,
+            dup_percent: 60,
+            scale: 1,
+            window: 16,
+            vip_priority: 10,
+        }
+    }
+}
+
+/// One pre-generated request of a load mix.
+#[derive(Debug, Clone)]
+pub struct MixItem {
+    /// Index in the mix (the request id is derived from it per pass).
+    pub index: usize,
+    /// Issuing client index.
+    pub client_idx: usize,
+    /// Scheduling priority.
+    pub priority: u32,
+    /// The job to submit.
+    pub job: ExecJob,
+}
+
+/// Client name for a mix client index.
+pub fn client_name(idx: usize) -> String {
+    format!("client{idx}")
+}
+
+fn gen_job(rng: &mut XorShift64Star, scale: u32) -> ExecJob {
+    let workloads = WorkloadKind::all();
+    let workload = workloads[rng.below(workloads.len() as u64) as usize];
+    let predictor = match rng.below(3) {
+        0 => PredictorKind::Gshare,
+        1 => PredictorKind::SAg,
+        _ => PredictorKind::Bimodal,
+    };
+    let cfg = RunConfig::paper(workload, scale, predictor);
+    match rng.below(3) {
+        0 => ExecJob::Run {
+            cfg,
+            specs: vec![EstimatorSpec::jrs_paper()],
+        },
+        1 => ExecJob::Distance { cfg, buckets: 64 },
+        _ => ExecJob::Cluster {
+            cfg,
+            spec: EstimatorSpec::jrs_paper(),
+            buckets: 64,
+        },
+    }
+}
+
+/// Expands a config into its fixed request sequence. Pure in the seed:
+/// the same config always yields the same jobs in the same order.
+pub fn build_mix(cfg: &LoadConfig) -> Vec<MixItem> {
+    let mut rng = XorShift64Star::new(cfg.seed);
+    let clients = cfg.clients.max(1);
+    let mut pool: Vec<ExecJob> = Vec::new();
+    let mut items = Vec::with_capacity(cfg.requests);
+    for index in 0..cfg.requests {
+        let client_idx = index % clients;
+        let duplicate = !pool.is_empty() && rng.chance(u64::from(cfg.dup_percent.min(100)), 100);
+        let job = if duplicate {
+            pool[rng.below(pool.len() as u64) as usize].clone()
+        } else {
+            let job = gen_job(&mut rng, cfg.scale.max(1));
+            pool.push(job.clone());
+            job
+        };
+        items.push(MixItem {
+            index,
+            client_idx,
+            priority: if client_idx == 0 { cfg.vip_priority } else { 1 },
+            job,
+        });
+    }
+    items
+}
+
+/// A client transport the load harness can drive.
+pub trait ServeConn {
+    /// Submits one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns any transport error.
+    fn send_request(&mut self, req: &Request) -> io::Result<()>;
+
+    /// Receives the next response, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `TimedOut` when no response arrived in time, or any
+    /// transport error.
+    fn recv_response(&mut self, timeout: Duration) -> io::Result<Response>;
+}
+
+impl ServeConn for crate::server::InProcClient {
+    fn send_request(&mut self, req: &Request) -> io::Result<()> {
+        self.send(req.clone());
+        Ok(())
+    }
+
+    fn recv_response(&mut self, timeout: Duration) -> io::Result<Response> {
+        self.recv_timeout(timeout)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "no response"))
+    }
+}
+
+/// A blocking TCP protocol connection.
+pub struct TcpConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    line: String,
+}
+
+impl TcpConn {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns any connect error.
+    pub fn connect(addr: &str) -> io::Result<TcpConn> {
+        let stream = TcpStream::connect(addr)?;
+        let write_half = stream.try_clone()?;
+        Ok(TcpConn {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            line: String::new(),
+        })
+    }
+}
+
+impl ServeConn for TcpConn {
+    fn send_request(&mut self, req: &Request) -> io::Result<()> {
+        writeln!(self.writer, "{}", render_request(req))?;
+        self.writer.flush()
+    }
+
+    fn recv_response(&mut self, timeout: Duration) -> io::Result<Response> {
+        self.reader.get_ref().set_read_timeout(Some(timeout))?;
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        parse_response(&self.line)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable response"))
+    }
+}
+
+/// Per-client slice of a [`PassReport`].
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// Client name.
+    pub client: String,
+    /// Priority the client ran at.
+    pub priority: u32,
+    /// Requests sent.
+    pub sent: usize,
+    /// Terminal results received.
+    pub completed: usize,
+    /// Mean admission→result latency, nanoseconds.
+    pub mean_latency_nanos: u64,
+    /// Mean position of this client's results in the pass's completion
+    /// order (lower = served earlier).
+    pub mean_completion_index: f64,
+}
+
+/// Measured outcome of one load pass.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// Pass tag ("cold", "warm", ...).
+    pub pass: String,
+    /// Requests in the mix.
+    pub requests: usize,
+    /// Terminal `result` responses received.
+    pub completed: usize,
+    /// Results served from the warm cache.
+    pub cache_hits: usize,
+    /// Backpressure rejections observed (all retried).
+    pub rejected: usize,
+    /// Terminal `error` responses received.
+    pub errors: usize,
+    /// Wall time of the pass, nanoseconds.
+    pub wall_nanos: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// `cache_hits / completed` (0 when nothing completed).
+    pub hit_rate: f64,
+    /// Median latency (upper-bound log2-bucket estimate), nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th-percentile latency, nanoseconds.
+    pub p95_nanos: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_nanos: u64,
+    /// Per-client breakdown.
+    pub clients: Vec<ClientReport>,
+    /// Max/min ratio of per-client mean completion index — the
+    /// priority-skew fairness figure (≥ 1.0; higher means the
+    /// high-priority client finished earlier relative to the rest).
+    pub completion_spread: f64,
+}
+
+impl PassReport {
+    /// Renders the report as a JSON object for `BENCH_serve.json`.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "pass": self.pass,
+            "requests": self.requests,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "wall_nanos": self.wall_nanos,
+            "throughput_rps": self.throughput_rps,
+            "hit_rate": self.hit_rate,
+            "p50_nanos": self.p50_nanos,
+            "p95_nanos": self.p95_nanos,
+            "p99_nanos": self.p99_nanos,
+            "completion_spread": self.completion_spread,
+            "clients": self.clients.iter().map(|c| serde_json::json!({
+                "client": c.client,
+                "priority": c.priority,
+                "sent": c.sent,
+                "completed": c.completed,
+                "mean_latency_nanos": c.mean_latency_nanos,
+                "mean_completion_index": c.mean_completion_index,
+            })).collect::<Vec<Value>>(),
+        })
+    }
+}
+
+struct Pending {
+    client_idx: usize,
+    started: Instant,
+}
+
+/// Replays `mix` over `conn` as pass `pass`, collecting the first
+/// payload seen per unique job into `payloads` (keyed by cache-key id)
+/// for later [`verify_against_direct`].
+///
+/// # Errors
+///
+/// Returns any transport error, or `TimedOut` when the server stops
+/// responding mid-pass.
+pub fn run_pass(
+    conn: &mut dyn ServeConn,
+    mix: &[MixItem],
+    cfg: &LoadConfig,
+    pass: &str,
+    payloads: &mut HashMap<String, (ExecJob, Value)>,
+) -> io::Result<PassReport> {
+    const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+    const MAX_RETRIES: usize = 1000;
+
+    let registry = Registry::new();
+    let latency = registry.histogram("load.latency.nanos", &[]);
+    let clients = cfg.clients.max(1);
+    let mut sent_per_client = vec![0usize; clients];
+    let mut completed_per_client = vec![0usize; clients];
+    let mut latency_sums = vec![0u128; clients];
+    let mut completion_index_sums = vec![0f64; clients];
+    let mut pending: HashMap<String, Pending> = HashMap::new();
+    let mut send_list: Vec<usize> = (0..mix.len()).collect();
+    let mut next_send = 0usize;
+    let mut completed = 0usize;
+    let mut cache_hits = 0usize;
+    let mut rejected = 0usize;
+    let mut errors = 0usize;
+    let mut retries = 0usize;
+    let window = cfg.window.max(1);
+    let t0 = Instant::now();
+
+    while next_send < send_list.len() || !pending.is_empty() {
+        // Fill the in-flight window.
+        while next_send < send_list.len() && pending.len() < window {
+            let item = &mix[send_list[next_send]];
+            next_send += 1;
+            let id = format!("{pass}-{}", item.index);
+            pending.insert(
+                id.clone(),
+                Pending {
+                    client_idx: item.client_idx,
+                    started: Instant::now(),
+                },
+            );
+            sent_per_client[item.client_idx] += 1;
+            conn.send_request(&Request::Run {
+                id,
+                client: client_name(item.client_idx),
+                priority: item.priority,
+                job: item.job.clone(),
+            })?;
+        }
+        if pending.is_empty() {
+            break;
+        }
+        match conn.recv_response(RECV_TIMEOUT)? {
+            Response::Accepted { .. } | Response::Started { .. } => {}
+            Response::Result {
+                id,
+                cached,
+                payload,
+                ..
+            } => {
+                let Some(p) = pending.remove(&id) else {
+                    continue;
+                };
+                let nanos = u64::try_from(p.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                latency.record(nanos);
+                latency_sums[p.client_idx] += u128::from(nanos);
+                completion_index_sums[p.client_idx] += completed as f64;
+                completed_per_client[p.client_idx] += 1;
+                completed += 1;
+                if cached {
+                    cache_hits += 1;
+                }
+                if let Some(index) = id.rsplit('-').next().and_then(|s| s.parse::<usize>().ok()) {
+                    if let Some(item) = mix.get(index) {
+                        payloads
+                            .entry(item.job.cache_key().id())
+                            .or_insert_with(|| (item.job.clone(), payload));
+                    }
+                }
+            }
+            Response::Rejected { id, .. } => {
+                // Backpressure: retry the item later in the pass.
+                let Some(p) = pending.remove(&id) else {
+                    continue;
+                };
+                rejected += 1;
+                sent_per_client[p.client_idx] -= 1;
+                if retries < MAX_RETRIES {
+                    retries += 1;
+                    if let Some(index) = id.rsplit('-').next().and_then(|s| s.parse::<usize>().ok())
+                    {
+                        send_list.push(index);
+                    }
+                } else {
+                    errors += 1;
+                }
+            }
+            Response::Error { id, .. } => {
+                errors += 1;
+                if let Some(id) = id {
+                    pending.remove(&id);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let wall_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let snap = latency.snapshot();
+    let mut client_reports = Vec::with_capacity(clients);
+    for idx in 0..clients {
+        let done = completed_per_client[idx];
+        client_reports.push(ClientReport {
+            client: client_name(idx),
+            priority: if idx == 0 { cfg.vip_priority } else { 1 },
+            sent: sent_per_client[idx],
+            completed: done,
+            mean_latency_nanos: if done == 0 {
+                0
+            } else {
+                (latency_sums[idx] / done as u128) as u64
+            },
+            mean_completion_index: if done == 0 {
+                0.0
+            } else {
+                completion_index_sums[idx] / done as f64
+            },
+        });
+    }
+    let means: Vec<f64> = client_reports
+        .iter()
+        .filter(|c| c.completed > 0)
+        .map(|c| c.mean_completion_index.max(0.5))
+        .collect();
+    let completion_spread = match (
+        means.iter().cloned().fold(f64::INFINITY, f64::min),
+        means.iter().cloned().fold(0.0f64, f64::max),
+    ) {
+        (min, max) if min.is_finite() && min > 0.0 => max / min,
+        _ => 1.0,
+    };
+    Ok(PassReport {
+        pass: pass.to_string(),
+        requests: mix.len(),
+        completed,
+        cache_hits,
+        rejected,
+        errors,
+        wall_nanos,
+        throughput_rps: if wall_nanos == 0 {
+            0.0
+        } else {
+            completed as f64 / (wall_nanos as f64 / 1e9)
+        },
+        hit_rate: if completed == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / completed as f64
+        },
+        p50_nanos: snap.quantile(0.50),
+        p95_nanos: snap.quantile(0.95),
+        p99_nanos: snap.quantile(0.99),
+        clients: client_reports,
+        completion_spread,
+    })
+}
+
+/// Outcome of [`verify_against_direct`].
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyReport {
+    /// Unique jobs re-executed directly.
+    pub checked: usize,
+    /// Payloads that differed from direct execution (must be 0).
+    pub mismatches: usize,
+}
+
+/// Re-executes every unique job directly (the exact code path `repro`'s
+/// executor runs) and compares canonical JSON bytes against the payload
+/// the server returned.
+pub fn verify_against_direct(payloads: &HashMap<String, (ExecJob, Value)>) -> VerifyReport {
+    let mut checked = 0usize;
+    let mut mismatches = 0usize;
+    for (job, served) in payloads.values() {
+        checked += 1;
+        let direct = serde::to_value(&job.execute());
+        if canonical_string(&direct) != canonical_string(served) {
+            mismatches += 1;
+        }
+    }
+    VerifyReport {
+        checked,
+        mismatches,
+    }
+}
+
+/// Builds one `BENCH_serve.json` trajectory entry from a run's passes.
+pub fn bench_entry(
+    cfg: &LoadConfig,
+    passes: &[PassReport],
+    verify: Option<VerifyReport>,
+    note: &str,
+) -> Value {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    serde_json::json!({
+        "unix_secs": unix_secs,
+        "note": note,
+        "config": {
+            "seed": cfg.seed,
+            "requests": cfg.requests,
+            "clients": cfg.clients,
+            "dup_percent": cfg.dup_percent,
+            "scale": cfg.scale,
+            "window": cfg.window,
+            "vip_priority": cfg.vip_priority,
+        },
+        "passes": passes.iter().map(PassReport::to_json).collect::<Vec<Value>>(),
+        "verify": match verify {
+            Some(v) => serde_json::json!({"checked": v.checked, "mismatches": v.mismatches}),
+            None => Value::Null,
+        },
+    })
+}
+
+/// Appends `entry` to the `{"schema", "runs"}` trajectory at `path`,
+/// creating the file on first use.
+///
+/// # Errors
+///
+/// Returns any I/O error reading or writing the file.
+pub fn append_trajectory(path: &Path, entry: Value) -> io::Result<()> {
+    let doc: Value = match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => serde_json::json!({
+            "schema": SERVE_BENCH_SCHEMA,
+            "runs": Vec::<Value>::new(),
+        }),
+        Err(e) => return Err(e),
+    };
+    let Value::Object(mut obj) = doc else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trajectory root must be an object",
+        ));
+    };
+    match obj.get_mut("runs") {
+        Some(Value::Array(runs)) => runs.push(entry),
+        _ => {
+            obj.insert("runs".to_string(), Value::Array(vec![entry]));
+        }
+    }
+    let doc = Value::Object(obj);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, serde_json::to_string_pretty(&doc)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_skewed() {
+        let cfg = LoadConfig::default();
+        let a = build_mix(&cfg);
+        let b = build_mix(&cfg);
+        assert_eq!(a.len(), cfg.requests);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.job, y.job);
+            assert_eq!(x.client_idx, y.client_idx);
+            assert_eq!(x.priority, y.priority);
+        }
+        assert!(a.iter().any(|i| i.priority == cfg.vip_priority));
+        assert!(a.iter().any(|i| i.priority == 1));
+        // The duplicate knob produces real duplicates.
+        let mut seen = std::collections::HashSet::new();
+        let dups = a
+            .iter()
+            .filter(|i| !seen.insert(i.job.cache_key().id()))
+            .count();
+        assert!(dups > 0, "default mix should contain duplicates");
+    }
+
+    #[test]
+    fn trajectory_appends() {
+        let path = std::env::temp_dir()
+            .join(format!("cestim-serve-traj-{}", std::process::id()))
+            .join("BENCH_serve.json");
+        let _ = std::fs::remove_file(&path);
+        append_trajectory(&path, serde_json::json!({"n": 1})).unwrap();
+        append_trajectory(&path, serde_json::json!({"n": 2})).unwrap();
+        let doc: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc["schema"].as_str().unwrap(), SERVE_BENCH_SCHEMA);
+        assert_eq!(doc["runs"].as_array().unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

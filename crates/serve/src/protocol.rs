@@ -1,0 +1,609 @@
+//! The serve wire protocol: line-delimited JSON requests and responses.
+//!
+//! Each request is one JSON object on one line (capped at
+//! [`MAX_LINE_BYTES`]); each response is likewise one JSON object per
+//! line. Parsing is total: any byte sequence maps to either a valid
+//! [`Request`] or a structured [`ProtoError`] — never a panic — which is
+//! what the seeded protocol fuzz test in `tests/protocol_fuzz.rs` locks
+//! in.
+//!
+//! Request shapes (the `op` field selects the operation):
+//!
+//! ```json
+//! {"op":"run","id":"r1","client":"alice","priority":10,"job":{"Run":{...}}}
+//! {"op":"ping"}
+//! {"op":"stats"}
+//! {"op":"cache-gc"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! The `job` payload is a serialized [`ExecJob`] — exactly the value the
+//! batch `repro` harness executes, so server results are byte-identical
+//! to direct execution by construction.
+
+use cestim_sim::ExecJob;
+use serde::{Deserialize, Value};
+
+/// Hard cap on one protocol line, in bytes. Longer lines are rejected
+/// with an `oversized` error and the remainder of the line is discarded.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Machine-readable error category carried by [`ProtoError`] and the
+/// `error` response's `code` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    Oversized,
+    /// The line was not valid UTF-8 or not valid JSON.
+    Malformed,
+    /// Valid JSON, but not a well-formed request object.
+    BadRequest,
+    /// A well-formed request whose job spec failed validation.
+    InvalidSpec,
+    /// The job panicked while executing.
+    Execution,
+}
+
+impl ErrorCode {
+    /// The stable wire string for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::Malformed => "malformed-json",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::InvalidSpec => "invalid-spec",
+            ErrorCode::Execution => "execution",
+        }
+    }
+}
+
+/// A structured parse/validation failure: an [`ErrorCode`] plus a
+/// human-readable message. Rendered to clients as an `error` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+/// Admission limits applied while validating a `run` request. Requests
+/// outside these bounds are rejected with `invalid-spec` before they
+/// reach the scheduler.
+#[derive(Debug, Clone)]
+pub struct RequestLimits {
+    /// Largest accepted workload scale.
+    pub max_scale: u32,
+    /// Largest accepted estimator list.
+    pub max_specs: usize,
+    /// Largest accepted histogram bucket count (distance/cluster jobs).
+    pub max_buckets: u64,
+}
+
+impl Default for RequestLimits {
+    fn default() -> RequestLimits {
+        RequestLimits {
+            max_scale: 8,
+            max_specs: 16,
+            max_buckets: 4096,
+        }
+    }
+}
+
+/// One parsed client request.
+// `Run` dwarfs the control ops, but a request is parsed and moved once
+// per line — boxing the job would cost an allocation on the hot path to
+// shrink variants that are never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a simulation job for execution.
+    Run {
+        /// Client-chosen request id, echoed on every response.
+        id: String,
+        /// Client identity used for weighted fair queuing.
+        client: String,
+        /// Scheduling weight, 1..=100 (higher = more service).
+        priority: u32,
+        /// The simulation unit to execute.
+        job: ExecJob,
+    },
+    /// Ask for a one-line counter snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Run a stale-cache sweep now.
+    CacheGc,
+    /// Drain queued work and stop the server.
+    Shutdown,
+}
+
+/// One server response, as delivered to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job was admitted to shard `shard`.
+    Accepted {
+        /// Echoed request id.
+        id: String,
+        /// Worker group the job's cache key routed to.
+        shard: usize,
+        /// Queue depth on that shard after admission.
+        queue_depth: usize,
+    },
+    /// The shard queue was full; the job was not admitted (backpressure).
+    Rejected {
+        /// Echoed request id.
+        id: String,
+        /// Worker group the job's cache key routed to.
+        shard: usize,
+        /// Why admission failed (currently always `queue-full`).
+        reason: String,
+        /// Queue depth observed at rejection time.
+        queue_depth: usize,
+    },
+    /// Progress event: the job was dequeued and started executing.
+    Started {
+        /// Echoed request id.
+        id: String,
+        /// Worker group executing the job.
+        shard: usize,
+        /// Time spent queued, in nanoseconds.
+        queue_wait_nanos: u64,
+    },
+    /// Terminal success: the job's output payload.
+    Result {
+        /// Echoed request id.
+        id: String,
+        /// True when served from the warm result cache.
+        cached: bool,
+        /// Wall time from admission to completion, in nanoseconds.
+        elapsed_nanos: u64,
+        /// The serialized `JobOutput` — identical to what `repro` caches.
+        payload: Value,
+    },
+    /// Terminal failure: parse, validation, or execution error.
+    Error {
+        /// Echoed request id, when one was recoverable from the line.
+        id: Option<String>,
+        /// Stable [`ErrorCode`] wire string.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Counter snapshot (free-form object of u64 fields).
+    Stats(Value),
+    /// A cache sweep finished; `removed` entries were evicted.
+    Gc {
+        /// Number of stale entries removed.
+        removed: u64,
+    },
+    /// Reply to `ping`.
+    Pong,
+    /// The server acknowledged `shutdown` and is draining.
+    ShuttingDown,
+}
+
+/// Parses one protocol line into a [`Request`].
+///
+/// Total over arbitrary bytes: returns a structured [`ProtoError`] for
+/// oversized, non-UTF-8, non-JSON, ill-shaped, or out-of-bounds input.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] with the matching [`ErrorCode`] when the line
+/// is not a valid request.
+pub fn parse_line(bytes: &[u8], limits: &RequestLimits) -> Result<Request, ProtoError> {
+    if bytes.len() > MAX_LINE_BYTES {
+        return Err(ProtoError::new(
+            ErrorCode::Oversized,
+            format!("line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| ProtoError::new(ErrorCode::Malformed, format!("not UTF-8: {e}")))?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(ProtoError::new(ErrorCode::BadRequest, "empty line"));
+    }
+    let value: Value = serde_json::from_str(trimmed)
+        .map_err(|e| ProtoError::new(ErrorCode::Malformed, format!("not JSON: {e}")))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| ProtoError::new(ErrorCode::BadRequest, "request must be a JSON object"))?;
+    let op = obj
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtoError::new(ErrorCode::BadRequest, "missing string field `op`"))?;
+    match op {
+        "run" => {
+            let id = obj
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| ProtoError::new(ErrorCode::BadRequest, "missing string field `id`"))?
+                .to_string();
+            let client = obj
+                .get("client")
+                .and_then(Value::as_str)
+                .unwrap_or("anon")
+                .to_string();
+            let priority = match obj.get("priority") {
+                None => 1,
+                Some(v) => v
+                    .as_u64()
+                    .filter(|p| (1..=100).contains(p))
+                    .ok_or_else(|| {
+                        ProtoError::new(
+                            ErrorCode::BadRequest,
+                            "`priority` must be an integer in 1..=100",
+                        )
+                    })? as u32,
+            };
+            let job_value = obj
+                .get("job")
+                .ok_or_else(|| ProtoError::new(ErrorCode::BadRequest, "missing field `job`"))?;
+            let job = ExecJob::from_value(job_value)
+                .map_err(|e| ProtoError::new(ErrorCode::BadRequest, format!("bad `job`: {e}")))?;
+            validate_job(&job, limits)?;
+            Ok(Request::Run {
+                id,
+                client,
+                priority,
+                job,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "cache-gc" => Ok(Request::CacheGc),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ProtoError::new(
+            ErrorCode::BadRequest,
+            format!("unknown op `{other}`"),
+        )),
+    }
+}
+
+/// Validates a deserialized job against the server's admission limits.
+///
+/// # Errors
+///
+/// Returns an `invalid-spec` [`ProtoError`] naming the offending bound.
+pub fn validate_job(job: &ExecJob, limits: &RequestLimits) -> Result<(), ProtoError> {
+    let invalid = |msg: String| ProtoError::new(ErrorCode::InvalidSpec, msg);
+    let check_scale = |scale: u32| {
+        if scale == 0 || scale > limits.max_scale {
+            Err(invalid(format!(
+                "scale {scale} outside 1..={}",
+                limits.max_scale
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    let check_specs = |n: usize| {
+        if n > limits.max_specs {
+            Err(invalid(format!(
+                "{n} estimators exceeds limit {}",
+                limits.max_specs
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    let check_buckets = |b: u64| {
+        if b == 0 || b > limits.max_buckets {
+            Err(invalid(format!(
+                "buckets {b} outside 1..={}",
+                limits.max_buckets
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    match job {
+        ExecJob::Run { cfg, specs } => {
+            check_scale(cfg.scale)?;
+            check_specs(specs.len())
+        }
+        ExecJob::CrossProfileRun { cfg, specs, .. } => {
+            check_scale(cfg.scale)?;
+            check_specs(specs.len())
+        }
+        ExecJob::Distance { cfg, buckets } => {
+            check_scale(cfg.scale)?;
+            check_buckets(*buckets)
+        }
+        ExecJob::Cluster { cfg, buckets, .. } => {
+            check_scale(cfg.scale)?;
+            check_buckets(*buckets)
+        }
+        ExecJob::Boost { cfg, specs, max_k } => {
+            check_scale(cfg.scale)?;
+            check_specs(specs.len())?;
+            if specs.is_empty() {
+                return Err(invalid(
+                    "boost jobs need at least one estimator".to_string(),
+                ));
+            }
+            if *max_k == 0 || *max_k > 64 {
+                return Err(invalid(format!("max_k {max_k} outside 1..=64")));
+            }
+            Ok(())
+        }
+        ExecJob::Smt { scale, .. } => check_scale(*scale),
+    }
+}
+
+/// Renders a request as one protocol line (no trailing newline).
+pub fn render_request(req: &Request) -> String {
+    match req {
+        Request::Run {
+            id,
+            client,
+            priority,
+            job,
+        } => serde_json::json!({
+            "op": "run",
+            "id": id,
+            "client": client,
+            "priority": priority,
+            "job": serde::to_value(job),
+        })
+        .to_string(),
+        Request::Stats => r#"{"op":"stats"}"#.to_string(),
+        Request::Ping => r#"{"op":"ping"}"#.to_string(),
+        Request::CacheGc => r#"{"op":"cache-gc"}"#.to_string(),
+        Request::Shutdown => r#"{"op":"shutdown"}"#.to_string(),
+    }
+}
+
+/// Renders a response as one protocol line (no trailing newline).
+pub fn render_response(resp: &Response) -> String {
+    match resp {
+        Response::Accepted {
+            id,
+            shard,
+            queue_depth,
+        } => serde_json::json!({
+            "type": "accepted", "id": id, "shard": shard, "queue_depth": queue_depth,
+        })
+        .to_string(),
+        Response::Rejected {
+            id,
+            shard,
+            reason,
+            queue_depth,
+        } => serde_json::json!({
+            "type": "rejected", "id": id, "shard": shard,
+            "reason": reason, "queue_depth": queue_depth,
+        })
+        .to_string(),
+        Response::Started {
+            id,
+            shard,
+            queue_wait_nanos,
+        } => serde_json::json!({
+            "type": "started", "id": id, "shard": shard,
+            "queue_wait_nanos": queue_wait_nanos,
+        })
+        .to_string(),
+        Response::Result {
+            id,
+            cached,
+            elapsed_nanos,
+            payload,
+        } => serde_json::json!({
+            "type": "result", "id": id, "cached": cached,
+            "elapsed_nanos": elapsed_nanos, "payload": payload.clone(),
+        })
+        .to_string(),
+        Response::Error { id, code, message } => {
+            let idv = match id {
+                Some(s) => Value::String(s.clone()),
+                None => Value::Null,
+            };
+            serde_json::json!({
+                "type": "error", "id": idv, "code": code, "message": message,
+            })
+            .to_string()
+        }
+        Response::Stats(fields) => serde_json::json!({
+            "type": "stats", "fields": fields.clone(),
+        })
+        .to_string(),
+        Response::Gc { removed } => serde_json::json!({
+            "type": "gc", "removed": removed,
+        })
+        .to_string(),
+        Response::Pong => r#"{"type":"pong"}"#.to_string(),
+        Response::ShuttingDown => r#"{"type":"shutting-down"}"#.to_string(),
+    }
+}
+
+/// Parses one response line back into a [`Response`] (the client half).
+///
+/// Returns `None` for lines that are not a recognizable response.
+pub fn parse_response(line: &str) -> Option<Response> {
+    let value: Value = serde_json::from_str(line.trim()).ok()?;
+    let obj = value.as_object()?;
+    let kind = obj.get("type").and_then(Value::as_str)?;
+    let id = || obj.get("id").and_then(Value::as_str).map(str::to_string);
+    match kind {
+        "accepted" => Some(Response::Accepted {
+            id: id()?,
+            shard: obj.get("shard")?.as_u64()? as usize,
+            queue_depth: obj.get("queue_depth")?.as_u64()? as usize,
+        }),
+        "rejected" => Some(Response::Rejected {
+            id: id()?,
+            shard: obj.get("shard")?.as_u64()? as usize,
+            reason: obj.get("reason")?.as_str()?.to_string(),
+            queue_depth: obj.get("queue_depth")?.as_u64()? as usize,
+        }),
+        "started" => Some(Response::Started {
+            id: id()?,
+            shard: obj.get("shard")?.as_u64()? as usize,
+            queue_wait_nanos: obj.get("queue_wait_nanos")?.as_u64()?,
+        }),
+        "result" => Some(Response::Result {
+            id: id()?,
+            cached: obj.get("cached")?.as_bool()?,
+            elapsed_nanos: obj.get("elapsed_nanos")?.as_u64()?,
+            payload: obj.get("payload")?.clone(),
+        }),
+        "error" => Some(Response::Error {
+            id: id(),
+            code: obj.get("code")?.as_str()?.to_string(),
+            message: obj.get("message")?.as_str()?.to_string(),
+        }),
+        "stats" => Some(Response::Stats(obj.get("fields")?.clone())),
+        "gc" => Some(Response::Gc {
+            removed: obj.get("removed")?.as_u64()?,
+        }),
+        "pong" => Some(Response::Pong),
+        "shutting-down" => Some(Response::ShuttingDown),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cestim_sim::{PredictorKind, RunConfig};
+    use cestim_workloads::WorkloadKind;
+
+    fn sample_job() -> ExecJob {
+        ExecJob::Distance {
+            cfg: RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare),
+            buckets: 64,
+        }
+    }
+
+    #[test]
+    fn run_request_round_trips() {
+        let req = Request::Run {
+            id: "r1".to_string(),
+            client: "alice".to_string(),
+            priority: 10,
+            job: sample_job(),
+        };
+        let line = render_request(&req);
+        let parsed = parse_line(line.as_bytes(), &RequestLimits::default()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        let limits = RequestLimits::default();
+        assert_eq!(
+            parse_line(br#"{"op":"ping"}"#, &limits).unwrap(),
+            Request::Ping
+        );
+        assert_eq!(
+            parse_line(br#"{"op":"stats"}"#, &limits).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_line(br#"{"op":"cache-gc"}"#, &limits).unwrap(),
+            Request::CacheGc
+        );
+        assert_eq!(
+            parse_line(br#"{"op":"shutdown"}"#, &limits).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn structured_errors_for_bad_input() {
+        let limits = RequestLimits::default();
+        let code = |bytes: &[u8]| parse_line(bytes, &limits).unwrap_err().code;
+        assert_eq!(code(&vec![b'x'; MAX_LINE_BYTES + 1]), ErrorCode::Oversized);
+        assert_eq!(code(&[0xff, 0xfe, b'{']), ErrorCode::Malformed);
+        assert_eq!(code(b"{not json"), ErrorCode::Malformed);
+        assert_eq!(code(b"42"), ErrorCode::BadRequest);
+        assert_eq!(code(b"{}"), ErrorCode::BadRequest);
+        assert_eq!(code(br#"{"op":"warp"}"#), ErrorCode::BadRequest);
+        assert_eq!(code(br#"{"op":"run","id":"x"}"#), ErrorCode::BadRequest);
+        assert_eq!(
+            code(br#"{"op":"run","id":"x","priority":0,"job":{}}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(code(b"   "), ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn validation_enforces_limits() {
+        let limits = RequestLimits::default();
+        let mut cfg = RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare);
+        cfg.scale = limits.max_scale + 1;
+        let job = ExecJob::Distance { cfg, buckets: 64 };
+        let err = validate_job(&job, &limits).unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidSpec);
+
+        let ok = sample_job();
+        assert!(validate_job(&ok, &limits).is_ok());
+
+        let bad_buckets = ExecJob::Distance {
+            cfg: RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare),
+            buckets: limits.max_buckets + 1,
+        };
+        assert_eq!(
+            validate_job(&bad_buckets, &limits).unwrap_err().code,
+            ErrorCode::InvalidSpec
+        );
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Accepted {
+                id: "a".to_string(),
+                shard: 1,
+                queue_depth: 3,
+            },
+            Response::Rejected {
+                id: "b".to_string(),
+                shard: 0,
+                reason: "queue-full".to_string(),
+                queue_depth: 64,
+            },
+            Response::Started {
+                id: "c".to_string(),
+                shard: 2,
+                queue_wait_nanos: 12345,
+            },
+            Response::Result {
+                id: "d".to_string(),
+                cached: true,
+                elapsed_nanos: 99,
+                payload: serde_json::json!({"k": 1}),
+            },
+            Response::Error {
+                id: None,
+                code: "malformed-json".to_string(),
+                message: "not JSON".to_string(),
+            },
+            Response::Gc { removed: 4 },
+            Response::Pong,
+            Response::ShuttingDown,
+        ];
+        for resp in cases {
+            let line = render_response(&resp);
+            assert_eq!(parse_response(&line).unwrap(), resp, "{line}");
+        }
+    }
+}

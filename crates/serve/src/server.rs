@@ -1,0 +1,659 @@
+//! The long-lived simulation server: admission, sharded DRR scheduling,
+//! warm-cache result serving, and the TCP/in-process front ends.
+//!
+//! One worker thread per shard pops tickets from its [`DrrQueue`] and
+//! runs them: probe the shared content-addressed [`DiskCache`] first
+//! (warm hit → replay the stored `JobOutput` without simulating), else
+//! execute the [`ExecJob`] under `catch_unwind` isolation and store the
+//! result. Every step is journaled ([`RunJournal`]), counted (`serve.*`
+//! metrics), and spanned (`serve.queue_wait` / `serve.request`), so the
+//! existing Prometheus/Perfetto exporters work unchanged.
+//!
+//! Clients stream responses in admission order per request: `accepted`
+//! (or `rejected` under backpressure), `started` with the measured
+//! queue wait, then a terminal `result` or `error`.
+
+use crate::protocol::{
+    parse_line, render_response, ErrorCode, Request, RequestLimits, Response, MAX_LINE_BYTES,
+};
+use crate::sched::{shard_of, DrrQueue, Ticket};
+use cestim_exec::{DiskCache, Job, RunJournal};
+use cestim_obs::span2::{SpanBuffer, SpanCollector, SpanId};
+use cestim_obs::{Counter, Gauge, Histogram, Registry};
+use cestim_sim::{sim_schema_salt, JobOutput};
+use serde::Value;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker groups (shards); one executor thread each.
+    pub groups: usize,
+    /// Ticket capacity per shard queue (admission beyond it rejects).
+    pub queue_depth: usize,
+    /// DRR credits granted per weight unit per rotor visit.
+    pub quantum: u64,
+    /// Result-cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Journal directory; `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Run a stale-cache sweep every N admissions (0 disables).
+    pub gc_every: u64,
+    /// Request validation bounds.
+    pub limits: RequestLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            groups: 2,
+            queue_depth: 64,
+            quantum: 4,
+            cache_dir: None,
+            journal_dir: None,
+            gc_every: 0,
+            limits: RequestLimits::default(),
+        }
+    }
+}
+
+/// `serve.*` metric handles, registered once at startup.
+struct Metrics {
+    requests: Counter,
+    accepted: Counter,
+    rejected: Counter,
+    parse_errors: Counter,
+    cache_hits: Counter,
+    executed: Counter,
+    failures: Counter,
+    gc_sweeps: Counter,
+    gc_removed: Counter,
+    queue_depth: Gauge,
+    queue_wait: Histogram,
+    request_nanos: Histogram,
+}
+
+impl Metrics {
+    fn new(reg: &Registry) -> Metrics {
+        Metrics {
+            requests: reg.counter("serve.requests", &[]),
+            accepted: reg.counter("serve.accepted", &[]),
+            rejected: reg.counter("serve.rejected", &[]),
+            parse_errors: reg.counter("serve.parse_errors", &[]),
+            cache_hits: reg.counter("serve.cache_hits", &[]),
+            executed: reg.counter("serve.executed", &[]),
+            failures: reg.counter("serve.failures", &[]),
+            gc_sweeps: reg.counter("serve.gc.sweeps", &[]),
+            gc_removed: reg.counter("serve.gc.removed", &[]),
+            queue_depth: reg.gauge("serve.queue.depth", &[]),
+            queue_wait: reg.histogram("serve.queue_wait.nanos", &[]),
+            request_nanos: reg.histogram("serve.request.nanos", &[]),
+        }
+    }
+}
+
+struct Shard {
+    queue: Mutex<DrrQueue>,
+    ready: Condvar,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    cache: Option<DiskCache>,
+    journal: Option<RunJournal>,
+    shards: Vec<Shard>,
+    registry: Registry,
+    spans: SpanCollector,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+    gc_tick: AtomicU64,
+    m: Metrics,
+}
+
+impl Inner {
+    /// Parses and dispatches one raw protocol line; parse failures
+    /// become `error` responses with the request id echoed when it is
+    /// recoverable from the line.
+    fn submit_line(&self, bytes: &[u8], reply: &Sender<Response>) {
+        match parse_line(bytes, &self.cfg.limits) {
+            Ok(req) => self.submit(req, reply),
+            Err(e) => {
+                self.m.parse_errors.add(1);
+                let _ = reply.send(Response::Error {
+                    id: recover_id(bytes),
+                    code: e.code.as_str().to_string(),
+                    message: e.message,
+                });
+            }
+        }
+    }
+
+    /// Dispatches one parsed request.
+    fn submit(&self, req: Request, reply: &Sender<Response>) {
+        match req {
+            Request::Ping => {
+                let _ = reply.send(Response::Pong);
+            }
+            Request::Stats => {
+                let _ = reply.send(Response::Stats(self.stats_value()));
+            }
+            Request::CacheGc => {
+                let removed = self.run_gc();
+                let _ = reply.send(Response::Gc { removed });
+            }
+            Request::Shutdown => {
+                let _ = reply.send(Response::ShuttingDown);
+                self.begin_shutdown();
+            }
+            Request::Run {
+                id,
+                client,
+                priority,
+                job,
+            } => self.admit(id, client, priority, job, reply),
+        }
+    }
+
+    fn admit(
+        &self,
+        id: String,
+        client: String,
+        priority: u32,
+        job: cestim_sim::ExecJob,
+        reply: &Sender<Response>,
+    ) {
+        self.m.requests.inc();
+        // Validate here (not only in the line parser) so in-process
+        // submissions obey the same admission limits as TCP ones.
+        if let Err(e) = crate::protocol::validate_job(&job, &self.cfg.limits) {
+            self.m.parse_errors.inc();
+            let _ = reply.send(Response::Error {
+                id: Some(id),
+                code: e.code.as_str().to_string(),
+                message: e.message,
+            });
+            return;
+        }
+        let key = job.cache_key();
+        let shard = shard_of(&key, self.shards.len());
+        if self.shutdown.load(Ordering::Acquire) {
+            self.m.rejected.inc();
+            let _ = reply.send(Response::Rejected {
+                id,
+                shard,
+                reason: "shutting-down".to_string(),
+                queue_depth: 0,
+            });
+            return;
+        }
+        let ticket = Ticket {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            id: id.clone(),
+            client,
+            priority,
+            job,
+            key,
+            shard,
+            enqueued: std::time::Instant::now(),
+            enqueued_span_nanos: if self.spans.enabled() {
+                self.spans.now_nanos()
+            } else {
+                0
+            },
+            reply: reply.clone(),
+        };
+        // Hold the shard lock across the accepted/rejected send so the
+        // worker cannot emit `started` before the client sees `accepted`.
+        let mut q = self.shards[shard].queue.lock().expect("shard lock");
+        match q.push(ticket) {
+            Ok(()) => {
+                let queue_depth = q.len();
+                self.m.accepted.inc();
+                self.m.queue_depth.add(1);
+                let _ = reply.send(Response::Accepted {
+                    id,
+                    shard,
+                    queue_depth,
+                });
+                drop(q);
+                self.shards[shard].ready.notify_one();
+            }
+            Err(_bounced) => {
+                let queue_depth = q.len();
+                drop(q);
+                self.m.rejected.inc();
+                let _ = reply.send(Response::Rejected {
+                    id,
+                    shard,
+                    reason: "queue-full".to_string(),
+                    queue_depth,
+                });
+            }
+        }
+        self.maybe_gc();
+    }
+
+    /// Runs the scheduled stale-cache sweep every `gc_every` admissions.
+    fn maybe_gc(&self) {
+        if self.cfg.gc_every == 0 {
+            return;
+        }
+        let tick = self.gc_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if tick.is_multiple_of(self.cfg.gc_every) {
+            self.run_gc();
+        }
+    }
+
+    /// Sweeps cache entries whose schema salt no longer matches the
+    /// current simulation schema; returns how many were removed.
+    fn run_gc(&self) -> u64 {
+        let Some(cache) = &self.cache else { return 0 };
+        let removed = cache.evict_stale(sim_schema_salt()).unwrap_or(0) as u64;
+        self.m.gc_sweeps.inc();
+        self.m.gc_removed.add(removed);
+        removed
+    }
+
+    fn stats_value(&self) -> Value {
+        serde_json::json!({
+            "requests": self.m.requests.get(),
+            "accepted": self.m.accepted.get(),
+            "rejected": self.m.rejected.get(),
+            "parse_errors": self.m.parse_errors.get(),
+            "cache_hits": self.m.cache_hits.get(),
+            "executed": self.m.executed.get(),
+            "failures": self.m.failures.get(),
+            "gc_sweeps": self.m.gc_sweeps.get(),
+            "gc_removed": self.m.gc_removed.get(),
+            "queue_depth": self.m.queue_depth.get(),
+        })
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.ready.notify_all();
+        }
+    }
+
+    /// Executes one popped ticket: queue-wait accounting, cache probe,
+    /// isolated execution, journaling, and the terminal response.
+    fn handle(&self, ticket: Ticket, shard: usize, sbuf: &mut SpanBuffer) {
+        let wait_nanos = u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.m.queue_wait.record(wait_nanos);
+        let shard_tag = shard.to_string();
+        if sbuf.enabled() {
+            let now = sbuf.now_nanos();
+            sbuf.record_closed(
+                "serve.queue_wait",
+                SpanId::NONE,
+                &[("client", &ticket.client), ("shard", &shard_tag)],
+                ticket.enqueued_span_nanos.min(now),
+                now,
+            );
+        }
+        let _ = ticket.reply.send(Response::Started {
+            id: ticket.id.clone(),
+            shard,
+            queue_wait_nanos: wait_nanos,
+        });
+
+        let mut span = sbuf.open(
+            "serve.request",
+            SpanId::NONE,
+            &[("client", &ticket.client), ("shard", &shard_tag)],
+        );
+        let cached_output: Option<JobOutput> = self
+            .cache
+            .as_ref()
+            .and_then(|cache| cache.load(&ticket.key));
+        let cached = cached_output.is_some();
+        let outcome: Result<Value, String> = match cached_output {
+            Some(output) => Ok(serde::to_value(&output)),
+            None => {
+                let run =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.job.execute()));
+                match run {
+                    Ok(output) => {
+                        if let Some(cache) = &self.cache {
+                            let _ = cache.store(&ticket.key, &ticket.job.label(), &output);
+                        }
+                        Ok(serde::to_value(&output))
+                    }
+                    Err(payload) => Err(panic_message(payload.as_ref())),
+                }
+            }
+        };
+        span.label("cached", if cached { "true" } else { "false" });
+        span.label("outcome", if outcome.is_ok() { "ok" } else { "panicked" });
+        sbuf.close(span);
+
+        if let Some(journal) = &self.journal {
+            let state = match (&outcome, cached) {
+                (Ok(_), true) => "cached",
+                (Ok(_), false) => "ok",
+                (Err(_), _) => "panicked",
+            };
+            journal.record_job(&ticket.key.id(), &ticket.job.label(), 1, state);
+        }
+
+        let elapsed_nanos = u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.m.request_nanos.record(elapsed_nanos);
+        match outcome {
+            Ok(payload) => {
+                if cached {
+                    self.m.cache_hits.inc();
+                } else {
+                    self.m.executed.inc();
+                }
+                let _ = ticket.reply.send(Response::Result {
+                    id: ticket.id,
+                    cached,
+                    elapsed_nanos,
+                    payload,
+                });
+            }
+            Err(message) => {
+                self.m.failures.inc();
+                let _ = ticket.reply.send(Response::Error {
+                    id: Some(ticket.id),
+                    code: ErrorCode::Execution.as_str().to_string(),
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// Best-effort request-id recovery from a line that failed to parse as
+/// a request, so error responses can still be correlated.
+fn recover_id(bytes: &[u8]) -> Option<String> {
+    if bytes.len() > MAX_LINE_BYTES {
+        return None;
+    }
+    let text = std::str::from_utf8(bytes).ok()?;
+    let value: Value = serde_json::from_str(text.trim()).ok()?;
+    Some(value.get("id")?.as_str()?.to_string())
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, shard_idx: usize) {
+    let tag = format!("serve-w{shard_idx}");
+    let mut sbuf = inner.spans.buffer(&tag);
+    loop {
+        let popped = {
+            let shard = &inner.shards[shard_idx];
+            let mut q = shard.queue.lock().expect("shard lock");
+            loop {
+                // Drain remaining work before honoring shutdown.
+                if let Some(ticket) = q.pop() {
+                    break Some(ticket);
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shard.ready.wait(q).expect("shard lock");
+            }
+        };
+        let Some(ticket) = popped else {
+            sbuf.flush();
+            return;
+        };
+        inner.m.queue_depth.add(-1);
+        inner.handle(ticket, shard_idx, &mut sbuf);
+    }
+}
+
+/// A running server: shard workers plus the shared engine state.
+///
+/// Submit through [`Server::client`] (in-process) or [`Server::serve_tcp`]
+/// (line-delimited JSON over TCP); stop with [`Server::shutdown`], which
+/// drains all queued work first.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server with a private registry and spans disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening the cache or journal.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        Server::start_with(cfg, Registry::new(), SpanCollector::disabled())
+    }
+
+    /// Starts a server recording into the given registry and collector.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening the cache or journal.
+    pub fn start_with(
+        cfg: ServeConfig,
+        registry: Registry,
+        spans: SpanCollector,
+    ) -> io::Result<Server> {
+        let cache = cfg.cache_dir.clone().map(DiskCache::open).transpose()?;
+        let journal = cfg
+            .journal_dir
+            .clone()
+            .map(RunJournal::resume)
+            .transpose()?;
+        let groups = cfg.groups.max(1);
+        let shards = (0..groups)
+            .map(|_| Shard {
+                queue: Mutex::new(DrrQueue::new(cfg.queue_depth, cfg.quantum)),
+                ready: Condvar::new(),
+            })
+            .collect();
+        let m = Metrics::new(&registry);
+        let inner = Arc::new(Inner {
+            cfg,
+            cache,
+            journal,
+            shards,
+            registry,
+            spans,
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            gc_tick: AtomicU64::new(0),
+            m,
+        });
+        let workers = (0..groups)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("serve-w{i}"))
+                    .spawn(move || worker_loop(inner, i))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Server { inner, workers })
+    }
+
+    /// The metrics registry this server records into.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// The span collector this server records into.
+    pub fn spans(&self) -> &SpanCollector {
+        &self.inner.spans
+    }
+
+    /// Opens an in-process client with its own response channel.
+    pub fn client(&self) -> InProcClient {
+        let (tx, rx) = mpsc::channel();
+        InProcClient {
+            inner: Arc::clone(&self.inner),
+            tx,
+            rx,
+        }
+    }
+
+    /// True once a shutdown request has been observed.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown without waiting for workers to finish.
+    pub fn begin_shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Drains all queued work, stops the workers, and joins them.
+    pub fn shutdown(self) {
+        self.inner.begin_shutdown();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Accepts connections until shutdown, one reader thread per
+    /// connection. The listener is polled so the loop notices shutdown
+    /// requests arriving over any connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns any non-retryable accept error.
+    pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    let inner = Arc::clone(&self.inner);
+                    thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || conn_loop(inner, stream))
+                        .expect("spawn conn");
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.inner.shutdown.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// One TCP connection: a reader loop feeding the scheduler and a writer
+/// thread pumping queued responses back, one JSON line each.
+fn conn_loop(inner: Arc<Inner>, stream: TcpStream) {
+    let (tx, rx) = mpsc::channel::<Response>();
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = thread::spawn(move || {
+        let mut w = BufWriter::new(write_half);
+        while let Ok(resp) = rx.recv() {
+            if writeln!(w, "{}", render_response(&resp)).is_err() || w.flush().is_err() {
+                break;
+            }
+        }
+    });
+    let mut reader = BufReader::new(stream);
+    let mut line = Vec::with_capacity(1024);
+    loop {
+        match read_line_bounded(&mut reader, &mut line) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::Oversized) => {
+                inner.m.parse_errors.add(1);
+                let _ = tx.send(Response::Error {
+                    id: None,
+                    code: ErrorCode::Oversized.as_str().to_string(),
+                    message: format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                });
+            }
+            Ok(LineRead::Line) => inner.submit_line(&line, &tx),
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+enum LineRead {
+    /// `buf` holds one complete line within bounds.
+    Line,
+    /// The line exceeded [`MAX_LINE_BYTES`]; its remainder was discarded.
+    Oversized,
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one newline-terminated line into `buf`, never buffering more
+/// than `MAX_LINE_BYTES + 1` bytes; oversized lines are consumed to
+/// their terminating newline and reported as [`LineRead::Oversized`].
+fn read_line_bounded<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> io::Result<LineRead> {
+    buf.clear();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE_BYTES as u64 + 1)
+        .read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.len() > MAX_LINE_BYTES {
+        if buf.last() != Some(&b'\n') {
+            // Discard the rest of the line in bounded chunks.
+            let mut scratch = Vec::with_capacity(4096);
+            loop {
+                scratch.clear();
+                let m = reader.by_ref().take(4096).read_until(b'\n', &mut scratch)?;
+                if m == 0 || scratch.last() == Some(&b'\n') {
+                    break;
+                }
+            }
+        }
+        return Ok(LineRead::Oversized);
+    }
+    Ok(LineRead::Line)
+}
+
+/// An in-process client: submits requests straight into the scheduler
+/// and reads responses from a private channel. Used by tests and the
+/// load harness's in-process mode.
+pub struct InProcClient {
+    inner: Arc<Inner>,
+    tx: Sender<Response>,
+    rx: Receiver<Response>,
+}
+
+impl InProcClient {
+    /// Submits a parsed request.
+    pub fn send(&self, req: Request) {
+        self.inner.submit(req, &self.tx);
+    }
+
+    /// Submits one raw protocol line (exactly what a TCP client would
+    /// write, without the newline).
+    pub fn send_line(&self, bytes: &[u8]) {
+        self.inner.submit_line(bytes, &self.tx);
+    }
+
+    /// Receives the next response, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Response> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}

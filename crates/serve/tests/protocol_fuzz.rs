@@ -1,0 +1,157 @@
+//! Seeded fuzz test of the serve protocol parser: arbitrary byte lines
+//! must always yield a structured outcome — a parsed request or a
+//! [`ProtoError`] — and never a panic; a live server fed the same lines
+//! must always answer with a structured error response and stay up.
+//!
+//! Reuses the deterministic `cestim-qa` PRNG, so any failure reproduces
+//! from the seed printed in the assertion message.
+
+use cestim_qa::XorShift64Star;
+use cestim_serve::{
+    parse_line, parse_response, render_request, Request, RequestLimits, Response, ServeConfig,
+    Server, MAX_LINE_BYTES,
+};
+use cestim_sim::{EstimatorSpec, ExecJob, PredictorKind, RunConfig};
+use cestim_workloads::WorkloadKind;
+use std::time::Duration;
+
+const SEED: u64 = 0x5e7e_c0de;
+const ITERATIONS: u64 = 600;
+
+/// One seed-determined adversarial line.
+fn gen_line(rng: &mut XorShift64Star) -> Vec<u8> {
+    let valid = render_request(&Request::Run {
+        id: format!("f{}", rng.below(1000)),
+        client: "fuzz".to_string(),
+        priority: 1 + rng.below(100) as u32,
+        job: ExecJob::Run {
+            cfg: RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare),
+            specs: vec![EstimatorSpec::jrs_paper()],
+        },
+    });
+    match rng.below(6) {
+        // Random binary garbage.
+        0 => {
+            let len = rng.below(256) as usize;
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        }
+        // Random printable ASCII (often almost-JSON).
+        1 => {
+            let len = rng.below(256) as usize;
+            (0..len).map(|_| (0x20 + rng.below(95)) as u8).collect()
+        }
+        // A valid request truncated mid-line.
+        2 => {
+            let cut = rng.below(valid.len() as u64) as usize;
+            valid.as_bytes()[..cut].to_vec()
+        }
+        // A valid request with random bytes corrupted.
+        3 => {
+            let mut bytes = valid.into_bytes();
+            for _ in 0..=rng.below(8) {
+                let at = rng.below(bytes.len() as u64) as usize;
+                bytes[at] = rng.next_u64() as u8;
+            }
+            bytes
+        }
+        // Structurally valid JSON that is not a valid request.
+        4 => {
+            let fillers = [
+                r#"{"op":"run"}"#,
+                r#"{"op":"run","id":7,"job":{}}"#,
+                r#"{"op":"run","id":"x","priority":900,"job":{}}"#,
+                r#"{"op":"run","id":"x","job":{"Smt":{"a":"compress"}}}"#,
+                r#"{"op":[],"id":"x"}"#,
+                r#"[{"op":"ping"}]"#,
+                r#""ping""#,
+                "null",
+                "{}",
+            ];
+            fillers[rng.below(fillers.len() as u64) as usize]
+                .as_bytes()
+                .to_vec()
+        }
+        // Oversized lines, right at and beyond the cap.
+        _ => {
+            let extra = rng.below(4096) as usize;
+            let mut bytes = vec![b'{'; MAX_LINE_BYTES + 1 + extra];
+            if rng.chance(1, 2) {
+                // Oversized but otherwise valid JSON prefix.
+                let head = format!(r#"{{"op":"ping","pad":"{}"#, "x".repeat(64));
+                bytes[..head.len()].copy_from_slice(head.as_bytes());
+            }
+            bytes
+        }
+    }
+}
+
+#[test]
+fn parser_is_total_over_adversarial_lines() {
+    let limits = RequestLimits::default();
+    let mut rng = XorShift64Star::new(SEED);
+    let mut errors = 0u64;
+    for i in 0..ITERATIONS {
+        let line = gen_line(&mut rng);
+        let preview: Vec<u8> = line.iter().copied().take(48).collect();
+        let outcome = std::panic::catch_unwind(|| parse_line(&line, &limits));
+        let parsed = outcome.unwrap_or_else(|_| {
+            panic!("parse_line panicked at iteration {i} (seed {SEED:#x}): {preview:?}")
+        });
+        if let Err(e) = parsed {
+            errors += 1;
+            assert!(
+                !e.message.is_empty(),
+                "error without a message at iteration {i} (seed {SEED:#x})"
+            );
+        }
+        // The response parser must be just as total.
+        if let Ok(text) = std::str::from_utf8(&line) {
+            let _ = std::panic::catch_unwind(|| parse_response(text)).unwrap_or_else(|_| {
+                panic!("parse_response panicked at iteration {i} (seed {SEED:#x})")
+            });
+        }
+    }
+    assert!(
+        errors > ITERATIONS / 2,
+        "the adversarial mix should mostly fail parsing, got {errors} errors"
+    );
+}
+
+#[test]
+fn live_server_answers_every_bad_line_and_survives() {
+    let server = Server::start(ServeConfig {
+        groups: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let client = server.client();
+    let limits = RequestLimits::default();
+    let mut rng = XorShift64Star::new(SEED ^ 0xa5a5);
+    let mut sent = 0u64;
+    for i in 0..ITERATIONS {
+        let line = gen_line(&mut rng);
+        // Only feed lines the parser rejects: every one must come back
+        // as a structured error without crashing the server.
+        if parse_line(&line, &limits).is_ok() {
+            continue;
+        }
+        sent += 1;
+        client.send_line(&line);
+        match client.recv_timeout(Duration::from_secs(30)) {
+            Some(Response::Error { code, message, .. }) => {
+                assert!(!code.is_empty() && !message.is_empty());
+            }
+            other => {
+                panic!("iteration {i} (seed {SEED:#x}): expected an error response, got {other:?}")
+            }
+        }
+    }
+    assert!(sent > 0, "the mix should contain rejected lines");
+    // Still alive after the whole barrage.
+    client.send(Request::Ping);
+    assert_eq!(
+        client.recv_timeout(Duration::from_secs(30)),
+        Some(Response::Pong)
+    );
+    server.shutdown();
+}
