@@ -59,6 +59,23 @@
 //!   queue depth, cache hit-rate, retries, latency quantiles) while the
 //!   suite runs.
 //!
+//! Branch-trace ingestion (see `docs/TRACES.md`):
+//!
+//! * `--export-trace FILE` — export the selected workload's architectural
+//!   branch trace (`--workload`/`--scale` choose the program). `.jsonl`
+//!   extension selects the JSONL twin encoding, anything else the compact
+//!   binary format.
+//! * `--trace-in FILE` — import a branch trace (either encoding,
+//!   auto-detected) and replay it through the pipeline (gshare + the
+//!   conformance estimator set) as an executor job: the result flows
+//!   through the content-addressed cache keyed by the trace's content
+//!   hash, and artifacts land at `<out>/trace-<hash16>-gshare.{txt,json}`.
+//! * `--trace-live` — run the equivalent live simulation (replay fetch
+//!   mode on the `--workload` program) and write artifacts under the same
+//!   naming scheme. Importing a trace exported from the same workload and
+//!   replaying it with `--trace-in` must produce byte-identical artifact
+//!   files — the end-to-end conformance check CI runs.
+//!
 //! Any of `--trace-out`, `--metrics-out`, `--obs-summary` additionally run
 //! one fully instrumented pipeline pass (default workload `compress`,
 //! gshare predictor, the paper estimator set):
@@ -110,11 +127,18 @@ struct Args {
     prom_out: Option<PathBuf>,
     monitor: bool,
     cache_gc: bool,
+    export_trace: Option<PathBuf>,
+    trace_in: Option<PathBuf>,
+    trace_live: bool,
 }
 
 impl Args {
     fn instrumented(&self) -> bool {
         self.trace_out.is_some() || self.metrics_out.is_some() || self.obs_summary
+    }
+
+    fn trace_modes(&self) -> bool {
+        self.export_trace.is_some() || self.trace_in.is_some() || self.trace_live
     }
 
     fn cache_policy(&self) -> CachePolicy {
@@ -135,6 +159,7 @@ fn usage() -> ! {
          \x20            [--metrics-out FILE] [--obs-summary] [--qa-replay DIR]\n\
          \x20            [--retries N] [--deadline-ms N] [--fault SPEC] [--resume]\n\
          \x20            [--trace-perfetto FILE] [--prom-out FILE] [--monitor]\n\
+         \x20            [--export-trace FILE] [--trace-in FILE] [--trace-live]\n\
          \x20            [--cache-gc] <experiment>... | all | --list\n\
          fault spec:  panic:N | slow:N:MS | io:N (comma-separated)\n\
          experiments: {}\n\
@@ -171,6 +196,9 @@ fn parse_args() -> Args {
         prom_out: None,
         monitor: false,
         cache_gc: false,
+        export_trace: None,
+        trace_in: None,
+        trace_live: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -240,6 +268,13 @@ fn parse_args() -> Args {
             }
             "--monitor" => args.monitor = true,
             "--cache-gc" => args.cache_gc = true,
+            "--export-trace" => {
+                args.export_trace = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--trace-in" => {
+                args.trace_in = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--trace-live" => args.trace_live = true,
             "--list" => {
                 for id in suite::all_ids() {
                     println!("{id}");
@@ -254,7 +289,12 @@ fn parse_args() -> Args {
             other => args.ids.push(other.to_string()),
         }
     }
-    if args.ids.is_empty() && !args.instrumented() && args.qa_replay.is_none() && !args.cache_gc {
+    if args.ids.is_empty()
+        && !args.instrumented()
+        && args.qa_replay.is_none()
+        && !args.cache_gc
+        && !args.trace_modes()
+    {
         usage();
     }
     if args.no_cache && args.refresh {
@@ -396,6 +436,116 @@ fn run_instrumented_pass(args: &Args) -> std::io::Result<serde_json::Value> {
     }))
 }
 
+/// Exports the configured workload's architectural branch trace to
+/// `path`; the `.jsonl` extension selects the JSONL twin encoding.
+fn run_export_trace(args: &Args, path: &Path) -> std::io::Result<()> {
+    let cfg = RunConfig::paper(args.workload, args.scale, PredictorKind::Gshare);
+    let records = cestim_sim::export_config_trace(&cfg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+    let bytes = if jsonl {
+        cestim_trace_io::to_jsonl(&records).into_bytes()
+    } else {
+        cestim_trace_io::to_binary(&records)
+    };
+    std::fs::write(path, bytes)?;
+    println!(
+        "[trace-export: {} records, hash {}, {} -> {}]",
+        records.len(),
+        cestim_trace_io::content_hash_hex(&records),
+        if jsonl { "jsonl" } else { "binary" },
+        path.display()
+    );
+    Ok(())
+}
+
+/// Renders a trace-replay outcome as the `trace-<hash16>-<predictor>`
+/// artifact pair. Both replay paths (`--trace-in` and `--trace-live`) go
+/// through this one function, so equal outcomes yield byte-identical
+/// files.
+fn write_trace_artifacts(
+    args: &Args,
+    hash: &str,
+    predictor: PredictorKind,
+    record_count: usize,
+    outcome: &cestim_sim::RunOutcome,
+) -> std::io::Result<String> {
+    let id = format!("trace-{hash}-{}", predictor.name());
+    let mut text = format!(
+        "trace replay: trace={hash} predictor={} records={record_count}\n{}",
+        predictor.name(),
+        cestim_bench::stats_summary(&outcome.stats),
+    );
+    for e in &outcome.estimators {
+        let q = e.quadrants.committed;
+        text.push_str(&format!(
+            "estimator {:28} sens={:.6} spec={:.6} pvp={:.6} pvn={:.6}\n",
+            e.name,
+            q.sens(),
+            q.spec(),
+            q.pvp(),
+            q.pvn()
+        ));
+    }
+    let json = serde_json::json!({
+        "trace": hash,
+        "predictor": predictor.name(),
+        "records": record_count,
+        "stats": outcome.stats,
+        "estimators": outcome.estimators,
+    });
+    cestim_bench::write_artifacts(&args.out, &id, &text, &json)?;
+    println!("[{id}: artifacts -> {}]", args.out.display());
+    Ok(id)
+}
+
+/// Imports a branch trace and replays it through the executor (and its
+/// content-addressed cache) as an `ExecJob::Replay`.
+fn run_trace_in(args: &Args, exec: &Executor, path: &Path) -> std::io::Result<String> {
+    use cestim_sim::ExecJob;
+    let bytes = std::fs::read(path)?;
+    let records = cestim_trace_io::from_bytes(&bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let hash = cestim_trace_io::content_hash_hex(&records);
+    let count = records.len();
+    println!(
+        "[trace-in: {count} records, hash {hash} from {}]",
+        path.display()
+    );
+    let predictor = PredictorKind::Gshare;
+    let job = ExecJob::Replay {
+        records,
+        predictor,
+        pipeline: cestim_pipeline::PipelineConfig::paper(),
+        specs: cestim_sim::conformance_specs(),
+    };
+    let outcome = exec
+        .run_all(std::slice::from_ref(&job))
+        .pop()
+        .expect("one job in, one output out")
+        .into_run();
+    write_trace_artifacts(args, &hash, predictor, count, &outcome)
+}
+
+/// Runs the live equivalent of `--trace-in`: replay-fetch-mode simulation
+/// of the configured workload, artifacts keyed by the trace the workload
+/// *would* export. Byte-identical artifacts to a `--trace-in` run over
+/// that exported trace is the end-to-end conformance contract.
+fn run_trace_live(args: &Args) -> std::io::Result<String> {
+    let cfg = RunConfig::paper(args.workload, args.scale, PredictorKind::Gshare);
+    let records = cestim_sim::export_config_trace(&cfg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let hash = cestim_trace_io::content_hash_hex(&records);
+    println!(
+        "[trace-live: workload {} scale {} ({} records, hash {hash})]",
+        args.workload.name(),
+        args.scale,
+        records.len()
+    );
+    let outcome = cestim_sim::run_replay_live(&cfg, &cestim_sim::conformance_specs());
+    write_trace_artifacts(args, &hash, cfg.predictor, records.len(), &outcome)
+}
+
 /// Replays every minimised reproducer under `dir` with no fault armed
 /// (the regression contract for corpus entries) and returns the `qa`
 /// telemetry block, including the `qa.*` metric snapshot.
@@ -457,7 +607,11 @@ fn main() -> ExitCode {
             }
         }
         // Standalone GC mode: nothing else to run.
-        if args.ids.is_empty() && !args.instrumented() && args.qa_replay.is_none() {
+        if args.ids.is_empty()
+            && !args.instrumented()
+            && args.qa_replay.is_none()
+            && !args.trace_modes()
+        {
             return ExitCode::SUCCESS;
         }
     }
@@ -601,6 +755,32 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut trace_ids: Vec<String> = Vec::new();
+    if let Some(path) = &args.export_trace {
+        if let Err(e) = run_export_trace(&args, path) {
+            eprintln!("error: trace export failed: {e}");
+            failed_ids.push("<export-trace>".to_string());
+        }
+    }
+    if let Some(path) = &args.trace_in {
+        match run_trace_in(&args, &exec, path) {
+            Ok(id) => trace_ids.push(id),
+            Err(e) => {
+                eprintln!("error: trace import/replay failed: {e}");
+                failed_ids.push("<trace-in>".to_string());
+            }
+        }
+    }
+    if args.trace_live {
+        match run_trace_live(&args) {
+            Ok(id) => trace_ids.push(id),
+            Err(e) => {
+                eprintln!("error: live trace replay failed: {e}");
+                failed_ids.push("<trace-live>".to_string());
+            }
+        }
+    }
+
     let mut instrumented = serde_json::Value::Null;
     if args.instrumented() {
         match run_instrumented_pass(&args) {
@@ -623,6 +803,7 @@ fn main() -> ExitCode {
         "executor": report,
         "executor_metrics": exec.registry().snapshot(),
         "instrumented": instrumented,
+        "trace_artifacts": trace_ids,
         "qa": qa,
         "fault_plan": args.fault.to_string(),
         "resumed": args.resume,

@@ -5,6 +5,7 @@
 //! speed [scale] [--reps N] [--warmup N] [--predictors a,b] [--json FILE]
 //!       [--note TEXT] [--check BASELINE.json] [--tolerance PCT]
 //!       [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
+//!       [--trace-in FILE]...
 //! speed [scale] --bench [--jobs N] [--out DIR] [--experiments id,id,...]
 //! ```
 //!
@@ -40,6 +41,12 @@
 //!   in the trajectory entry under `overhead`.
 //! * `--overhead-max PCT` — implies `--overhead`; exit non-zero when the
 //!   traced arm's median slowdown exceeds `PCT` percent.
+//! * `--trace-in FILE` (repeatable) — additionally measure imported-trace
+//!   replay cells: each file is imported once (either `cestim-trace-io`
+//!   encoding) and timed through the `TraceSimulator` replay frontend for
+//!   every selected predictor. Trace cells are labelled
+//!   `trace:<file-stem>` in the output and the trajectory JSON, so they
+//!   never collide with (or gate against) live workload cells.
 //!
 //! `--bench` instead times experiment regeneration through the
 //! `cestim-exec` engine — serial versus `--jobs N` (cache-cold) versus
@@ -55,7 +62,7 @@
 use cestim_exec::{default_workers, CachePolicy, Executor};
 use cestim_obs::span2::{self, SpanCollector, SpanId};
 use cestim_obs::{render_timing_table, Registry, TraceWriter, Tracer};
-use cestim_pipeline::{PipelineConfig, PipelineStats, Simulator};
+use cestim_pipeline::{PipelineConfig, PipelineStats, Simulator, TraceSimulator};
 use cestim_sim::{suite, PredictorKind};
 use cestim_workloads::WorkloadKind;
 use serde_json::{json, Value};
@@ -89,6 +96,7 @@ struct Args {
     prom_out: Option<PathBuf>,
     overhead: bool,
     overhead_max: Option<f64>,
+    trace_in: Vec<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -97,7 +105,7 @@ fn usage() -> ! {
          \x20             [--note TEXT] [--check BASELINE.json] [--tolerance PCT]\n\
          \x20             [--trace-out FILE] [--metrics-out FILE] [--obs-summary]\n\
          \x20             [--trace-perfetto FILE] [--prom-out FILE]\n\
-         \x20             [--overhead] [--overhead-max PCT]\n\
+         \x20             [--overhead] [--overhead-max PCT] [--trace-in FILE]...\n\
          \x20      speed [scale] --bench [--jobs N] [--out DIR] [--experiments id,id,...]"
     );
     std::process::exit(2);
@@ -124,6 +132,7 @@ fn parse_args() -> Args {
         prom_out: None,
         overhead: false,
         overhead_max: None,
+        trace_in: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -189,6 +198,10 @@ fn parse_args() -> Args {
             }
             "--prom-out" => {
                 args.prom_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--trace-in" => {
+                args.trace_in
+                    .push(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
             }
             "--overhead" => args.overhead = true,
             "--overhead-max" => {
@@ -402,6 +415,77 @@ fn measure_cell(
     json!({
         "workload": kind.name(),
         "predictor": predictor.name(),
+        "committed_branches": stats.committed_branches,
+        "committed_insts": stats.committed_insts,
+        "cycles": stats.cycles,
+        "bps_reps": bps,
+        "median_bps": med_bps,
+        "mad_bps": mad_bps,
+        "median_ips": med_ips,
+    })
+}
+
+/// One timed pass of an imported trace through the replay frontend.
+/// Mirrors `one_pass` (same pipeline config, same estimator) so trace
+/// cells are comparable to live cells in shape, if not in label.
+fn one_trace_pass(
+    records: &[cestim_trace_io::TraceRecord],
+    predictor: PredictorKind,
+) -> (PipelineStats, f64) {
+    let t = Instant::now();
+    let mut sim = TraceSimulator::new(records, PipelineConfig::paper(), predictor.build_any());
+    sim.add_estimator(cestim_core::Jrs::paper_enhanced());
+    let stats = sim.run_to_completion();
+    (stats, t.elapsed().as_secs_f64())
+}
+
+/// Measures one imported-trace × predictor cell. The trace is decoded
+/// once up front (decode time is not part of the measurement) and the
+/// cell's workload is labelled `trace:<file-stem>` so it never aliases a
+/// live workload cell in the trajectory or the `--check` gate.
+fn measure_trace_cell(
+    path: &Path,
+    records: &[cestim_trace_io::TraceRecord],
+    predictor: PredictorKind,
+    warmup: u32,
+    reps: u32,
+) -> Value {
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let label = format!("trace:{stem}");
+    for _ in 0..warmup {
+        let _ = one_trace_pass(records, predictor);
+    }
+    let mut bps = Vec::with_capacity(reps as usize);
+    let mut ips = Vec::with_capacity(reps as usize);
+    let mut stats = PipelineStats::default();
+    for _ in 0..reps {
+        let (s, dt) = one_trace_pass(records, predictor);
+        bps.push(s.committed_branches as f64 / dt.max(1e-12));
+        ips.push(s.committed_insts as f64 / dt.max(1e-12));
+        stats = s;
+    }
+    let med_bps = median(&mut bps.clone());
+    let mad_bps = mad(&bps, med_bps);
+    let med_ips = median(&mut ips.clone());
+    println!(
+        "{:10} {:10} br={:9} insts={:10} {:8.3} ± {:6.3} Mbr/s  {:6.1} M inst/s",
+        label,
+        predictor.name(),
+        stats.committed_branches,
+        stats.committed_insts,
+        med_bps / 1e6,
+        mad_bps / 1e6,
+        med_ips / 1e6,
+    );
+    json!({
+        "workload": label,
+        "predictor": predictor.name(),
+        "trace_file": path.display().to_string(),
+        "trace_hash": cestim_trace_io::content_hash_hex(records),
+        "records": records.len(),
         "committed_branches": stats.committed_branches,
         "committed_insts": stats.committed_insts,
         "cycles": stats.cycles,
@@ -703,6 +787,20 @@ fn run_speed(args: &Args) -> std::io::Result<()> {
     for &p in &args.predictors {
         for k in WorkloadKind::all() {
             cells.push(measure_cell(k, p, args.scale, args.warmup, args.reps));
+        }
+    }
+    for path in &args.trace_in {
+        let bytes = std::fs::read(path)?;
+        let records = cestim_trace_io::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::other(format!("{}: {e}", path.display())))?;
+        for &p in &args.predictors {
+            cells.push(measure_trace_cell(
+                path,
+                &records,
+                p,
+                args.warmup,
+                args.reps,
+            ));
         }
     }
     let total_bps: f64 = cells.iter().filter_map(|c| c["median_bps"].as_f64()).sum();

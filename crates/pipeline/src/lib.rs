@@ -30,6 +30,7 @@
 mod cache;
 mod config;
 mod events;
+mod replay;
 mod simulator;
 mod smt;
 mod stats;
@@ -40,6 +41,7 @@ pub use events::{
     GateEvent, MultiObserver, NullObserver, OutcomeEvent, PredictEvent, RecoveryEvent,
     ResolveEvent, SimObserver,
 };
+pub use replay::TraceSimulator;
 pub use simulator::Simulator;
 pub use smt::{FetchPolicy, SmtSimulator, SmtStats};
 pub use stats::{EstimatorQuadrants, PipelineStats};

@@ -7,6 +7,7 @@ use cestim_bpred::{AnyPredictor, BranchPredictor, HistoryRegister, Prediction};
 use cestim_core::{AnyEstimator, Confidence, ConfidenceEstimator};
 use cestim_isa::{AluOp, Checkpoint, Inst, Machine, Program, Reg, Step};
 use cestim_obs::{PhaseProfiler, PhaseTiming, Registry, TraceEvent, Tracer};
+use cestim_trace_io::TraceRecord;
 use std::collections::VecDeque;
 
 /// One speculatively fetched, not-yet-committed conditional branch.
@@ -247,6 +248,15 @@ pub struct Simulator<'p> {
     profiler: PhaseProfiler,
     fault_commit_every: u64,
     fault_commit_seen: u64,
+    /// Replay fetch mode (see [`Simulator::set_replay_fetch`]): fetch
+    /// follows the *actual* path and stalls on a misprediction instead of
+    /// executing down the wrong path.
+    replay_fetch: bool,
+    /// When `Some`, every fetched instruction is appended as a
+    /// [`TraceRecord`] and wrong-path records are truncated away on
+    /// recovery, so the buffer always holds exactly the architectural
+    /// stream (`len == arch_insts`).
+    trace_capture: Option<Vec<TraceRecord>>,
 }
 
 impl<'p> Simulator<'p> {
@@ -314,7 +324,57 @@ impl<'p> Simulator<'p> {
             profiler: PhaseProfiler::default(),
             fault_commit_every: 0,
             fault_commit_seen: 0,
+            replay_fetch: false,
+            trace_capture: None,
         }
+    }
+
+    /// Switches the front end into *replay* fetch mode, the reference
+    /// semantics for trace replay (`TraceSimulator` mirrors it exactly):
+    ///
+    /// * fetch follows the **actual** direction of every branch (no
+    ///   wrong-path execution), and the speculative history receives the
+    ///   actual outcome at fetch,
+    /// * a mispredicted branch still occupies the speculation window until
+    ///   its dataflow-timed resolution, but instead of a rewind the front
+    ///   end stalls until `resolve + 1 + mispredict_penalty` — the same
+    ///   cycle fetch would resume at after a live recovery,
+    /// * resolution of a misprediction charges a recovery (with zero
+    ///   squashed work) and trains estimators via
+    ///   [`ConfidenceEstimator::on_branch_resolved`] as usual.
+    ///
+    /// Committed-stream statistics, committed quadrants, and per-estimator
+    /// training are identical to the normal mode; the all-branches
+    /// population collapses onto the committed one (nothing is squashed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if eager execution is configured (forking both paths
+    /// contradicts not fetching wrong paths) or branches are in flight.
+    pub fn set_replay_fetch(&mut self, on: bool) {
+        assert!(
+            !(on && self.cfg.eager_max_forks.is_some()),
+            "replay fetch mode is incompatible with eager execution"
+        );
+        assert!(
+            self.inflight.is_empty(),
+            "switch fetch modes before branches are in flight"
+        );
+        self.replay_fetch = on;
+    }
+
+    /// Enables (or disables) trace capture: every *architectural*
+    /// instruction fetched from now on is recorded as a [`TraceRecord`];
+    /// wrong-path work is truncated away at recovery, so after a completed
+    /// run the buffer is exactly the committed stream — byte-for-byte what
+    /// [`cestim_trace_io::export_program`] produces for the same program.
+    pub fn set_trace_capture(&mut self, on: bool) {
+        self.trace_capture = on.then(Vec::new);
+    }
+
+    /// Takes the captured trace, leaving capture disabled.
+    pub fn take_captured_trace(&mut self) -> Vec<TraceRecord> {
+        self.trace_capture.take().unwrap_or_default()
     }
 
     /// Test-support hook: corrupt the *reported* outcome of every
@@ -679,7 +739,38 @@ impl<'p> Simulator<'p> {
             });
         }
         if mispredicted {
-            self.recover(idx, obs);
+            if self.replay_fetch {
+                self.replay_recover(idx, obs);
+            } else {
+                self.recover(idx, obs);
+            }
+        }
+    }
+
+    /// Replay-mode recovery: the machine already followed the actual path
+    /// at fetch and the stall was charged there, so a resolving
+    /// misprediction only counts the recovery — nothing is squashed, no
+    /// state is rewound.
+    fn replay_recover<O: SimObserver + ?Sized>(&mut self, idx: usize, obs: &mut O) {
+        self.stats.recoveries += 1;
+        let e = &self.inflight[idx];
+        let (seq, pc) = (e.seq, e.pc);
+        let penalty = self.cfg.mispredict_penalty;
+        obs.on_recovery(&RecoveryEvent {
+            seq,
+            pc,
+            cycle: self.now,
+            squashed: 0,
+            penalty,
+        });
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Recovery {
+                seq,
+                pc,
+                cycle: self.now,
+                squashed: 0,
+                penalty,
+            });
         }
     }
 
@@ -705,6 +796,11 @@ impl<'p> Simulator<'p> {
         self.stats.squashed_branches += self.arch_branches - (e.cp_arch_branches + 1);
         self.arch_insts = e.cp_arch_insts + 1;
         self.arch_branches = e.cp_arch_branches + 1;
+        if let Some(buf) = &mut self.trace_capture {
+            // Drop the captured wrong-path records; the mispredicted branch
+            // itself stays (it commits once re-steered).
+            buf.truncate(self.arch_insts as usize);
+        }
 
         // Architectural rewind, then re-execute the branch down its correct
         // direction.
@@ -959,7 +1055,7 @@ impl<'p> Simulator<'p> {
                 if redirect {
                     break;
                 }
-            } else if !self.fetch_straightline(meta) {
+            } else if !self.fetch_straightline(pc, meta) {
                 break;
             }
         }
@@ -1014,12 +1110,21 @@ impl<'p> Simulator<'p> {
         let cp_arch_insts = self.arch_insts;
         let cp_arch_branches = self.arch_branches;
 
-        let step = self.machine.step_decoded(meta.inst, Some(pred.taken));
+        // Replay mode follows the actual direction (no forcing); normal
+        // mode follows the prediction, right or wrong.
+        let step = if self.replay_fetch {
+            self.machine.step_decoded(meta.inst, None)
+        } else {
+            self.machine.step_decoded(meta.inst, Some(pred.taken))
+        };
         let actual_taken = match step {
             Step::Branch { taken, .. } => taken,
             other => unreachable!("branch instruction stepped to {other:?}"),
         };
         let mispredicted = actual_taken != pred.taken;
+        if let Some(buf) = &mut self.trace_capture {
+            buf.push(TraceRecord::classify(pc, &meta.inst, &step));
+        }
 
         let operands_ready = self.operands_ready(meta.s1, meta.s2);
         let resolve_at = operands_ready + self.cfg.branch_resolve_latency;
@@ -1028,9 +1133,25 @@ impl<'p> Simulator<'p> {
         self.branch_seq += 1;
         self.arch_insts += 1;
         self.arch_branches += 1;
-        self.ghr.push(pred.taken);
+        // In replay mode the history receives the actual outcome — the
+        // same value live recovery would repair it to by resolution time,
+        // and no younger fetch can observe it earlier because a mispredict
+        // stalls fetch past that resolution.
+        self.ghr.push(if self.replay_fetch {
+            actual_taken
+        } else {
+            pred.taken
+        });
 
         self.resolve_soonest = self.resolve_soonest.min(resolve_at);
+        if self.replay_fetch && mispredicted {
+            // Charge the recovery stall at fetch: resolution fires exactly
+            // at `resolve_at`, so this equals the live `now + 1 + penalty`
+            // computed at resolution time.
+            self.fetch_stall_until = self
+                .fetch_stall_until
+                .max(resolve_at + 1 + self.cfg.mispredict_penalty);
+        }
 
         let estimates = self.est_slab.row(est_slot);
         obs.on_branch_predicted(&PredictEvent {
@@ -1076,15 +1197,24 @@ impl<'p> Simulator<'p> {
             resolve_cycle: None,
             forked,
         });
-        pred.taken
+        if self.replay_fetch {
+            // The burst ends on an actual-taken redirect or on the stall a
+            // misprediction just charged.
+            actual_taken || mispredicted
+        } else {
+            pred.taken
+        }
     }
 
     /// Fetches a non-branch instruction; returns `false` when fetch must
     /// stop for this cycle (control redirect or halt).
-    fn fetch_straightline(&mut self, meta: InstMeta) -> bool {
+    fn fetch_straightline(&mut self, pc: u32, meta: InstMeta) -> bool {
         let operands_ready = self.operands_ready(meta.s1, meta.s2);
         let step = self.machine.step_decoded(meta.inst, None);
         self.arch_insts += 1;
+        if let Some(buf) = &mut self.trace_capture {
+            buf.push(TraceRecord::classify(pc, &meta.inst, &step));
+        }
 
         let (latency, redirect) = match meta.class {
             InstClass::Load => {

@@ -1,4 +1,4 @@
-//! The four differential oracles.
+//! The five differential oracles.
 //!
 //! Every generated program is pushed through several independent
 //! implementations of the same semantics, which must agree bit-for-bit:
@@ -10,7 +10,11 @@
 //! 3. **exec** — serial and multi-worker executor batches produce
 //!    bit-identical output,
 //! 4. **quadrant** — estimator quadrant counts satisfy the closed-form
-//!    SENS/SPEC/PVP/PVN identities of the paper's §2 (Fig. 1).
+//!    SENS/SPEC/PVP/PVN identities of the paper's §2 (Fig. 1),
+//! 5. **trace** — the two independent branch-trace exporters
+//!    (interpreter-driven and simulator-hooked) agree record-for-record,
+//!    both `cestim-trace-io` encodings round-trip bit-exactly, and a
+//!    trace-driven replay reproduces the live replay-mode run.
 
 use crate::gen::{assemble, QaProgram};
 use cestim_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, SAg};
@@ -39,21 +43,24 @@ pub enum OracleKind {
     Exec,
     /// Quadrant-count identities.
     Quadrant,
+    /// Branch-trace export/import/replay equivalence.
+    Trace,
     /// Executor fault handling: isolation, retry convergence, timeouts,
     /// and journal resume (see [`crate::resilience`]).
     Resilience,
 }
 
 impl OracleKind {
-    /// The four differential oracles, in canonical order. The resilience
+    /// The five differential oracles, in canonical order. The resilience
     /// oracle is deliberately excluded — it sleeps (timeout sub-check) and
     /// touches disk, so it is opt-in via `--oracle resilience` rather than
     /// part of every fuzz iteration.
-    pub const ALL: [OracleKind; 4] = [
+    pub const ALL: [OracleKind; 5] = [
         OracleKind::Arch,
         OracleKind::Replay,
         OracleKind::Exec,
         OracleKind::Quadrant,
+        OracleKind::Trace,
     ];
 
     /// Stable CLI/metrics name.
@@ -63,6 +70,7 @@ impl OracleKind {
             OracleKind::Replay => "replay",
             OracleKind::Exec => "exec",
             OracleKind::Quadrant => "quadrant",
+            OracleKind::Trace => "trace",
             OracleKind::Resilience => "resilience",
         }
     }
@@ -161,6 +169,7 @@ pub fn check(kind: OracleKind, p: &QaProgram, fault: FaultSpec) -> Result<(), Or
         OracleKind::Replay => check_replay(p),
         OracleKind::Exec => check_exec(p),
         OracleKind::Quadrant => check_quadrant(p),
+        OracleKind::Trace => check_trace(p),
         OracleKind::Resilience => crate::resilience::check_resilience(p),
     }
 }
@@ -400,6 +409,96 @@ fn check_exec(p: &QaProgram) -> Result<(), OracleFailure> {
                 ),
             ));
         }
+    }
+    Ok(())
+}
+
+// ---- oracle 5: trace export / import / replay ----------------------------
+
+fn check_trace(p: &QaProgram) -> Result<(), OracleFailure> {
+    use cestim_pipeline::TraceSimulator;
+    use cestim_trace_io as tio;
+
+    let kind = OracleKind::Trace;
+    let prog = assemble(p);
+
+    // Exporter agreement: the interpreter-driven exporter and the
+    // simulator capture hook are independent implementations of "the
+    // committed instruction stream".
+    let exported = tio::export_program(&prog, MAX_ARCH_STEPS)
+        .map_err(|e| fail(kind, format!("interpreter export failed: {e}")))?;
+    let mut sim = Simulator::new(&prog, pipeline_config(), Box::new(Gshare::new(12)));
+    sim.set_trace_capture(true);
+    sim.run_to_completion();
+    let captured = sim.take_captured_trace();
+    if captured != exported {
+        let at = exported
+            .iter()
+            .zip(&captured)
+            .position(|(a, b)| a != b)
+            .unwrap_or(exported.len().min(captured.len()));
+        return Err(fail(
+            kind,
+            format!(
+                "capture hook diverges from interpreter export at record {at} \
+                 (exported {} records, captured {})",
+                exported.len(),
+                captured.len()
+            ),
+        ));
+    }
+
+    // Both encodings round-trip bit-exactly, including across each other.
+    let bin = tio::to_binary(&exported);
+    let from_bin = tio::from_binary(&bin)
+        .map_err(|e| fail(kind, format!("binary round-trip import failed: {e}")))?;
+    if from_bin != exported {
+        return Err(fail(kind, "binary encoding does not round-trip"));
+    }
+    let jsonl = tio::to_jsonl(&exported);
+    let from_jsonl = tio::from_jsonl(&jsonl)
+        .map_err(|e| fail(kind, format!("JSONL round-trip import failed: {e}")))?;
+    if from_jsonl != exported {
+        return Err(fail(kind, "JSONL encoding does not round-trip"));
+    }
+    let cross = tio::from_jsonl(&tio::to_jsonl(&from_bin))
+        .and_then(|r| tio::from_binary(&tio::to_binary(&r)))
+        .map_err(|e| fail(kind, format!("cross-encoding import failed: {e}")))?;
+    if cross != exported {
+        return Err(fail(kind, "binary->JSONL->binary does not round-trip"));
+    }
+    if tio::content_hash(&from_bin) != tio::content_hash(&from_jsonl) {
+        return Err(fail(kind, "content hash differs across encodings"));
+    }
+
+    // Replay equivalence: a trace-driven replay must reproduce the live
+    // replay-mode (stall-on-mispredict) run bit-for-bit — stats and every
+    // estimator quadrant.
+    let mut live = Simulator::new(&prog, pipeline_config(), Box::new(Gshare::new(12)));
+    live.set_replay_fetch(true);
+    live.add_estimator(Box::new(Jrs::paper_enhanced()));
+    live.add_estimator(Box::new(SaturatingConfidence::selected()));
+    live.add_estimator(Box::new(DistanceEstimator::new(4)));
+    let live_stats = live.run(&mut cestim_pipeline::NullObserver);
+
+    let mut replay = TraceSimulator::new(&from_bin, pipeline_config(), Gshare::new(12));
+    replay.add_estimator(Jrs::paper_enhanced());
+    replay.add_estimator(SaturatingConfidence::selected());
+    replay.add_estimator(DistanceEstimator::new(4));
+    let replay_stats = replay.run_to_completion();
+
+    let live_text = serde_json::to_string(&(&live_stats, live.estimator_quadrants()))
+        .map_err(|e| fail(kind, format!("stats serialization failed: {e}")))?;
+    let replay_text = serde_json::to_string(&(&replay_stats, replay.estimator_quadrants()))
+        .map_err(|e| fail(kind, format!("stats serialization failed: {e}")))?;
+    if live_text != replay_text {
+        return Err(fail(
+            kind,
+            format!(
+                "trace replay diverges from live replay-mode run: \
+                 live {live_text} vs replay {replay_text}"
+            ),
+        ));
     }
     Ok(())
 }

@@ -344,9 +344,25 @@ pub fn validate_job(job: &ExecJob, limits: &RequestLimits) -> Result<(), ProtoEr
             }
             Ok(())
         }
+        ExecJob::Replay { records, specs, .. } => {
+            check_specs(specs.len())?;
+            // Inline traces are bounded by the protocol's line cap anyway;
+            // this bound produces a structured rejection before a huge
+            // record array ties up a worker.
+            if records.len() > MAX_REPLAY_RECORDS {
+                return Err(invalid(format!(
+                    "{} trace records exceeds limit {MAX_REPLAY_RECORDS}",
+                    records.len()
+                )));
+            }
+            Ok(())
+        }
         ExecJob::Smt { scale, .. } => check_scale(*scale),
     }
 }
+
+/// Largest inline trace a `Replay` job may carry over the wire.
+pub const MAX_REPLAY_RECORDS: usize = 1 << 20;
 
 /// Renders a request as one protocol line (no trailing newline).
 pub fn render_request(req: &Request) -> String {
@@ -504,6 +520,53 @@ mod tests {
         let line = render_request(&req);
         let parsed = parse_line(line.as_bytes(), &RequestLimits::default()).unwrap();
         assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn replay_requests_round_trip_with_inline_records() {
+        use cestim_pipeline::PipelineConfig;
+        use cestim_sim::{EstimatorSpec, TraceRecord};
+        let records: Vec<TraceRecord> = cestim_trace_io::from_jsonl(concat!(
+            "{\"format\":\"cestim-trace\",\"version\":1}\n",
+            "{\"pc\":4,\"target\":0,\"taken\":false,\"class\":\"alu\",\"dst\":5,\"s1\":5,\"s2\":255}\n",
+            "{\"pc\":8,\"target\":4,\"taken\":true,\"class\":\"branch\",\"dst\":255,\"s1\":5,\"s2\":255}\n",
+            "{\"pc\":12,\"target\":0,\"taken\":false,\"class\":\"halt\",\"dst\":255,\"s1\":255,\"s2\":255}\n",
+        ))
+        .unwrap();
+        let req = Request::Run {
+            id: "t1".to_string(),
+            client: "alice".to_string(),
+            priority: 5,
+            job: ExecJob::Replay {
+                records,
+                predictor: PredictorKind::Gshare,
+                pipeline: PipelineConfig::paper(),
+                specs: vec![EstimatorSpec::jrs_paper()],
+            },
+        };
+        let line = render_request(&req);
+        let parsed = parse_line(line.as_bytes(), &RequestLimits::default()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn replay_validation_bounds_records_and_specs() {
+        use cestim_pipeline::PipelineConfig;
+        use cestim_sim::{EstimatorSpec, TraceRecord};
+        let limits = RequestLimits::default();
+        let job = |n_specs: usize| ExecJob::Replay {
+            records: Vec::<TraceRecord>::new(),
+            predictor: PredictorKind::Gshare,
+            pipeline: PipelineConfig::paper(),
+            specs: vec![EstimatorSpec::jrs_paper(); n_specs],
+        };
+        assert!(validate_job(&job(1), &limits).is_ok());
+        assert_eq!(
+            validate_job(&job(limits.max_specs + 1), &limits)
+                .unwrap_err()
+                .code,
+            ErrorCode::InvalidSpec
+        );
     }
 
     #[test]

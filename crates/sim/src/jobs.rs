@@ -12,12 +12,13 @@
 //! window counts): they round-trip through JSON bit-for-bit, which is
 //! what makes cached and parallel runs byte-identical to serial ones.
 
-use crate::{EstimatorSpec, RunConfig};
+use crate::{EstimatorSpec, PredictorKind, RunConfig};
 use cestim_exec::Job;
 use cestim_pipeline::{FetchPolicy, PipelineConfig, Simulator, SmtSimulator, SmtStats};
 use cestim_trace::{
     BoostAnalysis, ClusterAnalysis, DistanceAnalysis, DistanceHistogram, DistanceSeries,
 };
+use cestim_trace_io::TraceRecord;
 use cestim_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,21 @@ pub enum ExecJob {
         specs: Vec<EstimatorSpec>,
         /// Largest window size measured.
         max_k: u32,
+    },
+    /// Replay of an imported branch trace ([`crate::run_trace`]): one
+    /// [`TraceSimulator`](cestim_pipeline::TraceSimulator) pass with
+    /// estimators attached. Cache keys hash the trace *content* (FNV-1a
+    /// over the canonical binary encoding), not the records themselves,
+    /// so equal traces from different files share cache entries.
+    Replay {
+        /// The imported trace records.
+        records: Vec<TraceRecord>,
+        /// Branch predictor to drive from the trace.
+        predictor: PredictorKind,
+        /// Pipeline parameters.
+        pipeline: PipelineConfig,
+        /// Estimators to attach, in order.
+        specs: Vec<EstimatorSpec>,
     },
     /// Two-thread SMT run under one fetch policy (the `ext-smt`
     /// extension): both threads use gshare + the selected-counter
@@ -224,7 +240,31 @@ impl Job for ExecJob {
     type Output = JobOutput;
 
     fn content(&self) -> serde::Value {
-        serde::to_value(self)
+        match self {
+            // Replay jobs key on the trace's content hash, not the records:
+            // the full record array would bloat every cache key (and index
+            // entry) by the trace length, and two imports of byte-identical
+            // traces should share cache entries.
+            ExecJob::Replay {
+                records,
+                predictor,
+                pipeline,
+                specs,
+            } => {
+                let mut inner = serde::Map::new();
+                inner.insert(
+                    "trace".to_string(),
+                    serde::Value::String(cestim_trace_io::content_hash_hex(records)),
+                );
+                inner.insert("predictor".to_string(), serde::to_value(predictor));
+                inner.insert("pipeline".to_string(), serde::to_value(pipeline));
+                inner.insert("specs".to_string(), serde::to_value(specs));
+                let mut outer = serde::Map::new();
+                outer.insert("Replay".to_string(), serde::Value::Object(inner));
+                serde::Value::Object(outer)
+            }
+            _ => serde::to_value(self),
+        }
     }
 
     fn schema_salt(&self) -> u64 {
@@ -267,6 +307,18 @@ impl Job for ExecJob {
                 cfg.predictor,
                 cfg.scale
             ),
+            ExecJob::Replay {
+                records,
+                predictor,
+                specs,
+                ..
+            } => format!(
+                "replay/{}/{}/{} records ({} estimators)",
+                cestim_trace_io::content_hash_hex(records),
+                predictor.name(),
+                records.len(),
+                specs.len()
+            ),
             ExecJob::Smt {
                 a,
                 b,
@@ -287,6 +339,7 @@ impl Job for ExecJob {
             ExecJob::Distance { .. } => "distance",
             ExecJob::Cluster { .. } => "cluster",
             ExecJob::Boost { .. } => "boost",
+            ExecJob::Replay { .. } => "replay",
             ExecJob::Smt { .. } => "smt",
         };
         let _span = cestim_obs::span2::AmbientSpan::enter("sim.job", &[("kind", kind)]);
@@ -319,6 +372,12 @@ impl Job for ExecJob {
                     counts: windows.counts().to_vec(),
                 }
             }
+            ExecJob::Replay {
+                records,
+                predictor,
+                pipeline,
+                specs,
+            } => JobOutput::Run(crate::run_trace(records, *predictor, pipeline, specs)),
             ExecJob::Smt {
                 a,
                 b,

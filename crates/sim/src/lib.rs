@@ -37,13 +37,19 @@
 pub mod apps;
 mod jobs;
 mod profile;
+mod replay;
 mod report;
 mod runner;
 mod spec;
 pub mod suite;
 
+pub use cestim_trace_io::TraceRecord;
 pub use jobs::{sim_schema_salt, DistanceBundle, ExecJob, JobOutput, SIM_JOB_SCHEMA};
 pub use profile::ProfileObserver;
+pub use replay::{
+    capture_live_trace, collect_profile_trace, conformance_specs, export_config_trace,
+    run_replay_live, run_trace, EXPORT_MAX_STEPS,
+};
 pub use report::{pct, Table};
 pub use runner::{
     collect_profile, run, run_instrumented, run_with_observer, run_with_profile, EstimatorResult,

@@ -1,0 +1,222 @@
+//! The JSONL twin encoding.
+//!
+//! Line 1 is a header object (`{"format":"cestim-trace","version":1}`),
+//! then one compact JSON object per record. Unlike the binary encoding
+//! there is no record count: the file ends when the lines do, and a *torn*
+//! final line — one not terminated by `\n`, as left by an interrupted
+//! writer — is silently dropped, matching the exec run-journal semantics.
+//! A malformed line that *is* terminated is a structured error.
+
+use crate::record::{TraceClass, TraceError, TraceRecord};
+use crate::{TRACE_FORMAT_NAME, TRACE_VERSION};
+use serde::Value;
+
+/// Encodes a trace as JSONL (header line + one line per record, all
+/// newline-terminated).
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    out.push_str(&format!(
+        "{{\"format\":\"{TRACE_FORMAT_NAME}\",\"version\":{TRACE_VERSION}}}\n"
+    ));
+    for r in records {
+        out.push_str(&format!(
+            "{{\"pc\":{},\"target\":{},\"taken\":{},\"class\":\"{}\",\"dst\":{},\"s1\":{},\"s2\":{}}}\n",
+            r.pc,
+            r.target,
+            r.taken,
+            r.class.name(),
+            r.dst,
+            r.s1,
+            r.s2,
+        ));
+    }
+    out
+}
+
+/// Decodes the JSONL encoding. Total: every malformed input maps to a
+/// structured [`TraceError`]; a torn (unterminated) final record line is
+/// dropped silently.
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceRecord>, TraceError> {
+    let ends_terminated = text.ends_with('\n');
+    let mut lines: Vec<&str> = text.split('\n').collect();
+    if ends_terminated {
+        lines.pop(); // the empty slice after the final newline
+    }
+    let Some((&header, body)) = lines.split_first() else {
+        return Err(TraceError::JsonlHeader {
+            reason: "empty file".into(),
+        });
+    };
+    check_header(header)?;
+    let mut records = Vec::with_capacity(body.len());
+    for (i, &line) in body.iter().enumerate() {
+        let terminated = ends_terminated || i + 1 < body.len();
+        let line_no = i as u64 + 2; // 1-based, after the header line
+        if line.is_empty() {
+            // Blank separator lines are tolerated (and a torn empty tail).
+            continue;
+        }
+        match parse_record(line, line_no) {
+            Ok(r) => records.push(r),
+            // A torn final line is an interrupted write, not corruption.
+            Err(_) if !terminated => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(records)
+}
+
+fn check_header(line: &str) -> Result<(), TraceError> {
+    let bad = |reason: String| TraceError::JsonlHeader { reason };
+    let v: Value =
+        serde_json::from_str(line).map_err(|e| bad(format!("not a JSON object: {e}")))?;
+    match v.get("format").and_then(Value::as_str) {
+        Some(TRACE_FORMAT_NAME) => {}
+        Some(other) => return Err(bad(format!("format {other:?}"))),
+        None => return Err(bad("missing \"format\" field".into())),
+    }
+    match v.get("version").and_then(Value::as_u64) {
+        Some(v) if v == TRACE_VERSION as u64 => Ok(()),
+        Some(v) => Err(TraceError::UnsupportedVersion { found: v as u32 }),
+        None => Err(bad("missing \"version\" field".into())),
+    }
+}
+
+fn parse_record(line: &str, line_no: u64) -> Result<TraceRecord, TraceError> {
+    let bad = |reason: String| TraceError::JsonlLine {
+        line: line_no,
+        reason,
+    };
+    let v: Value =
+        serde_json::from_str(line).map_err(|e| bad(format!("not a JSON object: {e}")))?;
+    let field_u32 = |name: &str| {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .filter(|&x| x <= u32::MAX as u64)
+            .map(|x| x as u32)
+            .ok_or_else(|| bad(format!("missing or bad {name:?}")))
+    };
+    let field_reg = |name: &str| {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .filter(|&x| x <= u8::MAX as u64)
+            .map(|x| x as u8)
+            .ok_or_else(|| bad(format!("missing or bad {name:?}")))
+    };
+    let class_name = v
+        .get("class")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing or bad \"class\"".into()))?;
+    let class =
+        TraceClass::from_name(class_name).ok_or_else(|| bad(format!("class {class_name:?}")))?;
+    let r = TraceRecord {
+        pc: field_u32("pc")?,
+        target: field_u32("target")?,
+        taken: v
+            .get("taken")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| bad("missing or bad \"taken\"".into()))?,
+        class,
+        dst: field_reg("dst")?,
+        s1: field_reg("s1")?,
+        s2: field_reg("s2")?,
+    };
+    // Record index = line number minus header and 1-basing.
+    r.check_regs(line_no - 2).map_err(|e| bad(e.to_string()))?;
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::NO_REG;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                pc: 10,
+                target: 0,
+                taken: false,
+                class: TraceClass::Load,
+                dst: 3,
+                s1: 4,
+                s2: NO_REG,
+            },
+            TraceRecord {
+                pc: 11,
+                target: 2,
+                taken: true,
+                class: TraceClass::CondBranch,
+                dst: NO_REG,
+                s1: 3,
+                s2: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let r = sample();
+        let text = to_jsonl(&r);
+        assert_eq!(text.lines().count(), 3);
+        assert_eq!(from_jsonl(&text).unwrap(), r);
+        assert_eq!(from_jsonl(&to_jsonl(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let r = sample();
+        let text = to_jsonl(&r);
+        // Cut the final newline plus a few bytes: a torn write.
+        let torn = &text[..text.len() - 4];
+        assert_eq!(from_jsonl(torn).unwrap(), r[..1]);
+        // Torn down to a prefix of the header is an error, not tolerance.
+        assert!(from_jsonl("{\"form").is_err());
+    }
+
+    #[test]
+    fn terminated_garbage_line_is_an_error() {
+        let r = sample();
+        let mut text = to_jsonl(&r[..1]);
+        text.push_str("{\"pc\":oops}\n");
+        assert!(matches!(
+            from_jsonl(&text),
+            Err(TraceError::JsonlLine { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn header_is_validated() {
+        assert!(matches!(
+            from_jsonl(""),
+            Err(TraceError::JsonlHeader { .. })
+        ));
+        assert!(matches!(
+            from_jsonl("{\"format\":\"other\",\"version\":1}\n"),
+            Err(TraceError::JsonlHeader { .. })
+        ));
+        assert!(matches!(
+            from_jsonl("{\"format\":\"cestim-trace\",\"version\":2}\n"),
+            Err(TraceError::UnsupportedVersion { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn field_validation() {
+        let head = "{\"format\":\"cestim-trace\",\"version\":1}\n";
+        let bad_class = format!(
+            "{head}{{\"pc\":0,\"target\":0,\"taken\":false,\"class\":\"wat\",\"dst\":255,\"s1\":255,\"s2\":255}}\n"
+        );
+        assert!(matches!(
+            from_jsonl(&bad_class),
+            Err(TraceError::JsonlLine { line: 2, .. })
+        ));
+        let bad_reg = format!(
+            "{head}{{\"pc\":0,\"target\":0,\"taken\":false,\"class\":\"alu\",\"dst\":40,\"s1\":255,\"s2\":255}}\n"
+        );
+        assert!(matches!(
+            from_jsonl(&bad_reg),
+            Err(TraceError::JsonlLine { line: 2, .. })
+        ));
+    }
+}

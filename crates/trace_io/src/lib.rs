@@ -1,0 +1,149 @@
+//! Versioned branch-trace import/export (`docs/TRACES.md`).
+//!
+//! A *trace* is the committed (architectural) instruction stream of one
+//! program run, one [`TraceRecord`] per retired instruction, in program
+//! order. It carries exactly the information the replay frontend
+//! (`cestim_pipeline::TraceSimulator`) needs to re-time the run and to
+//! drive every branch predictor and confidence estimator: PC, control
+//! target / memory address, the resolved branch direction, an instruction
+//! class, and the source/destination registers for scoreboard timing.
+//!
+//! Two encodings of the same logical format are provided:
+//!
+//! * **binary** ([`to_binary`] / [`from_binary`]): a ChampSim-style compact
+//!   little-endian layout — an 8-byte magic, a version, a record count, and
+//!   fixed 16-byte records. Strict: truncation, trailing bytes, unknown
+//!   classes, reserved flag bits and bad register indexes are all
+//!   structured [`TraceError`]s.
+//! * **JSONL** ([`to_jsonl`] / [`from_jsonl`]): a line-per-record twin for
+//!   greppability and hand-authoring. A torn (unterminated) final line is
+//!   silently dropped, matching the run-journal semantics in `cestim-exec`;
+//!   a malformed *terminated* line is an error.
+//!
+//! Both importers are **total**: any byte sequence yields `Ok` or a
+//! structured error, never a panic. Round-tripping through either encoding
+//! (or across them) is bit-exact; the conformance suite in the workspace
+//! root enforces it.
+
+mod binary;
+mod export;
+mod jsonl;
+mod record;
+
+pub use binary::{from_binary, to_binary, HEADER_BYTES, RECORD_BYTES};
+pub use export::{export_program, ExportError};
+pub use jsonl::{from_jsonl, to_jsonl};
+pub use record::{TraceClass, TraceError, TraceRecord, NO_REG};
+
+/// Format version written by this crate and the only one it accepts.
+/// Compatibility rule: readers reject other versions with
+/// [`TraceError::UnsupportedVersion`]; see `docs/TRACES.md` before bumping.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Magic prefix of the binary encoding.
+pub const TRACE_MAGIC: [u8; 8] = *b"CESTRACE";
+
+/// Format name carried in the JSONL header line.
+pub const TRACE_FORMAT_NAME: &str = "cestim-trace";
+
+/// FNV-1a content hash of a trace, computed over its binary encoding.
+///
+/// This is the identity used for exec-cache keys and repro artifact names:
+/// two traces hash equal iff they decode to the same record sequence,
+/// regardless of which encoding they arrived in.
+pub fn content_hash(records: &[TraceRecord]) -> u64 {
+    // Same FNV-1a parameters as `cestim_exec::fnv1a` (duplicated here to
+    // keep this crate at the bottom of the dependency stack).
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in to_binary(records) {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// [`content_hash`] as the 16-hex-digit string used in artifact ids.
+pub fn content_hash_hex(records: &[TraceRecord]) -> String {
+    format!("{:016x}", content_hash(records))
+}
+
+/// Decodes a trace in either encoding, sniffing the binary magic.
+///
+/// Bytes starting with [`TRACE_MAGIC`] are parsed as binary; anything else
+/// is treated as JSONL (whose header line starts with `{`). Total, like
+/// both underlying importers.
+pub fn from_bytes(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceError> {
+    if bytes.starts_with(&TRACE_MAGIC) {
+        from_binary(bytes)
+    } else {
+        let text = std::str::from_utf8(bytes).map_err(|e| TraceError::JsonlHeader {
+            reason: format!("not binary (no magic) and not UTF-8 JSONL: {e}"),
+        })?;
+        from_jsonl(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                pc: 0,
+                target: 0,
+                taken: false,
+                class: TraceClass::Alu,
+                dst: 5,
+                s1: NO_REG,
+                s2: NO_REG,
+            },
+            TraceRecord {
+                pc: 1,
+                target: 7,
+                taken: true,
+                class: TraceClass::CondBranch,
+                dst: NO_REG,
+                s1: 5,
+                s2: 6,
+            },
+            TraceRecord {
+                pc: 7,
+                target: 0,
+                taken: false,
+                class: TraceClass::Halt,
+                dst: NO_REG,
+                s1: NO_REG,
+                s2: NO_REG,
+            },
+        ]
+    }
+
+    #[test]
+    fn content_hash_is_encoding_independent() {
+        let r = sample();
+        let bin = from_binary(&to_binary(&r)).unwrap();
+        let jsonl = from_jsonl(&to_jsonl(&r)).unwrap();
+        assert_eq!(content_hash(&bin), content_hash(&jsonl));
+        assert_eq!(content_hash_hex(&r).len(), 16);
+    }
+
+    #[test]
+    fn content_hash_discriminates() {
+        let a = sample();
+        let mut b = sample();
+        b[1].taken = false;
+        assert_ne!(content_hash(&a), content_hash(&b));
+        assert_ne!(content_hash(&a), content_hash(&a[..2]));
+    }
+
+    #[test]
+    fn from_bytes_sniffs_both_encodings() {
+        let r = sample();
+        assert_eq!(from_bytes(&to_binary(&r)).unwrap(), r);
+        assert_eq!(from_bytes(to_jsonl(&r).as_bytes()).unwrap(), r);
+        assert!(from_bytes(&[0xff, 0xfe, 0x00]).is_err());
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`isa`] | `cestim-isa` | the RISC ISA, program builder, checkpointing interpreter |
 //! | [`pipeline`] | `cestim-pipeline` | the speculative pipeline simulator with wrong-path execution and gating |
 //! | [`trace`] | `cestim-trace` | distance/clustering analyses and trace serialization |
+//! | [`trace_io`] | `cestim-trace-io` | the versioned external branch-trace format (binary + JSONL) and its total importer (see `docs/TRACES.md`) |
 //! | [`workloads`] | `cestim-workloads` | the eight SPECint95 analogs |
 //! | [`sim`] | `cestim-sim` | experiment specs, runner, and the paper's full table/figure suite |
 //!
@@ -53,6 +54,7 @@ pub use cestim_isa as isa;
 pub use cestim_pipeline as pipeline;
 pub use cestim_sim as sim;
 pub use cestim_trace as trace;
+pub use cestim_trace_io as trace_io;
 pub use cestim_workloads as workloads;
 
 pub use cestim_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, Prediction, SAg};
@@ -62,10 +64,12 @@ pub use cestim_core::{
     StaticProfile,
 };
 pub use cestim_isa::{Machine, Program, ProgramBuilder, Reg};
-pub use cestim_pipeline::{PipelineConfig, PipelineStats, SimObserver, Simulator};
+pub use cestim_pipeline::{PipelineConfig, PipelineStats, SimObserver, Simulator, TraceSimulator};
 pub use cestim_sim::{
-    apps, collect_profile, run, run_with_observer, run_with_profile, EstimatorSpec, PredictorKind,
+    apps, capture_live_trace, collect_profile, conformance_specs, export_config_trace, run,
+    run_replay_live, run_trace, run_with_observer, run_with_profile, EstimatorSpec, PredictorKind,
     RunConfig, RunOutcome,
 };
 pub use cestim_trace::{ClusterAnalysis, DistanceAnalysis, DistanceSeries};
+pub use cestim_trace_io::{TraceRecord, TRACE_VERSION};
 pub use cestim_workloads::{Workload, WorkloadKind};

@@ -1,0 +1,166 @@
+//! Seeded trace corpus under `tests/traces/`: one binary and one JSONL
+//! trace (a 1024-record prefix of the scale-1 export) per workload
+//! family, pinned by `GOLDEN.json` — per-trace content hash plus a digest
+//! of the replay outcome, so both the *format* and the *replay semantics*
+//! are locked against drift.
+//!
+//! Regenerate after an intentional format or semantics change with:
+//!
+//! ```text
+//! cargo test --test trace_corpus -- --ignored bless
+//! ```
+
+use cestim::trace_io;
+use cestim::{
+    export_config_trace, run_trace, EstimatorSpec, PipelineConfig, PredictorKind, RunConfig,
+    TraceRecord, WorkloadKind,
+};
+use std::path::PathBuf;
+
+/// Records per corpus trace. A prefix keeps the corpus small (16 KiB per
+/// binary trace) while still exercising real control flow; truncated
+/// traces (no halt record) are valid replay inputs by design.
+const CORPUS_RECORDS: usize = 1024;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("traces")
+}
+
+fn corpus_trace(kind: WorkloadKind) -> Vec<TraceRecord> {
+    let cfg = RunConfig::paper(kind, 1, PredictorKind::Gshare);
+    let mut records = export_config_trace(&cfg).expect("workload halts");
+    records.truncate(CORPUS_RECORDS);
+    records
+}
+
+/// Digest of the replay outcome: gshare + the paper JRS estimator over
+/// the trace, hashed through the executor's canonical content hash.
+fn replay_digest(records: &[TraceRecord]) -> String {
+    let outcome = run_trace(
+        records,
+        PredictorKind::Gshare,
+        &PipelineConfig::paper(),
+        &[EstimatorSpec::jrs_paper()],
+    );
+    format!(
+        "{:016x}",
+        cestim_exec::content_hash(&serde_json::to_value(&outcome))
+    )
+}
+
+fn golden_entry(records: &[TraceRecord]) -> serde_json::Value {
+    serde_json::json!({
+        "records": records.len(),
+        "hash": trace_io::content_hash_hex(records),
+        "replay_digest": replay_digest(records),
+    })
+}
+
+/// Every corpus trace decodes from both encodings to identical records,
+/// matches its pinned content hash, and replays to its pinned outcome
+/// digest.
+#[test]
+fn corpus_matches_golden() {
+    let dir = corpus_dir();
+    let golden: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(dir.join("GOLDEN.json")).expect("GOLDEN.json exists — bless it"),
+    )
+    .expect("GOLDEN.json parses");
+    let golden = golden
+        .get("workloads")
+        .and_then(|v| v.as_object())
+        .expect("workloads table");
+
+    for kind in WorkloadKind::all() {
+        let name = kind.name();
+        let want = golden
+            .get(name)
+            .and_then(|v| v.as_object())
+            .unwrap_or_else(|| panic!("{name}: missing from GOLDEN.json — bless the corpus"));
+
+        let bin = std::fs::read(dir.join(format!("{name}.bin")))
+            .unwrap_or_else(|e| panic!("{name}.bin: {e}"));
+        let jsonl = std::fs::read(dir.join(format!("{name}.jsonl")))
+            .unwrap_or_else(|e| panic!("{name}.jsonl: {e}"));
+
+        let from_bin = trace_io::from_bytes(&bin).expect("corpus binary decodes");
+        let from_jsonl = trace_io::from_bytes(&jsonl).expect("corpus jsonl decodes");
+        assert_eq!(from_bin, from_jsonl, "{name}: encodings disagree");
+
+        assert_eq!(
+            want.get("records").and_then(|v| v.as_u64()),
+            Some(from_bin.len() as u64),
+            "{name}: record count drifted"
+        );
+        assert_eq!(
+            want.get("hash").and_then(|v| v.as_str()),
+            Some(trace_io::content_hash_hex(&from_bin).as_str()),
+            "{name}: content hash drifted"
+        );
+        assert_eq!(
+            want.get("replay_digest").and_then(|v| v.as_str()),
+            Some(replay_digest(&from_bin).as_str()),
+            "{name}: replay outcome drifted"
+        );
+    }
+}
+
+/// The corpus files equal a fresh export: the checked-in traces are real
+/// prefixes of today's workloads, not fossils of an older generator.
+#[test]
+fn corpus_is_a_fresh_export_prefix() {
+    let dir = corpus_dir();
+    for kind in WorkloadKind::all() {
+        let name = kind.name();
+        let on_disk = trace_io::from_bytes(
+            &std::fs::read(dir.join(format!("{name}.bin"))).expect("corpus file"),
+        )
+        .expect("corpus decodes");
+        assert_eq!(
+            on_disk,
+            corpus_trace(kind),
+            "{name}: corpus is stale — bless it"
+        );
+    }
+}
+
+/// Regenerates the corpus and `GOLDEN.json`. Ignored by default; run
+/// explicitly after an intentional change:
+/// `cargo test --test trace_corpus -- --ignored bless`.
+#[test]
+#[ignore = "regenerates tests/traces; run explicitly to bless"]
+fn bless() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/traces");
+    let mut workloads = serde_json::Map::new();
+    for kind in WorkloadKind::all() {
+        let name = kind.name();
+        let records = corpus_trace(kind);
+        std::fs::write(
+            dir.join(format!("{name}.bin")),
+            trace_io::to_binary(&records),
+        )
+        .expect("write binary trace");
+        std::fs::write(
+            dir.join(format!("{name}.jsonl")),
+            trace_io::to_jsonl(&records),
+        )
+        .expect("write jsonl trace");
+        workloads.insert(name.to_string(), golden_entry(&records));
+    }
+    let golden = serde_json::json!({
+        "schema": "cestim-trace-corpus/1",
+        "trace_version": trace_io::TRACE_VERSION,
+        "prefix_records": CORPUS_RECORDS,
+        "workloads": serde_json::Value::Object(workloads),
+    });
+    let pretty = serde_json::to_string_pretty(&golden).expect("golden serializes");
+    std::fs::write(dir.join("GOLDEN.json"), pretty + "\n").expect("write GOLDEN.json");
+    println!(
+        "blessed {} workloads into {}",
+        WorkloadKind::all().len(),
+        dir.display()
+    );
+}

@@ -1,0 +1,190 @@
+//! Property tests for the external branch-trace format: arbitrary valid
+//! record streams round-trip through both encodings, and arbitrary
+//! *corruptions* of valid encodings produce structured [`TraceError`]s —
+//! the importers are total and never panic.
+
+use cestim::trace_io::{
+    self, from_binary, from_bytes, from_jsonl, to_binary, to_jsonl, TraceClass, TraceError,
+    TraceRecord, HEADER_BYTES, NO_REG, RECORD_BYTES,
+};
+use cestim::Reg;
+use proptest::prelude::*;
+
+/// A register byte: `NO_REG` or a real register index.
+fn reg_byte() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(NO_REG), 0..Reg::COUNT as u8]
+}
+
+fn record() -> impl Strategy<Value = TraceRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        0..TraceClass::ALL.len(),
+        reg_byte(),
+        reg_byte(),
+        reg_byte(),
+    )
+        .prop_map(|(pc, target, taken, class, dst, s1, s2)| TraceRecord {
+            pc,
+            target,
+            taken,
+            class: TraceClass::ALL[class],
+            dst,
+            s1,
+            s2,
+        })
+}
+
+fn records() -> impl Strategy<Value = Vec<TraceRecord>> {
+    prop::collection::vec(record(), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary and JSONL encodings both round-trip arbitrary valid record
+    /// streams exactly, cross-encoding conversion is lossless, and the
+    /// content hash is encoding-independent.
+    #[test]
+    fn any_valid_stream_round_trips(rs in records()) {
+        let bin = to_binary(&rs);
+        prop_assert_eq!(bin.len(), HEADER_BYTES + rs.len() * RECORD_BYTES);
+        prop_assert_eq!(&from_binary(&bin).unwrap(), &rs);
+
+        let jsonl = to_jsonl(&rs);
+        prop_assert_eq!(&from_jsonl(&jsonl).unwrap(), &rs);
+
+        // binary -> jsonl -> binary is the identity on bytes.
+        let cross = to_binary(&from_jsonl(&to_jsonl(&from_binary(&bin).unwrap())).unwrap());
+        prop_assert_eq!(&bin, &cross);
+
+        // The sniffing importer agrees with both dedicated importers.
+        prop_assert_eq!(&from_bytes(&bin).unwrap(), &rs);
+        prop_assert_eq!(&from_bytes(jsonl.as_bytes()).unwrap(), &rs);
+
+        prop_assert_eq!(
+            trace_io::content_hash(&rs),
+            trace_io::content_hash(&from_jsonl(&jsonl).unwrap())
+        );
+    }
+
+    /// Truncating a binary trace anywhere — mid-header, mid-record, or at
+    /// a record boundary — yields a structured truncation error (or, for
+    /// prefixes that cut nothing, success), never a panic.
+    #[test]
+    fn binary_truncation_is_a_structured_error(rs in records(), cut in any::<u64>()) {
+        let bin = to_binary(&rs);
+        let len = cut as usize % (bin.len() + 1); // 0..=bin.len()
+        match from_binary(&bin[..len]) {
+            Ok(out) => prop_assert_eq!(out, rs), // only the untruncated input succeeds
+            Err(TraceError::TruncatedHeader { len: l }) => prop_assert!(l < HEADER_BYTES),
+            Err(TraceError::TruncatedRecords { expected, found }) => {
+                prop_assert_eq!(expected, rs.len() as u64);
+                prop_assert!(found < expected);
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// Flipping any single byte of a binary trace either still decodes
+    /// (the flip hit a value byte) or produces a structured error — never
+    /// a panic. When it still decodes, the decoded stream differs from or
+    /// equals the original; both are fine, the property is totality.
+    #[test]
+    fn binary_byte_flips_never_panic(rs in records(), pos in any::<u64>(), bit in 0u8..8) {
+        let mut bin = to_binary(&rs);
+        prop_assume!(!bin.is_empty());
+        let i = pos as usize % bin.len();
+        bin[i] ^= 1 << bit;
+        let _ = from_binary(&bin); // must return, not panic
+        let _ = from_bytes(&bin);
+    }
+
+    /// A wrong version number is always rejected with `UnsupportedVersion`.
+    #[test]
+    fn version_mismatch_is_rejected(rs in records(), v in 0u32..1000) {
+        prop_assume!(v != trace_io::TRACE_VERSION);
+        let mut bin = to_binary(&rs);
+        bin[8..12].copy_from_slice(&v.to_le_bytes());
+        prop_assert_eq!(
+            from_binary(&bin).unwrap_err(),
+            TraceError::UnsupportedVersion { found: v }
+        );
+    }
+
+    /// Truncating a JSONL trace at any byte never panics: either it still
+    /// decodes (the cut removed whole trailing lines, or left a torn final
+    /// line — which the importer drops by design) or it is a structured
+    /// error. When it decodes, the result is a prefix of the original.
+    #[test]
+    fn jsonl_truncation_never_panics(rs in records(), cut in any::<u64>()) {
+        let jsonl = to_jsonl(&rs);
+        let len = cut as usize % (jsonl.len() + 1);
+        match from_jsonl(&jsonl[..len]) {
+            Ok(out) => {
+                prop_assert!(out.len() <= rs.len());
+                prop_assert_eq!(&out[..], &rs[..out.len()]);
+            }
+            Err(TraceError::JsonlHeader { .. } | TraceError::JsonlLine { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// Arbitrary garbage bytes — not derived from a valid trace at all —
+    /// are handled totally by the sniffing importer.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = from_bytes(&bytes);
+        let _ = from_binary(&bytes);
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = from_jsonl(s);
+        }
+    }
+}
+
+/// Deterministic corrupt-input sweep (the CI smoke job's in-process twin):
+/// ~500 systematic mutations of a real exported trace, every one of which
+/// must produce `Ok` or a structured error.
+#[test]
+fn systematic_mutations_of_a_real_trace_are_total() {
+    let records =
+        trace_io::export_program(&cestim::WorkloadKind::Compress.build(1).program, 10_000_000)
+            .expect("export halts");
+    let records = &records[..64.min(records.len())];
+    let bin = to_binary(records);
+    let jsonl = to_jsonl(records);
+
+    let mut cases = 0usize;
+    // Every truncation length of the binary image.
+    for len in 0..bin.len().min(200) {
+        let _ = from_bytes(&bin[..len]);
+        cases += 1;
+    }
+    // Every single-byte overwrite of the first few records, three values.
+    for i in 0..bin.len().min(100) {
+        for v in [0x00, 0x7f, 0xff] {
+            let mut b = bin.clone();
+            b[i] = v;
+            let _ = from_bytes(&b);
+            cases += 1;
+        }
+    }
+    // JSONL line-level damage: drop, duplicate, and splice each line.
+    let lines: Vec<&str> = jsonl.lines().collect();
+    for i in 0..lines.len().min(40) {
+        let dropped: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let _ = from_jsonl(&dropped);
+        let mut spliced: Vec<&str> = lines.clone();
+        spliced.swap(i, (i + 1) % lines.len());
+        let spliced: String = spliced.iter().map(|l| format!("{l}\n")).collect();
+        let _ = from_jsonl(&spliced);
+        cases += 2;
+    }
+    assert!(cases >= 500, "sweep too small: {cases} cases");
+}
