@@ -173,6 +173,38 @@ impl RunJournal {
     pub fn prior_experiment_count(&self) -> usize {
         self.prior_experiments.len()
     }
+
+    /// Size of the active journal file in bytes (0 if unreadable).
+    pub fn size_bytes(&self) -> u64 {
+        // Lock so a concurrent `record`'s buffered line is flushed into
+        // the metadata we measure.
+        let _file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Rotates the active journal aside to `run.prev.jsonl` (atomic
+    /// rename, replacing any earlier rotation) and reopens a fresh
+    /// `run.jsonl`, all under the append lock so concurrent `record`
+    /// calls land either wholly in the old file or wholly in the new
+    /// one. Prior-run completion sets are kept — rotation bounds disk
+    /// growth, not resume knowledge.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the rename or reopen; on error the
+    /// journal keeps appending to the original file.
+    pub fn rotate(&self) -> io::Result<()> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.flush()?;
+        let prev = self
+            .path
+            .parent()
+            .map(|d| d.join(JOURNAL_PREV_FILE))
+            .ok_or_else(|| io::Error::other("journal path has no parent"))?;
+        std::fs::rename(&self.path, prev)?;
+        *file = Self::open_append(&self.path)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +267,32 @@ mod tests {
         assert_eq!(j.prior_job_count(), 0, "fresh start ignores history");
         assert!(dir.join(JOURNAL_PREV_FILE).exists(), "rotated aside");
         assert_eq!(std::fs::read_to_string(j.path()).unwrap(), "");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotate_bounds_the_active_file_and_keeps_prior_state() {
+        let dir = tmp_dir("rotate-live");
+        {
+            let j = RunJournal::start(&dir).unwrap();
+            j.record_job("aaaa", "a", 1, "ok");
+        }
+        let j = RunJournal::resume(&dir).unwrap();
+        assert_eq!(j.prior_job_count(), 1);
+        j.record_job("bbbb", "b", 1, "ok");
+        assert!(j.size_bytes() > 0);
+        j.rotate().unwrap();
+        assert_eq!(j.size_bytes(), 0, "fresh file after rotation");
+        assert!(
+            std::fs::read_to_string(dir.join(JOURNAL_PREV_FILE))
+                .unwrap()
+                .contains("bbbb"),
+            "rotated lines preserved aside"
+        );
+        assert!(j.was_job_completed("aaaa"), "prior sets survive rotation");
+        // Appends continue into the fresh file.
+        j.record_job("cccc", "c", 1, "ok");
+        assert!(std::fs::read_to_string(j.path()).unwrap().contains("cccc"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -24,6 +24,7 @@ use crate::fault::FaultPlan;
 use crate::journal::RunJournal;
 use crate::key::CacheKey;
 use crate::retry::RetryPolicy;
+use cestim_obs::cancel;
 use cestim_obs::span2::{self, OpenSpan, SpanBuffer, SpanCollector, SpanId};
 use cestim_obs::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize, Value};
@@ -262,6 +263,9 @@ pub struct Executor {
     policy: CachePolicy,
     retry: RetryPolicy,
     deadline: Option<Duration>,
+    /// Poll interval (in simulator cycles) for cooperative cancellation
+    /// of overdue jobs; 0 disables arming the token.
+    cancel_every: u64,
     fault: FaultPlan,
     journal: Option<Arc<RunJournal>>,
     /// Executor-lifetime submission sequence: assigned on the calling
@@ -321,6 +325,7 @@ impl Executor {
         let mut e = Executor::build(self.workers, cache, policy, self.registry);
         e.retry = self.retry;
         e.deadline = self.deadline;
+        e.cancel_every = self.cancel_every;
         e.fault = self.fault;
         e.journal = self.journal;
         e.spans = self.spans;
@@ -332,6 +337,7 @@ impl Executor {
         let mut e = Executor::build(self.workers, self.cache, self.policy, registry.clone());
         e.retry = self.retry;
         e.deadline = self.deadline;
+        e.cancel_every = self.cancel_every;
         e.fault = self.fault;
         e.journal = self.journal;
         e.spans = self.spans;
@@ -365,6 +371,17 @@ impl Executor {
         self
     }
 
+    /// Sets the cooperative-cancellation poll interval: when a deadline
+    /// is configured, each attempt runs with an armed
+    /// [`cestim_obs::cancel`] token that cancellation-aware job bodies
+    /// (the pipeline simulator hot loop) poll every `every` iterations,
+    /// abandoning the run — and releasing the worker — once overdue.
+    /// 0 disables arming (the watchdog then only *flags* overdue jobs).
+    pub fn with_cancel_every(mut self, every: u64) -> Executor {
+        self.cancel_every = every;
+        self
+    }
+
     /// Arms a chaos-injection plan (see [`FaultPlan`]).
     pub fn with_fault_plan(mut self, fault: FaultPlan) -> Executor {
         self.fault = fault;
@@ -390,6 +407,7 @@ impl Executor {
             policy,
             retry: RetryPolicy::default(),
             deadline: None,
+            cancel_every: cancel::DEFAULT_CHECK_EVERY,
             fault: FaultPlan::none(),
             journal: None,
             fault_seq: AtomicU64::new(0),
@@ -704,6 +722,13 @@ impl Executor {
         let key = job.cache_key();
         let label = job.label();
         let start = Instant::now();
+        // Cooperative cancellation: arm the ambient deadline token so a
+        // cancellation-aware job body abandons itself (releasing this
+        // worker) instead of merely being flagged by the watchdog.
+        let _cancel_guard = match (self.deadline, self.cancel_every) {
+            (Some(d), every) if every > 0 => Some(cancel::arm(start + d, every)),
+            _ => None,
+        };
         let tag = sbuf.tag().to_string();
         self.inflight.add(1);
         let mut attempt = 1u32;
@@ -719,6 +744,29 @@ impl Executor {
                     break Ok(out);
                 }
                 Err(message) => {
+                    if cancel::is_cancel_panic(&message) {
+                        // The cooperative deadline fired inside the job
+                        // body: a timeout, not a crash — never retried.
+                        // Flag the watch slot ourselves (counting the
+                        // timeout if the watchdog hasn't yet) so the
+                        // overdue check below reports deterministically.
+                        if aspan.id().is_some() {
+                            aspan.label("outcome", "cancelled");
+                        }
+                        sbuf.close(aspan);
+                        if let Some(slot) = watch {
+                            if !slot.timed_out.swap(true, Ordering::Relaxed) {
+                                self.timeouts.inc();
+                            }
+                        }
+                        break Err(JobError {
+                            key: key.id(),
+                            label: label.clone(),
+                            attempts: attempt,
+                            kind: JobErrorKind::TimedOut,
+                            message,
+                        });
+                    }
                     self.panics_caught.inc();
                     // Fault provenance rides on the attempt span: the
                     // panic message, and whether it was chaos-injected.

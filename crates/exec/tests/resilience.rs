@@ -282,6 +282,82 @@ fn slow_jobs_past_the_deadline_time_out_in_both_paths() {
     assert_eq!(exec.report().timeouts, 1);
 }
 
+/// A cancellation-aware busy loop (seed 0) modelled on the simulator
+/// hot loop: polls the ambient cancel token every `check_every`
+/// iterations and abandons itself once overdue. Other seeds return
+/// immediately.
+struct Spin {
+    seed: u64,
+}
+
+impl Job for Spin {
+    type Output = u64;
+
+    fn content(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("seed".into(), Value::Number(self.seed.into()));
+        Value::Object(m)
+    }
+
+    fn schema_salt(&self) -> u64 {
+        cestim_exec::schema_salt("resilience-spin", 1)
+    }
+
+    fn label(&self) -> String {
+        format!("spin-{}", self.seed)
+    }
+
+    fn execute(&self) -> u64 {
+        if self.seed == 0 {
+            let token = cestim_obs::cancel::current();
+            let safety = std::time::Instant::now();
+            let mut i = 0u64;
+            loop {
+                i = i.wrapping_add(1);
+                if let Some(t) = token {
+                    if i.is_multiple_of(t.check_every) && t.expired() {
+                        cestim_obs::cancel::fire();
+                    }
+                }
+                // Safety valve so a regression fails the test instead of
+                // hanging it.
+                if i.is_multiple_of(1 << 22) && safety.elapsed() > Duration::from_secs(20) {
+                    return u64::MAX;
+                }
+            }
+        }
+        self.seed
+    }
+}
+
+#[test]
+fn cooperative_cancel_releases_the_worker() {
+    install_quiet_panic_hook();
+    let jobs: Vec<Spin> = (0..4).map(|seed| Spin { seed }).collect();
+    let exec = Executor::new(2)
+        .with_deadline(Some(Duration::from_millis(40)))
+        .with_cancel_every(1 << 12);
+    let start = std::time::Instant::now();
+    let results = exec.run_all_checked(&jobs);
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "cancelled job released its worker instead of spinning forever"
+    );
+    let e = results[0].as_ref().unwrap_err();
+    assert_eq!(e.kind, JobErrorKind::TimedOut);
+    assert_eq!(e.attempts, 1, "a cancelled attempt is never retried");
+    for (i, r) in results.iter().enumerate().skip(1) {
+        assert_eq!(r.as_ref().unwrap(), &(i as u64), "survivors complete");
+    }
+    let report = exec.report();
+    assert_eq!(report.timeouts, 1);
+    assert_eq!(
+        report.panics_caught, 0,
+        "a cancel is a timeout, not a crash"
+    );
+    assert_eq!(report.retries, 0);
+}
+
 #[test]
 fn timed_out_results_are_not_cached() {
     install_quiet_panic_hook();

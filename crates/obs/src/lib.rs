@@ -29,6 +29,10 @@
 //! * [`monitor`] — a std-only ANSI terminal monitor
 //!   ([`RunMonitor`](monitor::RunMonitor)) rendering live executor
 //!   progress from the metric stream.
+//! * [`cancel`] — an ambient per-thread cooperative deadline
+//!   ([`cancel::arm`] / [`cancel::current`]) that the simulator hot loop
+//!   polls every N cycles so overdue jobs release their worker instead
+//!   of running to completion (see docs/RESILIENCE.md).
 //! * [`Span`] / [`ScopedTimer`] / [`PhaseProfiler`] — wall-clock
 //!   profiling around pipeline phases and suite experiments, rendered
 //!   with [`render_timing_table`]; thin wrappers that also feed the
@@ -40,6 +44,7 @@ mod metrics;
 mod span;
 mod trace;
 
+pub mod cancel;
 pub mod export;
 pub mod monitor;
 pub mod span2;

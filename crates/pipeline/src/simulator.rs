@@ -535,8 +535,26 @@ impl<'p> Simulator<'p> {
 
     /// Runs to completion (program halt with an empty pipeline, or
     /// `max_cycles`), streaming events to `obs`. Returns the final stats.
+    ///
+    /// If a cooperative deadline is armed on this thread
+    /// ([`cestim_obs::cancel::arm`]), the loop polls the wall clock every
+    /// `check_every` simulated cycles and abandons the run via
+    /// [`cestim_obs::cancel::fire`] once the deadline passes — so an
+    /// overdue job releases its worker instead of running to completion.
+    /// The poll is alloc-free and costs one thread-local read when no
+    /// token is armed.
     pub fn run<O: SimObserver + ?Sized>(&mut self, obs: &mut O) -> PipelineStats {
+        let cancel = cestim_obs::cancel::current();
+        let mut cancel_at = cancel.map(|c| self.now.saturating_add(c.check_every));
         while !self.done() && self.now < self.cfg.max_cycles {
+            if let (Some(at), Some(token)) = (cancel_at, &cancel) {
+                if self.now >= at {
+                    if token.expired() {
+                        cestim_obs::cancel::fire();
+                    }
+                    cancel_at = Some(self.now.saturating_add(token.check_every));
+                }
+            }
             self.cycle(obs);
             // While fetch is stalled (I-cache miss, mispredict penalty)
             // nothing can happen until the stall ends or a branch resolves:
@@ -1613,6 +1631,51 @@ mod tests {
         let mut s = Simulator::new(&p, cfg, Box::new(Gshare::new(10)));
         let stats = s.run_to_completion();
         assert_eq!(stats.cycles, 1000);
+    }
+
+    #[test]
+    fn cooperative_cancel_abandons_an_overdue_run() {
+        use std::time::{Duration, Instant};
+        // An infinite loop bounded only by a huge max_cycles: without
+        // cancellation this would spin for a very long time.
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.j(top);
+        let p = b.build().unwrap();
+        let mut cfg = PipelineConfig::paper();
+        cfg.max_cycles = u64::MAX;
+        let mut s = Simulator::new(&p, cfg, Box::new(Gshare::new(10)));
+        // Deadline already expired: the first poll window must fire.
+        let _g = cestim_obs::cancel::arm(Instant::now() - Duration::from_millis(1), 1024);
+        let t0 = Instant::now();
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.run_to_completion()))
+                .unwrap_err();
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|m| m.to_string()))
+            .unwrap();
+        assert!(cestim_obs::cancel::is_cancel_panic(&msg), "{msg}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "cancel must fire promptly"
+        );
+    }
+
+    #[test]
+    fn unarmed_runs_are_unaffected_by_the_cancel_poll() {
+        let p = counted_loop(50);
+        let mut a = sim(&p);
+        let sa = a.run_to_completion();
+        let _g = cestim_obs::cancel::arm(
+            std::time::Instant::now() + std::time::Duration::from_secs(3600),
+            1,
+        );
+        let mut b = sim(&p);
+        let sb = b.run_to_completion();
+        assert_eq!(sa, sb, "an unexpired token must not perturb the run");
     }
 
     #[test]

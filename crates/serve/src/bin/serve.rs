@@ -8,24 +8,34 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--groups N] [--queue-depth N] [--quantum N]
-//!       [--cache-dir DIR] [--journal-dir DIR] [--gc-every N]
-//!       [--max-scale N] [--prom-out FILE] [--trace-perfetto FILE]
+//!       [--cache-dir DIR] [--journal-dir DIR] [--journal-max-bytes N]
+//!       [--gc-every N] [--max-scale N] [--shed-high PCT] [--shed-low PCT]
+//!       [--shed-p99-ms N] [--breaker-threshold N] [--breaker-cooldown-ms N]
+//!       [--fault SPEC] [--prom-out FILE] [--trace-perfetto FILE]
 //! ```
+//!
+//! On Unix, `SIGTERM` triggers the same graceful drain as a `shutdown`
+//! request: stop accepting, finish queued work, flush exports, exit.
 
 use cestim_obs::span2::SpanCollector;
 use cestim_obs::Registry;
 use cestim_serve::{ServeConfig, Server};
 use std::net::TcpListener;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--groups N] [--queue-depth N] [--quantum N]\n\
-         \x20            [--cache-dir DIR] [--journal-dir DIR] [--gc-every N]\n\
-         \x20            [--max-scale N] [--prom-out FILE] [--trace-perfetto FILE]\n\
+         \x20            [--cache-dir DIR] [--journal-dir DIR] [--journal-max-bytes N]\n\
+         \x20            [--gc-every N] [--max-scale N]\n\
+         \x20            [--shed-high PCT] [--shed-low PCT] [--shed-p99-ms N]\n\
+         \x20            [--breaker-threshold N] [--breaker-cooldown-ms N]\n\
+         \x20            [--fault panic:N|slow:N:MS|io:N]\n\
+         \x20            [--prom-out FILE] [--trace-perfetto FILE]\n\
          \n\
          Long-lived simulation server speaking line-delimited JSON\n\
          (protocol reference: docs/SERVING.md). Send {{\"op\":\"shutdown\"}}\n\
-         to drain and stop."
+         or SIGTERM to drain and stop."
     );
     std::process::exit(2);
 }
@@ -54,8 +64,30 @@ fn parse_args() -> Args {
             "--quantum" => args.cfg.quantum = parse_num(&value("--quantum")),
             "--cache-dir" => args.cfg.cache_dir = Some(value("--cache-dir").into()),
             "--journal-dir" => args.cfg.journal_dir = Some(value("--journal-dir").into()),
+            "--journal-max-bytes" => {
+                args.cfg.journal_max_bytes = parse_num(&value("--journal-max-bytes"));
+            }
             "--gc-every" => args.cfg.gc_every = parse_num(&value("--gc-every")),
             "--max-scale" => args.cfg.limits.max_scale = parse_num(&value("--max-scale")),
+            "--shed-high" => args.cfg.shed.high_pct = parse_num(&value("--shed-high")),
+            "--shed-low" => args.cfg.shed.low_pct = parse_num(&value("--shed-low")),
+            "--shed-p99-ms" => {
+                args.cfg.shed.p99_nanos = parse_num::<u64>(&value("--shed-p99-ms")) * 1_000_000;
+            }
+            "--breaker-threshold" => {
+                args.cfg.breaker.threshold = parse_num(&value("--breaker-threshold"));
+            }
+            "--breaker-cooldown-ms" => {
+                args.cfg.breaker.cooldown =
+                    Duration::from_millis(parse_num(&value("--breaker-cooldown-ms")));
+            }
+            "--fault" => {
+                args.cfg.fault =
+                    cestim_exec::FaultPlan::parse(&value("--fault")).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage();
+                    });
+            }
             "--prom-out" => args.prom_out = Some(value("--prom-out")),
             "--trace-perfetto" => args.trace_perfetto = Some(value("--trace-perfetto")),
             "--help" | "-h" => usage(),
@@ -80,6 +112,44 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> T {
     })
 }
 
+/// Set by the SIGTERM handler; polled by the drain watcher thread.
+#[cfg(unix)]
+static SIGTERM_SEEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_signum: i32) {
+    // Only async-signal-safe work here: a single atomic store.
+    SIGTERM_SEEN.store(true, std::sync::atomic::Ordering::Release);
+}
+
+/// Installs the SIGTERM handler and a watcher thread that turns the
+/// signal into the same graceful drain a `shutdown` request performs.
+#[cfg(unix)]
+fn install_sigterm_drain(server: &std::sync::Arc<Server>) {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+    let server = std::sync::Arc::clone(server);
+    std::thread::spawn(move || loop {
+        if SIGTERM_SEEN.load(std::sync::atomic::Ordering::Acquire) {
+            eprintln!("[serve] SIGTERM: draining");
+            server.begin_shutdown();
+            return;
+        }
+        if server.is_shutting_down() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_drain(_server: &std::sync::Arc<Server>) {}
+
 fn main() {
     let args = parse_args();
     let registry = Registry::new();
@@ -89,12 +159,13 @@ fn main() {
         SpanCollector::disabled()
     };
     let server = match Server::start_with(args.cfg.clone(), registry.clone(), spans.clone()) {
-        Ok(server) => server,
+        Ok(server) => std::sync::Arc::new(server),
         Err(e) => {
             eprintln!("serve: failed to start: {e}");
             std::process::exit(1);
         }
     };
+    install_sigterm_drain(&server);
     let listener = match TcpListener::bind(&args.addr) {
         Ok(listener) => listener,
         Err(e) => {
@@ -115,6 +186,18 @@ fn main() {
     let requests = registry.counter("serve.requests", &[]).get();
     let hits = registry.counter("serve.cache_hits", &[]).get();
     let executed = registry.counter("serve.executed", &[]).get();
+    // The watcher thread drops its handle once it sees the shutdown
+    // flag (set by whatever ended serve_tcp), so the Arc drains fast.
+    let mut server = server;
+    let server = loop {
+        match std::sync::Arc::try_unwrap(server) {
+            Ok(server) => break server,
+            Err(still_shared) => {
+                server = still_shared;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
     server.shutdown();
     if let Some(path) = &args.prom_out {
         match write_prom(path, &registry) {

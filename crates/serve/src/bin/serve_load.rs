@@ -11,11 +11,19 @@
 //! ```text
 //! serve-load [--addr HOST:PORT | --spawn] [--seed N] [--requests N]
 //!            [--clients N] [--dup PCT] [--scale N] [--window N]
-//!            [--vip-priority N] [--passes N] [--verify] [--shutdown]
+//!            [--vip-priority N] [--deadline-ms N] [--hedge-ms N]
+//!            [--passes N] [--overload] [--verify] [--shutdown]
 //!            [--bench-out FILE] [--note TEXT]
 //!            [--cache-dir DIR] [--groups N] [--queue-depth N]
 //!            [--gc-every N] [--prom-out FILE]
 //! ```
+//!
+//! `--overload` appends a `degraded` pass that opens the in-flight
+//! window to the full request count, deliberately flooding the queue so
+//! the server's load-shedding gate engages; the pass reports how many
+//! submissions were shed and the degraded-mode latency quantiles. Pair
+//! it with a small `--groups`/`--queue-depth` server so the watermarks
+//! are reachable.
 //!
 //! Exits non-zero on transport errors, execution errors, or any
 //! verification mismatch.
@@ -32,7 +40,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve-load [--addr HOST:PORT | --spawn] [--seed N] [--requests N]\n\
          \x20                 [--clients N] [--dup PCT] [--scale N] [--window N]\n\
-         \x20                 [--vip-priority N] [--passes N] [--verify] [--shutdown]\n\
+         \x20                 [--vip-priority N] [--deadline-ms N] [--hedge-ms N]\n\
+         \x20                 [--passes N] [--overload] [--verify] [--shutdown]\n\
          \x20                 [--bench-out FILE] [--note TEXT]\n\
          \x20                 [--cache-dir DIR] [--groups N] [--queue-depth N]\n\
          \x20                 [--gc-every N] [--prom-out FILE]\n\
@@ -48,6 +57,7 @@ struct Args {
     spawn: bool,
     load: LoadConfig,
     passes: usize,
+    overload: bool,
     verify: bool,
     shutdown: bool,
     bench_out: Option<String>,
@@ -69,6 +79,7 @@ fn parse_args() -> Args {
         spawn: false,
         load: LoadConfig::default(),
         passes: 2,
+        overload: false,
         verify: false,
         shutdown: false,
         bench_out: None,
@@ -94,7 +105,10 @@ fn parse_args() -> Args {
             "--scale" => args.load.scale = parse_num(&value("--scale")),
             "--window" => args.load.window = parse_num(&value("--window")),
             "--vip-priority" => args.load.vip_priority = parse_num(&value("--vip-priority")),
+            "--deadline-ms" => args.load.deadline_ms = parse_num(&value("--deadline-ms")),
+            "--hedge-ms" => args.load.hedge_after_ms = parse_num(&value("--hedge-ms")),
             "--passes" => args.passes = parse_num(&value("--passes")),
+            "--overload" => args.overload = true,
             "--verify" => args.verify = true,
             "--shutdown" => args.shutdown = true,
             "--bench-out" => args.bench_out = Some(value("--bench-out")),
@@ -129,7 +143,8 @@ fn pass_name(index: usize) -> String {
 fn print_pass(report: &PassReport) {
     println!(
         "[serve-load] pass={} completed={}/{} hit_rate={:.3} rps={:.1} \
-         p50={}us p95={}us p99={}us rejected={} errors={} spread={:.2}",
+         p50={}us p95={}us p99={}us rejected={} shed={} deadline_rej={} \
+         breaker_rej={} hedged={} errors={} spread={:.2}",
         report.pass,
         report.completed,
         report.requests,
@@ -139,6 +154,10 @@ fn print_pass(report: &PassReport) {
         report.p95_nanos / 1_000,
         report.p99_nanos / 1_000,
         report.rejected,
+        report.shed,
+        report.deadline_rejected,
+        report.breaker_rejected,
+        report.hedged,
         report.errors,
         report.completion_spread,
     );
@@ -216,6 +235,40 @@ fn main() {
                 eprintln!("serve-load: pass {} failed: {e}", pass_name(p));
                 failed = true;
                 break;
+            }
+        }
+    }
+
+    // The overload pass floods the queue on purpose: every request is
+    // in flight at once, so a small server sheds until its watermarks
+    // clear. Shed submissions are retried, so the pass still completes;
+    // what it measures is the degraded-mode p99 and how much was shed.
+    if args.overload && !failed {
+        let mut degraded_cfg = args.load.clone();
+        degraded_cfg.window = degraded_cfg.requests.max(1);
+        match run_pass(
+            conn.as_mut(),
+            &mix,
+            &degraded_cfg,
+            "degraded",
+            &mut payloads,
+        ) {
+            Ok(report) => {
+                print_pass(&report);
+                if report.shed == 0 {
+                    println!(
+                        "[serve-load] warning: overload pass shed nothing; \
+                         lower --groups/--queue-depth to make the watermarks reachable"
+                    );
+                }
+                if report.errors > 0 || report.completed < report.requests {
+                    failed = true;
+                }
+                passes.push(report);
+            }
+            Err(e) => {
+                eprintln!("serve-load: degraded pass failed: {e}");
+                failed = true;
             }
         }
     }

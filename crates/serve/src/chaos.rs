@@ -1,0 +1,421 @@
+//! A deterministic fault-injecting TCP proxy for network-chaos testing.
+//!
+//! [`ChaosProxy`] sits between a client and a `cestim-serve` listener
+//! and corrupts traffic according to a seeded [`ChaosPlan`]: lines are
+//! dropped, truncated (then the connection torn down, so framing stays
+//! honest), delayed, prefixed with garbage, or the whole stream is
+//! reset mid-flight. All randomness comes from the cestim-qa
+//! xorshift64* PRNG — each proxied connection derives independent child
+//! streams per direction from the plan seed and a monotone connection
+//! index, so a given (seed, connection order) replays the exact same
+//! fault sequence every run.
+//!
+//! The proxy is line-oriented on purpose: the serve protocol is one
+//! JSON object per line, so "per line" is the natural unit at which a
+//! real network would hand the application a torn read, and it lets the
+//! chaos e2e suite assert byte-identical payloads after the resilient
+//! client heals every injected fault.
+
+use cestim_qa::XorShift64Star;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Per-line fault probabilities, in parts per thousand, plus the plan
+/// seed. A zeroed plan forwards everything untouched.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// PRNG seed; connection `n` direction `d` uses child `2n + d`.
+    pub seed: u64,
+    /// ‰ chance a line is silently dropped (the peer sees nothing).
+    pub drop_per_mille: u64,
+    /// ‰ chance a line is cut in half and the connection torn down.
+    pub truncate_per_mille: u64,
+    /// ‰ chance a line is delayed by up to `delay_ms_max` milliseconds.
+    pub delay_per_mille: u64,
+    /// Upper bound on an injected delay, in milliseconds.
+    pub delay_ms_max: u64,
+    /// ‰ chance a garbage line is injected ahead of the real one.
+    pub garbage_per_mille: u64,
+    /// ‰ chance the connection is reset before the line is forwarded.
+    pub reset_per_mille: u64,
+}
+
+impl ChaosPlan {
+    /// A plan that forwards all traffic untouched (still counts lines).
+    pub fn none(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            drop_per_mille: 0,
+            truncate_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ms_max: 0,
+            garbage_per_mille: 0,
+            reset_per_mille: 0,
+        }
+    }
+
+    /// The seeded default fault mix used by the chaos e2e suite and the
+    /// CI smoke job: every fault class enabled, rates low enough that a
+    /// retrying client converges quickly.
+    pub fn standard(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            drop_per_mille: 30,
+            truncate_per_mille: 20,
+            delay_per_mille: 60,
+            delay_ms_max: 20,
+            garbage_per_mille: 40,
+            reset_per_mille: 20,
+        }
+    }
+}
+
+/// Counters for injected faults, shared across all proxied connections.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Lines that reached the proxy (both directions).
+    pub lines: AtomicU64,
+    /// Lines silently dropped.
+    pub dropped: AtomicU64,
+    /// Lines truncated (connection then torn down).
+    pub truncated: AtomicU64,
+    /// Lines delayed.
+    pub delayed: AtomicU64,
+    /// Garbage lines injected.
+    pub garbage: AtomicU64,
+    /// Connections reset mid-stream.
+    pub resets: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Total faults injected across all classes.
+    pub fn total_faults(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+            + self.truncated.load(Ordering::Relaxed)
+            + self.delayed.load(Ordering::Relaxed)
+            + self.garbage.load(Ordering::Relaxed)
+            + self.resets.load(Ordering::Relaxed)
+    }
+}
+
+/// A running chaos proxy: accepts on its own port and pipes each
+/// connection to the upstream address through the fault plan.
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ChaosStats>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral local port forwarding to
+    /// `upstream` under `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the listener.
+    pub fn start(upstream: std::net::SocketAddr, plan: ChaosPlan) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ChaosStats::default());
+        let accept_stop = Arc::clone(&stop);
+        let accept_stats = Arc::clone(&stats);
+        let root = XorShift64Star::new(plan.seed);
+        let accept_thread = thread::Builder::new()
+            .name("chaos-accept".to_string())
+            .spawn(move || {
+                let mut conn_index = 0u64;
+                loop {
+                    match listener.accept() {
+                        Ok((client, _peer)) => {
+                            accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                            let Ok(server) = TcpStream::connect(upstream) else {
+                                let _ = client.shutdown(Shutdown::Both);
+                                continue;
+                            };
+                            spawn_pumps(client, server, &plan, &root, conn_index, &accept_stats);
+                            conn_index += 1;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            if accept_stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn chaos accept");
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            stats,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address (connect clients here).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Fault counters, live.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// In-flight pump threads die with their connections.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Spawns the two direction pumps for one proxied connection. Each
+/// direction gets its own deterministic child PRNG stream; tearing down
+/// either side shuts both streams so the peer observes EOF promptly.
+fn spawn_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    plan: &ChaosPlan,
+    root: &XorShift64Star,
+    conn_index: u64,
+    stats: &Arc<ChaosStats>,
+) {
+    let pairs = [
+        // client → server carries requests; server → client responses.
+        (client.try_clone(), server.try_clone(), 2 * conn_index),
+        (server.try_clone(), client.try_clone(), 2 * conn_index + 1),
+    ];
+    for (src, dst, child) in pairs {
+        let (Ok(src), Ok(dst)) = (src, dst) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+            return;
+        };
+        let rng = root.child(child);
+        let plan = plan.clone();
+        let stats = Arc::clone(stats);
+        thread::Builder::new()
+            .name(format!("chaos-pump-{conn_index}"))
+            .spawn(move || pump(src, dst, plan, rng, stats))
+            .expect("spawn chaos pump");
+    }
+}
+
+/// Hard cap on one proxied line; longer lines are forwarded in chunks
+/// without fault injection (the serve protocol rejects them anyway).
+const MAX_PROXY_LINE: u64 = 256 * 1024;
+
+fn pump(
+    src: TcpStream,
+    dst: TcpStream,
+    plan: ChaosPlan,
+    mut rng: XorShift64Star,
+    stats: Arc<ChaosStats>,
+) {
+    let mut reader = BufReader::new(src.try_clone().expect("clone src"));
+    let mut dst_w = dst.try_clone().expect("clone dst");
+    let teardown = |src: &TcpStream, dst: &TcpStream| {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    };
+    let mut line = Vec::with_capacity(1024);
+    loop {
+        line.clear();
+        let n = match reader
+            .by_ref()
+            .take(MAX_PROXY_LINE)
+            .read_until(b'\n', &mut line)
+        {
+            Ok(0) | Err(_) => {
+                teardown(&src, &dst);
+                return;
+            }
+            Ok(n) => n,
+        };
+        stats.lines.fetch_add(1, Ordering::Relaxed);
+        let complete = line.last() == Some(&b'\n') && n < MAX_PROXY_LINE as usize;
+        if complete {
+            if plan.reset_per_mille > 0 && rng.chance(plan.reset_per_mille, 1000) {
+                stats.resets.fetch_add(1, Ordering::Relaxed);
+                teardown(&src, &dst);
+                return;
+            }
+            if plan.drop_per_mille > 0 && rng.chance(plan.drop_per_mille, 1000) {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if plan.truncate_per_mille > 0 && rng.chance(plan.truncate_per_mille, 1000) {
+                stats.truncated.fetch_add(1, Ordering::Relaxed);
+                let half = &line[..line.len() / 2];
+                let _ = dst_w.write_all(half);
+                let _ = dst_w.flush();
+                teardown(&src, &dst);
+                return;
+            }
+            if plan.delay_per_mille > 0
+                && plan.delay_ms_max > 0
+                && rng.chance(plan.delay_per_mille, 1000)
+            {
+                stats.delayed.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(Duration::from_millis(1 + rng.below(plan.delay_ms_max)));
+            }
+            if plan.garbage_per_mille > 0 && rng.chance(plan.garbage_per_mille, 1000) {
+                stats.garbage.fetch_add(1, Ordering::Relaxed);
+                let junk = format!("!!chaos-garbage-{}\n", rng.below(1 << 32));
+                if dst_w.write_all(junk.as_bytes()).is_err() {
+                    teardown(&src, &dst);
+                    return;
+                }
+            }
+        }
+        if dst_w.write_all(&line).is_err() || dst_w.flush().is_err() {
+            teardown(&src, &dst);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A line-echo upstream for proxy tests.
+    fn echo_upstream() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut w = stream;
+                    let mut line = String::new();
+                    while let Ok(n) = reader.read_line(&mut line) {
+                        if n == 0 || w.write_all(line.as_bytes()).is_err() {
+                            return;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn faultless_plan_is_a_transparent_pipe() {
+        let upstream = echo_upstream();
+        let mut proxy = ChaosProxy::start(upstream, ChaosPlan::none(1)).unwrap();
+        let stream = TcpStream::connect(proxy.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        for i in 0..20 {
+            writeln!(w, "hello-{i}").unwrap();
+            let mut back = String::new();
+            reader.read_line(&mut back).unwrap();
+            assert_eq!(back, format!("hello-{i}\n"));
+        }
+        assert_eq!(proxy.stats().total_faults(), 0);
+        assert!(proxy.stats().lines.load(Ordering::Relaxed) >= 40);
+        proxy.stop();
+    }
+
+    #[test]
+    fn seeded_plans_inject_faults_deterministically() {
+        // Drive two identical runs; fault counts must match exactly.
+        let counts = |seed: u64| {
+            let upstream = echo_upstream();
+            let plan = ChaosPlan {
+                seed,
+                drop_per_mille: 150,
+                truncate_per_mille: 0,
+                delay_per_mille: 0,
+                delay_ms_max: 0,
+                garbage_per_mille: 100,
+                reset_per_mille: 0,
+            };
+            let mut proxy = ChaosProxy::start(upstream, plan).unwrap();
+            let stream = TcpStream::connect(proxy.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream;
+            for i in 0..200 {
+                writeln!(w, "ping-{i}").unwrap();
+            }
+            w.flush().unwrap();
+            // Read whatever made it through until a short timeout.
+            reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(300)))
+                .unwrap();
+            let mut line = String::new();
+            let mut echoed = 0u64;
+            while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                echoed += 1;
+                line.clear();
+            }
+            let s = proxy.stats();
+            let out = (
+                s.dropped.load(Ordering::Relaxed),
+                s.garbage.load(Ordering::Relaxed),
+                echoed,
+            );
+            proxy.stop();
+            out
+        };
+        let a = counts(42);
+        let b = counts(42);
+        assert_eq!(a, b, "same seed, same faults");
+        assert!(a.0 > 0, "drops fired");
+        assert!(a.1 > 0, "garbage fired");
+    }
+
+    #[test]
+    fn resets_tear_the_connection_down() {
+        let upstream = echo_upstream();
+        let plan = ChaosPlan {
+            seed: 7,
+            drop_per_mille: 0,
+            truncate_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ms_max: 0,
+            garbage_per_mille: 0,
+            reset_per_mille: 1000,
+        };
+        let mut proxy = ChaosProxy::start(upstream, plan).unwrap();
+        let stream = TcpStream::connect(proxy.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        let _ = writeln!(w, "doomed");
+        let mut back = String::new();
+        // Certain reset: the read must observe EOF/error, never data.
+        reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let got = reader.read_line(&mut back).unwrap_or(0);
+        assert_eq!(got, 0, "reset connection yields EOF, got {back:?}");
+        assert_eq!(proxy.stats().resets.load(Ordering::Relaxed), 1);
+        proxy.stop();
+    }
+}

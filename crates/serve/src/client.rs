@@ -1,0 +1,471 @@
+//! A resilient TCP client for the serve protocol.
+//!
+//! [`ServeClient`] assumes the network is hostile — connections drop,
+//! lines are torn, responses vanish — and heals by construction:
+//!
+//! * **Deterministic retry.** Failed attempts (I/O errors, EOF,
+//!   response timeouts, rejections, execution errors) are retried under
+//!   exec's [`RetryPolicy`]: exponential backoff whose jitter is keyed
+//!   on the job's cache key and attempt number, so a given (job,
+//!   attempt) always waits the same time — reproducible load patterns
+//!   even through chaos.
+//! * **Idempotent re-submission.** Jobs are content-addressed: a
+//!   re-submitted job hashes to the same [`cestim_exec::CacheKey`], so
+//!   the server serves the duplicate from its result cache and every
+//!   attempt observes a byte-identical payload. Retrying is therefore
+//!   always safe.
+//! * **Hedged requests.** Optionally, an attempt that has not completed
+//!   after a delay (the larger of the configured floor and the observed
+//!   completion p99) sends a duplicate request with a distinguishable
+//!   id; whichever copy completes first wins. Tail latency from one
+//!   slow shard or one chaos-delayed line stops dominating.
+//! * **Garbage tolerance.** Unparseable lines, responses for unknown
+//!   ids, and `error` responses without an id are counted and skipped,
+//!   never fatal.
+
+use crate::overload::WaitWindow;
+use crate::protocol::{parse_response, render_request, Request, Response};
+use cestim_exec::{Job, RetryPolicy};
+use cestim_sim::ExecJob;
+use serde::Value;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server (or chaos proxy) address.
+    pub addr: SocketAddr,
+    /// Client identity sent with every run request (fair-queuing lane).
+    pub client: String,
+    /// Scheduling priority (1..=100).
+    pub priority: u32,
+    /// Per-request deadline forwarded to the server (0 = none).
+    pub deadline_ms: u64,
+    /// Retry/backoff policy across attempts.
+    pub retry: RetryPolicy,
+    /// How long one attempt waits for progress before being abandoned.
+    /// The timer restarts whenever a response for the request arrives,
+    /// so long executions are not cut off mid-run.
+    pub recv_timeout: Duration,
+    /// Hedging floor: `None` disables hedging; `Some(d)` sends a
+    /// duplicate request once an attempt has waited `max(d, observed
+    /// completion p99)` without completing.
+    pub hedge_after: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// A sane default aimed at `addr`: 8 attempts, 2s progress timeout,
+    /// no deadline, no hedging.
+    pub fn new(addr: SocketAddr) -> ClientConfig {
+        ClientConfig {
+            addr,
+            client: "resilient".to_string(),
+            priority: 1,
+            deadline_ms: 0,
+            retry: RetryPolicy {
+                max_attempts: 8,
+                ..RetryPolicy::default()
+            },
+            recv_timeout: Duration::from_secs(2),
+            hedge_after: None,
+        }
+    }
+}
+
+/// Cumulative client-side resilience counters (the client half of the
+/// `serve.hedge.*` story; server counters live in the registry).
+#[derive(Debug, Default, Clone)]
+pub struct ClientReport {
+    /// Requests completed with a payload.
+    pub completed: u64,
+    /// Total attempts sent (including the first of each request).
+    pub attempts: u64,
+    /// Reconnections after an I/O failure or EOF.
+    pub reconnects: u64,
+    /// Rejections observed (queue-full / shedding / breaker / deadline).
+    pub rejected: u64,
+    /// Execution `error` responses observed for our ids.
+    pub exec_errors: u64,
+    /// Unparseable or unattributable lines skipped.
+    pub garbage_lines: u64,
+    /// Hedged duplicates sent.
+    pub hedges_sent: u64,
+    /// Requests whose hedged copy completed first.
+    pub hedge_wins: u64,
+}
+
+/// Suffix appended to a request id for its hedged duplicate.
+const HEDGE_SUFFIX: &str = "~h";
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Partial line carried across timeout slices: a read timeout can
+    /// land mid-line, and the bytes already consumed from the socket
+    /// must survive until the line's newline arrives.
+    pending: Vec<u8>,
+}
+
+/// The resilient client. Not thread-safe; one instance per submitting
+/// thread (each holds its own connection).
+pub struct ServeClient {
+    cfg: ClientConfig,
+    conn: Option<Conn>,
+    latencies: WaitWindow,
+    report: ClientReport,
+}
+
+/// How often the receive loop wakes to check hedge/abandon timers.
+const POLL_SLICE: Duration = Duration::from_millis(25);
+
+impl ServeClient {
+    /// A client for `cfg.addr`; connects lazily on first use.
+    pub fn new(cfg: ClientConfig) -> ServeClient {
+        ServeClient {
+            cfg,
+            conn: None,
+            latencies: WaitWindow::new(),
+            report: ClientReport::default(),
+        }
+    }
+
+    /// Cumulative resilience counters.
+    pub fn report(&self) -> &ClientReport {
+        &self.report
+    }
+
+    /// Runs one job to a byte-stable payload, healing connection drops,
+    /// torn lines, rejections, and transient execution failures by
+    /// deterministic retry (and optional hedging).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only once the retry budget is exhausted.
+    pub fn run_job(&mut self, id: &str, job: &ExecJob) -> io::Result<Value> {
+        let key = job.cache_key();
+        let mut attempt = 1u32;
+        loop {
+            self.report.attempts += 1;
+            match self.attempt_job(id, job) {
+                Ok(payload) => {
+                    self.report.completed += 1;
+                    return Ok(payload);
+                }
+                Err(failure) => {
+                    self.drop_conn_if(&failure);
+                    if !self.cfg.retry.allows_retry(attempt) {
+                        return Err(io::Error::other(format!(
+                            "request `{id}` failed after {attempt} attempts: {}",
+                            failure.describe()
+                        )));
+                    }
+                    std::thread::sleep(self.cfg.retry.backoff(attempt, &key));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Sends a `stats` request and returns the fields object.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no response arrives within the retry budget.
+    pub fn stats(&mut self) -> io::Result<Value> {
+        self.control(Request::Stats).map(|resp| match resp {
+            Response::Stats(fields) => fields,
+            _ => Value::Null,
+        })
+    }
+
+    /// Sends a `health` request; `Ok(true)` when the server is healthy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no response arrives within the retry budget.
+    pub fn health(&mut self) -> io::Result<Response> {
+        self.control(Request::Health)
+    }
+
+    /// Sends a `shutdown` request (best-effort, no retry).
+    pub fn shutdown(&mut self) {
+        if let Ok(conn) = self.ensure_conn() {
+            let _ = writeln!(conn.writer, "{}", render_request(&Request::Shutdown));
+            let _ = conn.writer.flush();
+        }
+    }
+
+    /// Sends one control request and waits for its (typed) response,
+    /// retrying over reconnects.
+    fn control(&mut self, req: Request) -> io::Result<Response> {
+        let mut attempt = 1u32;
+        loop {
+            let outcome = self.control_once(&req);
+            match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    self.conn = None;
+                    self.report.reconnects += 1;
+                    if !self.cfg.retry.allows_retry(attempt) {
+                        return Err(e);
+                    }
+                    // Control ops have no cache key; back off on a fixed
+                    // synthetic key so jitter stays deterministic.
+                    let key = cestim_exec::CacheKey {
+                        schema: 0,
+                        content: 0xC0_47_01,
+                    };
+                    std::thread::sleep(self.cfg.retry.backoff(attempt, &key));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn control_once(&mut self, req: &Request) -> io::Result<Response> {
+        let recv_timeout = self.cfg.recv_timeout;
+        let mut garbage = 0u64;
+        let result = (|| {
+            let conn = self.ensure_conn()?;
+            writeln!(conn.writer, "{}", render_request(req))?;
+            conn.writer.flush()?;
+            let deadline = Instant::now() + recv_timeout;
+            loop {
+                let Some(line) = read_line_until(conn, deadline)? else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no control response",
+                    ));
+                };
+                match parse_response(&line) {
+                    Some(
+                        resp @ (Response::Stats(_)
+                        | Response::Pong
+                        | Response::Health { .. }
+                        | Response::Ready { .. }
+                        | Response::Gc { .. }
+                        | Response::ShuttingDown),
+                    ) => return Ok(resp),
+                    Some(_) => continue, // stale run traffic on this conn
+                    None => {
+                        garbage += 1;
+                        continue;
+                    }
+                }
+            }
+        })();
+        self.report.garbage_lines += garbage;
+        result
+    }
+
+    /// One attempt: submit, optionally hedge, wait for a terminal
+    /// response with our id (or the hedge id).
+    fn attempt_job(&mut self, id: &str, job: &ExecJob) -> Result<Value, Failure> {
+        let hedge_delay = self.hedge_delay();
+        let started = Instant::now();
+        let cfg_client = self.cfg.client.clone();
+        let cfg_priority = self.cfg.priority;
+        let cfg_deadline = self.cfg.deadline_ms;
+        let recv_timeout = self.cfg.recv_timeout;
+        let hedge_id = format!("{id}{HEDGE_SUFFIX}");
+        let mut hedged = false;
+        let mut garbage = 0u64;
+
+        let send = |conn: &mut Conn, req_id: &str| -> io::Result<()> {
+            let line = render_request(&Request::Run {
+                id: req_id.to_string(),
+                client: cfg_client.clone(),
+                priority: cfg_priority,
+                deadline_ms: cfg_deadline,
+                job: job.clone(),
+            });
+            writeln!(conn.writer, "{line}")?;
+            conn.writer.flush()
+        };
+
+        let result = (|| {
+            let conn = self.ensure_conn().map_err(Failure::Io)?;
+            send(conn, id).map_err(Failure::Io)?;
+            // Progress-based abandon: the window restarts every time the
+            // server says something about this request.
+            let mut abandon_at = Instant::now() + recv_timeout;
+            loop {
+                if !hedged {
+                    if let Some(delay) = hedge_delay {
+                        if started.elapsed() >= delay {
+                            hedged = true;
+                            send(conn, &hedge_id).map_err(Failure::Io)?;
+                        }
+                    }
+                }
+                let now = Instant::now();
+                if now >= abandon_at {
+                    return Err(Failure::Timeout);
+                }
+                let slice_end = (now + POLL_SLICE).min(abandon_at);
+                let Some(line) = read_line_until(conn, slice_end).map_err(Failure::Io)? else {
+                    continue;
+                };
+                let Some(resp) = parse_response(&line) else {
+                    garbage += 1;
+                    continue;
+                };
+                let ours = |rid: &str| rid == id || rid == hedge_id;
+                match resp {
+                    Response::Accepted { id: rid, .. } | Response::Started { id: rid, .. }
+                        if ours(&rid) =>
+                    {
+                        abandon_at = Instant::now() + recv_timeout;
+                    }
+                    Response::Result {
+                        id: rid, payload, ..
+                    } if ours(&rid) => {
+                        return Ok((rid, payload));
+                    }
+                    // A hedge rejection/error is not fatal while the
+                    // primary is still in flight, so only the primary id
+                    // fails the attempt; the hedge id falls through.
+                    Response::Rejected {
+                        id: rid, reason, ..
+                    } if rid == id => {
+                        return Err(Failure::Rejected(reason));
+                    }
+                    Response::Error {
+                        id: Some(rid),
+                        code,
+                        message,
+                    } if rid == id => {
+                        return Err(Failure::Exec(code, message));
+                    }
+                    // Stale ids from prior attempts, other clients'
+                    // traffic, id-less errors (garbage we injected into
+                    // the server): all skipped.
+                    Response::Error { id: None, .. } => garbage += 1,
+                    _ => {}
+                }
+            }
+        })();
+
+        self.report.garbage_lines += garbage;
+        if hedged {
+            self.report.hedges_sent += 1;
+        }
+        match result {
+            Ok((rid, payload)) => {
+                if rid == hedge_id {
+                    self.report.hedge_wins += 1;
+                }
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.latencies.record(nanos);
+                Ok(payload)
+            }
+            Err(f) => {
+                match &f {
+                    Failure::Rejected(_) => self.report.rejected += 1,
+                    Failure::Exec(..) => self.report.exec_errors += 1,
+                    _ => {}
+                }
+                Err(f)
+            }
+        }
+    }
+
+    /// The hedge trigger for the next attempt: the configured floor,
+    /// raised to the observed completion p99 once samples exist.
+    fn hedge_delay(&self) -> Option<Duration> {
+        let floor = self.cfg.hedge_after?;
+        let p99 = Duration::from_nanos(self.latencies.p99());
+        Some(floor.max(p99))
+    }
+
+    /// Drops the connection when the failure implies it is unusable.
+    fn drop_conn_if(&mut self, failure: &Failure) {
+        match failure {
+            Failure::Io(_) | Failure::Timeout => {
+                if self.conn.is_some() {
+                    self.conn = None;
+                    self.report.reconnects += 1;
+                }
+            }
+            // Rejections and execution errors arrived on a healthy
+            // connection; keep it for the retry.
+            Failure::Rejected(_) | Failure::Exec(..) => {}
+        }
+    }
+
+    fn ensure_conn(&mut self) -> io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.cfg.addr)?;
+            stream.set_nodelay(true).ok();
+            let reader = BufReader::new(stream.try_clone()?);
+            let writer = BufWriter::new(stream);
+            self.conn = Some(Conn {
+                reader,
+                writer,
+                pending: Vec::new(),
+            });
+        }
+        Ok(self.conn.as_mut().expect("connection just ensured"))
+    }
+}
+
+/// Why one attempt failed (decides retry/connection handling).
+enum Failure {
+    /// Transport failure: connect, send, or receive.
+    Io(io::Error),
+    /// No progress within the receive window.
+    Timeout,
+    /// The server rejected admission (reason string).
+    Rejected(String),
+    /// The server reported an execution error (code, message).
+    Exec(String, String),
+}
+
+impl Failure {
+    fn describe(&self) -> String {
+        match self {
+            Failure::Io(e) => format!("io: {e}"),
+            Failure::Timeout => "timed out waiting for a response".to_string(),
+            Failure::Rejected(reason) => format!("rejected: {reason}"),
+            Failure::Exec(code, message) => format!("{code}: {message}"),
+        }
+    }
+}
+
+/// Reads one line, waiting until `deadline`; `Ok(None)` on timeout
+/// slices (caller re-checks its own timers), `Err` on EOF or a real
+/// transport error. Bytes consumed before a timeout are kept in
+/// `conn.pending` so a mid-line timeout never tears the framing.
+fn read_line_until(conn: &mut Conn, deadline: Instant) -> io::Result<Option<String>> {
+    loop {
+        if let Some(pos) = conn.pending.iter().position(|&b| b == b'\n') {
+            let rest = conn.pending.split_off(pos + 1);
+            let raw = std::mem::replace(&mut conn.pending, rest);
+            return Ok(Some(String::from_utf8_lossy(&raw).into_owned()));
+        }
+        let budget = deadline.saturating_duration_since(Instant::now());
+        if budget.is_zero() {
+            return Ok(None);
+        }
+        conn.reader
+            .get_ref()
+            .set_read_timeout(Some(budget.max(Duration::from_millis(1))))?;
+        match conn.reader.read_until(b'\n', &mut conn.pending) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            }
+            Ok(_) => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -18,16 +18,31 @@
 //!   `catch_unwind` job isolation, journaling, `serve.*` metrics and
 //!   spans, scheduled stale-cache sweeps, and the TCP / in-process
 //!   client surfaces.
+//! * [`overload`] — overload control: load-shedding hysteresis over
+//!   queue-depth/p99 watermarks and per-client circuit breakers (the
+//!   failure model in docs/SERVING.md).
+//! * [`client`] — [`ServeClient`]: a resilient TCP client with
+//!   deterministic retry/backoff/jitter, idempotent re-submission keyed
+//!   on cache keys, and optional hedged requests.
+//! * [`chaos`] — a deterministic fault-injecting TCP proxy
+//!   ([`ChaosProxy`]) for network-chaos testing: seeded drops,
+//!   truncation, delays, garbage, and mid-stream resets.
 //! * [`load`] — the deterministic seeded load harness behind the
 //!   `serve-load` binary and `BENCH_serve.json`.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod client;
 pub mod load;
+pub mod overload;
 pub mod protocol;
 pub mod sched;
 pub mod server;
 
+pub use chaos::{ChaosPlan, ChaosProxy, ChaosStats};
+pub use client::{ClientConfig, ClientReport, ServeClient};
+pub use overload::{BreakerConfig, Breakers, OverloadGate, ShedConfig, WaitWindow};
 pub use protocol::{
     parse_line, parse_response, render_request, render_response, ErrorCode, ProtoError, Request,
     RequestLimits, Response, MAX_LINE_BYTES,

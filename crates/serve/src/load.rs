@@ -13,7 +13,10 @@
 //! completion statistics; [`bench_entry`] + [`append_trajectory`] write
 //! the `BENCH_serve.json` trajectory consumed by docs/PERFORMANCE.md.
 
-use crate::protocol::{parse_response, render_request, Request, Response};
+use crate::protocol::{
+    parse_response, render_request, Request, Response, REASON_BREAKER_OPEN, REASON_DEADLINE,
+    REASON_SHEDDING,
+};
 use cestim_exec::{canonical_string, Job};
 use cestim_obs::Registry;
 use cestim_qa::XorShift64Star;
@@ -48,6 +51,12 @@ pub struct LoadConfig {
     /// Priority of client 0; all other clients run at priority 1, so
     /// the default of 10 exercises a 10:1 skew.
     pub vip_priority: u32,
+    /// Per-request deadline forwarded to the server (0 = none).
+    pub deadline_ms: u64,
+    /// Hedge an in-flight request after this many milliseconds
+    /// (0 = hedging disabled). Hedges re-send the same request id, so
+    /// whichever copy finishes first wins and the loser is ignored.
+    pub hedge_after_ms: u64,
 }
 
 impl Default for LoadConfig {
@@ -60,6 +69,8 @@ impl Default for LoadConfig {
             scale: 1,
             window: 16,
             vip_priority: 10,
+            deadline_ms: 0,
+            hedge_after_ms: 0,
         }
     }
 }
@@ -238,6 +249,16 @@ pub struct PassReport {
     pub cache_hits: usize,
     /// Backpressure rejections observed (all retried).
     pub rejected: usize,
+    /// Rejections carrying the load-shedding reason (subset of
+    /// `rejected`); nonzero means the server ran degraded.
+    pub shed: usize,
+    /// Rejections carrying the deadline reason (subset of `rejected`).
+    pub deadline_rejected: usize,
+    /// Rejections carrying the circuit-breaker reason (subset of
+    /// `rejected`).
+    pub breaker_rejected: usize,
+    /// Hedge copies sent for slow in-flight requests.
+    pub hedged: usize,
     /// Terminal `error` responses received.
     pub errors: usize,
     /// Wall time of the pass, nanoseconds.
@@ -269,6 +290,10 @@ impl PassReport {
             "completed": self.completed,
             "cache_hits": self.cache_hits,
             "rejected": self.rejected,
+            "shed": self.shed,
+            "deadline_rejected": self.deadline_rejected,
+            "breaker_rejected": self.breaker_rejected,
+            "hedged": self.hedged,
             "errors": self.errors,
             "wall_nanos": self.wall_nanos,
             "throughput_rps": self.throughput_rps,
@@ -291,7 +316,9 @@ impl PassReport {
 
 struct Pending {
     client_idx: usize,
+    index: usize,
     started: Instant,
+    hedged: bool,
 }
 
 /// Replays `mix` over `conn` as pass `pass`, collecting the first
@@ -325,6 +352,10 @@ pub fn run_pass(
     let mut completed = 0usize;
     let mut cache_hits = 0usize;
     let mut rejected = 0usize;
+    let mut shed = 0usize;
+    let mut deadline_rejected = 0usize;
+    let mut breaker_rejected = 0usize;
+    let mut hedged = 0usize;
     let mut errors = 0usize;
     let mut retries = 0usize;
     let window = cfg.window.max(1);
@@ -340,7 +371,9 @@ pub fn run_pass(
                 id.clone(),
                 Pending {
                     client_idx: item.client_idx,
+                    index: item.index,
                     started: Instant::now(),
+                    hedged: false,
                 },
             );
             sent_per_client[item.client_idx] += 1;
@@ -348,11 +381,36 @@ pub fn run_pass(
                 id,
                 client: client_name(item.client_idx),
                 priority: item.priority,
+                deadline_ms: cfg.deadline_ms,
                 job: item.job.clone(),
             })?;
         }
         if pending.is_empty() {
             break;
+        }
+        // Hedge stragglers: re-send the same id so whichever copy lands
+        // first wins; the duplicate result is dropped by `pending.remove`.
+        if cfg.hedge_after_ms > 0 {
+            let cutoff = Duration::from_millis(cfg.hedge_after_ms);
+            let stale: Vec<(String, usize)> = pending
+                .iter()
+                .filter(|(_, p)| !p.hedged && p.started.elapsed() >= cutoff)
+                .map(|(id, p)| (id.clone(), p.index))
+                .collect();
+            for (id, index) in stale {
+                let item = &mix[index];
+                if let Some(p) = pending.get_mut(&id) {
+                    p.hedged = true;
+                }
+                hedged += 1;
+                conn.send_request(&Request::Run {
+                    id,
+                    client: client_name(item.client_idx),
+                    priority: item.priority,
+                    deadline_ms: cfg.deadline_ms,
+                    job: item.job.clone(),
+                })?;
+            }
         }
         match conn.recv_response(RECV_TIMEOUT)? {
             Response::Accepted { .. } | Response::Started { .. } => {}
@@ -382,18 +440,26 @@ pub fn run_pass(
                     }
                 }
             }
-            Response::Rejected { id, .. } => {
+            Response::Rejected { id, reason, .. } => {
                 // Backpressure: retry the item later in the pass.
                 let Some(p) = pending.remove(&id) else {
                     continue;
                 };
                 rejected += 1;
+                match reason.as_str() {
+                    REASON_SHEDDING => shed += 1,
+                    REASON_DEADLINE => deadline_rejected += 1,
+                    REASON_BREAKER_OPEN => breaker_rejected += 1,
+                    _ => {}
+                }
                 sent_per_client[p.client_idx] -= 1;
                 if retries < MAX_RETRIES {
                     retries += 1;
-                    if let Some(index) = id.rsplit('-').next().and_then(|s| s.parse::<usize>().ok())
-                    {
-                        send_list.push(index);
+                    send_list.push(p.index);
+                    // Give a degraded server room to drain below its
+                    // low watermark instead of hammering the gate.
+                    if reason == REASON_SHEDDING || reason == REASON_BREAKER_OPEN {
+                        std::thread::sleep(Duration::from_millis(2));
                     }
                 } else {
                     errors += 1;
@@ -449,6 +515,10 @@ pub fn run_pass(
         completed,
         cache_hits,
         rejected,
+        shed,
+        deadline_rejected,
+        breaker_rejected,
+        hedged,
         errors,
         wall_nanos,
         throughput_rps: if wall_nanos == 0 {
@@ -519,6 +589,8 @@ pub fn bench_entry(
             "scale": cfg.scale,
             "window": cfg.window,
             "vip_priority": cfg.vip_priority,
+            "deadline_ms": cfg.deadline_ms,
+            "hedge_after_ms": cfg.hedge_after_ms,
         },
         "passes": passes.iter().map(PassReport::to_json).collect::<Vec<Value>>(),
         "verify": match verify {

@@ -1,0 +1,392 @@
+//! Overload control: load-shedding hysteresis and per-client circuit
+//! breakers.
+//!
+//! The paper's thesis — estimate confidence and throttle speculation
+//! when it is low — applied to admission: the server estimates whether
+//! new work will complete in budget (queue depth against capacity, the
+//! recent queue-wait p99 against a watermark) and sheds load while
+//! confidence is low. Both mechanisms are pure state machines over
+//! injected observations, so tests drive them deterministically without
+//! a live server.
+//!
+//! * [`OverloadGate`] — a two-watermark hysteresis: shedding engages
+//!   when queued work reaches the high watermark (percent of total
+//!   queue capacity) or the observed queue-wait p99 crosses a
+//!   nanosecond watermark, and disengages only once depth falls to the
+//!   low watermark — so the gate cannot flap at the boundary.
+//! * [`Breakers`] — per-client circuit breakers: `threshold`
+//!   consecutive execution failures open the circuit, converting that
+//!   client's requests into fast `breaker-open` rejections for
+//!   `cooldown`; the first request after cooldown probes (half-open)
+//!   and a success closes the circuit again.
+//! * [`WaitWindow`] — a fixed ring of recent queue-wait samples with an
+//!   exact-over-the-window p99, feeding the gate's latency watermark.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-shedding watermarks. Percentages are of total queue capacity
+/// (all shards); `p99_nanos == 0` disables the latency trigger and
+/// `high_pct == 0` disables shedding entirely.
+#[derive(Debug, Clone)]
+pub struct ShedConfig {
+    /// Enter shedding when queued jobs reach this percent of capacity.
+    pub high_pct: u32,
+    /// Exit shedding once queued jobs fall to this percent of capacity.
+    pub low_pct: u32,
+    /// Also enter shedding when the recent queue-wait p99 reaches this
+    /// many nanoseconds (0 = depth-only shedding).
+    pub p99_nanos: u64,
+}
+
+impl Default for ShedConfig {
+    fn default() -> ShedConfig {
+        ShedConfig {
+            high_pct: 85,
+            low_pct: 30,
+            p99_nanos: 0,
+        }
+    }
+}
+
+/// Two-watermark load-shedding gate with hysteresis.
+#[derive(Debug)]
+pub struct OverloadGate {
+    cfg: ShedConfig,
+    degraded: AtomicBool,
+}
+
+impl OverloadGate {
+    /// A gate with the given watermarks, starting healthy.
+    pub fn new(cfg: ShedConfig) -> OverloadGate {
+        OverloadGate {
+            cfg,
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// Feeds one observation (current queued jobs, total queue capacity,
+    /// recent queue-wait p99) and returns whether shedding is engaged
+    /// after the update.
+    pub fn observe(&self, queued: usize, capacity: usize, p99_nanos: u64) -> bool {
+        if self.cfg.high_pct == 0 {
+            return false;
+        }
+        let queued = queued as u64 * 100;
+        let capacity = capacity as u64;
+        let degraded = self.degraded.load(Ordering::Relaxed);
+        let next = if degraded {
+            // Exit only on the low depth watermark: latency recovers
+            // lazily as the queue drains, depth is the leading signal.
+            queued > u64::from(self.cfg.low_pct) * capacity
+        } else {
+            queued >= u64::from(self.cfg.high_pct) * capacity
+                || (self.cfg.p99_nanos > 0 && p99_nanos >= self.cfg.p99_nanos)
+        };
+        if next != degraded {
+            self.degraded.store(next, Ordering::Relaxed);
+        }
+        next
+    }
+
+    /// Whether shedding is currently engaged.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+}
+
+/// Circuit-breaker tuning. `threshold == 0` disables breakers entirely.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive execution failures that open a client's circuit.
+    pub threshold: u32,
+    /// How long an open circuit rejects before probing (half-open).
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 0,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy; counts consecutive failures toward the threshold.
+    Closed { failures: u32 },
+    /// Rejecting fast until `since + cooldown`.
+    Open { since: Instant },
+    /// One probe admitted; its outcome closes or reopens the circuit.
+    HalfOpen,
+}
+
+/// Per-client circuit breakers keyed by the protocol `client` field.
+#[derive(Debug)]
+pub struct Breakers {
+    cfg: BreakerConfig,
+    lanes: Mutex<HashMap<String, BreakerState>>,
+}
+
+impl Breakers {
+    /// A breaker bank with the given tuning (threshold 0 = disabled).
+    pub fn new(cfg: BreakerConfig) -> Breakers {
+        Breakers {
+            cfg,
+            lanes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether a request from `client` may be admitted at `now`. An open
+    /// circuit whose cooldown has elapsed transitions to half-open and
+    /// admits this one request as the probe.
+    pub fn allow(&self, client: &str, now: Instant) -> bool {
+        if self.cfg.threshold == 0 {
+            return true;
+        }
+        let mut lanes = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(state) = lanes.get_mut(client) {
+            if let BreakerState::Open { since } = *state {
+                if now.duration_since(since) < self.cfg.cooldown {
+                    return false;
+                }
+                *state = BreakerState::HalfOpen;
+            }
+        }
+        true
+    }
+
+    /// Records a successful execution for `client`, closing its circuit.
+    pub fn record_success(&self, client: &str) {
+        if self.cfg.threshold == 0 {
+            return;
+        }
+        let mut lanes = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        // Only track clients we have seen fail: a success for an unknown
+        // client should not allocate a lane.
+        if let Some(state) = lanes.get_mut(client) {
+            *state = BreakerState::Closed { failures: 0 };
+        }
+    }
+
+    /// Records an execution failure for `client` at `now`; the
+    /// `threshold`-th consecutive failure (or any half-open probe
+    /// failure) opens the circuit.
+    pub fn record_failure(&self, client: &str, now: Instant) -> bool {
+        if self.cfg.threshold == 0 {
+            return false;
+        }
+        let mut lanes = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        let state = lanes
+            .entry(client.to_string())
+            .or_insert(BreakerState::Closed { failures: 0 });
+        match state {
+            BreakerState::Closed { failures } => {
+                *failures += 1;
+                if *failures >= self.cfg.threshold {
+                    *state = BreakerState::Open { since: now };
+                    return true;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open { since: now };
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Number of clients whose circuit is currently open.
+    pub fn open_count(&self) -> usize {
+        let lanes = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        lanes
+            .values()
+            .filter(|s| matches!(s, BreakerState::Open { .. }))
+            .count()
+    }
+}
+
+/// Capacity of the queue-wait sample ring backing the p99 estimate.
+pub const WAIT_WINDOW: usize = 256;
+
+/// Fixed-size ring of recent queue-wait samples with an exact p99 over
+/// the window. Lock-guarded; both paths are short (one store, or one
+/// copy-and-sort of at most [`WAIT_WINDOW`] u64s).
+#[derive(Debug)]
+pub struct WaitWindow {
+    samples: Mutex<WaitRing>,
+}
+
+#[derive(Debug)]
+struct WaitRing {
+    buf: Vec<u64>,
+    next: usize,
+}
+
+impl Default for WaitWindow {
+    fn default() -> WaitWindow {
+        WaitWindow::new()
+    }
+}
+
+impl WaitWindow {
+    /// An empty window.
+    pub fn new() -> WaitWindow {
+        WaitWindow {
+            samples: Mutex::new(WaitRing {
+                buf: Vec::with_capacity(WAIT_WINDOW),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records one queue-wait sample, evicting the oldest once full.
+    pub fn record(&self, nanos: u64) {
+        let mut ring = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.buf.len() < WAIT_WINDOW {
+            ring.buf.push(nanos);
+        } else {
+            let at = ring.next;
+            ring.buf[at] = nanos;
+        }
+        ring.next = (ring.next + 1) % WAIT_WINDOW;
+    }
+
+    /// The 99th-percentile sample over the window (0 when empty).
+    pub fn p99(&self) -> u64 {
+        let ring = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.buf.is_empty() {
+            return 0;
+        }
+        let mut sorted = ring.buf.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) * 99 / 100]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_engages_at_high_and_releases_at_low() {
+        let gate = OverloadGate::new(ShedConfig {
+            high_pct: 80,
+            low_pct: 25,
+            p99_nanos: 0,
+        });
+        assert!(!gate.observe(79, 100, 0));
+        assert!(gate.observe(80, 100, 0), "high watermark engages");
+        // Hysteresis: stays engaged while above the low watermark.
+        assert!(gate.observe(50, 100, 0));
+        assert!(gate.observe(26, 100, 0));
+        assert!(!gate.observe(25, 100, 0), "low watermark releases");
+        assert!(!gate.observe(79, 100, 0), "and re-arming needs high again");
+    }
+
+    #[test]
+    fn gate_latency_watermark_engages_shedding() {
+        let gate = OverloadGate::new(ShedConfig {
+            high_pct: 90,
+            low_pct: 10,
+            p99_nanos: 1_000,
+        });
+        assert!(!gate.observe(1, 100, 999));
+        assert!(gate.observe(1, 100, 1_000), "p99 watermark engages");
+        // Exit is depth-driven: p99 recovering alone is not enough
+        // while depth sits above low.
+        assert!(gate.observe(11, 100, 0));
+        assert!(!gate.observe(10, 100, 0));
+    }
+
+    #[test]
+    fn zero_high_watermark_disables_shedding() {
+        let gate = OverloadGate::new(ShedConfig {
+            high_pct: 0,
+            low_pct: 0,
+            p99_nanos: 1,
+        });
+        assert!(!gate.observe(1_000, 10, u64::MAX));
+        assert!(!gate.is_degraded());
+    }
+
+    #[test]
+    fn zero_p99_watermark_disables_the_latency_trigger() {
+        let gate = OverloadGate::new(ShedConfig {
+            high_pct: 90,
+            low_pct: 10,
+            p99_nanos: 0,
+        });
+        assert!(!gate.observe(0, 100, u64::MAX));
+    }
+
+    #[test]
+    fn breaker_cycles_closed_open_halfopen_closed() {
+        let b = Breakers::new(BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(50),
+        });
+        let t0 = Instant::now();
+        assert!(b.allow("alice", t0));
+        assert!(!b.record_failure("alice", t0));
+        assert!(!b.record_failure("alice", t0));
+        assert!(b.allow("alice", t0), "still closed below threshold");
+        assert!(b.record_failure("alice", t0), "third failure opens");
+        assert_eq!(b.open_count(), 1);
+        assert!(!b.allow("alice", t0), "open rejects fast");
+        assert!(b.allow("bob", t0), "independent per client");
+        let later = t0 + Duration::from_millis(50);
+        assert!(b.allow("alice", later), "cooldown elapsed: probe admitted");
+        b.record_success("alice");
+        assert_eq!(b.open_count(), 0);
+        assert!(b.allow("alice", later), "closed again");
+    }
+
+    #[test]
+    fn halfopen_probe_failure_reopens() {
+        let b = Breakers::new(BreakerConfig {
+            threshold: 1,
+            cooldown: Duration::from_millis(10),
+        });
+        let t0 = Instant::now();
+        assert!(b.record_failure("c", t0), "threshold 1 opens immediately");
+        let probe_at = t0 + Duration::from_millis(10);
+        assert!(b.allow("c", probe_at));
+        assert!(b.record_failure("c", probe_at), "probe failure reopens");
+        assert!(!b.allow("c", probe_at + Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn zero_threshold_disables_breakers() {
+        let b = Breakers::new(BreakerConfig {
+            threshold: 0,
+            cooldown: Duration::from_millis(1),
+        });
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            assert!(!b.record_failure("c", t0));
+        }
+        assert!(b.allow("c", t0));
+        assert_eq!(b.open_count(), 0);
+    }
+
+    #[test]
+    fn wait_window_p99_tracks_the_tail_and_evicts() {
+        let w = WaitWindow::new();
+        assert_eq!(w.p99(), 0, "empty window");
+        for i in 1..=100u64 {
+            w.record(i);
+        }
+        assert_eq!(w.p99(), 99);
+        // Flood the ring with zeros: old tail samples age out.
+        for _ in 0..WAIT_WINDOW {
+            w.record(0);
+        }
+        assert_eq!(w.p99(), 0);
+    }
+}

@@ -10,9 +10,11 @@
 //! Request shapes (the `op` field selects the operation):
 //!
 //! ```json
-//! {"op":"run","id":"r1","client":"alice","priority":10,"job":{"Run":{...}}}
+//! {"op":"run","id":"r1","client":"alice","priority":10,"deadline_ms":500,"job":{"Run":{...}}}
 //! {"op":"ping"}
 //! {"op":"stats"}
+//! {"op":"health"}
+//! {"op":"ready"}
 //! {"op":"cache-gc"}
 //! {"op":"shutdown"}
 //! ```
@@ -42,6 +44,8 @@ pub enum ErrorCode {
     InvalidSpec,
     /// The job panicked while executing.
     Execution,
+    /// The request's deadline expired before a result was produced.
+    Deadline,
 }
 
 impl ErrorCode {
@@ -53,9 +57,21 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::InvalidSpec => "invalid-spec",
             ErrorCode::Execution => "execution",
+            ErrorCode::Deadline => "deadline-exceeded",
         }
     }
 }
+
+/// Rejection reason: the shard queue was full (backpressure).
+pub const REASON_QUEUE_FULL: &str = "queue-full";
+/// Rejection reason: the server is draining for shutdown.
+pub const REASON_SHUTTING_DOWN: &str = "shutting-down";
+/// Rejection reason: load shedding is engaged (overload hysteresis).
+pub const REASON_SHEDDING: &str = "shedding";
+/// Rejection reason: this client's circuit breaker is open.
+pub const REASON_BREAKER_OPEN: &str = "breaker-open";
+/// Rejection reason: queue wait already exceeded the request deadline.
+pub const REASON_DEADLINE: &str = "deadline-exceeded";
 
 /// A structured parse/validation failure: an [`ErrorCode`] plus a
 /// human-readable message. Rendered to clients as an `error` response.
@@ -120,6 +136,12 @@ pub enum Request {
         client: String,
         /// Scheduling weight, 1..=100 (higher = more service).
         priority: u32,
+        /// Wall-clock budget in milliseconds from admission to result;
+        /// 0 means no deadline. Requests whose queue wait alone exceeds
+        /// the budget are rejected (`deadline-exceeded`) without
+        /// executing, and overdue executions are cancelled
+        /// cooperatively.
+        deadline_ms: u64,
         /// The simulation unit to execute.
         job: ExecJob,
     },
@@ -127,6 +149,10 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Liveness/health probe: is the process up, draining, or degraded?
+    Health,
+    /// Readiness probe: will a `run` submitted now be admitted?
+    Ready,
     /// Run a stale-cache sweep now.
     CacheGc,
     /// Drain queued work and stop the server.
@@ -145,13 +171,15 @@ pub enum Response {
         /// Queue depth on that shard after admission.
         queue_depth: usize,
     },
-    /// The shard queue was full; the job was not admitted (backpressure).
+    /// The job was not admitted; `reason` is one of the `REASON_*`
+    /// constants (`queue-full`, `shutting-down`, `shedding`,
+    /// `breaker-open`, `deadline-exceeded`).
     Rejected {
         /// Echoed request id.
         id: String,
         /// Worker group the job's cache key routed to.
         shard: usize,
-        /// Why admission failed (currently always `queue-full`).
+        /// Why admission failed (a `REASON_*` constant).
         reason: String,
         /// Queue depth observed at rejection time.
         queue_depth: usize,
@@ -194,6 +222,22 @@ pub enum Response {
     },
     /// Reply to `ping`.
     Pong,
+    /// Reply to `health`: process liveness plus lifecycle flags.
+    Health {
+        /// Always true when the server answered at all.
+        healthy: bool,
+        /// True once shutdown has been requested (drain in progress).
+        draining: bool,
+        /// True while load shedding is engaged.
+        degraded: bool,
+    },
+    /// Reply to `ready`: whether a `run` submitted now would be admitted.
+    Ready {
+        /// False while draining or shedding.
+        ready: bool,
+        /// Jobs currently queued across all shards.
+        queued: u64,
+    },
     /// The server acknowledged `shutdown` and is draining.
     ShuttingDown,
 }
@@ -253,6 +297,15 @@ pub fn parse_line(bytes: &[u8], limits: &RequestLimits) -> Result<Request, Proto
                         )
                     })? as u32,
             };
+            let deadline_ms = match obj.get("deadline_ms") {
+                None => 0,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ProtoError::new(
+                        ErrorCode::BadRequest,
+                        "`deadline_ms` must be a non-negative integer",
+                    )
+                })?,
+            };
             let job_value = obj
                 .get("job")
                 .ok_or_else(|| ProtoError::new(ErrorCode::BadRequest, "missing field `job`"))?;
@@ -263,11 +316,14 @@ pub fn parse_line(bytes: &[u8], limits: &RequestLimits) -> Result<Request, Proto
                 id,
                 client,
                 priority,
+                deadline_ms,
                 job,
             })
         }
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
+        "health" => Ok(Request::Health),
+        "ready" => Ok(Request::Ready),
         "cache-gc" => Ok(Request::CacheGc),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtoError::new(
@@ -371,17 +427,21 @@ pub fn render_request(req: &Request) -> String {
             id,
             client,
             priority,
+            deadline_ms,
             job,
         } => serde_json::json!({
             "op": "run",
             "id": id,
             "client": client,
             "priority": priority,
+            "deadline_ms": deadline_ms,
             "job": serde::to_value(job),
         })
         .to_string(),
         Request::Stats => r#"{"op":"stats"}"#.to_string(),
         Request::Ping => r#"{"op":"ping"}"#.to_string(),
+        Request::Health => r#"{"op":"health"}"#.to_string(),
+        Request::Ready => r#"{"op":"ready"}"#.to_string(),
         Request::CacheGc => r#"{"op":"cache-gc"}"#.to_string(),
         Request::Shutdown => r#"{"op":"shutdown"}"#.to_string(),
     }
@@ -446,6 +506,19 @@ pub fn render_response(resp: &Response) -> String {
         })
         .to_string(),
         Response::Pong => r#"{"type":"pong"}"#.to_string(),
+        Response::Health {
+            healthy,
+            draining,
+            degraded,
+        } => serde_json::json!({
+            "type": "health", "healthy": healthy,
+            "draining": draining, "degraded": degraded,
+        })
+        .to_string(),
+        Response::Ready { ready, queued } => serde_json::json!({
+            "type": "ready", "ready": ready, "queued": queued,
+        })
+        .to_string(),
         Response::ShuttingDown => r#"{"type":"shutting-down"}"#.to_string(),
     }
 }
@@ -491,6 +564,15 @@ pub fn parse_response(line: &str) -> Option<Response> {
             removed: obj.get("removed")?.as_u64()?,
         }),
         "pong" => Some(Response::Pong),
+        "health" => Some(Response::Health {
+            healthy: obj.get("healthy")?.as_bool()?,
+            draining: obj.get("draining")?.as_bool()?,
+            degraded: obj.get("degraded")?.as_bool()?,
+        }),
+        "ready" => Some(Response::Ready {
+            ready: obj.get("ready")?.as_bool()?,
+            queued: obj.get("queued")?.as_u64()?,
+        }),
         "shutting-down" => Some(Response::ShuttingDown),
         _ => None,
     }
@@ -515,11 +597,28 @@ mod tests {
             id: "r1".to_string(),
             client: "alice".to_string(),
             priority: 10,
+            deadline_ms: 500,
             job: sample_job(),
         };
         let line = render_request(&req);
         let parsed = parse_line(line.as_bytes(), &RequestLimits::default()).unwrap();
         assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn deadline_defaults_to_zero_and_rejects_non_integers() {
+        let limits = RequestLimits::default();
+        let job = serde::to_value(&sample_job());
+        let line = serde_json::json!({"op":"run","id":"r1","job":job.clone()}).to_string();
+        match parse_line(line.as_bytes(), &limits).unwrap() {
+            Request::Run { deadline_ms, .. } => assert_eq!(deadline_ms, 0),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let bad = serde_json::json!({"op":"run","id":"r1","deadline_ms":-5,"job":job}).to_string();
+        assert_eq!(
+            parse_line(bad.as_bytes(), &limits).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
     }
 
     #[test]
@@ -537,6 +636,7 @@ mod tests {
             id: "t1".to_string(),
             client: "alice".to_string(),
             priority: 5,
+            deadline_ms: 0,
             job: ExecJob::Replay {
                 records,
                 predictor: PredictorKind::Gshare,
@@ -587,6 +687,14 @@ mod tests {
         assert_eq!(
             parse_line(br#"{"op":"shutdown"}"#, &limits).unwrap(),
             Request::Shutdown
+        );
+        assert_eq!(
+            parse_line(br#"{"op":"health"}"#, &limits).unwrap(),
+            Request::Health
+        );
+        assert_eq!(
+            parse_line(br#"{"op":"ready"}"#, &limits).unwrap(),
+            Request::Ready
         );
     }
 
@@ -662,6 +770,15 @@ mod tests {
             },
             Response::Gc { removed: 4 },
             Response::Pong,
+            Response::Health {
+                healthy: true,
+                draining: false,
+                degraded: true,
+            },
+            Response::Ready {
+                ready: false,
+                queued: 17,
+            },
             Response::ShuttingDown,
         ];
         for resp in cases {

@@ -23,7 +23,7 @@ use cestim_exec::CacheKey;
 use cestim_sim::ExecJob;
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Routes a cache key to one of `groups` worker groups by partitioning
 /// the 64-bit content-hash range into `groups` equal slices
@@ -52,6 +52,10 @@ pub struct Ticket {
     pub shard: usize,
     /// Admission timestamp, for queue-wait measurement.
     pub enqueued: Instant,
+    /// Wall-clock budget from admission to result (`None` = unbounded).
+    /// Checked at dequeue — an already-overdue ticket is rejected
+    /// without executing — and enforced cooperatively during execution.
+    pub deadline: Option<Duration>,
     /// Admission time on the span collector clock (0 when disabled).
     pub enqueued_span_nanos: u64,
     /// Reply channel back to the submitting connection.
@@ -202,6 +206,7 @@ mod tests {
             key,
             shard: 0,
             enqueued: Instant::now(),
+            deadline: None,
             enqueued_span_nanos: 0,
             reply,
         }

@@ -13,11 +13,14 @@
 //! (or `rejected` under backpressure), `started` with the measured
 //! queue wait, then a terminal `result` or `error`.
 
+use crate::overload::{BreakerConfig, Breakers, OverloadGate, ShedConfig, WaitWindow};
 use crate::protocol::{
     parse_line, render_response, ErrorCode, Request, RequestLimits, Response, MAX_LINE_BYTES,
+    REASON_BREAKER_OPEN, REASON_DEADLINE, REASON_QUEUE_FULL, REASON_SHEDDING, REASON_SHUTTING_DOWN,
 };
 use crate::sched::{shard_of, DrrQueue, Ticket};
-use cestim_exec::{DiskCache, Job, RunJournal};
+use cestim_exec::{DiskCache, FaultPlan, Job, RunJournal};
+use cestim_obs::cancel;
 use cestim_obs::span2::{SpanBuffer, SpanCollector, SpanId};
 use cestim_obs::{Counter, Gauge, Histogram, Registry};
 use cestim_sim::{sim_schema_salt, JobOutput};
@@ -29,7 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -48,6 +51,19 @@ pub struct ServeConfig {
     pub gc_every: u64,
     /// Request validation bounds.
     pub limits: RequestLimits,
+    /// Load-shedding watermarks (`high_pct == 0` disables shedding).
+    pub shed: ShedConfig,
+    /// Per-client circuit-breaker tuning (`threshold == 0` disables).
+    pub breaker: BreakerConfig,
+    /// Rotate the run journal once it exceeds this many bytes
+    /// (0 = never rotate).
+    pub journal_max_bytes: u64,
+    /// Poll interval (simulator cycles) for cooperative cancellation of
+    /// requests that outlive their deadline mid-execution (0 disables).
+    pub cancel_check_every: u64,
+    /// Chaos-injection plan applied to job execution (worker crashes /
+    /// slowdowns), for resilience testing. Defaults to none.
+    pub fault: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +76,11 @@ impl Default for ServeConfig {
             journal_dir: None,
             gc_every: 0,
             limits: RequestLimits::default(),
+            shed: ShedConfig::default(),
+            breaker: BreakerConfig::default(),
+            journal_max_bytes: 1 << 24,
+            cancel_check_every: cancel::DEFAULT_CHECK_EVERY,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -75,6 +96,14 @@ struct Metrics {
     failures: Counter,
     gc_sweeps: Counter,
     gc_removed: Counter,
+    shed: Counter,
+    deadline_rejected: Counter,
+    deadline_cancelled: Counter,
+    breaker_opened: Counter,
+    breaker_rejected: Counter,
+    recovered: Counter,
+    journal_rotations: Counter,
+    degraded: Gauge,
     queue_depth: Gauge,
     queue_wait: Histogram,
     request_nanos: Histogram,
@@ -92,6 +121,14 @@ impl Metrics {
             failures: reg.counter("serve.failures", &[]),
             gc_sweeps: reg.counter("serve.gc.sweeps", &[]),
             gc_removed: reg.counter("serve.gc.removed", &[]),
+            shed: reg.counter("serve.shed", &[]),
+            deadline_rejected: reg.counter("serve.deadline.rejected", &[]),
+            deadline_cancelled: reg.counter("serve.deadline.cancelled", &[]),
+            breaker_opened: reg.counter("serve.breaker.opened", &[]),
+            breaker_rejected: reg.counter("serve.breaker.rejected", &[]),
+            recovered: reg.counter("serve.recovered", &[]),
+            journal_rotations: reg.counter("serve.journal.rotations", &[]),
+            degraded: reg.gauge("serve.degraded", &[]),
             queue_depth: reg.gauge("serve.queue.depth", &[]),
             queue_wait: reg.histogram("serve.queue_wait.nanos", &[]),
             request_nanos: reg.histogram("serve.request.nanos", &[]),
@@ -114,6 +151,12 @@ struct Inner {
     shutdown: AtomicBool,
     seq: AtomicU64,
     gc_tick: AtomicU64,
+    /// Deterministic sequence for the server-side chaos fault plan,
+    /// advanced once per executed (uncached) job.
+    fault_seq: AtomicU64,
+    gate: OverloadGate,
+    breakers: Breakers,
+    waits: WaitWindow,
     m: Metrics,
 }
 
@@ -152,12 +195,28 @@ impl Inner {
                 let _ = reply.send(Response::ShuttingDown);
                 self.begin_shutdown();
             }
+            Request::Health => {
+                let _ = reply.send(Response::Health {
+                    healthy: true,
+                    draining: self.shutdown.load(Ordering::Acquire),
+                    degraded: self.gate.is_degraded(),
+                });
+            }
+            Request::Ready => {
+                let draining = self.shutdown.load(Ordering::Acquire);
+                let degraded = self.gate.is_degraded();
+                let _ = reply.send(Response::Ready {
+                    ready: !draining && !degraded,
+                    queued: self.m.queue_depth.get().max(0) as u64,
+                });
+            }
             Request::Run {
                 id,
                 client,
                 priority,
+                deadline_ms,
                 job,
-            } => self.admit(id, client, priority, job, reply),
+            } => self.admit(id, client, priority, deadline_ms, job, reply),
         }
     }
 
@@ -166,6 +225,7 @@ impl Inner {
         id: String,
         client: String,
         priority: u32,
+        deadline_ms: u64,
         job: cestim_sim::ExecJob,
         reply: &Sender<Response>,
     ) {
@@ -188,8 +248,39 @@ impl Inner {
             let _ = reply.send(Response::Rejected {
                 id,
                 shard,
-                reason: "shutting-down".to_string(),
+                reason: REASON_SHUTTING_DOWN.to_string(),
                 queue_depth: 0,
+            });
+            return;
+        }
+        // Circuit breaker: a client with repeated execution failures is
+        // rejected fast instead of consuming queue slots.
+        if !self.breakers.allow(&client, Instant::now()) {
+            self.m.rejected.inc();
+            self.m.breaker_rejected.inc();
+            let _ = reply.send(Response::Rejected {
+                id,
+                shard,
+                reason: REASON_BREAKER_OPEN.to_string(),
+                queue_depth: 0,
+            });
+            return;
+        }
+        // Load shedding with hysteresis: once queued work crosses the
+        // high watermark (or the queue-wait p99 the latency watermark),
+        // new work is shed until depth drains to the low watermark.
+        let queued = self.m.queue_depth.get().max(0) as usize;
+        let capacity = self.shards.len() * self.cfg.queue_depth;
+        let degraded = self.gate.observe(queued, capacity, self.waits.p99());
+        self.m.degraded.set(i64::from(degraded));
+        if degraded {
+            self.m.rejected.inc();
+            self.m.shed.inc();
+            let _ = reply.send(Response::Rejected {
+                id,
+                shard,
+                reason: REASON_SHEDDING.to_string(),
+                queue_depth: queued,
             });
             return;
         }
@@ -201,7 +292,8 @@ impl Inner {
             job,
             key,
             shard,
-            enqueued: std::time::Instant::now(),
+            enqueued: Instant::now(),
+            deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
             enqueued_span_nanos: if self.spans.enabled() {
                 self.spans.now_nanos()
             } else {
@@ -232,7 +324,7 @@ impl Inner {
                 let _ = reply.send(Response::Rejected {
                     id,
                     shard,
-                    reason: "queue-full".to_string(),
+                    reason: REASON_QUEUE_FULL.to_string(),
                     queue_depth,
                 });
             }
@@ -273,6 +365,16 @@ impl Inner {
             "gc_sweeps": self.m.gc_sweeps.get(),
             "gc_removed": self.m.gc_removed.get(),
             "queue_depth": self.m.queue_depth.get(),
+            "shed": self.m.shed.get(),
+            "deadline_rejected": self.m.deadline_rejected.get(),
+            "deadline_cancelled": self.m.deadline_cancelled.get(),
+            "breaker_opened": self.m.breaker_opened.get(),
+            "breaker_rejected": self.m.breaker_rejected.get(),
+            "breakers_open": self.breakers.open_count() as u64,
+            "recovered": self.m.recovered.get(),
+            "journal_prior_jobs": self.journal.as_ref().map_or(0, |j| j.prior_job_count() as u64),
+            "journal_rotations": self.m.journal_rotations.get(),
+            "degraded": self.m.degraded.get(),
         })
     }
 
@@ -283,11 +385,30 @@ impl Inner {
         }
     }
 
-    /// Executes one popped ticket: queue-wait accounting, cache probe,
-    /// isolated execution, journaling, and the terminal response.
+    /// Executes one popped ticket: queue-wait accounting, the
+    /// deadline-at-dequeue check, cache probe, isolated (and
+    /// cooperatively cancellable) execution, journaling, breaker
+    /// bookkeeping, and the terminal response.
     fn handle(&self, ticket: Ticket, shard: usize, sbuf: &mut SpanBuffer) {
         let wait_nanos = u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.m.queue_wait.record(wait_nanos);
+        self.waits.record(wait_nanos);
+        // Deadline-aware dispatch: a ticket whose queue wait alone
+        // already exceeds its budget is rejected without executing — the
+        // client has given up, so running it would only burn a worker.
+        if let Some(deadline) = ticket.deadline {
+            if wait_nanos >= u64::try_from(deadline.as_nanos()).unwrap_or(u64::MAX) {
+                self.m.rejected.inc();
+                self.m.deadline_rejected.inc();
+                let _ = ticket.reply.send(Response::Rejected {
+                    id: ticket.id,
+                    shard,
+                    reason: REASON_DEADLINE.to_string(),
+                    queue_depth: self.m.queue_depth.get().max(0) as usize,
+                });
+                return;
+            }
+        }
         let shard_tag = shard.to_string();
         if sbuf.enabled() {
             let now = sbuf.now_nanos();
@@ -315,11 +436,41 @@ impl Inner {
             .as_ref()
             .and_then(|cache| cache.load(&ticket.key));
         let cached = cached_output.is_some();
+        if cached {
+            // Crash recovery: a warm hit for a key the resumed journal
+            // already completed is work a previous incarnation did —
+            // count it as recovered rather than merely cached.
+            if self
+                .journal
+                .as_ref()
+                .is_some_and(|j| j.was_job_completed(&ticket.key.id()))
+            {
+                self.m.recovered.inc();
+            }
+        }
+        let mut cancelled = false;
         let outcome: Result<Value, String> = match cached_output {
             Some(output) => Ok(serde::to_value(&output)),
             None => {
-                let run =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.job.execute()));
+                // Arm the cooperative deadline for the remaining budget
+                // so an overdue simulation abandons itself and releases
+                // this worker (see cestim_obs::cancel).
+                let _guard = match (ticket.deadline, self.cfg.cancel_check_every) {
+                    (Some(d), every) if every > 0 => Some(cancel::arm(ticket.enqueued + d, every)),
+                    _ => None,
+                };
+                let fseq = self.fault_seq.fetch_add(1, Ordering::Relaxed);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Server-side chaos injection (worker crash / slow
+                    // worker), deterministic in execution sequence.
+                    if let Some(ms) = self.cfg.fault.slow_fires(fseq, 1) {
+                        thread::sleep(Duration::from_millis(ms));
+                    }
+                    if self.cfg.fault.panic_fires(fseq, 1) {
+                        panic!("{}", FaultPlan::panic_message(fseq));
+                    }
+                    ticket.job.execute()
+                }));
                 match run {
                     Ok(output) => {
                         if let Some(cache) = &self.cache {
@@ -327,21 +478,41 @@ impl Inner {
                         }
                         Ok(serde::to_value(&output))
                     }
-                    Err(payload) => Err(panic_message(payload.as_ref())),
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        cancelled = cancel::is_cancel_panic(&message);
+                        Err(message)
+                    }
                 }
             }
         };
         span.label("cached", if cached { "true" } else { "false" });
-        span.label("outcome", if outcome.is_ok() { "ok" } else { "panicked" });
+        span.label(
+            "outcome",
+            match (&outcome, cancelled) {
+                (Ok(_), _) => "ok",
+                (Err(_), true) => "cancelled",
+                (Err(_), false) => "panicked",
+            },
+        );
         sbuf.close(span);
 
         if let Some(journal) = &self.journal {
-            let state = match (&outcome, cached) {
-                (Ok(_), true) => "cached",
-                (Ok(_), false) => "ok",
-                (Err(_), _) => "panicked",
+            let state = match (&outcome, cached, cancelled) {
+                (Ok(_), true, _) => "cached",
+                (Ok(_), false, _) => "ok",
+                (Err(_), _, true) => "timed-out",
+                (Err(_), _, false) => "panicked",
             };
             journal.record_job(&ticket.key.id(), &ticket.job.label(), 1, state);
+            // Bound journal growth under long-lived serving: rotate the
+            // active file aside once it crosses the size threshold.
+            if self.cfg.journal_max_bytes > 0
+                && journal.size_bytes() > self.cfg.journal_max_bytes
+                && journal.rotate().is_ok()
+            {
+                self.m.journal_rotations.inc();
+            }
         }
 
         let elapsed_nanos = u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -353,6 +524,7 @@ impl Inner {
                 } else {
                     self.m.executed.inc();
                 }
+                self.breakers.record_success(&ticket.client);
                 let _ = ticket.reply.send(Response::Result {
                     id: ticket.id,
                     cached,
@@ -360,8 +532,22 @@ impl Inner {
                     payload,
                 });
             }
+            Err(message) if cancelled => {
+                // A deadline overrun is the client's budget expiring,
+                // not a faulty job: it does not trip the breaker.
+                self.m.failures.inc();
+                self.m.deadline_cancelled.inc();
+                let _ = ticket.reply.send(Response::Error {
+                    id: Some(ticket.id),
+                    code: ErrorCode::Deadline.as_str().to_string(),
+                    message,
+                });
+            }
             Err(message) => {
                 self.m.failures.inc();
+                if self.breakers.record_failure(&ticket.client, Instant::now()) {
+                    self.m.breaker_opened.inc();
+                }
                 let _ = ticket.reply.send(Response::Error {
                     id: Some(ticket.id),
                     code: ErrorCode::Execution.as_str().to_string(),
@@ -465,6 +651,8 @@ impl Server {
             })
             .collect();
         let m = Metrics::new(&registry);
+        let gate = OverloadGate::new(cfg.shed.clone());
+        let breakers = Breakers::new(cfg.breaker.clone());
         let inner = Arc::new(Inner {
             cfg,
             cache,
@@ -475,6 +663,10 @@ impl Server {
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             gc_tick: AtomicU64::new(0),
+            fault_seq: AtomicU64::new(0),
+            gate,
+            breakers,
+            waits: WaitWindow::new(),
             m,
         });
         let workers = (0..groups)

@@ -24,6 +24,7 @@ fn gen_line(rng: &mut XorShift64Star) -> Vec<u8> {
         id: format!("f{}", rng.below(1000)),
         client: "fuzz".to_string(),
         priority: 1 + rng.below(100) as u32,
+        deadline_ms: rng.below(10_000),
         job: ExecJob::Run {
             cfg: RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare),
             specs: vec![EstimatorSpec::jrs_paper()],

@@ -1,0 +1,171 @@
+//! Property tests for the DRR admission queue under seeded adversarial
+//! churn: clients joining and leaving, priority skew rewriting lane
+//! weights, bursty pushes interleaved with pops, and full drains. The
+//! invariants: every admitted ticket is served exactly once (lane GC
+//! never drops queued work), per-client FIFO order holds, the reported
+//! length is always consistent, and weighted fairness favors heavy
+//! lanes by roughly their weight ratio under saturation.
+//!
+//! Failures reproduce from the seed in the assertion message, the same
+//! convention as the protocol fuzz suite.
+
+use cestim_qa::XorShift64Star;
+use cestim_serve::{DrrQueue, Ticket};
+use cestim_sim::{ExecJob, PredictorKind, RunConfig};
+use cestim_workloads::WorkloadKind;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Instant;
+
+const SEED: u64 = 0xd44_5eed;
+const CASES: u64 = 24;
+const ROUNDS: u64 = 400;
+
+fn ticket(seq: u64, client: &str, priority: u32) -> Ticket {
+    let job = ExecJob::Distance {
+        cfg: RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare),
+        buckets: 64,
+    };
+    let key = cestim_exec::CacheKey {
+        schema: 0,
+        content: seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    };
+    // The receiver is dropped; this suite never sends on `reply`.
+    let (reply, _rx) = mpsc::channel();
+    Ticket {
+        seq,
+        id: format!("t{seq}"),
+        client: client.to_string(),
+        priority,
+        job,
+        key,
+        shard: 0,
+        enqueued: Instant::now(),
+        deadline: None,
+        enqueued_span_nanos: 0,
+        reply,
+    }
+}
+
+#[test]
+fn churn_never_loses_or_duplicates_work_and_keeps_fifo_per_client() {
+    let rng = XorShift64Star::new(SEED);
+    for case in 0..CASES {
+        let mut case_rng = rng.child(case);
+        let capacity = 4 + case_rng.below(60) as usize;
+        let quantum = 1 + case_rng.below(8);
+        let mut q = DrrQueue::new(capacity, quantum);
+        let mut seq = 0u64;
+        let mut admitted: Vec<(u64, String)> = Vec::new();
+        let mut popped: Vec<(u64, String)> = Vec::new();
+        // The client universe drifts: the active window slides forward,
+        // so early clients stop pushing (leave) and new names join.
+        for round in 0..ROUNDS {
+            let window_base = round / 50; // leave/join every ~50 rounds
+            if case_rng.below(100) < 60 {
+                let burst = 1 + case_rng.below(4);
+                for _ in 0..burst {
+                    let c = window_base + case_rng.below(4);
+                    let client = format!("c{c}");
+                    let priority = 1 + case_rng.below(9) as u32;
+                    seq += 1;
+                    match q.push(ticket(seq, &client, priority)) {
+                        Ok(()) => admitted.push((seq, client)),
+                        Err(bounced) => assert_eq!(
+                            bounced.seq, seq,
+                            "case {case} (seed {SEED:#x}): push must bounce the same ticket"
+                        ),
+                    }
+                }
+            } else {
+                for _ in 0..=case_rng.below(3) {
+                    if let Some(t) = q.pop() {
+                        popped.push((t.seq, t.client));
+                    }
+                }
+            }
+            assert_eq!(
+                q.len(),
+                admitted.len() - popped.len(),
+                "case {case} (seed {SEED:#x}): length must track admissions minus pops"
+            );
+            assert!(
+                q.len() <= capacity,
+                "case {case} (seed {SEED:#x}): length above capacity"
+            );
+        }
+        // Full drain: everything admitted must come out exactly once.
+        while let Some(t) = q.pop() {
+            popped.push((t.seq, t.client));
+        }
+        assert_eq!(
+            admitted.len(),
+            popped.len(),
+            "case {case} (seed {SEED:#x}): admitted and served counts differ"
+        );
+        let mut admitted_sorted: Vec<u64> = admitted.iter().map(|(s, _)| *s).collect();
+        let mut popped_sorted: Vec<u64> = popped.iter().map(|(s, _)| *s).collect();
+        admitted_sorted.sort_unstable();
+        popped_sorted.sort_unstable();
+        assert_eq!(
+            admitted_sorted, popped_sorted,
+            "case {case} (seed {SEED:#x}): served set must equal admitted set"
+        );
+        // Per-client FIFO: seqs are handed out in push order per lane.
+        let mut last_seen: HashMap<&str, u64> = HashMap::new();
+        for (s, client) in &popped {
+            let prev = last_seen.insert(client.as_str(), *s).unwrap_or(0);
+            assert!(
+                prev < *s,
+                "case {case} (seed {SEED:#x}): client {client} served out of order"
+            );
+        }
+    }
+}
+
+#[test]
+fn saturated_lanes_share_service_by_weight() {
+    let rng = XorShift64Star::new(SEED ^ 0xfa1e);
+    for case in 0..8u64 {
+        let mut case_rng = rng.child(case);
+        let quantum = 1 + case_rng.below(4);
+        let heavy_weight = 3 + case_rng.below(6); // 3..=8
+        let per_client = 40usize;
+        let mut q = DrrQueue::new(per_client * 2, quantum);
+        let mut seq = 0u64;
+        // Both lanes fully backlogged before any service.
+        for _ in 0..per_client {
+            seq += 1;
+            q.push(ticket(seq, "heavy", heavy_weight as u32)).unwrap();
+            seq += 1;
+            q.push(ticket(seq, "light", 1)).unwrap();
+        }
+        // Serve only the contended prefix; under DRR the heavy lane
+        // should get close to `heavy_weight` times the light lane's
+        // share (exact at rotor-credit boundaries, so allow slack 1
+        // quantum per lane).
+        let serve = per_client; // half the backlog
+        let mut heavy_served = 0i64;
+        let mut light_served = 0i64;
+        for _ in 0..serve {
+            match q.pop().expect("backlogged queue") {
+                t if t.client == "heavy" => heavy_served += 1,
+                _ => light_served += 1,
+            }
+        }
+        let expected_light = serve as i64 / (heavy_weight as i64 + 1);
+        let slack = quantum as i64 + 1;
+        assert!(
+            (light_served - expected_light).abs() <= slack,
+            "case {case} (seed {SEED:#x}): light lane served {light_served}, \
+             expected about {expected_light} (weight {heavy_weight}:1, quantum {quantum}, \
+             heavy {heavy_served})"
+        );
+        // The rest still drains completely — weighting never starves.
+        let mut remaining = 0usize;
+        while q.pop().is_some() {
+            remaining += 1;
+        }
+        assert_eq!(remaining, per_client, "case {case}: tail must drain fully");
+    }
+}

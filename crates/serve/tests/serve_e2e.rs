@@ -4,7 +4,7 @@
 
 use cestim_exec::{canonical_string, CacheKey, DiskCache, Job};
 use cestim_serve::load::{ServeConn, TcpConn};
-use cestim_serve::{Request, RequestLimits, Response, ServeConfig, Server};
+use cestim_serve::{Request, RequestLimits, Response, ServeConfig, Server, ShedConfig};
 use cestim_sim::{EstimatorSpec, ExecJob, PredictorKind, RunConfig};
 use cestim_workloads::WorkloadKind;
 use std::time::Duration;
@@ -29,6 +29,7 @@ fn run_request(id: &str, client: &str, priority: u32, job: ExecJob) -> Request {
         id: id.to_string(),
         client: client.to_string(),
         priority,
+        deadline_ms: 0,
         job,
     }
 }
@@ -107,9 +108,15 @@ fn cold_then_warm_run_matches_direct_execution() {
 fn backpressure_rejects_when_shard_queue_is_full() {
     // One worker, one queue slot: while the worker chews a slow job,
     // the second submission occupies the slot and later ones bounce.
+    // Shedding is disabled so the hard queue-full path is what rejects
+    // (at capacity 1 the shed watermark would otherwise fire first).
     let server = Server::start(ServeConfig {
         groups: 1,
         queue_depth: 1,
+        shed: ShedConfig {
+            high_pct: 0,
+            ..ShedConfig::default()
+        },
         ..ServeConfig::default()
     })
     .unwrap();
