@@ -115,6 +115,7 @@ struct Args {
     refresh: bool,
     cache_dir: Option<PathBuf>,
     workload: WorkloadKind,
+    predictor: PredictorKind,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     obs_summary: bool,
@@ -155,7 +156,8 @@ impl Args {
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale N] [--out DIR] [--jobs N] [--no-cache | --refresh]\n\
-         \x20            [--cache-dir DIR] [--workload NAME] [--trace-out FILE]\n\
+         \x20            [--cache-dir DIR] [--workload NAME] [--predictor NAME]\n\
+         \x20            [--trace-out FILE]\n\
          \x20            [--metrics-out FILE] [--obs-summary] [--qa-replay DIR]\n\
          \x20            [--retries N] [--deadline-ms N] [--fault SPEC] [--resume]\n\
          \x20            [--trace-perfetto FILE] [--prom-out FILE] [--monitor]\n\
@@ -163,11 +165,17 @@ fn usage() -> ! {
          \x20            [--cache-gc] <experiment>... | all | --list\n\
          fault spec:  panic:N | slow:N:MS | io:N (comma-separated)\n\
          experiments: {}\n\
-         workloads:   {}",
+         workloads:   {}\n\
+         predictors:  {}",
         suite::all_ids().join(" "),
         WorkloadKind::all()
             .iter()
             .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(" "),
+        PredictorKind::all()
+            .iter()
+            .map(|p| p.name())
             .collect::<Vec<_>>()
             .join(" ")
     );
@@ -184,6 +192,7 @@ fn parse_args() -> Args {
         refresh: false,
         cache_dir: None,
         workload: WorkloadKind::Compress,
+        predictor: PredictorKind::Gshare,
         trace_out: None,
         metrics_out: None,
         obs_summary: false,
@@ -227,6 +236,13 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| WorkloadKind::from_name(&v))
                     .unwrap_or_else(|| usage());
+            }
+            "--predictor" => {
+                let name = argv.next().unwrap_or_else(|| usage());
+                args.predictor = PredictorKind::from_name_strict(&name).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
             }
             "--trace-out" => {
                 args.trace_out = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
@@ -384,11 +400,12 @@ fn static_id(id: &str) -> Option<&'static str> {
     suite::all_ids().iter().copied().find(|s| *s == id)
 }
 
-/// One instrumented pass: gshare + the paper estimator set on the chosen
-/// workload, with tracing (if requested), phase profiling, and metrics.
+/// One instrumented pass: the selected predictor + its paper estimator
+/// set on the chosen workload, with tracing (if requested), phase
+/// profiling, and metrics.
 fn run_instrumented_pass(args: &Args) -> std::io::Result<serde_json::Value> {
-    let cfg = RunConfig::paper(args.workload, args.scale, PredictorKind::Gshare);
-    let specs = EstimatorSpec::paper_set(PredictorKind::Gshare);
+    let cfg = RunConfig::paper(args.workload, args.scale, args.predictor);
+    let specs = EstimatorSpec::paper_set(args.predictor);
     let tracer = if args.trace_out.is_some() {
         Tracer::unbounded()
     } else {
@@ -406,8 +423,9 @@ fn run_instrumented_pass(args: &Args) -> std::io::Result<serde_json::Value> {
     }
     if args.obs_summary {
         println!(
-            "instrumented run: workload={} predictor=gshare scale={} ({:.2}s)",
+            "instrumented run: workload={} predictor={} scale={} ({:.2}s)",
             args.workload.name(),
+            args.predictor.name(),
             args.scale,
             inst.wall_seconds
         );
@@ -427,7 +445,7 @@ fn run_instrumented_pass(args: &Args) -> std::io::Result<serde_json::Value> {
 
     Ok(serde_json::json!({
         "workload": args.workload.name(),
-        "predictor": PredictorKind::Gshare.name(),
+        "predictor": args.predictor.name(),
         "scale": args.scale,
         "wall_seconds": inst.wall_seconds,
         "trace_events": inst.tracer.len(),
@@ -512,7 +530,7 @@ fn run_trace_in(args: &Args, exec: &Executor, path: &Path) -> std::io::Result<St
         "[trace-in: {count} records, hash {hash} from {}]",
         path.display()
     );
-    let predictor = PredictorKind::Gshare;
+    let predictor = args.predictor;
     let job = ExecJob::Replay {
         records,
         predictor,
@@ -532,7 +550,7 @@ fn run_trace_in(args: &Args, exec: &Executor, path: &Path) -> std::io::Result<St
 /// *would* export. Byte-identical artifacts to a `--trace-in` run over
 /// that exported trace is the end-to-end conformance contract.
 fn run_trace_live(args: &Args) -> std::io::Result<String> {
-    let cfg = RunConfig::paper(args.workload, args.scale, PredictorKind::Gshare);
+    let cfg = RunConfig::paper(args.workload, args.scale, args.predictor);
     let records = cestim_sim::export_config_trace(&cfg)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let hash = cestim_trace_io::content_hash_hex(&records);
@@ -658,6 +676,9 @@ fn main() -> ExitCode {
     let mut failed_ids = Vec::new();
     let mut failures: Vec<suite::ExperimentFailure> = Vec::new();
     let mut experiment_spans = Vec::new();
+    // The modern-families table is mirrored into telemetry so automation
+    // can assert on its rows without parsing the per-experiment artifact.
+    let mut modern = serde_json::Value::Null;
     let mut profiler = PhaseProfiler::new(true);
     for id in &args.ids {
         if args.resume {
@@ -676,6 +697,9 @@ fn main() -> ExitCode {
         match suite::run_experiment_checked(&exec, id, args.scale) {
             Some(Ok(r)) => {
                 println!("{}\n{}", r.title, r.text);
+                if r.id == "ext-modern" {
+                    modern = r.json.clone();
+                }
                 let timing = span.end();
                 let seconds = timing.nanos as f64 / 1e9;
                 println!("[{id} done in {seconds:.1}s]\n");
@@ -803,6 +827,7 @@ fn main() -> ExitCode {
         "executor": report,
         "executor_metrics": exec.registry().snapshot(),
         "instrumented": instrumented,
+        "modern": modern,
         "trace_artifacts": trace_ids,
         "qa": qa,
         "fault_plan": args.fault.to_string(),

@@ -18,7 +18,7 @@
 //!   keeps virtual dispatch (the compatibility shim).
 
 use crate::traits::{BranchPredictor, Prediction};
-use crate::{Bimodal, Gshare, McFarling, SAg};
+use crate::{Bimodal, Gshare, McFarling, Perceptron, SAg, Tage};
 
 /// A statically dispatched branch predictor: one variant per concrete
 /// predictor in the study, plus a boxed escape hatch for everything else.
@@ -31,6 +31,10 @@ pub enum AnyPredictor {
     McFarling(McFarling),
     /// SAg two-level predictor with per-branch local histories.
     SAg(SAg),
+    /// TAGE tagged-geometric predictor.
+    Tage(Tage),
+    /// Hashed-perceptron predictor.
+    Perceptron(Perceptron),
     /// Any other implementation, virtually dispatched.
     Dyn(Box<dyn BranchPredictor>),
 }
@@ -57,6 +61,8 @@ impl BranchPredictor for AnyPredictor {
             AnyPredictor::Gshare(p) => p.predict(pc, ghr),
             AnyPredictor::McFarling(p) => p.predict(pc, ghr),
             AnyPredictor::SAg(p) => p.predict(pc, ghr),
+            AnyPredictor::Tage(p) => p.predict(pc, ghr),
+            AnyPredictor::Perceptron(p) => p.predict(pc, ghr),
             AnyPredictor::Dyn(p) => p.predict(pc, ghr),
         }
     }
@@ -68,6 +74,8 @@ impl BranchPredictor for AnyPredictor {
             AnyPredictor::Gshare(p) => p.update(pc, taken, pred),
             AnyPredictor::McFarling(p) => p.update(pc, taken, pred),
             AnyPredictor::SAg(p) => p.update(pc, taken, pred),
+            AnyPredictor::Tage(p) => p.update(pc, taken, pred),
+            AnyPredictor::Perceptron(p) => p.update(pc, taken, pred),
             AnyPredictor::Dyn(p) => p.update(pc, taken, pred),
         }
     }
@@ -78,6 +86,8 @@ impl BranchPredictor for AnyPredictor {
             AnyPredictor::Gshare(p) => p.name(),
             AnyPredictor::McFarling(p) => p.name(),
             AnyPredictor::SAg(p) => p.name(),
+            AnyPredictor::Tage(p) => p.name(),
+            AnyPredictor::Perceptron(p) => p.name(),
             AnyPredictor::Dyn(p) => p.name(),
         }
     }
@@ -88,6 +98,8 @@ impl BranchPredictor for AnyPredictor {
             AnyPredictor::Gshare(p) => p.global_history_width(),
             AnyPredictor::McFarling(p) => p.global_history_width(),
             AnyPredictor::SAg(p) => p.global_history_width(),
+            AnyPredictor::Tage(p) => p.global_history_width(),
+            AnyPredictor::Perceptron(p) => p.global_history_width(),
             AnyPredictor::Dyn(p) => p.global_history_width(),
         }
     }
@@ -112,7 +124,7 @@ macro_rules! impl_from_predictor {
     };
 }
 
-impl_from_predictor!(Bimodal, Gshare, McFarling, SAg);
+impl_from_predictor!(Bimodal, Gshare, McFarling, SAg, Tage, Perceptron);
 
 impl From<Box<dyn BranchPredictor>> for AnyPredictor {
     fn from(p: Box<dyn BranchPredictor>) -> AnyPredictor {
@@ -146,6 +158,14 @@ mod tests {
         agree(Bimodal::new(8).into(), Box::new(Bimodal::new(8)));
         agree(McFarling::new(10).into(), Box::new(McFarling::new(10)));
         agree(SAg::paper_config().into(), Box::new(SAg::paper_config()));
+        agree(
+            Tage::default_config().into(),
+            Box::new(Tage::default_config()),
+        );
+        agree(
+            Perceptron::default_config().into(),
+            Box::new(Perceptron::default_config()),
+        );
     }
 
     #[test]

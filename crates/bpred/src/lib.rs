@@ -54,7 +54,9 @@ mod dispatch;
 mod gshare;
 mod history;
 mod mcfarling;
+mod perceptron;
 mod sag;
+mod tage;
 mod traits;
 
 pub use bimodal::Bimodal;
@@ -63,5 +65,7 @@ pub use dispatch::AnyPredictor;
 pub use gshare::Gshare;
 pub use history::HistoryRegister;
 pub use mcfarling::McFarling;
+pub use perceptron::{Perceptron, PERCEPTRON_TABLES};
 pub use sag::SAg;
+pub use tage::{Tage, TAGE_HISTORY_LENGTHS, TAGE_TABLES};
 pub use traits::{BranchPredictor, CounterStrength, Prediction, PredictorInfo};

@@ -1,0 +1,254 @@
+//! Hashed-perceptron branch predictor (Jiménez & Lin; Tarjan & Skadron).
+//!
+//! [`PERCEPTRON_TABLES`] signed-weight tables — a PC-indexed bias table plus
+//! one table per 8-bit segment of the global history, each indexed by a hash
+//! of the PC and that folded segment. The prediction is the sign of the sum
+//! of the selected weights; training bumps every selected weight toward the
+//! outcome, but only on a mispredict or when the sum's magnitude is at or
+//! below the training threshold θ (classic threshold training: weights stop
+//! moving once the margin is comfortable, which bounds them in practice and
+//! lets the clamp rarely bite).
+//!
+//! For the confidence estimators, the prediction snapshot synthesizes a
+//! 2-bit counter from (sign, `|sum| >= θ`), so counter-strength-based
+//! estimators treat the perceptron like any saturating-counter predictor
+//! while the raw dot product stays available in [`PredictorInfo::Perceptron`].
+
+use crate::traits::{BranchPredictor, Prediction, PredictorInfo};
+
+/// Number of weight tables in [`Perceptron`]: one bias table plus one table
+/// per 8-bit global-history segment.
+pub const PERCEPTRON_TABLES: usize = 5;
+
+/// Width in bits of each hashed global-history segment.
+const SEGMENT_BITS: u32 = 8;
+
+/// Weight clamp bounds (7-bit signed weights, as in hardware proposals).
+const MAX_WEIGHT: i32 = 63;
+const MIN_WEIGHT: i32 = -64;
+
+/// Hashed-perceptron predictor with signed weight tables over folded global
+/// history and threshold training.
+#[derive(Debug, Clone)]
+pub struct Perceptron {
+    tables: Vec<Vec<i8>>,
+    index_bits: u32,
+    threshold: i32,
+}
+
+impl Perceptron {
+    /// Creates a perceptron with `2^index_bits` weights per table and
+    /// training threshold `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is outside `2..=16` or `threshold` is not
+    /// positive.
+    pub fn new(index_bits: u32, threshold: i32) -> Perceptron {
+        assert!(
+            (2..=16).contains(&index_bits),
+            "perceptron index_bits {index_bits} out of range"
+        );
+        assert!(threshold > 0, "perceptron threshold must be positive");
+        Perceptron {
+            tables: vec![vec![0i8; 1 << index_bits]; PERCEPTRON_TABLES],
+            index_bits,
+            threshold,
+        }
+    }
+
+    /// The configuration used by the extension tables: 4K weights per table,
+    /// θ = 20.
+    pub fn default_config() -> Perceptron {
+        Perceptron::new(12, 20)
+    }
+
+    fn mask(&self) -> u32 {
+        (1u32 << self.index_bits) - 1
+    }
+
+    fn index(&self, pc: u32, ghr: u32, table: usize) -> u16 {
+        let base = pc ^ (pc >> self.index_bits);
+        if table == 0 {
+            return (base & self.mask()) as u16;
+        }
+        let seg = (ghr >> (SEGMENT_BITS * (table as u32 - 1))) & 0xFF;
+        // Mix the segment with the table id so equal segments in different
+        // history positions select decorrelated rows.
+        let h = seg
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add((table as u32).wrapping_mul(0x85EB_CA6B));
+        ((base ^ h ^ (h >> self.index_bits)) & self.mask()) as u16
+    }
+}
+
+impl BranchPredictor for Perceptron {
+    fn predict(&mut self, pc: u32, ghr: u32) -> Prediction {
+        let mut indices = [0u16; PERCEPTRON_TABLES];
+        let mut sum = 0i32;
+        for (t, slot) in indices.iter_mut().enumerate() {
+            let idx = self.index(pc, ghr, t);
+            *slot = idx;
+            sum += self.tables[t][idx as usize] as i32;
+        }
+        let taken = sum >= 0;
+        let strong = sum.abs() >= self.threshold;
+        let counter = match (taken, strong) {
+            (true, true) => 3,
+            (true, false) => 2,
+            (false, false) => 1,
+            (false, true) => 0,
+        };
+        Prediction {
+            taken,
+            info: PredictorInfo::Perceptron {
+                counter,
+                sum,
+                indices,
+                history: ghr,
+            },
+        }
+    }
+
+    fn update(&mut self, pc: u32, taken: bool, pred: &Prediction) {
+        let _ = pc;
+        let (sum, indices) = match pred.info {
+            PredictorInfo::Perceptron { sum, indices, .. } => (sum, indices),
+            other => panic!("perceptron update with foreign info {other:?}"),
+        };
+        let mispredicted = pred.taken != taken;
+        if mispredicted || sum.abs() <= self.threshold {
+            let step = if taken { 1 } else { -1 };
+            for (t, &idx) in indices.iter().enumerate() {
+                let w = &mut self.tables[t][idx as usize];
+                *w = (*w as i32 + step).clamp(MIN_WEIGHT, MAX_WEIGHT) as i8;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "perceptron"
+    }
+
+    fn global_history_width(&self) -> u32 {
+        32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn learns_an_always_taken_branch() {
+        let mut p = Perceptron::new(10, 20);
+        let pc = 0x40;
+        let mut ghr = 0u32;
+        for _ in 0..8 {
+            let pred = p.predict(pc, ghr);
+            p.update(pc, true, &pred);
+            ghr = (ghr << 1) | 1;
+        }
+        assert!(p.predict(pc, ghr).taken);
+    }
+
+    #[test]
+    fn update_rejects_foreign_info() {
+        let mut p = Perceptron::new(10, 20);
+        let foreign = Prediction {
+            taken: true,
+            info: PredictorInfo::Bimodal {
+                counter: 3,
+                index: 0,
+            },
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.update(0x10, true, &foreign)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn synthesized_counter_tracks_sign_and_margin() {
+        let mut p = Perceptron::new(10, 4);
+        let pc = 0x30;
+        // Cold predictor: sum 0 → weakly taken.
+        let pred = p.predict(pc, 0);
+        match pred.info {
+            PredictorInfo::Perceptron { counter, sum, .. } => {
+                assert_eq!(sum, 0);
+                assert_eq!(counter, 2);
+            }
+            other => panic!("wrong info {other:?}"),
+        }
+        // Train not-taken past the threshold: strong not-taken.
+        for _ in 0..12 {
+            let pred = p.predict(pc, 0);
+            p.update(pc, false, &pred);
+        }
+        let pred = p.predict(pc, 0);
+        match pred.info {
+            PredictorInfo::Perceptron { counter, sum, .. } => {
+                assert!(sum <= -4);
+                assert_eq!(counter, 0);
+                assert!(!pred.taken);
+            }
+            other => panic!("wrong info {other:?}"),
+        }
+    }
+
+    proptest! {
+        /// Weights never escape the clamp bounds, no matter the stream.
+        #[test]
+        fn weights_stay_clamped(
+            pcs in proptest::collection::vec(any::<u32>(), 1..256),
+            outcomes in proptest::collection::vec(any::<bool>(), 1..256),
+        ) {
+            let mut p = Perceptron::new(4, 6);
+            let mut ghr = 0u32;
+            for (i, pc) in pcs.iter().enumerate() {
+                let taken = outcomes[i % outcomes.len()];
+                let pred = p.predict(*pc, ghr);
+                p.update(*pc, taken, &pred);
+                ghr = (ghr << 1) | taken as u32;
+            }
+            for table in &p.tables {
+                for &w in table {
+                    prop_assert!((MIN_WEIGHT..=MAX_WEIGHT).contains(&(w as i32)));
+                }
+            }
+        }
+
+        /// On a fixed-bias stream (one branch, constant outcome, constant
+        /// history) threshold training converges: the sum crosses θ, the
+        /// prediction is correct and strong, and — the defining property of
+        /// threshold training — the weights stop moving entirely.
+        #[test]
+        fn threshold_training_converges_on_fixed_bias(
+            taken in any::<bool>(),
+            pc in 0u32..1024,
+            ghr in any::<u32>(),
+        ) {
+            let mut p = Perceptron::new(8, 16);
+            for _ in 0..64 {
+                let pred = p.predict(pc, ghr);
+                p.update(pc, taken, &pred);
+            }
+            let pred = p.predict(pc, ghr);
+            prop_assert_eq!(pred.taken, taken, "did not converge to the bias");
+            let sum = match pred.info {
+                PredictorInfo::Perceptron { sum, .. } => sum,
+                _ => unreachable!(),
+            };
+            prop_assert!(sum.abs() > 16, "margin {} never cleared θ", sum);
+            // Converged: further training is a no-op.
+            let snapshot = p.tables.clone();
+            for _ in 0..8 {
+                let pred = p.predict(pc, ghr);
+                p.update(pc, taken, &pred);
+            }
+            prop_assert_eq!(&snapshot, &p.tables, "weights moved after convergence");
+        }
+    }
+}

@@ -86,6 +86,39 @@ pub enum PredictorInfo {
         /// Branch history table index (hashed from the PC).
         bht_index: u32,
     },
+    /// Snapshot of a [`Tage`](crate::Tage) tagged-geometric prediction.
+    Tage {
+        /// 2-bit counter value of the providing component.
+        counter: u8,
+        /// Providing component: `0..TAGE_TABLES` for a tagged table (longest
+        /// match first), [`TAGE_TABLES`](crate::TAGE_TABLES) for the base
+        /// bimodal table.
+        provider: u8,
+        /// Direction of the alternate (next-longest-match) prediction.
+        alt_taken: bool,
+        /// Per-tagged-table entry indexes computed at predict time.
+        indices: [u16; 4],
+        /// Per-tagged-table tags computed at predict time.
+        tags: [u16; 4],
+        /// Base bimodal table index.
+        base_index: u16,
+        /// Global history value used for index/tag hashing.
+        history: u32,
+    },
+    /// Snapshot of a [`Perceptron`](crate::Perceptron) prediction.
+    Perceptron {
+        /// Synthesized 2-bit counter: direction from the sign of the dot
+        /// product, strength from `|sum| >= threshold` — lets counter-based
+        /// estimators treat perceptron output like a saturating counter.
+        counter: u8,
+        /// Raw dot product over the selected weights.
+        sum: i32,
+        /// Weight-table indexes (bias table first, then one per folded
+        /// history segment) computed at predict time.
+        indices: [u16; 5],
+        /// Global history value hashed into the indexes.
+        history: u32,
+    },
 }
 
 impl PredictorInfo {
@@ -97,6 +130,8 @@ impl PredictorInfo {
             PredictorInfo::Gshare { history, .. } => history,
             PredictorInfo::McFarling { history, .. } => history,
             PredictorInfo::Sag { local_history, .. } => local_history,
+            PredictorInfo::Tage { history, .. } => history,
+            PredictorInfo::Perceptron { history, .. } => history,
         }
     }
 
@@ -104,18 +139,24 @@ impl PredictorInfo {
     pub fn history_width(&self) -> u32 {
         match *self {
             PredictorInfo::Bimodal { .. } => 0,
-            PredictorInfo::Gshare { .. } | PredictorInfo::McFarling { .. } => 32,
+            PredictorInfo::Gshare { .. }
+            | PredictorInfo::McFarling { .. }
+            | PredictorInfo::Tage { .. }
+            | PredictorInfo::Perceptron { .. } => 32,
             PredictorInfo::Sag { history_width, .. } => history_width,
         }
     }
 
     /// Strength of the counter that directly produced the prediction (the
-    /// selected component for McFarling).
+    /// selected component for McFarling, the providing component for TAGE,
+    /// the synthesized counter for the perceptron).
     pub fn direction_counter_strength(&self) -> CounterStrength {
         match *self {
             PredictorInfo::Bimodal { counter, .. }
             | PredictorInfo::Gshare { counter, .. }
-            | PredictorInfo::Sag { counter, .. } => CounterStrength::of_two_bit(counter),
+            | PredictorInfo::Sag { counter, .. }
+            | PredictorInfo::Tage { counter, .. }
+            | PredictorInfo::Perceptron { counter, .. } => CounterStrength::of_two_bit(counter),
             PredictorInfo::McFarling {
                 gshare,
                 bimodal,

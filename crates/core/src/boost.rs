@@ -83,6 +83,10 @@ impl<E: ConfidenceEstimator> ConfidenceEstimator for Boosted<E> {
         self.inner.on_branch_resolved(mispredicted);
     }
 
+    fn note_resolve_latency(&mut self, latency: u64) {
+        self.inner.note_resolve_latency(latency);
+    }
+
     fn name(&self) -> String {
         format!("boost{}({})", self.k, self.inner.name())
     }

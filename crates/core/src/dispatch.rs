@@ -20,8 +20,10 @@
 
 use crate::boost::Boosted;
 use crate::estimator::{AlwaysHigh, AlwaysLow, Confidence, ConfidenceEstimator};
+use crate::voting::Voting;
 use crate::{
     Cir, DistanceEstimator, Jrs, JrsCombining, PatternHistory, SaturatingConfidence, StaticProfile,
+    TimingEstimator,
 };
 use cestim_bpred::Prediction;
 
@@ -44,6 +46,10 @@ pub enum AnyEstimator {
     JrsCombining(JrsCombining),
     /// Boosting wrapper (k consecutive LC) around another estimator.
     Boosted(Box<Boosted<AnyEstimator>>),
+    /// Voting composite over component estimators.
+    Voting(Box<Voting<AnyEstimator>>),
+    /// Timing estimator keyed on modeled resolution latency.
+    Timing(TimingEstimator),
     /// Everything high confidence (baseline).
     AlwaysHigh(AlwaysHigh),
     /// Everything low confidence (baseline).
@@ -77,6 +83,8 @@ macro_rules! dispatch {
             AnyEstimator::Cir($e) => $body,
             AnyEstimator::JrsCombining($e) => $body,
             AnyEstimator::Boosted($e) => $body,
+            AnyEstimator::Voting($e) => $body,
+            AnyEstimator::Timing($e) => $body,
             AnyEstimator::AlwaysHigh($e) => $body,
             AnyEstimator::AlwaysLow($e) => $body,
             AnyEstimator::Dyn($e) => $body,
@@ -98,6 +106,11 @@ impl ConfidenceEstimator for AnyEstimator {
     #[inline]
     fn on_branch_resolved(&mut self, mispredicted: bool) {
         dispatch!(self, e => e.on_branch_resolved(mispredicted))
+    }
+
+    #[inline]
+    fn note_resolve_latency(&mut self, latency: u64) {
+        dispatch!(self, e => e.note_resolve_latency(latency))
     }
 
     fn name(&self) -> String {
@@ -132,6 +145,7 @@ impl_from_estimator!(
     Distance(DistanceEstimator),
     Cir(Cir),
     JrsCombining(JrsCombining),
+    Timing(TimingEstimator),
     AlwaysHigh(AlwaysHigh),
     AlwaysLow(AlwaysLow)
 );
@@ -139,6 +153,12 @@ impl_from_estimator!(
 impl From<Boosted<AnyEstimator>> for AnyEstimator {
     fn from(e: Boosted<AnyEstimator>) -> AnyEstimator {
         AnyEstimator::Boosted(Box::new(e))
+    }
+}
+
+impl From<Voting<AnyEstimator>> for AnyEstimator {
+    fn from(e: Voting<AnyEstimator>) -> AnyEstimator {
+        AnyEstimator::Voting(Box::new(e))
     }
 }
 
@@ -169,6 +189,8 @@ mod tests {
         for i in 0..2_000u32 {
             let pc = (i * 13) % 97;
             let p = pred(i % 3 == 0, (i % 4) as u8);
+            a.note_resolve_latency((i % 9) as u64);
+            b.note_resolve_latency((i % 9) as u64);
             assert_eq!(
                 a.estimate(pc, i, &p),
                 b.estimate(pc, i, &p),
@@ -217,6 +239,43 @@ mod tests {
             Boosted::new(AnyEstimator::from(DistanceEstimator::new(2)), 2).into(),
             Box::new(Boosted::new(DistanceEstimator::new(2), 2)),
         );
+        agree(
+            TimingEstimator::new(4).into(),
+            Box::new(TimingEstimator::new(4)),
+        );
+        agree(
+            Voting::new(
+                vec![
+                    AnyEstimator::from(DistanceEstimator::new(2)),
+                    AnyEstimator::from(TimingEstimator::new(4)),
+                    AnyEstimator::from(Jrs::paper_enhanced()),
+                ],
+                2,
+            )
+            .into(),
+            Box::new(Voting::new(
+                vec![
+                    Box::new(DistanceEstimator::new(2)) as Box<dyn ConfidenceEstimator>,
+                    Box::new(TimingEstimator::new(4)),
+                    Box::new(Jrs::paper_enhanced()),
+                ],
+                2,
+            )),
+        );
+    }
+
+    #[test]
+    fn voting_name_matches_dyn_equivalent() {
+        let e: AnyEstimator = Voting::new(
+            vec![
+                AnyEstimator::from(AlwaysHigh),
+                AnyEstimator::from(AlwaysLow),
+            ],
+            1,
+        )
+        .into();
+        assert_eq!(e.name(), "vote1(always-high,always-low)");
+        assert!(matches!(e, AnyEstimator::Voting(_)));
     }
 
     #[test]

@@ -79,6 +79,16 @@ pub trait ConfidenceEstimator {
         let _ = mispredicted;
     }
 
+    /// Feeds the modeled resolution latency (cycles from fetch until the
+    /// branch will resolve, as computed by the pipeline's scoreboard) for the
+    /// branch about to be estimated. Called immediately before
+    /// [`estimate`](ConfidenceEstimator::estimate) for each fetched branch;
+    /// timing-based estimators (Constantinou et al.) key on this signal.
+    /// Default: no-op.
+    fn note_resolve_latency(&mut self, latency: u64) {
+        let _ = latency;
+    }
+
     /// Human-readable name including configuration (e.g. `"jrs(4096,t=15)"`).
     fn name(&self) -> String;
 }
@@ -92,6 +102,9 @@ impl<E: ConfidenceEstimator + ?Sized> ConfidenceEstimator for Box<E> {
     }
     fn on_branch_resolved(&mut self, mispredicted: bool) {
         (**self).on_branch_resolved(mispredicted)
+    }
+    fn note_resolve_latency(&mut self, latency: u64) {
+        (**self).note_resolve_latency(latency)
     }
     fn name(&self) -> String {
         (**self).name()

@@ -49,6 +49,11 @@
 //! * [`JrsCombining`] — the paper's §5 future work: a JRS variant whose
 //!   index exploits the McFarling predictor's internal structure
 //!   (component agreement + chooser state),
+//! * [`Voting`] — extension beyond the paper: a composite estimator that
+//!   reports HC iff at least a quorum of component estimators do,
+//! * [`TimingEstimator`] — extension beyond the paper (Constantinou et
+//!   al.): confidence from the modeled branch resolution latency fed by
+//!   the pipeline,
 //! * [`tune`] — the paper's §5 future work: choose a static-estimator
 //!   threshold that provably (on the profile) meets a SPEC or PVN target.
 //!
@@ -100,7 +105,9 @@ mod pattern;
 mod quadrant;
 mod saturating;
 mod static_profile;
+mod timing;
 pub mod tune;
+mod voting;
 
 pub use boost::Boosted;
 pub use cir::Cir;
@@ -114,3 +121,5 @@ pub use pattern::PatternHistory;
 pub use quadrant::Quadrant;
 pub use saturating::{SaturatingConfidence, SaturatingVariant};
 pub use static_profile::{ProfileCollector, StaticProfile};
+pub use timing::TimingEstimator;
+pub use voting::Voting;

@@ -404,18 +404,23 @@ impl<'t> TraceSimulator<'t> {
         let pc = rec.pc;
         let ghr_val = self.ghr.value();
         let pred = self.predictor.predict(pc, ghr_val);
+        // Same fetch-time latency feed as the live simulator: estimators see
+        // the modeled resolution latency before estimating.
+        let operands_ready = self.operands_ready(rec.s1, rec.s2);
+        let resolve_at = operands_ready + self.cfg.branch_resolve_latency;
+        let resolve_latency = resolve_at - self.now;
         let estimates: Vec<Confidence> = self
             .estimators
             .iter_mut()
-            .map(|e| e.estimate(pc, ghr_val, &pred))
+            .map(|e| {
+                e.note_resolve_latency(resolve_latency);
+                e.estimate(pc, ghr_val, &pred)
+            })
             .collect();
         let est0_low = estimates.first().is_some_and(|c| c.is_low());
 
         let actual_taken = rec.taken;
         let mispredicted = actual_taken != pred.taken;
-
-        let operands_ready = self.operands_ready(rec.s1, rec.s2);
-        let resolve_at = operands_ready + self.cfg.branch_resolve_latency;
 
         let seq = self.branch_seq;
         self.branch_seq += 1;

@@ -1104,9 +1104,17 @@ impl<'p> Simulator<'p> {
     ) -> bool {
         let ghr_val = self.ghr.value();
         let pred = self.predictor.predict(pc, ghr_val);
+        // Resolution timing is known at fetch from the scoreboard (branches
+        // write no registers, so executing the branch below cannot change
+        // it). Feed the modeled latency to each estimator before it
+        // estimates — the timing estimator's input signal.
+        let operands_ready = self.operands_ready(meta.s1, meta.s2);
+        let resolve_at = operands_ready + self.cfg.branch_resolve_latency;
+        let resolve_latency = resolve_at - self.now;
         let est_slot = self.est_slab.alloc();
         let row = self.est_slab.row_mut(est_slot);
         for (e, out) in self.estimators.iter_mut().zip(row.iter_mut()) {
+            e.note_resolve_latency(resolve_latency);
             *out = e.estimate(pc, ghr_val, &pred);
         }
         let est0_low = row.first().is_some_and(|c| c.is_low());
@@ -1143,9 +1151,6 @@ impl<'p> Simulator<'p> {
         if let Some(buf) = &mut self.trace_capture {
             buf.push(TraceRecord::classify(pc, &meta.inst, &step));
         }
-
-        let operands_ready = self.operands_ready(meta.s1, meta.s2);
-        let resolve_at = operands_ready + self.cfg.branch_resolve_latency;
 
         let seq = self.branch_seq;
         self.branch_seq += 1;

@@ -6,10 +6,12 @@
 //! program so the comparison exercises mispredictions and recovery, not
 //! just straight-line code.
 
-use cestim_bpred::{AnyPredictor, Bimodal, BranchPredictor, Gshare, McFarling, SAg};
+use cestim_bpred::{
+    AnyPredictor, Bimodal, BranchPredictor, Gshare, McFarling, Perceptron, SAg, Tage,
+};
 use cestim_core::{
     AlwaysHigh, AlwaysLow, AnyEstimator, Boosted, Cir, ConfidenceEstimator, DistanceEstimator, Jrs,
-    JrsCombining, PatternHistory, SaturatingConfidence,
+    JrsCombining, PatternHistory, SaturatingConfidence, TimingEstimator, Voting,
 };
 use cestim_obs::Tracer;
 use cestim_pipeline::{EstimatorQuadrants, PipelineConfig, PipelineStats, Simulator};
@@ -21,6 +23,8 @@ fn predictor(kind: &str) -> AnyPredictor {
         "gshare" => Gshare::new(12).into(),
         "mcfarling" => McFarling::new(12).into(),
         "sag" => SAg::new(10, 9).into(),
+        "tage" => Tage::default_config().into(),
+        "perceptron" => Perceptron::default_config().into(),
         other => panic!("unknown predictor {other}"),
     }
 }
@@ -31,6 +35,8 @@ fn predictor_dyn(kind: &str) -> Box<dyn BranchPredictor> {
         "gshare" => Box::new(Gshare::new(12)),
         "mcfarling" => Box::new(McFarling::new(12)),
         "sag" => Box::new(SAg::new(10, 9)),
+        "tage" => Box::new(Tage::default_config()),
+        "perceptron" => Box::new(Perceptron::default_config()),
         other => panic!("unknown predictor {other}"),
     }
 }
@@ -44,6 +50,16 @@ fn estimator(kind: &str) -> AnyEstimator {
         "cir" => Cir::new(10, 16, 14, true).into(),
         "jrs-combining" => JrsCombining::new(10, 12).into(),
         "boosted" => Boosted::new(AnyEstimator::from(DistanceEstimator::new(2)), 2).into(),
+        "voting" => Voting::new(
+            vec![
+                AnyEstimator::from(SaturatingConfidence::selected()),
+                AnyEstimator::from(DistanceEstimator::new(3)),
+                AnyEstimator::from(TimingEstimator::new(4)),
+            ],
+            2,
+        )
+        .into(),
+        "timing" => TimingEstimator::new(4).into(),
         "always-high" => AlwaysHigh.into(),
         "always-low" => AlwaysLow.into(),
         other => panic!("unknown estimator {other}"),
@@ -59,14 +75,30 @@ fn estimator_dyn(kind: &str) -> Box<dyn ConfidenceEstimator> {
         "cir" => Box::new(Cir::new(10, 16, 14, true)),
         "jrs-combining" => Box::new(JrsCombining::new(10, 12)),
         "boosted" => Box::new(Boosted::new(DistanceEstimator::new(2), 2)),
+        "voting" => Box::new(Voting::new(
+            vec![
+                Box::new(SaturatingConfidence::selected()) as Box<dyn ConfidenceEstimator>,
+                Box::new(DistanceEstimator::new(3)),
+                Box::new(TimingEstimator::new(4)),
+            ],
+            2,
+        )),
+        "timing" => Box::new(TimingEstimator::new(4)),
         "always-high" => Box::new(AlwaysHigh),
         "always-low" => Box::new(AlwaysLow),
         other => panic!("unknown estimator {other}"),
     }
 }
 
-const PREDICTORS: [&str; 4] = ["bimodal", "gshare", "mcfarling", "sag"];
-const ESTIMATORS: [&str; 9] = [
+const PREDICTORS: [&str; 6] = [
+    "bimodal",
+    "gshare",
+    "mcfarling",
+    "sag",
+    "tage",
+    "perceptron",
+];
+const ESTIMATORS: [&str; 11] = [
     "jrs",
     "saturating",
     "pattern",
@@ -74,6 +106,8 @@ const ESTIMATORS: [&str; 9] = [
     "cir",
     "jrs-combining",
     "boosted",
+    "voting",
+    "timing",
     "always-high",
     "always-low",
 ];

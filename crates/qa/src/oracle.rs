@@ -17,8 +17,11 @@
 //!    trace-driven replay reproduces the live replay-mode run.
 
 use crate::gen::{assemble, QaProgram};
-use cestim_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, SAg};
-use cestim_core::{DistanceEstimator, Jrs, Quadrant, SaturatingConfidence};
+use cestim_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, Perceptron, SAg, Tage};
+use cestim_core::{
+    AlwaysHigh, AlwaysLow, AnyEstimator, DistanceEstimator, Jrs, Quadrant, SaturatingConfidence,
+    TimingEstimator, Voting,
+};
 use cestim_exec::{Executor, Job};
 use cestim_isa::{Machine, Program, Step};
 use cestim_obs::Tracer;
@@ -228,7 +231,10 @@ fn check_arch(p: &QaProgram, fault: FaultSpec) -> Result<(), OracleFailure> {
     let prog = assemble(p);
     let arch = arch_reference(&prog);
 
-    let mut sim = Simulator::new(&prog, pipeline_config(), Box::new(Gshare::new(12)));
+    // TAGE here rather than gshare: its allocate-on-mispredict recovery is
+    // the most state-heavy predictor path, and the arch contract must hold
+    // regardless of how much speculation the predictor provokes.
+    let mut sim = Simulator::new(&prog, pipeline_config(), Box::new(Tage::default_config()));
     if cestim_obs::span2::ambient_active() {
         sim.set_profiling(true);
     }
@@ -288,7 +294,11 @@ fn check_arch(p: &QaProgram, fault: FaultSpec) -> Result<(), OracleFailure> {
 fn check_replay(p: &QaProgram) -> Result<(), OracleFailure> {
     let kind = OracleKind::Replay;
     let prog = assemble(p);
-    let mut sim = Simulator::new(&prog, pipeline_config(), Box::new(Gshare::new(12)));
+    let mut sim = Simulator::new(
+        &prog,
+        pipeline_config(),
+        Box::new(Perceptron::default_config()),
+    );
     if cestim_obs::span2::ambient_active() {
         sim.set_profiling(true);
     }
@@ -328,13 +338,22 @@ fn check_replay(p: &QaProgram) -> Result<(), OracleFailure> {
 // ---- oracle 3: serial vs. parallel executor ------------------------------
 
 /// Predictor sweep each exec-oracle batch runs the program under.
-pub(crate) const EXEC_PREDICTORS: [&str; 4] = ["gshare", "mcfarling", "sag", "bimodal"];
+pub(crate) const EXEC_PREDICTORS: [&str; 6] = [
+    "gshare",
+    "mcfarling",
+    "sag",
+    "bimodal",
+    "tage",
+    "perceptron",
+];
 
 fn build_predictor(name: &str) -> Box<dyn BranchPredictor> {
     match name {
         "gshare" => Box::new(Gshare::new(12)),
         "mcfarling" => Box::new(McFarling::new(12)),
         "sag" => Box::new(SAg::paper_config()),
+        "tage" => Box::new(Tage::default_config()),
+        "perceptron" => Box::new(Perceptron::default_config()),
         _ => Box::new(Bimodal::new(12)),
     }
 }
@@ -500,6 +519,44 @@ fn check_trace(p: &QaProgram) -> Result<(), OracleFailure> {
             ),
         ));
     }
+
+    // The same identity over the modern families: TAGE with the timing and
+    // voting estimators. The timing estimator consumes resolve latencies
+    // the pipeline computes at fetch, so this proves the latency plumbing
+    // is identical in the live and trace-driven fetch paths.
+    let modern_vote = || {
+        Voting::new(
+            vec![
+                AnyEstimator::from(SaturatingConfidence::selected()),
+                AnyEstimator::from(TimingEstimator::new(4)),
+            ],
+            1,
+        )
+    };
+    let mut live = Simulator::new(&prog, pipeline_config(), Box::new(Tage::default_config()));
+    live.set_replay_fetch(true);
+    live.add_estimator(TimingEstimator::new(4));
+    live.add_estimator(modern_vote());
+    let live_stats = live.run(&mut cestim_pipeline::NullObserver);
+
+    let mut replay = TraceSimulator::new(&from_bin, pipeline_config(), Tage::default_config());
+    replay.add_estimator(TimingEstimator::new(4));
+    replay.add_estimator(modern_vote());
+    let replay_stats = replay.run_to_completion();
+
+    let live_text = serde_json::to_string(&(&live_stats, live.estimator_quadrants()))
+        .map_err(|e| fail(kind, format!("stats serialization failed: {e}")))?;
+    let replay_text = serde_json::to_string(&(&replay_stats, replay.estimator_quadrants()))
+        .map_err(|e| fail(kind, format!("stats serialization failed: {e}")))?;
+    if live_text != replay_text {
+        return Err(fail(
+            kind,
+            format!(
+                "trace replay diverges from live replay-mode run for the \
+                 modern families: live {live_text} vs replay {replay_text}"
+            ),
+        ));
+    }
     Ok(())
 }
 
@@ -515,8 +572,60 @@ fn check_quadrant(p: &QaProgram) -> Result<(), OracleFailure> {
     sim.add_estimator(Box::new(Jrs::paper_enhanced()));
     sim.add_estimator(Box::new(SaturatingConfidence::selected()));
     sim.add_estimator(Box::new(DistanceEstimator::new(4)));
+    sim.add_estimator(TimingEstimator::new(4));
+    sim.add_estimator(Voting::new(
+        vec![
+            AnyEstimator::from(SaturatingConfidence::selected()),
+            AnyEstimator::from(DistanceEstimator::new(4)),
+            AnyEstimator::from(TimingEstimator::new(4)),
+        ],
+        2,
+    ));
+    // The degenerate votes below have closed-form quadrants: with the
+    // constant estimators as components, quorum 1 is satisfied by
+    // always-high alone, and quorum 2 is vetoed by always-low alone — so
+    // their tables (and hence PVP/PVN) must equal the constants' exactly.
+    let hi = sim.add_estimator(AlwaysHigh);
+    let lo = sim.add_estimator(AlwaysLow);
+    let vote_any = sim.add_estimator(Voting::new(
+        vec![
+            AnyEstimator::from(AlwaysHigh),
+            AnyEstimator::from(AlwaysLow),
+        ],
+        1,
+    ));
+    let vote_all = sim.add_estimator(Voting::new(
+        vec![
+            AnyEstimator::from(AlwaysHigh),
+            AnyEstimator::from(AlwaysLow),
+        ],
+        2,
+    ));
     let names = sim.estimator_names().to_vec();
     let stats = sim.run_to_completion();
+
+    let quads = sim.estimator_quadrants();
+    if quads[vote_any] != quads[hi] {
+        return Err(fail(
+            kind,
+            "vote1(always-high,always-low) quadrants differ from always-high",
+        ));
+    }
+    if quads[vote_all] != quads[lo] {
+        return Err(fail(
+            kind,
+            "vote2(always-high,always-low) quadrants differ from always-low",
+        ));
+    }
+    for (v, base) in [(vote_any, hi), (vote_all, lo)] {
+        let (vq, bq) = (&quads[v].committed, &quads[base].committed);
+        if vq.c_hc + vq.i_hc > 0 && vq.pvp() != bq.pvp() {
+            return Err(fail(kind, "degenerate vote PVP diverges from closed form"));
+        }
+        if vq.c_lc + vq.i_lc > 0 && vq.pvn() != bq.pvn() {
+            return Err(fail(kind, "degenerate vote PVN diverges from closed form"));
+        }
+    }
 
     for (name, q) in names.iter().zip(sim.estimator_quadrants()) {
         if q.all.total() != stats.fetched_branches {

@@ -147,9 +147,10 @@ fn check_isolation(jobs: &[QaJob], clean_text: &[String]) -> Result<(), OracleFa
             }
         }
     }
-    if exec.report().panics_caught != 2 {
+    let expected = jobs.len() as u64 / 2;
+    if exec.report().panics_caught != expected {
         return Err(fail(format!(
-            "expected 2 caught panics, saw {}",
+            "expected {expected} caught panics, saw {}",
             exec.report().panics_caught
         )));
     }
@@ -182,8 +183,12 @@ fn check_convergence(jobs: &[QaJob], clean_text: &[String]) -> Result<(), Oracle
         }
     }
     let report = exec.report();
-    if report.retries != 2 {
-        return Err(fail(format!("expected 2 retries, saw {}", report.retries)));
+    let expected = jobs.len() as u64 / 2;
+    if report.retries != expected {
+        return Err(fail(format!(
+            "expected {expected} retries, saw {}",
+            report.retries
+        )));
     }
     Ok(())
 }

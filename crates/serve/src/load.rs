@@ -195,6 +195,17 @@ impl TcpConn {
             line: String::new(),
         })
     }
+
+    /// Sends one raw protocol line verbatim, bypassing request
+    /// rendering — for exercising the server's negative paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns any write error.
+    pub fn send_raw_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
 }
 
 impl ServeConn for TcpConn {

@@ -23,7 +23,7 @@
 //! batch `repro` harness executes, so server results are byte-identical
 //! to direct execution by construction.
 
-use cestim_sim::ExecJob;
+use cestim_sim::{EstimatorSpec, ExecJob};
 use serde::{Deserialize, Value};
 
 /// Hard cap on one protocol line, in bytes. Longer lines are rejected
@@ -309,8 +309,24 @@ pub fn parse_line(bytes: &[u8], limits: &RequestLimits) -> Result<Request, Proto
             let job_value = obj
                 .get("job")
                 .ok_or_else(|| ProtoError::new(ErrorCode::BadRequest, "missing field `job`"))?;
-            let job = ExecJob::from_value(job_value)
-                .map_err(|e| ProtoError::new(ErrorCode::BadRequest, format!("bad `job`: {e}")))?;
+            let job = ExecJob::from_value(job_value).map_err(|e| {
+                // An unknown predictor or estimator family inside the job
+                // is a spec problem (`invalid-spec`), not a malformed
+                // request: the envelope parsed fine, the job just names a
+                // family this build does not provide. Unknown job kinds
+                // (enum `ExecJob` itself) stay `bad-request`.
+                let msg = e.to_string();
+                let spec_enums = ["PredictorKind", "EstimatorSpec", "SatVariantSpec"];
+                let code = if spec_enums
+                    .iter()
+                    .any(|ty| msg.contains(&format!("for enum {ty}")))
+                {
+                    ErrorCode::InvalidSpec
+                } else {
+                    ErrorCode::BadRequest
+                };
+                ProtoError::new(code, format!("bad `job`: {msg}"))
+            })?;
             validate_job(&job, limits)?;
             Ok(Request::Run {
                 id,
@@ -350,15 +366,18 @@ pub fn validate_job(job: &ExecJob, limits: &RequestLimits) -> Result<(), ProtoEr
             Ok(())
         }
     };
-    let check_specs = |n: usize| {
-        if n > limits.max_specs {
-            Err(invalid(format!(
-                "{n} estimators exceeds limit {}",
+    let check_specs = |specs: &[EstimatorSpec]| {
+        if specs.len() > limits.max_specs {
+            return Err(invalid(format!(
+                "{} estimators exceeds limit {}",
+                specs.len(),
                 limits.max_specs
-            )))
-        } else {
-            Ok(())
+            )));
         }
+        for s in specs {
+            s.validate().map_err(|e| invalid(e.to_string()))?;
+        }
+        Ok(())
     };
     let check_buckets = |b: u64| {
         if b == 0 || b > limits.max_buckets {
@@ -373,23 +392,24 @@ pub fn validate_job(job: &ExecJob, limits: &RequestLimits) -> Result<(), ProtoEr
     match job {
         ExecJob::Run { cfg, specs } => {
             check_scale(cfg.scale)?;
-            check_specs(specs.len())
+            check_specs(specs)
         }
         ExecJob::CrossProfileRun { cfg, specs, .. } => {
             check_scale(cfg.scale)?;
-            check_specs(specs.len())
+            check_specs(specs)
         }
         ExecJob::Distance { cfg, buckets } => {
             check_scale(cfg.scale)?;
             check_buckets(*buckets)
         }
-        ExecJob::Cluster { cfg, buckets, .. } => {
+        ExecJob::Cluster { cfg, spec, buckets } => {
             check_scale(cfg.scale)?;
+            spec.validate().map_err(|e| invalid(e.to_string()))?;
             check_buckets(*buckets)
         }
         ExecJob::Boost { cfg, specs, max_k } => {
             check_scale(cfg.scale)?;
-            check_specs(specs.len())?;
+            check_specs(specs)?;
             if specs.is_empty() {
                 return Err(invalid(
                     "boost jobs need at least one estimator".to_string(),
@@ -401,7 +421,7 @@ pub fn validate_job(job: &ExecJob, limits: &RequestLimits) -> Result<(), ProtoEr
             Ok(())
         }
         ExecJob::Replay { records, specs, .. } => {
-            check_specs(specs.len())?;
+            check_specs(specs)?;
             // Inline traces are bounded by the protocol's line cap anyway;
             // this bound produces a structured rejection before a huge
             // record array ties up a worker.
@@ -736,6 +756,73 @@ mod tests {
             validate_job(&bad_buckets, &limits).unwrap_err().code,
             ErrorCode::InvalidSpec
         );
+    }
+
+    #[test]
+    fn unknown_predictor_or_estimator_name_is_invalid_spec() {
+        let limits = RequestLimits::default();
+        let err = |line: String| parse_line(line.as_bytes(), &limits).unwrap_err();
+        // Corrupt the predictor name inside an otherwise valid job.
+        let job = serde::to_value(&sample_job())
+            .to_string()
+            .replace("\"Gshare\"", "\"Hexapod\"");
+        let e = err(format!(r#"{{"op":"run","id":"x","job":{job}}}"#));
+        assert_eq!(e.code, ErrorCode::InvalidSpec);
+        assert!(e.message.contains("Hexapod"), "{}", e.message);
+
+        // Same for an unknown estimator family.
+        let bad_spec = serde_json::json!({"op":"run","id":"x","job":{"Run":{
+            "cfg": serde::to_value(&RunConfig::paper(
+                WorkloadKind::Compress, 1, PredictorKind::Gshare)),
+            "specs": [{"Quantum":{"qubits":3}}],
+        }}});
+        assert_eq!(err(bad_spec.to_string()).code, ErrorCode::InvalidSpec);
+
+        // Unknown job *kind* stays bad-request: the spec enums are fine,
+        // the envelope's job payload is not a known operation.
+        let e = err(r#"{"op":"run","id":"x","job":{"What":{}}}"#.to_string());
+        assert_eq!(e.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn structurally_invalid_specs_are_rejected() {
+        use cestim_sim::EstimatorSpec;
+        let limits = RequestLimits::default();
+        let cfg = RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare);
+        let bad_vote = ExecJob::Run {
+            cfg: cfg.clone(),
+            specs: vec![EstimatorSpec::Voting {
+                components: vec![],
+                quorum: 1,
+            }],
+        };
+        let err = validate_job(&bad_vote, &limits).unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidSpec);
+
+        let bad_cluster = ExecJob::Cluster {
+            cfg: cfg.clone(),
+            spec: EstimatorSpec::Voting {
+                components: vec![EstimatorSpec::AlwaysHigh],
+                quorum: 9,
+            },
+            buckets: 64,
+        };
+        assert_eq!(
+            validate_job(&bad_cluster, &limits).unwrap_err().code,
+            ErrorCode::InvalidSpec
+        );
+
+        let good = ExecJob::Run {
+            cfg,
+            specs: vec![EstimatorSpec::Voting {
+                components: vec![
+                    EstimatorSpec::Timing { threshold: 4 },
+                    EstimatorSpec::Distance { threshold: 3 },
+                ],
+                quorum: 1,
+            }],
+        };
+        assert!(validate_job(&good, &limits).is_ok());
     }
 
     #[test]

@@ -314,6 +314,81 @@ fn malformed_lines_get_structured_errors_and_server_survives() {
 }
 
 #[test]
+fn unknown_family_names_get_invalid_spec_on_both_paths() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let client = server.client();
+
+    // In-proc: a run request whose job names a predictor this build
+    // does not know. The envelope is well-formed, so the rejection is
+    // a spec error, not a bad request.
+    let bad_predictor = cestim_serve::render_request(&run_request("p", "t", 1, quick_job()))
+        .replace("\"Gshare\"", "\"Zephyr\"");
+    client.send_line(bad_predictor.as_bytes());
+    match client.recv_timeout(WAIT).unwrap() {
+        Response::Error { id, code, message } => {
+            assert_eq!(id.as_deref(), Some("p"));
+            assert_eq!(code, "invalid-spec");
+            assert!(message.contains("Zephyr"), "{message}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Same for an unknown estimator family.
+    let bad_estimator = cestim_serve::render_request(&run_request(
+        "e",
+        "t",
+        1,
+        ExecJob::Run {
+            cfg: RunConfig::paper(WorkloadKind::Compress, 1, PredictorKind::Gshare),
+            specs: vec![EstimatorSpec::AlwaysLow],
+        },
+    ))
+    .replace("\"AlwaysLow\"", "\"Oracular\"");
+    client.send_line(bad_estimator.as_bytes());
+    match client.recv_timeout(WAIT).unwrap() {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id.as_deref(), Some("e"));
+            assert_eq!(code, "invalid-spec");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // TCP front end: the same unknown-predictor line gets the same
+    // structured rejection and the connection stays usable.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::sync::Arc::new(server);
+    let acceptor = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.serve_tcp(listener))
+    };
+    let mut conn = TcpConn::connect(&addr).unwrap();
+    conn.send_raw_line(&bad_predictor).unwrap();
+    match conn.recv_response(WAIT).unwrap() {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id.as_deref(), Some("p"));
+            assert_eq!(code, "invalid-spec");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    conn.send_request(&Request::Ping).unwrap();
+    assert_eq!(conn.recv_response(WAIT).unwrap(), Response::Pong);
+
+    conn.send_request(&Request::Shutdown).unwrap();
+    loop {
+        match conn.recv_response(WAIT) {
+            Ok(Response::ShuttingDown) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    acceptor.join().unwrap().unwrap();
+    match std::sync::Arc::try_unwrap(server) {
+        Ok(server) => server.shutdown(),
+        Err(_) => panic!("acceptor retained the server"),
+    }
+}
+
+#[test]
 fn tcp_front_end_serves_and_shuts_down() {
     let cache_dir = temp_dir("tcp");
     let server = Server::start(ServeConfig {

@@ -55,4 +55,7 @@ pub use runner::{
     collect_profile, run, run_instrumented, run_with_observer, run_with_profile, EstimatorResult,
     InstrumentedOutcome, RunConfig, RunOutcome,
 };
-pub use spec::{EstimatorSpec, ParseSpecError, PredictorKind, SatVariantSpec, TuneTargetSpec};
+pub use spec::{
+    EstimatorSpec, ParsePredictorError, ParseSpecError, PredictorKind, SatVariantSpec,
+    TuneTargetSpec,
+};

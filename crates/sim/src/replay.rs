@@ -168,6 +168,17 @@ pub fn conformance_specs() -> Vec<EstimatorSpec> {
             }),
             k: 2,
         },
+        EstimatorSpec::Voting {
+            components: vec![
+                EstimatorSpec::SatCtr {
+                    variant: crate::SatVariantSpec::Selected,
+                },
+                EstimatorSpec::Distance { threshold: 3 },
+                EstimatorSpec::jrs_paper(),
+            ],
+            quorum: 2,
+        },
+        EstimatorSpec::Timing { threshold: 4 },
         EstimatorSpec::AlwaysLow,
     ]
 }

@@ -1,14 +1,17 @@
 //! Declarative predictor and estimator specifications.
 
-use cestim_bpred::{AnyPredictor, Bimodal, BranchPredictor, Gshare, McFarling, SAg};
+use cestim_bpred::{
+    AnyPredictor, Bimodal, BranchPredictor, Gshare, McFarling, Perceptron, SAg, Tage,
+};
 use cestim_core::tune::{tune, tuning_frontier, TuneTarget};
 use cestim_core::{
     AlwaysHigh, AlwaysLow, AnyEstimator, Boosted, Cir, ConfidenceEstimator, DistanceEstimator, Jrs,
     JrsCombining, PatternHistory, ProfileCollector, SaturatingConfidence, SaturatingVariant,
+    TimingEstimator, Voting,
 };
 use serde::{Deserialize, Serialize};
 
-/// The branch predictors of the study.
+/// The branch predictors of the study, plus the modern extension families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PredictorKind {
     /// 4096-entry gshare with speculative global history.
@@ -19,6 +22,10 @@ pub enum PredictorKind {
     SAg,
     /// 1024-entry bimodal baseline (not in the paper's tables).
     Bimodal,
+    /// TAGE tagged-geometric predictor (extension beyond the paper).
+    Tage,
+    /// Hashed-perceptron predictor (extension beyond the paper).
+    Perceptron,
 }
 
 impl PredictorKind {
@@ -31,6 +38,23 @@ impl PredictorKind {
         ]
     }
 
+    /// The two modern predictors of the extension tables.
+    pub fn modern_two() -> [PredictorKind; 2] {
+        [PredictorKind::Tage, PredictorKind::Perceptron]
+    }
+
+    /// Every selectable predictor, paper families first.
+    pub fn all() -> [PredictorKind; 6] {
+        [
+            PredictorKind::Gshare,
+            PredictorKind::McFarling,
+            PredictorKind::SAg,
+            PredictorKind::Bimodal,
+            PredictorKind::Tage,
+            PredictorKind::Perceptron,
+        ]
+    }
+
     /// Short name.
     pub fn name(self) -> &'static str {
         match self {
@@ -38,19 +62,21 @@ impl PredictorKind {
             PredictorKind::McFarling => "mcfarling",
             PredictorKind::SAg => "sag",
             PredictorKind::Bimodal => "bimodal",
+            PredictorKind::Tage => "tage",
+            PredictorKind::Perceptron => "perceptron",
         }
     }
 
     /// Parses a predictor name.
     pub fn from_name(name: &str) -> Option<PredictorKind> {
-        [
-            PredictorKind::Gshare,
-            PredictorKind::McFarling,
-            PredictorKind::SAg,
-            PredictorKind::Bimodal,
-        ]
-        .into_iter()
-        .find(|p| p.name() == name)
+        PredictorKind::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// Parses a predictor name, returning a structured error naming the
+    /// valid choices when it is unknown (the `invalid-spec` path for CLI
+    /// and protocol callers).
+    pub fn from_name_strict(name: &str) -> Result<PredictorKind, ParsePredictorError> {
+        PredictorKind::from_name(name).ok_or_else(|| ParsePredictorError(name.to_string()))
     }
 
     /// Builds the predictor in the paper's configuration as a trait object
@@ -62,6 +88,8 @@ impl PredictorKind {
             PredictorKind::McFarling => Box::new(McFarling::new(12)),
             PredictorKind::SAg => Box::new(SAg::paper_config()),
             PredictorKind::Bimodal => Box::new(Bimodal::new(10)),
+            PredictorKind::Tage => Box::new(Tage::default_config()),
+            PredictorKind::Perceptron => Box::new(Perceptron::default_config()),
         }
     }
 
@@ -73,6 +101,8 @@ impl PredictorKind {
             PredictorKind::McFarling => McFarling::new(12).into(),
             PredictorKind::SAg => SAg::paper_config().into(),
             PredictorKind::Bimodal => Bimodal::new(10).into(),
+            PredictorKind::Tage => Tage::default_config().into(),
+            PredictorKind::Perceptron => Perceptron::default_config().into(),
         }
     }
 
@@ -81,12 +111,31 @@ impl PredictorKind {
     /// SAg).
     pub fn pattern_width(self) -> u32 {
         match self {
-            PredictorKind::Gshare | PredictorKind::McFarling => 12,
+            PredictorKind::Gshare
+            | PredictorKind::McFarling
+            | PredictorKind::Tage
+            | PredictorKind::Perceptron => 12,
             PredictorKind::SAg => 13,
             PredictorKind::Bimodal => 2, // degenerate; bimodal has no history
         }
     }
 }
+
+/// Error from parsing a predictor name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePredictorError(String);
+
+impl std::fmt::Display for ParsePredictorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown predictor `{}` (expected one of:", self.0)?;
+        for p in PredictorKind::all() {
+            write!(f, " {}", p.name())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for ParsePredictorError {}
 
 impl std::fmt::Display for PredictorKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -160,6 +209,21 @@ pub enum EstimatorSpec {
     StaticTuned {
         /// The target to meet on the profile.
         target: TuneTargetSpec,
+    },
+    /// Composite voting estimator: high confidence iff at least `quorum`
+    /// component estimators say so (extension beyond the paper).
+    Voting {
+        /// The component estimators.
+        components: Vec<EstimatorSpec>,
+        /// Required number of high votes (1..=components.len()).
+        quorum: u32,
+    },
+    /// Timing estimator keyed on the pipeline's modeled resolution latency
+    /// (extension beyond the paper; Constantinou et al.).
+    Timing {
+        /// High confidence when the branch resolves within this many cycles
+        /// of fetch.
+        threshold: u64,
     },
     /// Everything high confidence (baseline).
     AlwaysHigh,
@@ -241,7 +305,54 @@ impl EstimatorSpec {
         match self {
             EstimatorSpec::Static { .. } | EstimatorSpec::StaticTuned { .. } => true,
             EstimatorSpec::Boosted { inner, .. } => inner.needs_profile(),
+            EstimatorSpec::Voting { components, .. } => {
+                components.iter().any(EstimatorSpec::needs_profile)
+            }
             _ => false,
+        }
+    }
+
+    /// Validates the spec's structure without building it: voting quorums
+    /// must be within `1..=components.len()` with at least one component,
+    /// and nesting (boost/vote) must stay within a small depth bound. This
+    /// is the non-panicking check the serve protocol and CLI run on
+    /// untrusted specs before [`build_any`](EstimatorSpec::build_any).
+    pub fn validate(&self) -> Result<(), ParseSpecError> {
+        self.validate_depth(0)
+    }
+
+    fn validate_depth(&self, depth: u32) -> Result<(), ParseSpecError> {
+        const MAX_DEPTH: u32 = 8;
+        if depth > MAX_DEPTH {
+            return Err(ParseSpecError(format!(
+                "estimator spec nesting exceeds depth {MAX_DEPTH}"
+            )));
+        }
+        match self {
+            EstimatorSpec::Boosted { inner, k } => {
+                if *k == 0 {
+                    return Err(ParseSpecError("boost factor must be at least 1".into()));
+                }
+                inner.validate_depth(depth + 1)
+            }
+            EstimatorSpec::Voting { components, quorum } => {
+                if components.is_empty() {
+                    return Err(ParseSpecError(
+                        "voting estimator needs at least one component".into(),
+                    ));
+                }
+                if *quorum == 0 || *quorum as usize > components.len() {
+                    return Err(ParseSpecError(format!(
+                        "voting quorum {} out of range 1..={}",
+                        quorum,
+                        components.len()
+                    )));
+                }
+                components
+                    .iter()
+                    .try_for_each(|c| c.validate_depth(depth + 1))
+            }
+            _ => Ok(()),
         }
     }
 
@@ -302,6 +413,12 @@ impl EstimatorSpec {
             EstimatorSpec::Boosted { inner, k } => {
                 Boosted::new(inner.build_any(profile), *k).into()
             }
+            EstimatorSpec::Voting { components, quorum } => Voting::new(
+                components.iter().map(|c| c.build_any(profile)).collect(),
+                *quorum,
+            )
+            .into(),
+            EstimatorSpec::Timing { threshold } => TimingEstimator::new(*threshold).into(),
             EstimatorSpec::AlwaysHigh => AlwaysHigh.into(),
             EstimatorSpec::AlwaysLow => AlwaysLow.into(),
         }
@@ -363,6 +480,14 @@ impl EstimatorSpec {
                 }
             }
             EstimatorSpec::Boosted { inner, k } => Box::new(Boosted::new(inner.build(profile), *k)),
+            EstimatorSpec::Voting { components, quorum } => Box::new(Voting::new(
+                components
+                    .iter()
+                    .map(|c| c.build(profile))
+                    .collect::<Vec<_>>(),
+                *quorum,
+            )),
+            EstimatorSpec::Timing { threshold } => Box::new(TimingEstimator::new(*threshold)),
             EstimatorSpec::AlwaysHigh => Box::new(AlwaysHigh),
             EstimatorSpec::AlwaysLow => Box::new(AlwaysLow),
         }
@@ -416,6 +541,12 @@ impl EstimatorSpec {
                 TuneTargetSpec::MinPvn(v) => format!("static-tuned(pvn>={:.0}%)", v * 100.0),
             },
             EstimatorSpec::Boosted { inner, k } => format!("boost{}({})", k, inner.build_label()),
+            EstimatorSpec::Voting { components, quorum } => {
+                let names: Vec<String> =
+                    components.iter().map(EstimatorSpec::build_label).collect();
+                format!("vote{}({})", quorum, names.join(","))
+            }
+            EstimatorSpec::Timing { threshold } => format!("timing(<={threshold})"),
             EstimatorSpec::AlwaysHigh => "always-high".to_string(),
             EstimatorSpec::AlwaysLow => "always-low".to_string(),
         }
@@ -449,6 +580,8 @@ impl std::str::FromStr for EstimatorSpec {
     /// jrsmcf[:bits=N][:t=N]          McFarling-structured JRS
     /// tuned-spec:V / tuned-pvn:V     tuned static estimator
     /// boost:K:INNER                  boosted inner spec
+    /// vote:Q:INNER,INNER[,...]       voting composite (quorum Q)
+    /// timing[:N]                     resolution-latency threshold
     /// always-high / always-low
     /// ```
     fn from_str(s: &str) -> Result<EstimatorSpec, ParseSpecError> {
@@ -523,6 +656,24 @@ impl std::str::FromStr for EstimatorSpec {
                     k: k.parse().or(bad(s))?,
                 })
             }
+            "vote" => {
+                let Some((quorum, inners)) = rest.split_once(':') else {
+                    return bad(s);
+                };
+                let components = inners
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<Vec<EstimatorSpec>, _>>()?;
+                let spec = EstimatorSpec::Voting {
+                    components,
+                    quorum: quorum.parse().or(bad(s))?,
+                };
+                spec.validate()?;
+                Ok(spec)
+            }
+            "timing" => Ok(EstimatorSpec::Timing {
+                threshold: parts.first().map_or(Ok(4), |v| v.parse().or(bad(s)))?,
+            }),
             "always-high" => Ok(EstimatorSpec::AlwaysHigh),
             "always-low" => Ok(EstimatorSpec::AlwaysLow),
             _ => bad(s),
@@ -536,21 +687,29 @@ mod tests {
 
     #[test]
     fn predictor_names_round_trip() {
-        for p in [
-            PredictorKind::Gshare,
-            PredictorKind::McFarling,
-            PredictorKind::SAg,
-            PredictorKind::Bimodal,
-        ] {
+        for p in PredictorKind::all() {
             assert_eq!(PredictorKind::from_name(p.name()), Some(p));
         }
         assert!(PredictorKind::from_name("foo").is_none());
     }
 
     #[test]
+    fn strict_predictor_parse_gives_structured_error() {
+        assert_eq!(
+            PredictorKind::from_name_strict("tage"),
+            Ok(PredictorKind::Tage)
+        );
+        let err = PredictorKind::from_name_strict("ttage").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown predictor `ttage`"), "{msg}");
+        assert!(msg.contains("perceptron"), "{msg}");
+    }
+
+    #[test]
     fn built_predictors_report_their_names() {
-        for p in PredictorKind::paper_three() {
+        for p in PredictorKind::all() {
             assert_eq!(p.build().name(), p.name());
+            assert_eq!(p.build_any().name(), p.name());
         }
     }
 
@@ -590,9 +749,18 @@ mod tests {
                 inner: Box::new(EstimatorSpec::Distance { threshold: 2 }),
                 k: 2,
             },
+            EstimatorSpec::Timing { threshold: 4 },
+            EstimatorSpec::Voting {
+                components: vec![
+                    EstimatorSpec::Distance { threshold: 3 },
+                    EstimatorSpec::Timing { threshold: 4 },
+                ],
+                quorum: 2,
+            },
         ];
         for s in &specs {
             assert_eq!(s.label(), s.build(None).name(), "{s:?}");
+            assert_eq!(s.label(), s.build_any(None).name(), "{s:?}");
         }
     }
 
@@ -662,6 +830,21 @@ mod tests {
                 },
             ),
             ("always-low", EstimatorSpec::AlwaysLow),
+            ("timing", EstimatorSpec::Timing { threshold: 4 }),
+            ("timing:7", EstimatorSpec::Timing { threshold: 7 }),
+            (
+                "vote:2:satctr,distance:3,timing:4",
+                EstimatorSpec::Voting {
+                    components: vec![
+                        EstimatorSpec::SatCtr {
+                            variant: SatVariantSpec::Selected,
+                        },
+                        EstimatorSpec::Distance { threshold: 3 },
+                        EstimatorSpec::Timing { threshold: 4 },
+                    ],
+                    quorum: 2,
+                },
+            ),
         ];
         for (text, want) in cases {
             assert_eq!(&text.parse::<EstimatorSpec>().unwrap(), want, "{text}");
@@ -677,9 +860,55 @@ mod tests {
             "pattern:x",
             "boost:2",
             "jrs:t=boom",
+            "timing:x",
+            "vote:2",
+            "vote:0:satctr",
+            "vote:3:satctr,distance:3",
+            "vote:1:satctr,jrz",
         ] {
             assert!(text.parse::<EstimatorSpec>().is_err(), "{text}");
         }
+    }
+
+    #[test]
+    fn validate_rejects_bad_structure() {
+        assert!(EstimatorSpec::Timing { threshold: 4 }.validate().is_ok());
+        let bad_quorum = EstimatorSpec::Voting {
+            components: vec![EstimatorSpec::AlwaysHigh],
+            quorum: 2,
+        };
+        assert!(bad_quorum.validate().is_err());
+        let empty = EstimatorSpec::Voting {
+            components: vec![],
+            quorum: 1,
+        };
+        assert!(empty.validate().is_err());
+        let zero_boost = EstimatorSpec::Boosted {
+            inner: Box::new(EstimatorSpec::AlwaysLow),
+            k: 0,
+        };
+        assert!(zero_boost.validate().is_err());
+        // Nested structure inside a vote is validated too.
+        let nested_bad = EstimatorSpec::Voting {
+            components: vec![EstimatorSpec::Voting {
+                components: vec![],
+                quorum: 1,
+            }],
+            quorum: 1,
+        };
+        assert!(nested_bad.validate().is_err());
+    }
+
+    #[test]
+    fn voting_propagates_profile_need() {
+        let v = EstimatorSpec::Voting {
+            components: vec![
+                EstimatorSpec::AlwaysHigh,
+                EstimatorSpec::Static { threshold: 0.9 },
+            ],
+            quorum: 1,
+        };
+        assert!(v.needs_profile());
     }
 
     #[test]

@@ -63,6 +63,8 @@ pub fn all_ids() -> &'static [&'static str] {
         "ext-smt",
         "ext-eager",
         "ext-xinput",
+        "ext-modern",
+        "ext-predictability",
     ]
 }
 
@@ -99,6 +101,8 @@ pub fn run_experiment_with(exec: &Executor, id: &str, scale: u32) -> Option<Expe
         "ext-tune" => ext_tune_on(exec, scale, &all),
         "ext-eager" => ext_eager_on(exec, scale, &all),
         "ext-xinput" => ext_xinput_on(exec, scale, &all),
+        "ext-modern" => ext_modern_on(exec, scale, &all),
+        "ext-predictability" => ext_predictability_on(exec, scale, &all),
         "ext-smt" => ext_smt_on(
             exec,
             scale,
@@ -1326,6 +1330,187 @@ pub fn ext_xinput_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) ->
     }
 }
 
+/// The estimator set the modern-family extension evaluates: one
+/// classical table estimator (JRS), the predictor's own counters, the
+/// distance estimator, the timing estimator, and a 2-of-3 voting
+/// composite over the three dynamic signals.
+fn modern_estimators() -> Vec<EstimatorSpec> {
+    let satctr = EstimatorSpec::SatCtr {
+        variant: SatVariantSpec::Selected,
+    };
+    let distance = EstimatorSpec::Distance { threshold: 3 };
+    let timing = EstimatorSpec::Timing { threshold: 4 };
+    vec![
+        satctr.clone(),
+        EstimatorSpec::jrs_paper(),
+        distance.clone(),
+        timing.clone(),
+        EstimatorSpec::Voting {
+            components: vec![satctr, distance, timing],
+            quorum: 2,
+        },
+    ]
+}
+
+/// Extension: modern predictor families (TAGE, hashed perceptron) under
+/// the paper's diagnostic metrics, with composite (voting) and timing
+/// confidence estimators alongside the paper's designs.
+pub fn ext_modern_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    ext_modern_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Modern-family extension with simulation units submitted to `exec`.
+pub fn ext_modern_on(exec: &Executor, scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    let predictors = [
+        PredictorKind::Gshare,
+        PredictorKind::Tage,
+        PredictorKind::Perceptron,
+    ];
+    let specs = modern_estimators();
+    let mut text = String::new();
+    let mut jrows = Vec::new();
+    for p in predictors {
+        let m = run_matrix(exec, p, &specs, workloads, scale);
+        let mut t = Table::new(
+            format!("Extension: modern estimator families ({p} predictor)"),
+            vec!["estimator", "sens", "spec", "pvp", "pvn"],
+        );
+        for (name, quads) in m.names.iter().zip(&m.committed) {
+            let s = mean_quadrant(quads);
+            let mut cells = vec![name.clone()];
+            cells.extend(metric_cells(&s));
+            t.row(cells);
+            jrows.push(json!({
+                "predictor": p.name(), "estimator": name, "metrics": summary_json(&s),
+            }));
+        }
+        text.push_str(&t.to_string());
+        text.push('\n');
+    }
+    ExperimentResult {
+        id: "ext-modern".into(),
+        title: "Extension: TAGE/perceptron predictors with voting and timing estimators".into(),
+        text,
+        json: json!({ "rows": jrows }),
+    }
+}
+
+/// Extension: workload-predictability characterization. Every predictor
+/// family runs over every workload; each workload gets its best
+/// predictor and a predictability class, and the trace-replay path is
+/// cross-checked against the live pipeline for the modern families.
+pub fn ext_predictability_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
+    ext_predictability_on(&Executor::sequential(), scale, workloads)
+}
+
+/// Predictability extension with simulation units submitted to `exec`.
+pub fn ext_predictability_on(
+    exec: &Executor,
+    scale: u32,
+    workloads: &[WorkloadKind],
+) -> ExperimentResult {
+    let preds = PredictorKind::all();
+    let jobs: Vec<ExecJob> = workloads
+        .iter()
+        .flat_map(|&w| {
+            preds.into_iter().map(move |p| ExecJob::Run {
+                cfg: RunConfig::paper(w, scale, p),
+                specs: Vec::new(),
+            })
+        })
+        .collect();
+    let mut cols: Vec<&str> = vec!["workload"];
+    cols.extend(preds.iter().map(|p| p.name()));
+    cols.extend(["best", "class"]);
+    let mut t = Table::new("Extension: workload predictability by family", cols);
+    let mut jrows = Vec::new();
+    let mut outs = exec.run_all(&jobs).into_iter();
+    for &w in workloads {
+        let accs: Vec<f64> = preds
+            .iter()
+            .map(|_| {
+                outs.next()
+                    .expect("one output per job")
+                    .into_run()
+                    .stats
+                    .accuracy_committed()
+            })
+            .collect();
+        let (bi, &best) = accs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("at least one predictor");
+        let class = if best >= 0.97 {
+            "high"
+        } else if best >= 0.90 {
+            "moderate"
+        } else {
+            "low"
+        };
+        let mut cells = vec![w.name().to_string()];
+        cells.extend(accs.iter().map(|&a| pct(a)));
+        cells.push(preds[bi].name().to_string());
+        cells.push(class.to_string());
+        t.row(cells);
+        jrows.push(json!({
+            "workload": w.name(),
+            "accuracy": preds.iter().zip(&accs)
+                .map(|(p, &a)| (p.name().to_string(), json!(a)))
+                .collect::<serde::Map>(),
+            "best": preds[bi].name(),
+            "class": class,
+        }));
+    }
+    // Imported-trace cross-check: export the first workload's committed
+    // stream and replay it through the modern families — the replay job
+    // must report the same committed accuracy as the live simulator
+    // driven down the recorded path (bit-identity of the predictor
+    // state machines; the same identity the conformance suite pins for
+    // the paper families).
+    let mut jreplay = Vec::new();
+    let mut text_extra = String::new();
+    if let Some(&w0) = workloads.first() {
+        let cfg = RunConfig::paper(w0, scale, PredictorKind::Gshare);
+        let records = crate::export_config_trace(&cfg).expect("trace export");
+        for p in PredictorKind::modern_two() {
+            let job = ExecJob::Replay {
+                records: records.clone(),
+                predictor: p,
+                pipeline: cfg.pipeline.clone(),
+                specs: Vec::new(),
+            };
+            let mut outs = exec.run_all(&[job]).into_iter();
+            let replayed = outs.next().expect("replay output").into_run().stats;
+            let live = crate::run_replay_live(&RunConfig::paper(w0, scale, p), &[]).stats;
+            assert_eq!(
+                replayed.accuracy_committed(),
+                live.accuracy_committed(),
+                "trace replay diverged from live simulation for {p}"
+            );
+            text_extra.push_str(&format!(
+                "replay check {p} on {}: {} (live == replayed)\n",
+                w0.name(),
+                pct(live.accuracy_committed()),
+            ));
+            jreplay.push(json!({
+                "workload": w0.name(),
+                "predictor": p.name(),
+                "accuracy": live.accuracy_committed(),
+                "matches_live": true,
+            }));
+        }
+    }
+    let mut text = t.to_string();
+    text.push_str(&text_extra);
+    ExperimentResult {
+        id: "ext-predictability".into(),
+        title: "Extension: per-workload predictability across predictor families".into(),
+        text,
+        json: json!({ "rows": jrows, "replay_checks": jreplay }),
+    }
+}
+
 /// Per-application detail behind Table 2 (the paper reports means and
 /// points at its tech report for the full data; this regenerates it).
 pub fn table2_detail_with(scale: u32, workloads: &[WorkloadKind]) -> ExperimentResult {
@@ -1503,6 +1688,51 @@ mod tests {
         }
         let r = ext_smt_with(1, &[(WorkloadKind::Compress, WorkloadKind::Compress)]);
         assert_eq!(r.json["rows"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn ext_modern_covers_every_family_pair() {
+        let r = ext_modern_with(1, SMALL);
+        let rows = r.json["rows"].as_array().unwrap();
+        // 3 predictors x 5 estimators.
+        assert_eq!(rows.len(), 15);
+        for family in ["gshare", "tage", "perceptron"] {
+            assert!(
+                rows.iter().any(|row| row["predictor"] == family),
+                "missing predictor {family}"
+            );
+        }
+        for est in ["timing(<=4)", "vote2("] {
+            assert!(
+                rows.iter()
+                    .any(|row| row["estimator"].as_str().unwrap().starts_with(est)),
+                "missing estimator {est}"
+            );
+        }
+        // Every cell carries the four diagnostic metrics.
+        for row in rows {
+            for metric in ["sens", "spec", "pvp", "pvn"] {
+                assert!(row["metrics"][metric].as_f64().is_some(), "{row}");
+            }
+        }
+    }
+
+    #[test]
+    fn ext_predictability_classifies_and_cross_checks_replay() {
+        let r = ext_predictability_with(1, SMALL);
+        let rows = r.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row["accuracy"].as_object().unwrap().len(), 6);
+        assert!(["high", "moderate", "low"].contains(&row["class"].as_str().unwrap()));
+        let best = row["best"].as_str().unwrap();
+        assert!(PredictorKind::from_name(best).is_some(), "{best}");
+        // The replay cross-check ran for both modern families and matched.
+        let checks = r.json["replay_checks"].as_array().unwrap();
+        assert_eq!(checks.len(), 2);
+        for c in checks {
+            assert_eq!(c["matches_live"], true, "{c}");
+        }
     }
 
     #[test]

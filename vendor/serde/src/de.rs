@@ -133,6 +133,23 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let a = value
+            .as_array()
+            .ok_or_else(|| Error::invalid_type("array", value.kind()))?;
+        if a.len() != N {
+            return Err(Error::custom(format!(
+                "expected an array of length {}, found {}",
+                N,
+                a.len()
+            )));
+        }
+        let items: Vec<T> = a.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        Ok(items.try_into().unwrap_or_else(|_| unreachable!()))
+    }
+}
+
 impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
     fn from_value(value: &Value) -> Result<Self, Error> {
         value
